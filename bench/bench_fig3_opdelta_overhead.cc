@@ -1,0 +1,134 @@
+// Figure 3: "Op-Delta extraction overhead on insert/delete/update" — the
+// response-time overhead of capturing Op-Delta transactionally into a
+// database table (the head-to-head setup against the trigger method of
+// Figure 2). Transaction sizes 10..10,000 affected 100-byte records.
+//
+// Expected shape (paper): insert overhead averages ~66% (the captured
+// INSERT statement embeds all row values, so its size tracks the
+// transaction — comparable to the trigger, cheaper only by the trigger
+// machinery); delete and update overheads are tiny (~2.5% and ~3.7%),
+// because one short statement is captured regardless of how many records
+// the operation touches.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "extract/op_delta.h"
+#include "sql/executor.h"
+#include "workload/workload.h"
+
+namespace opdelta {
+namespace {
+
+using bench::FormatMicros;
+using bench::ScratchDir;
+using bench::TablePrinter;
+
+enum class Op { kInsert, kDelete, kUpdate };
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kInsert:
+      return "insert";
+    case Op::kDelete:
+      return "delete";
+    case Op::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+Micros TimeOne(Op op, int64_t size, bool with_capture, int64_t table_rows) {
+  ScratchDir dir("fig3");
+  workload::PartsWorkload wl;
+  std::unique_ptr<engine::Database> db;
+  BENCH_OK(engine::Database::Open(dir.Sub("src"), engine::DatabaseOptions(),
+                                  &db));
+  BENCH_OK(wl.CreateTable(db.get(), "parts"));
+  if (op != Op::kInsert) {
+    BENCH_OK(wl.Populate(db.get(), "parts", table_rows));
+  }
+  BENCH_OK(db->CreateTable("op_log", extract::OpDeltaLogTableSchema()));
+
+  sql::Executor exec(db.get());
+  extract::OpDeltaCapture capture(
+      &exec, std::make_shared<extract::OpDeltaDbSink>("op_log"),
+      extract::OpDeltaCapture::Options());
+
+  sql::Statement stmt;
+  switch (op) {
+    case Op::kInsert:
+      stmt = wl.MakeInsert("parts", table_rows, static_cast<size_t>(size));
+      break;
+    case Op::kDelete:
+      stmt = wl.MakeDelete("parts", 0, size);
+      break;
+    case Op::kUpdate:
+      stmt = wl.MakeUpdate("parts", 0, size, "revised");
+      break;
+  }
+
+  Stopwatch sw;
+  if (with_capture) {
+    BENCH_OK(capture.RunTransaction({stmt}).status());
+  } else {
+    std::unique_ptr<txn::Transaction> txn = db->Begin();
+    BENCH_OK(exec.Execute(txn.get(), stmt).status());
+    BENCH_OK(db->Commit(txn.get()));
+  }
+  return sw.ElapsedMicros();
+}
+
+Micros Best(Op op, int64_t size, bool with_capture, int64_t table_rows,
+            int reps = 3) {
+  Micros best = 0;
+  for (int i = 0; i < reps; ++i) {
+    Micros t = TimeOne(op, size, with_capture, table_rows);
+    if (i == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 3: Op-Delta capture overhead (DB-table sink)",
+      "Ram & Do ICDE 2000, Figure 3",
+      "insert overhead substantial (~66% avg, like triggers); delete and "
+      "update overhead near zero (~2.5% / ~3.7% avg)");
+
+  const int64_t table_rows = bench::Scaled(100000);
+  const int64_t sizes[] = {10, 100, 1000, 10000};
+
+  TablePrinter table({"op", "txn size", "no capture", "with Op-Delta",
+                      "overhead %", "paper avg"});
+  double sums[3] = {0, 0, 0};
+
+  for (Op op : {Op::kInsert, Op::kDelete, Op::kUpdate}) {
+    for (int64_t size : sizes) {
+      const Micros base = Best(op, size, false, table_rows);
+      const Micros with = Best(op, size, true, table_rows);
+      const double overhead =
+          100.0 * (static_cast<double>(with) - static_cast<double>(base)) /
+          static_cast<double>(base);
+      sums[static_cast<int>(op)] += overhead;
+      const char* paper_avg = op == Op::kInsert ? "66.47%"
+                              : op == Op::kDelete ? "2.48%"
+                                                  : "3.68%";
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%.1f%%", overhead);
+      table.AddRow({OpName(op), std::to_string(size), FormatMicros(base),
+                    FormatMicros(with), pct, paper_avg});
+    }
+  }
+  table.Print();
+  std::printf("shape check: average overhead insert %.1f%% (paper 66.5%%), "
+              "delete %.1f%% (paper 2.5%%), update %.1f%% (paper 3.7%%)\n",
+              sums[0] / 4, sums[1] / 4, sums[2] / 4);
+}
+
+}  // namespace
+}  // namespace opdelta
+
+int main() {
+  opdelta::Run();
+  return 0;
+}

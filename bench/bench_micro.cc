@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) of the substrate primitives every
+// experiment rests on: row codec, slotted pages, B+tree, WAL append, engine
+// DML, statement parse/render, and CRC. Useful for spotting regressions
+// that would distort the paper-level benches.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "catalog/row_codec.h"
+#include "index/bplus_tree.h"
+#include "sql/parser.h"
+#include "storage/page.h"
+#include "txn/wal.h"
+#include "workload/workload.h"
+
+namespace opdelta {
+namespace {
+
+void BM_RowCodecEncode(benchmark::State& state) {
+  workload::PartsWorkload wl;
+  catalog::Schema schema = workload::PartsWorkload::Schema();
+  catalog::Row row = wl.MakeRow(42);
+  row[3] = catalog::Value::Timestamp(123456789);
+  for (auto _ : state) {
+    std::string out;
+    catalog::RowCodec::Encode(schema, row, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RowCodecEncode);
+
+void BM_RowCodecDecode(benchmark::State& state) {
+  workload::PartsWorkload wl;
+  catalog::Schema schema = workload::PartsWorkload::Schema();
+  catalog::Row row = wl.MakeRow(42);
+  row[3] = catalog::Value::Timestamp(123456789);
+  std::string encoded = catalog::RowCodec::Encode(schema, row);
+  for (auto _ : state) {
+    catalog::Row out;
+    Status st = catalog::RowCodec::Decode(schema, Slice(encoded), &out);
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RowCodecDecode);
+
+void BM_SlottedPageInsert(benchmark::State& state) {
+  alignas(8) char buf[storage::kPageSize];
+  const std::string record(100, 'r');
+  for (auto _ : state) {
+    storage::SlottedPage page(buf);
+    page.Init();
+    uint16_t slot;
+    while (page.Insert(Slice(record), &slot).ok()) {
+    }
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_SlottedPageInsert);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    index::BPlusTree tree;
+    for (int64_t i = 0; i < n; ++i) {
+      tree.Insert(i, storage::Rid{static_cast<uint32_t>(i), 0});
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BPlusTreeRangeScan(benchmark::State& state) {
+  index::BPlusTree tree;
+  for (int64_t i = 0; i < 100000; ++i) {
+    tree.Insert(i, storage::Rid{static_cast<uint32_t>(i), 0});
+  }
+  for (auto _ : state) {
+    int64_t sum = 0;
+    tree.ScanRange(5000, 15000, [&](int64_t k, const storage::Rid&) {
+      sum += k;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BPlusTreeRangeScan);
+
+void BM_WalAppend(benchmark::State& state) {
+  bench::ScratchDir dir("micro_wal");
+  txn::Wal wal;
+  txn::WalOptions options;
+  BENCH_OK(wal.Open(dir.Sub("wal"), options));
+  txn::LogRecord rec;
+  rec.type = txn::LogRecordType::kInsert;
+  rec.after = std::string(100, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.Append(&rec));
+  }
+  state.SetBytesProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_EngineInsert(benchmark::State& state) {
+  bench::ScratchDir dir("micro_insert");
+  workload::PartsWorkload wl;
+  std::unique_ptr<engine::Database> db;
+  BENCH_OK(engine::Database::Open(dir.Sub("db"), engine::DatabaseOptions(),
+                                  &db));
+  BENCH_OK(wl.CreateTable(db.get(), "parts"));
+  int64_t id = 0;
+  for (auto _ : state) {
+    Status st = db->WithTransaction([&](txn::Transaction* txn) {
+      return db->Insert(txn, "parts", wl.MakeRow(id++));
+    });
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineInsert);
+
+void BM_EngineScan100k(benchmark::State& state) {
+  bench::ScratchDir dir("micro_scan");
+  workload::PartsWorkload wl;
+  std::unique_ptr<engine::Database> db;
+  BENCH_OK(engine::Database::Open(dir.Sub("db"), engine::DatabaseOptions(),
+                                  &db));
+  BENCH_OK(wl.CreateTable(db.get(), "parts"));
+  BENCH_OK(wl.Populate(db.get(), "parts", 100000));
+  for (auto _ : state) {
+    uint64_t count = 0;
+    BENCH_OK(db->Scan(nullptr, "parts", engine::Predicate::True(),
+                      [&](const storage::Rid&, const catalog::Row&) {
+                        ++count;
+                        return true;
+                      }));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_EngineScan100k);
+
+void BM_SqlParseUpdate(benchmark::State& state) {
+  const std::string sql =
+      "UPDATE parts SET status = 'revised' WHERE last_modified > TS:942652800";
+  for (auto _ : state) {
+    Result<sql::Statement> stmt = sql::Parser::Parse(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_SqlParseUpdate);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(100)->Arg(8192);
+
+}  // namespace
+}  // namespace opdelta
+
+BENCHMARK_MAIN();

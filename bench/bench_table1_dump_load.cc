@@ -1,0 +1,111 @@
+// Table 1: "Database deltas dump and load techniques" — wall time of the
+// Export utility, the Import utility, and the direct-block DBMS Loader over
+// growing delta sizes. Paper sizes were 100M..1000M on a 300 MHz NT server;
+// here each point is 100x smaller by default (OPDELTA_BENCH_SCALE rescales).
+//
+// Expected shape (paper): Import >> Loader >> Export at every size, with the
+// Import/Loader gap widening as deltas grow, because Import fills private
+// pages and re-writes them through the transactional path (double I/O +
+// logging) while the Loader formats database blocks directly.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "dbutils/ascii_dump.h"
+#include "dbutils/export.h"
+#include "dbutils/loader.h"
+#include "workload/workload.h"
+
+namespace opdelta {
+namespace {
+
+using bench::FormatMicros;
+using bench::ScratchDir;
+using bench::TablePrinter;
+
+struct Point {
+  const char* label;     // paper's size label
+  int64_t rows;          // scaled row count (100-byte records)
+  const char* paper_export;
+  const char* paper_import;
+  const char* paper_loader;
+};
+
+void Run() {
+  bench::PrintHeader(
+      "Table 1: delta dump and load techniques",
+      "Ram & Do ICDE 2000, Table 1",
+      "Import >> Loader > Export; Import/Loader gap widens with size");
+
+  // Paper: 100M..1000M of 100-byte records = 1M..10M rows; scaled 1:100.
+  const Point points[] = {
+      {"100M", bench::Scaled(10000), "3min", "28min", "20min"},
+      {"200M", bench::Scaled(20000), "13min", "1h07m", "34min"},
+      {"400M", bench::Scaled(40000), "23min", "3h11m", "1h08m"},
+      {"600M", bench::Scaled(60000), "37min", "5h21m", "1h40m"},
+      {"800M", bench::Scaled(80000), "56min", "6h11m", "2h28m"},
+      {"1000M", bench::Scaled(100000), "1h32m", "9h59m", "2h58m"},
+  };
+
+  TablePrinter table({"delta size (paper)", "rows (scaled)", "Export",
+                      "Import", "DBMS Loader", "paper Export", "paper Import",
+                      "paper Loader"});
+  double sum_import = 0, sum_loader = 0;
+
+  for (const Point& p : points) {
+    ScratchDir dir("table1");
+    workload::PartsWorkload wl;
+
+    // Source system already holds the captured delta table.
+    engine::DatabaseOptions options;
+    std::unique_ptr<engine::Database> src;
+    BENCH_OK(engine::Database::Open(dir.Sub("src"), options, &src));
+    BENCH_OK(wl.CreateTable(src.get(), "delta"));
+    BENCH_OK(wl.Populate(src.get(), "delta", p.rows));
+    BENCH_OK(src->FlushAll());
+
+    // Export (timed).
+    Stopwatch sw_export;
+    BENCH_OK(dbutils::ExportUtil::Export(src.get(), "delta",
+                                         dir.Sub("delta.exp")));
+    const Micros t_export = sw_export.ElapsedMicros();
+
+    // Import into a fresh database (timed).
+    std::unique_ptr<engine::Database> import_db;
+    BENCH_OK(engine::Database::Open(dir.Sub("imp"), options, &import_db));
+    BENCH_OK(wl.CreateTable(import_db.get(), "delta"));
+    Stopwatch sw_import;
+    BENCH_OK(dbutils::ImportUtil::Import(import_db.get(), "delta",
+                                         dir.Sub("delta.exp")));
+    const Micros t_import = sw_import.ElapsedMicros();
+
+    // ASCII dump (untimed prep), then DBMS Loader (timed).
+    BENCH_OK(dbutils::AsciiDump::DumpTable(
+        src.get(), "delta", engine::Predicate::True(), dir.Sub("delta.csv")));
+    std::unique_ptr<engine::Database> loader_db;
+    BENCH_OK(engine::Database::Open(dir.Sub("load"), options, &loader_db));
+    BENCH_OK(wl.CreateTable(loader_db.get(), "delta"));
+    Stopwatch sw_loader;
+    BENCH_OK(dbutils::Loader::Load(loader_db.get(), "delta",
+                                   dir.Sub("delta.csv"), nullptr));
+    const Micros t_loader = sw_loader.ElapsedMicros();
+
+    sum_import += static_cast<double>(t_import);
+    sum_loader += static_cast<double>(t_loader);
+
+    table.AddRow({p.label, std::to_string(p.rows), FormatMicros(t_export),
+                  FormatMicros(t_import), FormatMicros(t_loader),
+                  p.paper_export, p.paper_import, p.paper_loader});
+  }
+  table.Print();
+  std::printf("shape check: Import/Loader time ratio (all sizes) = %.2fx "
+              "(paper: 1.4x .. 3.4x, Import always slower)\n",
+              sum_import / sum_loader);
+}
+
+}  // namespace
+}  // namespace opdelta
+
+int main() {
+  opdelta::Run();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Table 2: "Time stamp based delta extraction" — extracting deltas of
+// growing size from a source table via the timestamp method, writing the
+// result (a) to an OS file, (b) to a local delta table, and (c) delta table
+// + Export. Paper: 1G source table (10M x 100B rows), deltas 100M..1G.
+// Scaled 1:100 by default.
+//
+// Expected shape (paper): table output costs ~2-3x file output at every
+// size, and adding Export pushes it further; all three grow with delta size.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "dbutils/export.h"
+#include "extract/timestamp_extractor.h"
+#include "workload/workload.h"
+
+namespace opdelta {
+namespace {
+
+using bench::FormatMicros;
+using bench::ScratchDir;
+using bench::TablePrinter;
+
+struct Point {
+  const char* label;
+  int64_t delta_rows;
+  const char* paper_file;
+  const char* paper_table;
+  const char* paper_table_export;
+};
+
+void Run() {
+  bench::PrintHeader(
+      "Table 2: time stamp based delta extraction",
+      "Ram & Do ICDE 2000, Table 2",
+      "table output ~2-3x file output; +Export grows the gap further");
+
+  const int64_t source_rows = bench::Scaled(100000);  // paper: 10M rows (1G)
+  const Point points[] = {
+      {"100M", bench::Scaled(10000), "17min", "29min", "32min"},
+      {"200M", bench::Scaled(20000), "26min", "55min", "1h08m"},
+      {"400M", bench::Scaled(40000), "43min", "1h45m", "2h08m"},
+      {"600M", bench::Scaled(60000), "59min", "2h40m", "3h17m"},
+      {"800M", bench::Scaled(80000), "1h19m", "3h29m", "4h25m"},
+      {"1000M", bench::Scaled(100000), "1h36m", "4h24m", "5h56m"},
+  };
+
+  TablePrinter table({"delta size (paper)", "rows", "file output",
+                      "table output", "table + Export", "paper file",
+                      "paper table", "paper tbl+exp"});
+  double sum_file = 0, sum_table = 0;
+
+  for (const Point& p : points) {
+    ScratchDir dir("table2");
+    workload::PartsWorkload wl;
+    std::unique_ptr<engine::Database> src;
+    BENCH_OK(engine::Database::Open(dir.Sub("src"),
+                                    engine::DatabaseOptions(), &src));
+    BENCH_OK(wl.CreateTable(src.get(), "parts"));
+    BENCH_OK(wl.Populate(src.get(), "parts", source_rows));
+
+    // Touch `delta_rows` rows after the watermark.
+    const Micros watermark = src->clock()->NowMicros();
+    BENCH_OK(src->WithTransaction([&](txn::Transaction* txn) {
+      return src
+          ->UpdateWhere(
+              txn, "parts",
+              engine::Predicate::Where("id", engine::CompareOp::kLt,
+                                       catalog::Value::Int64(p.delta_rows)),
+              {engine::Assignment{"status", catalog::Value::String("mod")}})
+          .status();
+    }));
+
+    extract::TimestampExtractor extractor(src.get(), "parts",
+                                          "last_modified");
+
+    // (a) file output.
+    uint64_t rows = 0;
+    Stopwatch sw_file;
+    BENCH_OK(extractor.ExtractToFile(watermark, dir.Sub("delta.csv"), &rows));
+    const Micros t_file = sw_file.ElapsedMicros();
+    if (rows != static_cast<uint64_t>(p.delta_rows)) {
+      std::fprintf(stderr, "unexpected delta rows: %llu\n",
+                   static_cast<unsigned long long>(rows));
+    }
+
+    // (b) table output.
+    BENCH_OK(src->CreateTable("parts_delta",
+                              workload::PartsWorkload::Schema()));
+    Stopwatch sw_table;
+    BENCH_OK(extractor.ExtractToTable(watermark, "parts_delta", &rows));
+    const Micros t_table = sw_table.ElapsedMicros();
+
+    // (c) table output + Export of the delta table.
+    Stopwatch sw_export;
+    BENCH_OK(dbutils::ExportUtil::Export(src.get(), "parts_delta",
+                                         dir.Sub("delta.exp")));
+    const Micros t_table_export = t_table + sw_export.ElapsedMicros();
+
+    sum_file += static_cast<double>(t_file);
+    sum_table += static_cast<double>(t_table);
+
+    table.AddRow({p.label, std::to_string(p.delta_rows), FormatMicros(t_file),
+                  FormatMicros(t_table), FormatMicros(t_table_export),
+                  p.paper_file, p.paper_table, p.paper_table_export});
+  }
+  table.Print();
+  std::printf("shape check: table-output/file-output time ratio = %.2fx "
+              "(paper: 1.7x .. 2.9x)\n",
+              sum_table / sum_file);
+}
+
+}  // namespace
+}  // namespace opdelta
+
+int main() {
+  opdelta::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation C (§4.1 size argument): "For deletions and updates at sources,
+// Op-Delta can reduce the delta volume and hence the message traffic from
+// source to the data warehouse significantly ... the size of an Op-Delta
+// for deletion and update is independent of the size of the transaction
+// ... For insertion the Op-Delta has the same space efficiency as the
+// value delta."
+//
+// This bench captures the same transactions both ways and reports the bytes
+// each representation ships, plus the simulated time on a 10 Mb/s LAN.
+//
+// Expected shape: insert volumes comparable; delete volume ratio grows
+// linearly with txn size (x 100-byte before-images vs one ~50B statement);
+// update ratio grows twice as fast (before + after images).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "extract/op_delta.h"
+#include "extract/trigger_extractor.h"
+#include "sql/executor.h"
+#include "transport/network_simulator.h"
+#include "workload/workload.h"
+
+namespace opdelta {
+namespace {
+
+using bench::FormatBytes;
+using bench::FormatMicros;
+using bench::ScratchDir;
+using bench::TablePrinter;
+
+enum class Op { kInsert, kDelete, kUpdate };
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kInsert:
+      return "insert";
+    case Op::kDelete:
+      return "delete";
+    case Op::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Transport volume: Op-Delta vs value delta",
+      "Ram & Do ICDE 2000, section 4.1 (volume argument)",
+      "inserts comparable; delete/update value-delta volume grows with txn "
+      "size while Op-Delta stays constant");
+
+  const int64_t table_rows = bench::Scaled(100000);
+  const int64_t sizes[] = {10, 100, 1000, 10000};
+  transport::NetworkSimulator::Profile lan =
+      transport::NetworkSimulator::SwitchedLan10Mbps();
+
+  TablePrinter table({"op", "txn size", "value delta bytes",
+                      "Op-Delta bytes", "ratio", "LAN ship (value)",
+                      "LAN ship (op)"});
+
+  for (Op op : {Op::kInsert, Op::kDelete, Op::kUpdate}) {
+    for (int64_t size : sizes) {
+      ScratchDir dir("volume");
+      workload::PartsWorkload wl;
+      std::unique_ptr<engine::Database> db;
+      BENCH_OK(engine::Database::Open(dir.Sub("src"),
+                                      engine::DatabaseOptions(), &db));
+      BENCH_OK(wl.CreateTable(db.get(), "parts"));
+      if (op != Op::kInsert) {
+        BENCH_OK(wl.Populate(db.get(), "parts", table_rows));
+      }
+      BENCH_OK(
+          extract::TriggerExtractor::Install(db.get(), "parts").status());
+      BENCH_OK(db->CreateTable("op_log", extract::OpDeltaLogTableSchema()));
+
+      sql::Executor exec(db.get());
+      extract::OpDeltaCapture capture(
+          &exec, std::make_shared<extract::OpDeltaDbSink>("op_log"),
+          extract::OpDeltaCapture::Options());
+      sql::Statement stmt;
+      switch (op) {
+        case Op::kInsert:
+          stmt = wl.MakeInsert("parts", table_rows,
+                               static_cast<size_t>(size));
+          break;
+        case Op::kDelete:
+          stmt = wl.MakeDelete("parts", 0, size);
+          break;
+        case Op::kUpdate:
+          stmt = wl.MakeUpdate("parts", 0, size, "revised");
+          break;
+      }
+      BENCH_OK(capture.RunTransaction({stmt}).status());
+
+      Result<extract::DeltaBatch> value_batch =
+          extract::TriggerExtractor::Drain(db.get(), "parts");
+      BENCH_OK(value_batch.status());
+      std::vector<extract::OpDeltaTxn> op_txns;
+      BENCH_OK(extract::OpDeltaLogReader::DrainDbTable(
+          db.get(), "op_log", workload::PartsWorkload::Schema(), &op_txns));
+
+      const uint64_t value_bytes = value_batch->SizeBytes();
+      const uint64_t op_bytes = extract::OpDeltaVolumeBytes(
+          op_txns, workload::PartsWorkload::Schema());
+      const Micros lan_value = static_cast<Micros>(
+          lan.micros_per_byte * static_cast<double>(value_bytes));
+      const Micros lan_op = static_cast<Micros>(
+          lan.micros_per_byte * static_cast<double>(op_bytes));
+
+      char ratio[16];
+      std::snprintf(ratio, sizeof(ratio), "%.1fx",
+                    static_cast<double>(value_bytes) /
+                        static_cast<double>(op_bytes));
+      table.AddRow({OpName(op), std::to_string(size),
+                    FormatBytes(value_bytes), FormatBytes(op_bytes), ratio,
+                    FormatMicros(lan_value), FormatMicros(lan_op)});
+    }
+  }
+  table.Print();
+  std::printf("shape check: update ratio at size 10,000 should approach "
+              "2 * rowsize * n / stmt bytes (~30,000x here)\n");
+}
+
+}  // namespace
+}  // namespace opdelta
+
+int main() {
+  opdelta::Run();
+  return 0;
+}

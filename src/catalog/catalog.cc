@@ -1,0 +1,96 @@
+#include "catalog/catalog.h"
+
+#include "common/coding.h"
+#include "common/env.h"
+
+namespace opdelta::catalog {
+
+Status Catalog::CreateTable(const std::string& name, const Schema& schema,
+                            TableId* id_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  TableInfo info;
+  info.id = next_id_++;
+  info.name = name;
+  info.schema = schema;
+  if (id_out != nullptr) *id_out = info.id;
+  tables_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.erase(name) == 0) return Status::NotFound("table " + name);
+  return Status::OK();
+}
+
+const TableInfo* Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const TableInfo* Catalog::GetTable(TableId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, info] : tables_) {
+    if (info.id == id) return &info;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) names.push_back(name);
+  return names;
+}
+
+void Catalog::EncodeTo(std::string* dst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PutVarint32(dst, next_id_);
+  PutVarint32(dst, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, info] : tables_) {
+    PutVarint32(dst, info.id);
+    PutLengthPrefixed(dst, Slice(name));
+    info.schema.EncodeTo(dst);
+  }
+}
+
+Status Catalog::DecodeFrom(Slice input, Catalog* out) {
+  uint32_t next_id = 0, count = 0;
+  if (!GetVarint32(&input, &next_id) || !GetVarint32(&input, &count)) {
+    return Status::Corruption("catalog header");
+  }
+  std::lock_guard<std::mutex> lock(out->mutex_);
+  out->tables_.clear();
+  out->next_id_ = next_id;
+  for (uint32_t i = 0; i < count; ++i) {
+    TableInfo info;
+    if (!GetVarint32(&input, &info.id)) return Status::Corruption("catalog id");
+    Slice name;
+    if (!GetLengthPrefixed(&input, &name)) {
+      return Status::Corruption("catalog name");
+    }
+    info.name = name.ToString();
+    OPDELTA_RETURN_IF_ERROR(Schema::DecodeFrom(&input, &info.schema));
+    out->tables_.emplace(info.name, std::move(info));
+  }
+  return Status::OK();
+}
+
+Status Catalog::SaveToFile(const std::string& path) const {
+  std::string data;
+  EncodeTo(&data);
+  return WriteFileAtomic(Env::Default(), path, Slice(data));
+}
+
+Status Catalog::LoadFromFile(const std::string& path) {
+  std::string data;
+  OPDELTA_RETURN_IF_ERROR(Env::Default()->ReadFileToString(path, &data));
+  return DecodeFrom(Slice(data), this);
+}
+
+}  // namespace opdelta::catalog

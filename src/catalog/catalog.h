@@ -1,0 +1,57 @@
+#ifndef OPDELTA_CATALOG_CATALOG_H_
+#define OPDELTA_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "catalog/schema.h"
+
+namespace opdelta::catalog {
+
+using TableId = uint32_t;
+inline constexpr TableId kInvalidTableId = 0xFFFFFFFFu;
+
+/// Metadata for one table.
+struct TableInfo {
+  TableId id = kInvalidTableId;
+  std::string name;
+  Schema schema;
+};
+
+/// Registry of table metadata for one database instance. Persisted as a
+/// single file so a Database can be reopened.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table; fails with AlreadyExists on a duplicate name.
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     TableId* id_out);
+
+  Status DropTable(const std::string& name);
+
+  /// nullptr when absent. The pointer stays valid until DropTable.
+  const TableInfo* GetTable(const std::string& name) const;
+  const TableInfo* GetTable(TableId id) const;
+
+  std::vector<std::string> TableNames() const;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, Catalog* out);
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TableInfo> tables_;
+  TableId next_id_ = 1;
+};
+
+}  // namespace opdelta::catalog
+
+#endif  // OPDELTA_CATALOG_CATALOG_H_

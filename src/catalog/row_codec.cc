@@ -1,0 +1,196 @@
+#include "catalog/row_codec.h"
+
+#include <charconv>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace opdelta::catalog {
+
+void RowCodec::Encode(const Schema& schema, const Row& row,
+                      std::string* dst) {
+  const size_t n = schema.num_columns();
+  // Null bitmap, one bit per column.
+  const size_t bitmap_bytes = (n + 7) / 8;
+  const size_t bitmap_pos = dst->size();
+  dst->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    if (i < row.size() && !row[i].is_null()) continue;
+    (*dst)[bitmap_pos + i / 8] |= static_cast<char>(1u << (i % 8));
+  }
+  for (size_t i = 0; i < n && i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (schema.column(i).type) {
+      case ValueType::kInt64:
+        PutVarint64Signed(dst, v.AsInt64());
+        break;
+      case ValueType::kTimestamp:
+        PutVarint64Signed(dst, v.AsTimestamp());
+        break;
+      case ValueType::kDouble: {
+        double d = v.AsDouble();
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        PutFixed64(dst, bits);
+        break;
+      }
+      case ValueType::kString:
+        PutLengthPrefixed(dst, Slice(v.AsString()));
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+}
+
+Status RowCodec::Decode(const Schema& schema, Slice input, Row* out) {
+  const size_t n = schema.num_columns();
+  const size_t bitmap_bytes = (n + 7) / 8;
+  if (input.size() < bitmap_bytes) return Status::Corruption("row: bitmap");
+  const char* bitmap = input.data();
+  input.remove_prefix(bitmap_bytes);
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_null =
+        (bitmap[i / 8] & static_cast<char>(1u << (i % 8))) != 0;
+    if (is_null) {
+      out->push_back(Value::Null());
+      continue;
+    }
+    switch (schema.column(i).type) {
+      case ValueType::kInt64: {
+        int64_t v;
+        if (!GetVarint64Signed(&input, &v)) {
+          return Status::Corruption("row: int64");
+        }
+        out->push_back(Value::Int64(v));
+        break;
+      }
+      case ValueType::kTimestamp: {
+        int64_t v;
+        if (!GetVarint64Signed(&input, &v)) {
+          return Status::Corruption("row: timestamp");
+        }
+        out->push_back(Value::Timestamp(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits;
+        if (!GetFixed64(&input, &bits)) return Status::Corruption("row: double");
+        double d;
+        std::memcpy(&d, &bits, 8);
+        out->push_back(Value::Double(d));
+        break;
+      }
+      case ValueType::kString: {
+        Slice s;
+        if (!GetLengthPrefixed(&input, &s)) {
+          return Status::Corruption("row: string");
+        }
+        out->push_back(Value::String(s.ToString()));
+        break;
+      }
+      case ValueType::kNull:
+        out->push_back(Value::Null());
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void CsvCodec::EncodeLine(const Row& row, std::string* dst) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) dst->push_back(',');
+    dst->append(row[i].ToCsvField());
+  }
+  dst->push_back('\n');
+}
+
+namespace {
+
+// Splits a CSV line into raw fields, handling double-quote quoting.
+Status SplitCsv(Slice line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::Corruption("csv: unterminated quote");
+  fields->push_back(std::move(cur));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CsvCodec::DecodeLine(const Schema& schema, Slice line, Row* out) {
+  std::vector<std::string> fields;
+  OPDELTA_RETURN_IF_ERROR(SplitCsv(line, &fields));
+  if (fields.size() != schema.num_columns()) {
+    return Status::Corruption("csv: field count " +
+                              std::to_string(fields.size()) + " != " +
+                              std::to_string(schema.num_columns()));
+  }
+  out->clear();
+  out->reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    const ValueType t = schema.column(i).type;
+    if (f.empty() && t != ValueType::kString) {
+      out->push_back(Value::Null());
+      continue;
+    }
+    switch (t) {
+      case ValueType::kInt64:
+      case ValueType::kTimestamp: {
+        int64_t v = 0;
+        auto [p, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+        if (ec != std::errc() || p != f.data() + f.size()) {
+          return Status::Corruption("csv: bad int '" + f + "'");
+        }
+        out->push_back(t == ValueType::kInt64 ? Value::Int64(v)
+                                              : Value::Timestamp(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        char* end = nullptr;
+        double v = std::strtod(f.c_str(), &end);
+        if (end != f.c_str() + f.size()) {
+          return Status::Corruption("csv: bad double '" + f + "'");
+        }
+        out->push_back(Value::Double(v));
+        break;
+      }
+      case ValueType::kString:
+        out->push_back(Value::String(f));
+        break;
+      case ValueType::kNull:
+        out->push_back(Value::Null());
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace opdelta::catalog

@@ -1,0 +1,41 @@
+#ifndef OPDELTA_CATALOG_ROW_CODEC_H_
+#define OPDELTA_CATALOG_ROW_CODEC_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace opdelta::catalog {
+
+/// Compact binary row encoding used on pages, in the WAL, and in export
+/// files: a null bitmap followed by type-specific payloads (zig-zag varints
+/// for int64/timestamp, raw 8 bytes for double, length-prefixed strings).
+class RowCodec {
+ public:
+  static void Encode(const Schema& schema, const Row& row, std::string* dst);
+  static std::string Encode(const Schema& schema, const Row& row) {
+    std::string out;
+    Encode(schema, row, &out);
+    return out;
+  }
+
+  static Status Decode(const Schema& schema, Slice input, Row* out);
+};
+
+/// CSV line codec for ASCII dumps and the Loader utility.
+class CsvCodec {
+ public:
+  /// Appends one CSV line (with trailing '\n') for the row.
+  static void EncodeLine(const Row& row, std::string* dst);
+
+  /// Parses one CSV line (without trailing newline) using the schema for
+  /// type information.
+  static Status DecodeLine(const Schema& schema, Slice line, Row* out);
+};
+
+}  // namespace opdelta::catalog
+
+#endif  // OPDELTA_CATALOG_ROW_CODEC_H_

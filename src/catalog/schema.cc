@@ -1,0 +1,80 @@
+#include "catalog/schema.h"
+
+#include "common/coding.h"
+
+namespace opdelta::catalog {
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::TimestampColumnIndex() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type == ValueType::kTimestamp) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Schema::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    PutLengthPrefixed(dst, Slice(c.name));
+    dst->push_back(static_cast<char>(c.type));
+  }
+}
+
+Status Schema::DecodeFrom(Slice* input, Schema* out) {
+  uint32_t n = 0;
+  if (!GetVarint32(input, &n)) return Status::Corruption("schema: count");
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice name;
+    if (!GetLengthPrefixed(input, &name)) {
+      return Status::Corruption("schema: column name");
+    }
+    if (input->empty()) return Status::Corruption("schema: column type");
+    ValueType type = static_cast<ValueType>((*input)[0]);
+    input->remove_prefix(1);
+    if (type > ValueType::kTimestamp) {
+      return Status::Corruption("schema: bad type byte");
+    }
+    cols.push_back(Column{name.ToString(), type});
+  }
+  *out = Schema(std::move(cols));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+Status ValidateRow(const Schema& schema, const Row& row) {
+  if (row.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema.column(i).type) {
+      return Status::InvalidArgument(
+          "column " + schema.column(i).name + ": expected " +
+          ValueTypeName(schema.column(i).type) + ", got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace opdelta::catalog

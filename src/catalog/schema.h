@@ -1,0 +1,67 @@
+#ifndef OPDELTA_CATALOG_SCHEMA_H_
+#define OPDELTA_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "catalog/value.h"
+
+namespace opdelta::catalog {
+
+/// A column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// An ordered list of columns. The engine treats the column named by
+/// `timestamp_column()` (if any, by convention "last_modified", type
+/// kTimestamp) as auto-maintained: every insert/update stamps it.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Index of the first kTimestamp column, or -1. Used for auto-stamping
+  /// and timestamp-based extraction.
+  int TimestampColumnIndex() const;
+
+  /// Index of the primary-key column. By convention the first column is the
+  /// key (the PARTS workloads use an int64 `id`).
+  int KeyColumnIndex() const { return columns_.empty() ? -1 : 0; }
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+  /// Binary (de)serialization for export files and the catalog file.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, Schema* out);
+
+  /// "name TYPE, name TYPE, ..." — for error messages and docs.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Validates that a row structurally matches a schema (arity + cell types;
+/// nulls allowed anywhere).
+Status ValidateRow(const Schema& schema, const Row& row);
+
+}  // namespace opdelta::catalog
+
+#endif  // OPDELTA_CATALOG_SCHEMA_H_

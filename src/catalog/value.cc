@@ -1,0 +1,142 @@
+#include "catalog/value.h"
+
+#include <charconv>
+#include <cstdio>
+#include <functional>
+
+namespace opdelta::catalog {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Numeric cross-type comparison.
+  auto numeric = [](const Value& v) -> double {
+    return v.type_ == ValueType::kDouble ? v.AsDouble()
+                                         : static_cast<double>(
+                                               std::get<int64_t>(v.data_));
+  };
+  const bool a_num = type_ != ValueType::kString;
+  const bool b_num = other.type_ != ValueType::kString;
+  if (a_num && b_num) {
+    if (type_ != ValueType::kDouble && other.type_ != ValueType::kDouble) {
+      int64_t a = std::get<int64_t>(data_);
+      int64_t b = std::get<int64_t>(other.data_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = numeric(*this), b = numeric(other);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numbers sort before strings
+  return AsString().compare(other.AsString());
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kTimestamp:
+      return "TS:" + std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(data_);
+      std::string out;
+      out.reserve(s.size() + 2);
+      out.push_back('\'');
+      for (char c : s) {
+        if (c == '\'') out.push_back('\'');
+        out.push_back(c);
+      }
+      out.push_back('\'');
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string Value::ToCsvField() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueType::kString: {
+      // CSV quoting only when needed.
+      const std::string& s = std::get<std::string>(data_);
+      bool needs_quote = s.empty();
+      for (char c : s) {
+        if (c == ',' || c == '"' || c == '\n') {
+          needs_quote = true;
+          break;
+        }
+      }
+      if (!needs_quote) return s;
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+  }
+  return "";
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::hash<int64_t>()(std::get<int64_t>(data_)) ^
+             (static_cast<size_t>(type_) << 1);
+    case ValueType::kDouble:
+      return std::hash<double>()(std::get<double>(data_));
+    case ValueType::kString:
+      return std::hash<std::string>()(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+}  // namespace opdelta::catalog

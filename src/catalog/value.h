@@ -1,0 +1,81 @@
+#ifndef OPDELTA_CATALOG_VALUE_H_
+#define OPDELTA_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace opdelta::catalog {
+
+/// Column types supported by the engine. kTimestamp is an int64 microsecond
+/// value kept distinct so the engine can auto-maintain `last_modified`
+/// columns and the timestamp extractor can recognize them.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kTimestamp = 4,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically-typed cell value. Small, copyable.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(ValueType::kInt64, v); }
+  static Value Double(double v) { return Value(ValueType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(ValueType::kString, std::move(v));
+  }
+  static Value Timestamp(Micros v) { return Value(ValueType::kTimestamp, v); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  Micros AsTimestamp() const { return std::get<int64_t>(data_); }
+
+  /// Total ordering within a type; null < everything. Cross-type numeric
+  /// comparison coerces int64 <-> double.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// SQL-literal rendering: strings quoted with '' escaping, NULL keyword.
+  /// This is the representation used inside Op-Delta statement text.
+  std::string ToSqlLiteral() const;
+
+  /// Unquoted rendering for CSV/ASCII dumps.
+  std::string ToCsvField() const;
+
+  size_t Hash() const;
+
+ private:
+  Value(ValueType t, int64_t v) : type_(t), data_(v) {}
+  Value(ValueType t, double v) : type_(t), data_(v) {}
+  Value(ValueType t, std::string v) : type_(t), data_(std::move(v)) {}
+
+  ValueType type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// A row is a vector of cells, positionally matching a Schema.
+using Row = std::vector<Value>;
+
+/// Lexicographic row comparison (used by snapshot differentials).
+int CompareRows(const Row& a, const Row& b);
+
+}  // namespace opdelta::catalog
+
+#endif  // OPDELTA_CATALOG_VALUE_H_

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace opdelta {
+
+RealClock* RealClock::Default() {
+  static RealClock* instance = new RealClock();
+  return instance;
+}
+
+}  // namespace opdelta

@@ -1,0 +1,76 @@
+#ifndef OPDELTA_COMMON_CLOCK_H_
+#define OPDELTA_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace opdelta {
+
+/// Microseconds since an arbitrary epoch. Used both for wall-time
+/// measurements and for the `last_modified` timestamp columns the
+/// timestamp-based extractor relies on.
+using Micros = int64_t;
+
+/// Clock abstraction so tests can control time deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds.
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock (monotonic).
+class RealClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance; clocks are stateless so sharing is safe.
+  static RealClock* Default();
+};
+
+/// Manually-advanced clock for deterministic tests. Every NowMicros() call
+/// also ticks by `auto_tick` so successive events get distinct timestamps.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Micros start = 0, Micros auto_tick = 1)
+      : now_(start), auto_tick_(auto_tick) {}
+
+  Micros NowMicros() const override {
+    return now_.fetch_add(auto_tick_, std::memory_order_relaxed);
+  }
+
+  void Advance(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void Set(Micros t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<Micros> now_;
+  Micros auto_tick_;
+};
+
+/// Simple RAII stopwatch for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(RealClock::Default()->NowMicros()) {}
+  Micros ElapsedMicros() const {
+    return RealClock::Default()->NowMicros() - start_;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+  void Reset() { start_ = RealClock::Default()->NowMicros(); }
+
+ private:
+  Micros start_;
+};
+
+}  // namespace opdelta
+
+#endif  // OPDELTA_COMMON_CLOCK_H_

@@ -1,0 +1,42 @@
+#include "common/crc32.h"
+
+namespace opdelta {
+
+namespace {
+
+// Table-driven CRC-32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+struct CrcTable {
+  uint32_t table[256];
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      table[i] = crc;
+    }
+  }
+};
+
+const CrcTable& GetTable() {
+  static const CrcTable* t = new CrcTable();
+  return *t;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
+  const CrcTable& t = GetTable();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = t.table[(crc ^ static_cast<unsigned char>(data[i])) & 0xff] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const char* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace opdelta

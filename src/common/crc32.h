@@ -1,0 +1,18 @@
+#ifndef OPDELTA_COMMON_CRC32_H_
+#define OPDELTA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace opdelta {
+
+/// CRC-32C (Castagnoli) used to protect WAL records, export files, and page
+/// headers against torn writes and corruption.
+uint32_t Crc32c(const char* data, size_t n);
+
+/// Extends a running CRC with more data.
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
+
+}  // namespace opdelta
+
+#endif  // OPDELTA_COMMON_CRC32_H_

@@ -1,0 +1,216 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace opdelta {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(Slice data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return PosixError("fdatasync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0) {
+      if (::close(fd_) != 0) {
+        fd_ = -1;
+        return PosixError("close " + path_, errno);
+      }
+      fd_ = -1;
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError("pread " + path_, errno);
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    *out = std::make_unique<PosixWritableFile>(path, fd, 0);
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* out) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    struct stat st;
+    uint64_t size = 0;
+    if (::fstat(fd, &st) == 0) size = static_cast<uint64_t>(st.st_size);
+    *out = std::make_unique<PosixWritableFile>(path, fd, size);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open " + path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      return PosixError("fstat " + path, err);
+    }
+    *out = std::make_unique<PosixRandomAccessFile>(
+        path, fd, static_cast<uint64_t>(st.st_size));
+    return Status::OK();
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    std::unique_ptr<RandomAccessFile> file;
+    OPDELTA_RETURN_IF_ERROR(NewRandomAccessFile(path, &file));
+    out->clear();
+    out->resize(file->Size());
+    Slice result;
+    OPDELTA_RETURN_IF_ERROR(file->Read(0, out->size(), &result, out->data()));
+    if (result.size() != out->size()) {
+      return Status::IOError("short read " + path);
+    }
+    return Status::OK();
+  }
+
+  Status WriteStringToFile(const std::string& path, Slice data) override {
+    std::unique_ptr<WritableFile> file;
+    OPDELTA_RETURN_IF_ERROR(NewWritableFile(path, &file));
+    OPDELTA_RETURN_IF_ERROR(file->Append(data));
+    return file->Close();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return PosixError("unlink " + path, errno);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename " + from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& path, uint64_t* size) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return PosixError("stat " + path, errno);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveDirAll(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+    if (ec) return Status::IOError("rm -r " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* children) override {
+    children->clear();
+    std::error_code ec;
+    std::filesystem::directory_iterator it(path, ec);
+    if (ec) return Status::IOError("list " + path + ": " + ec.message());
+    for (const auto& entry : it) {
+      children->push_back(entry.path().filename().string());
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static Env* env = new PosixEnv();
+  return env;
+}
+
+Status WriteFileAtomic(Env* env, const std::string& path, Slice data) {
+  const std::string tmp = path + ".tmp";
+  OPDELTA_RETURN_IF_ERROR(env->WriteStringToFile(tmp, data));
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace opdelta

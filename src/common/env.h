@@ -1,0 +1,75 @@
+#ifndef OPDELTA_COMMON_ENV_H_
+#define OPDELTA_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace opdelta {
+
+/// Append-only file handle used for WAL segments, op-delta file logs, ASCII
+/// dumps, and export files.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(Slice data) = 0;
+  virtual Status Flush() = 0;
+  /// Durably syncs buffered data to disk (fdatasync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Positional-read file handle for pages and log replay.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to n bytes at offset into scratch; *result points into scratch.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Minimal filesystem abstraction (POSIX-backed). A single process-wide
+/// instance is enough; the interface exists so tests can inject fault
+/// injection wrappers.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  static Env* Default();
+
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+  /// Opens for append, creating if missing.
+  virtual Status NewAppendableFile(const std::string& path,
+                                   std::unique_ptr<WritableFile>* out) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* out) = 0;
+
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+  virtual Status WriteStringToFile(const std::string& path, Slice data) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status GetFileSize(const std::string& path, uint64_t* size) = 0;
+  virtual Status CreateDir(const std::string& path) = 0;
+  /// Recursively removes a directory tree. Use with care.
+  virtual Status RemoveDirAll(const std::string& path) = 0;
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* children) = 0;
+};
+
+/// Writes `data` through a WritableFile in one call (helper).
+Status WriteFileAtomic(Env* env, const std::string& path, Slice data);
+
+}  // namespace opdelta
+
+#endif  // OPDELTA_COMMON_ENV_H_

@@ -1,0 +1,53 @@
+#ifndef OPDELTA_COMMON_LOGGING_H_
+#define OPDELTA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace opdelta {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace opdelta
+
+#define OPDELTA_LOG(level)                                                \
+  if (::opdelta::internal::LogMessage _msg(::opdelta::LogLevel::level,    \
+                                           __FILE__, __LINE__);           \
+      _msg.enabled())                                                     \
+  _msg.stream()
+
+/// Fatal invariant check: prints and aborts. Used for programming errors
+/// only; recoverable conditions go through Status.
+#define OPDELTA_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond,          \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // OPDELTA_COMMON_LOGGING_H_

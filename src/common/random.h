@@ -1,0 +1,69 @@
+#ifndef OPDELTA_COMMON_RANDOM_H_
+#define OPDELTA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace opdelta {
+
+/// Deterministic xorshift128+ RNG. All workload generators take an explicit
+/// seed so every experiment and property test is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 to expand the seed into two non-zero state words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Random alphanumeric string of length n.
+  std::string NextString(size_t n) {
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace opdelta
+
+#endif  // OPDELTA_COMMON_RANDOM_H_

@@ -1,0 +1,35 @@
+#ifndef OPDELTA_DBUTILS_ASCII_DUMP_H_
+#define OPDELTA_DBUTILS_ASCII_DUMP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace opdelta::dbutils {
+
+/// ASCII (CSV) dump of a table or row set: "an approach similar to the time
+/// stamp based method can be used to get an ASCII dump file of the delta
+/// table that can subsequently be loaded ... using ASCII load utilities"
+/// (§3). Unlike Export, the output is portable across DBMS products.
+class AsciiDump {
+ public:
+  /// Dumps all rows of `table` matching `pred` to a CSV file.
+  static Status DumpTable(engine::Database* db, const std::string& table,
+                          const engine::Predicate& pred,
+                          const std::string& path);
+
+  /// Dumps pre-collected rows.
+  static Status DumpRows(const std::vector<catalog::Row>& rows,
+                         const std::string& path);
+
+  /// Reads a CSV file back into rows using `schema` for typing.
+  static Status ReadCsv(const std::string& path,
+                        const catalog::Schema& schema,
+                        std::vector<catalog::Row>* out);
+};
+
+}  // namespace opdelta::dbutils
+
+#endif  // OPDELTA_DBUTILS_ASCII_DUMP_H_

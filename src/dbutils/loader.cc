@@ -1,0 +1,55 @@
+#include "dbutils/loader.h"
+
+#include <shared_mutex>
+
+#include "common/env.h"
+#include "catalog/row_codec.h"
+
+namespace opdelta::dbutils {
+
+Status Loader::Load(engine::Database* db, const std::string& table,
+                    const std::string& csv_path, Stats* stats) {
+  engine::Table* t = db->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (t->HasAnyIndex()) {
+    return Status::NotSupported(
+        "Loader targets tables without indexes; create indexes after the "
+        "load");
+  }
+
+  std::string data;
+  OPDELTA_RETURN_IF_ERROR(Env::Default()->ReadFileToString(csv_path, &data));
+
+  std::unique_lock<std::shared_mutex> latch(t->latch);
+  const uint64_t pages_before = t->file()->io_stats().page_writes.load();
+
+  Stats local;
+  std::vector<std::string> batch;
+  batch.reserve(16384);
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t end = data.find('\n', start);
+    if (end == std::string::npos) end = data.size();
+    if (end > start) {
+      catalog::Row row;
+      OPDELTA_RETURN_IF_ERROR(catalog::CsvCodec::DecodeLine(
+          t->schema(), Slice(data.data() + start, end - start), &row));
+      batch.push_back(catalog::RowCodec::Encode(t->schema(), row));
+      local.rows_loaded++;
+      if (batch.size() >= 16384) {
+        OPDELTA_RETURN_IF_ERROR(t->heap()->BulkLoad(batch));
+        batch.clear();
+      }
+    }
+    start = end + 1;
+  }
+  if (!batch.empty()) {
+    OPDELTA_RETURN_IF_ERROR(t->heap()->BulkLoad(batch));
+  }
+  local.pages_written =
+      t->file()->io_stats().page_writes.load() - pages_before;
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace opdelta::dbutils

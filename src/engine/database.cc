@@ -1,0 +1,745 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "catalog/row_codec.h"
+
+namespace opdelta::engine {
+
+using catalog::Row;
+using catalog::RowCodec;
+using storage::Rid;
+using txn::LockMode;
+using txn::LogRecord;
+using txn::LogRecordType;
+using txn::Transaction;
+using txn::UndoEntry;
+
+Database::Database(std::string dir, DatabaseOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Default()),
+      locks_(std::chrono::duration_cast<std::chrono::milliseconds>(
+          options.lock_timeout)) {}
+
+Database::~Database() { Close(); }
+
+Status Database::Open(const std::string& dir, const DatabaseOptions& options,
+                      std::unique_ptr<Database>* out) {
+  Env* env = Env::Default();
+  OPDELTA_RETURN_IF_ERROR(env->CreateDir(dir));
+  std::unique_ptr<Database> db(new Database(dir, options));
+  OPDELTA_RETURN_IF_ERROR(db->wal_.Open(dir + "/wal", options.wal));
+  // Txn ids must never repeat across reopens: the archive log identifies
+  // transactions by id, and a stale commit record must not vouch for a
+  // fresh transaction's redo.
+  db->next_txn_id_ = db->wal_.max_txn_id_at_open() + 1;
+
+  const std::string catalog_path = dir + "/catalog.meta";
+  if (env->FileExists(catalog_path)) {
+    OPDELTA_RETURN_IF_ERROR(db->catalog_.LoadFromFile(catalog_path));
+    for (const std::string& name : db->catalog_.TableNames()) {
+      const catalog::TableInfo* info = db->catalog_.GetTable(name);
+      OPDELTA_RETURN_IF_ERROR(db->OpenTable(*info));
+    }
+  }
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Status Database::Close() {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  for (auto& [name, table] : tables_) {
+    OPDELTA_RETURN_IF_ERROR(table->Close());
+  }
+  tables_.clear();
+  return wal_.Close();
+}
+
+std::string Database::TableFilePath(catalog::TableId id) const {
+  return dir_ + "/t_" + std::to_string(id) + ".db";
+}
+
+Status Database::SaveCatalog() {
+  return catalog_.SaveToFile(dir_ + "/catalog.meta");
+}
+
+Status Database::OpenTable(const catalog::TableInfo& info) {
+  auto table = std::make_unique<Table>(info, options_.buffer_pool_pages);
+  OPDELTA_RETURN_IF_ERROR(table->Open(TableFilePath(info.id)));
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  tables_[info.name] = std::move(table);
+  return Status::OK();
+}
+
+Status Database::CreateTable(const std::string& name,
+                             const catalog::Schema& schema) {
+  catalog::TableId id;
+  OPDELTA_RETURN_IF_ERROR(catalog_.CreateTable(name, schema, &id));
+  const catalog::TableInfo* info = catalog_.GetTable(name);
+  Status st = OpenTable(*info);
+  if (!st.ok()) {
+    catalog_.DropTable(name);
+    return st;
+  }
+  return SaveCatalog();
+}
+
+Status Database::DropTable(const std::string& name) {
+  const catalog::TableInfo* info = catalog_.GetTable(name);
+  if (info == nullptr) return Status::NotFound("table " + name);
+  const catalog::TableId id = info->id;
+  {
+    std::lock_guard<std::mutex> lock(tables_mutex_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) {
+      OPDELTA_RETURN_IF_ERROR(it->second->Close());
+      tables_.erase(it);
+    }
+  }
+  OPDELTA_RETURN_IF_ERROR(catalog_.DropTable(name));
+  Env::Default()->DeleteFile(TableFilePath(id));  // best effort
+  return SaveCatalog();
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  std::unique_lock<std::shared_mutex> latch(t->latch);
+  return t->CreateIndex(column);
+}
+
+Status Database::CreateTrigger(const std::string& table, TriggerDef trigger) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  std::unique_lock<std::shared_mutex> latch(t->latch);
+  for (const TriggerDef& existing : t->triggers()) {
+    if (existing.name == trigger.name) {
+      return Status::AlreadyExists("trigger " + trigger.name);
+    }
+  }
+  t->triggers().push_back(std::move(trigger));
+  return Status::OK();
+}
+
+Status Database::DropTrigger(const std::string& table,
+                             const std::string& name) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  std::unique_lock<std::shared_mutex> latch(t->latch);
+  auto& triggers = t->triggers();
+  for (auto it = triggers.begin(); it != triggers.end(); ++it) {
+    if (it->name == name) {
+      triggers.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("trigger " + name);
+}
+
+Table* Database::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::GetTableById(catalog::TableId id) {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  for (auto& [name, table] : tables_) {
+    if (table->id() == id) return table.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Transaction> Database::Begin() {
+  auto txn = std::make_unique<Transaction>(next_txn_id_.fetch_add(1));
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.txn_id = txn->id();
+  wal_.Append(&rec);
+  return txn;
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (!txn->active()) return Status::InvalidArgument("txn not active");
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = txn->id();
+  OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
+  OPDELTA_RETURN_IF_ERROR(wal_.Sync());
+  txn->MarkCommitted();
+  locks_.ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+Status Database::UndoOne(const UndoEntry& entry) {
+  Table* table = GetTableById(entry.table_id);
+  if (table == nullptr) return Status::Internal("undo: table gone");
+  std::unique_lock<std::shared_mutex> latch(table->latch);
+  switch (entry.type) {
+    case LogRecordType::kInsert: {
+      std::string current;
+      OPDELTA_RETURN_IF_ERROR(table->heap()->Read(entry.rid, &current));
+      Row row;
+      OPDELTA_RETURN_IF_ERROR(
+          RowCodec::Decode(table->schema(), Slice(current), &row));
+      table->IndexErase(row, entry.rid);
+      return table->heap()->Delete(entry.rid);
+    }
+    case LogRecordType::kUpdate: {
+      std::string current;
+      OPDELTA_RETURN_IF_ERROR(table->heap()->Read(entry.rid, &current));
+      Row cur_row;
+      OPDELTA_RETURN_IF_ERROR(
+          RowCodec::Decode(table->schema(), Slice(current), &cur_row));
+      table->IndexErase(cur_row, entry.rid);
+      Rid new_rid;
+      OPDELTA_RETURN_IF_ERROR(
+          table->heap()->Update(entry.rid, Slice(entry.before), &new_rid));
+      Row before_row;
+      OPDELTA_RETURN_IF_ERROR(
+          RowCodec::Decode(table->schema(), Slice(entry.before), &before_row));
+      table->IndexInsert(before_row, new_rid);
+      return Status::OK();
+    }
+    case LogRecordType::kDelete: {
+      Rid rid;
+      OPDELTA_RETURN_IF_ERROR(
+          table->heap()->Insert(Slice(entry.before), &rid));
+      Row row;
+      OPDELTA_RETURN_IF_ERROR(
+          RowCodec::Decode(table->schema(), Slice(entry.before), &row));
+      table->IndexInsert(row, rid);
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("undo: bad entry type");
+  }
+}
+
+Status Database::Abort(Transaction* txn) {
+  if (!txn->active()) return Status::InvalidArgument("txn not active");
+  auto& undo = txn->undo_log();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    Status st = UndoOne(*it);
+    if (!st.ok()) {
+      OPDELTA_LOG(kError) << "undo failed: " << st.ToString();
+      // Continue: release locks regardless so the system does not wedge.
+    }
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kAbort;
+  rec.txn_id = txn->id();
+  wal_.Append(&rec);
+  txn->MarkAborted();
+  locks_.ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+Status Database::WithTransaction(
+    const std::function<Status(Transaction*)>& fn) {
+  std::unique_ptr<Transaction> txn = Begin();
+  Status st = fn(txn.get());
+  if (!st.ok()) {
+    Abort(txn.get());
+    return st;
+  }
+  return Commit(txn.get());
+}
+
+void Database::StampTimestamp(const catalog::Schema& schema, Row* row,
+                              int explicit_col) {
+  if (!options_.auto_timestamp) return;
+  const int ts = schema.TimestampColumnIndex();
+  if (ts < 0 || ts == explicit_col) return;
+  (*row)[ts] = catalog::Value::Timestamp(clock_->NowMicros());
+}
+
+Status Database::FireTriggers(Table* table, Transaction* txn,
+                              TriggerEvents event, const Row& before,
+                              const Row& after) {
+  // Copy the trigger list under the latch, fire outside it: sinks write to
+  // other tables (a delta table) and must not self-deadlock on our latch.
+  std::vector<TriggerDef> to_fire;
+  {
+    std::shared_lock<std::shared_mutex> latch(table->latch);
+    for (const TriggerDef& t : table->triggers()) {
+      if (t.events & event) to_fire.push_back(t);
+    }
+  }
+  for (const TriggerDef& t : to_fire) {
+    OPDELTA_RETURN_IF_ERROR(t.sink->Write(this, txn, event, before, after));
+  }
+  return Status::OK();
+}
+
+Status Database::Insert(Transaction* txn, const std::string& table_name,
+                        Row row, Rid* rid_out) {
+  return InsertImpl(txn, table_name, std::move(row), rid_out,
+                    /*stamp=*/true, /*fire_triggers=*/true);
+}
+
+Status Database::InsertRaw(Transaction* txn, const std::string& table_name,
+                           Row row, Rid* rid_out) {
+  return InsertImpl(txn, table_name, std::move(row), rid_out,
+                    /*stamp=*/false, /*fire_triggers=*/false);
+}
+
+Status Database::InsertImpl(Transaction* txn, const std::string& table_name,
+                            Row row, Rid* rid_out, bool stamp,
+                            bool fire_triggers) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  const catalog::Schema& schema = table->schema();
+  if (stamp) StampTimestamp(schema, &row);
+  OPDELTA_RETURN_IF_ERROR(catalog::ValidateRow(schema, row));
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+
+  std::string encoded = RowCodec::Encode(schema, row);
+  Rid rid;
+  {
+    std::unique_lock<std::shared_mutex> latch(table->latch);
+    OPDELTA_RETURN_IF_ERROR(table->heap()->Insert(Slice(encoded), &rid));
+    table->IndexInsert(row, rid);
+  }
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
+
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.txn_id = txn->id();
+  rec.table_id = table->id();
+  rec.rid = rid;
+  rec.after = encoded;
+  OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
+
+  txn->undo_log().push_back(
+      UndoEntry{LogRecordType::kInsert, table->id(), rid, {}});
+
+  if (rid_out != nullptr) *rid_out = rid;
+  if (!fire_triggers) return Status::OK();
+  return FireTriggers(table, txn, kOnInsert, Row{}, row);
+}
+
+Result<size_t> Database::UpdateWhere(
+    Transaction* txn, const std::string& table_name, const Predicate& pred,
+    const std::vector<Assignment>& assignments) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  const catalog::Schema& schema = table->schema();
+
+  Predicate bound = pred;
+  OPDELTA_RETURN_IF_ERROR(bound.Bind(schema));
+
+  // Resolve SET columns once.
+  std::vector<std::pair<int, catalog::Value>> sets;
+  int explicit_ts_col = -1;
+  for (const Assignment& a : assignments) {
+    const int idx = schema.ColumnIndex(a.column);
+    if (idx < 0) return Status::InvalidArgument("unknown column " + a.column);
+    if (!a.value.is_null() && a.value.type() != schema.column(idx).type) {
+      return Status::InvalidArgument("type mismatch on " + a.column);
+    }
+    if (schema.column(idx).type == catalog::ValueType::kTimestamp) {
+      explicit_ts_col = idx;
+    }
+    sets.emplace_back(idx, a.value);
+  }
+
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+
+  // Phase 1: collect matches via the chosen access path (two-phase also
+  // avoids the Halloween problem of re-visiting rows the update relocates).
+  std::vector<std::pair<Rid, Row>> matches;
+  OPDELTA_RETURN_IF_ERROR(CollectMatches(table, bound, &matches));
+
+  // Phase 2: lock and apply.
+  struct Fired {
+    Row before;
+    Row after;
+  };
+  std::vector<Fired> fired;
+  fired.reserve(matches.size());
+  for (auto& [rid, before] : matches) {
+    OPDELTA_RETURN_IF_ERROR(
+        locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
+    Row after = before;
+    for (const auto& [idx, value] : sets) after[idx] = value;
+    StampTimestamp(schema, &after, explicit_ts_col);
+
+    std::string before_enc = RowCodec::Encode(schema, before);
+    std::string after_enc = RowCodec::Encode(schema, after);
+    Rid new_rid;
+    {
+      std::unique_lock<std::shared_mutex> latch(table->latch);
+      table->IndexErase(before, rid);
+      OPDELTA_RETURN_IF_ERROR(
+          table->heap()->Update(rid, Slice(after_enc), &new_rid));
+      table->IndexInsert(after, new_rid);
+    }
+
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.txn_id = txn->id();
+    rec.table_id = table->id();
+    rec.rid = rid;
+    rec.rid2 = new_rid;
+    rec.before = before_enc;
+    rec.after = after_enc;
+    OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
+
+    txn->undo_log().push_back(UndoEntry{LogRecordType::kUpdate, table->id(),
+                                        new_rid, std::move(before_enc)});
+    fired.push_back(Fired{std::move(before), std::move(after)});
+  }
+
+  for (const Fired& f : fired) {
+    OPDELTA_RETURN_IF_ERROR(
+        FireTriggers(table, txn, kOnUpdate, f.before, f.after));
+  }
+  return matches.size();
+}
+
+Result<size_t> Database::DeleteWhere(Transaction* txn,
+                                     const std::string& table_name,
+                                     const Predicate& pred) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  const catalog::Schema& schema = table->schema();
+
+  Predicate bound = pred;
+  OPDELTA_RETURN_IF_ERROR(bound.Bind(schema));
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+
+  std::vector<std::pair<Rid, Row>> matches;
+  OPDELTA_RETURN_IF_ERROR(CollectMatches(table, bound, &matches));
+
+  for (auto& [rid, before] : matches) {
+    OPDELTA_RETURN_IF_ERROR(
+        locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
+    std::string before_enc = RowCodec::Encode(schema, before);
+    {
+      std::unique_lock<std::shared_mutex> latch(table->latch);
+      table->IndexErase(before, rid);
+      OPDELTA_RETURN_IF_ERROR(table->heap()->Delete(rid));
+    }
+
+    LogRecord rec;
+    rec.type = LogRecordType::kDelete;
+    rec.txn_id = txn->id();
+    rec.table_id = table->id();
+    rec.rid = rid;
+    rec.before = before_enc;
+    OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
+
+    txn->undo_log().push_back(UndoEntry{LogRecordType::kDelete, table->id(),
+                                        rid, std::move(before_enc)});
+  }
+
+  for (const auto& [rid, before] : matches) {
+    OPDELTA_RETURN_IF_ERROR(FireTriggers(table, txn, kOnDelete, before, Row{}));
+  }
+  return matches.size();
+}
+
+bool Database::PickIndexPath(Table* table, const Predicate& pred,
+                             std::string* column, int64_t* lo, int64_t* hi) {
+  // Intersect the ranges implied by every conjunct on each indexed column
+  // and pick the first constrained column. (Intersection matters: a
+  // half-open "id >= lo AND id < hi" must not degenerate into a scan from
+  // lo to the end of the index.)
+  std::string best_column;
+  int64_t best_lo = INT64_MIN, best_hi = INT64_MAX;
+  for (const Condition& c : pred.conjuncts()) {
+    if (!table->HasIndex(c.column)) continue;
+    if (!best_column.empty() && c.column != best_column) continue;
+    const catalog::ValueType lit_type = c.literal.type();
+    if (lit_type != catalog::ValueType::kInt64 &&
+        lit_type != catalog::ValueType::kTimestamp) {
+      continue;
+    }
+    const int64_t v = lit_type == catalog::ValueType::kTimestamp
+                          ? c.literal.AsTimestamp()
+                          : c.literal.AsInt64();
+    int64_t range_lo = INT64_MIN, range_hi = INT64_MAX;
+    switch (c.op) {
+      case CompareOp::kEq:
+        range_lo = range_hi = v;
+        break;
+      case CompareOp::kGt:
+        range_lo = v == INT64_MAX ? INT64_MAX : v + 1;
+        break;
+      case CompareOp::kGe:
+        range_lo = v;
+        break;
+      case CompareOp::kLt:
+        range_hi = v == INT64_MIN ? INT64_MIN : v - 1;
+        break;
+      case CompareOp::kLe:
+        range_hi = v;
+        break;
+      case CompareOp::kNe:
+        continue;  // not a useful index range
+    }
+    best_column = c.column;
+    best_lo = std::max(best_lo, range_lo);
+    best_hi = std::min(best_hi, range_hi);
+  }
+  if (best_column.empty()) return false;
+  *column = best_column;
+  *lo = best_lo;
+  *hi = best_hi;
+  return true;
+}
+
+Status Database::CollectMatches(
+    Table* table, const Predicate& bound,
+    std::vector<std::pair<Rid, Row>>* out) {
+  const catalog::Schema& schema = table->schema();
+  std::shared_lock<std::shared_mutex> latch(table->latch);
+
+  std::string index_column;
+  int64_t lo, hi;
+  if (PickIndexPath(table, bound, &index_column, &lo, &hi)) {
+    index::BPlusTree* tree = table->GetIndex(index_column);
+    Status inner;
+    tree->ScanRange(lo, hi, [&](int64_t, const Rid& rid) {
+      std::string record;
+      inner = table->heap()->Read(rid, &record);
+      if (!inner.ok()) return false;
+      Row row;
+      inner = RowCodec::Decode(schema, Slice(record), &row);
+      if (!inner.ok()) return false;
+      if (bound.Matches(row)) out->emplace_back(rid, std::move(row));
+      return true;
+    });
+    return inner;
+  }
+
+  Status decode_status;
+  OPDELTA_RETURN_IF_ERROR(
+      table->heap()->ForEach([&](const Rid& rid, Slice record) {
+        Row row;
+        decode_status = RowCodec::Decode(schema, record, &row);
+        if (!decode_status.ok()) return false;
+        if (bound.Matches(row)) out->emplace_back(rid, std::move(row));
+        return true;
+      }));
+  return decode_status;
+}
+
+Status Database::ReadAt(Transaction* txn, const std::string& table_name,
+                        const Rid& rid, Row* out) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  if (txn != nullptr) {
+    OPDELTA_RETURN_IF_ERROR(
+        locks_.LockTable(txn->id(), table->id(), LockMode::kIS));
+    OPDELTA_RETURN_IF_ERROR(
+        locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/false));
+  }
+  std::shared_lock<std::shared_mutex> latch(table->latch);
+  std::string record;
+  OPDELTA_RETURN_IF_ERROR(table->heap()->Read(rid, &record));
+  return RowCodec::Decode(table->schema(), Slice(record), out);
+}
+
+Status Database::UpdateAt(Transaction* txn, const std::string& table_name,
+                          const Rid& rid, Row row, Rid* new_rid_out) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  const catalog::Schema& schema = table->schema();
+  // Point ops are raw: apply paths must reproduce images byte-exactly.
+  OPDELTA_RETURN_IF_ERROR(catalog::ValidateRow(schema, row));
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
+
+  std::string after_enc = RowCodec::Encode(schema, row);
+  std::string before_enc;
+  Rid new_rid;
+  {
+    std::unique_lock<std::shared_mutex> latch(table->latch);
+    OPDELTA_RETURN_IF_ERROR(table->heap()->Read(rid, &before_enc));
+    Row before_row;
+    OPDELTA_RETURN_IF_ERROR(
+        RowCodec::Decode(schema, Slice(before_enc), &before_row));
+    table->IndexErase(before_row, rid);
+    OPDELTA_RETURN_IF_ERROR(
+        table->heap()->Update(rid, Slice(after_enc), &new_rid));
+    table->IndexInsert(row, new_rid);
+  }
+
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn->id();
+  rec.table_id = table->id();
+  rec.rid = rid;
+  rec.rid2 = new_rid;
+  rec.before = before_enc;
+  rec.after = after_enc;
+  OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
+  txn->undo_log().push_back(UndoEntry{LogRecordType::kUpdate, table->id(),
+                                      new_rid, std::move(before_enc)});
+  if (new_rid_out != nullptr) *new_rid_out = new_rid;
+  return Status::OK();
+}
+
+Status Database::DeleteAt(Transaction* txn, const std::string& table_name,
+                          const Rid& rid) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+  OPDELTA_RETURN_IF_ERROR(
+      locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
+
+  std::string before_enc;
+  {
+    std::unique_lock<std::shared_mutex> latch(table->latch);
+    OPDELTA_RETURN_IF_ERROR(table->heap()->Read(rid, &before_enc));
+    Row before_row;
+    OPDELTA_RETURN_IF_ERROR(
+        RowCodec::Decode(table->schema(), Slice(before_enc), &before_row));
+    table->IndexErase(before_row, rid);
+    OPDELTA_RETURN_IF_ERROR(table->heap()->Delete(rid));
+  }
+
+  LogRecord rec;
+  rec.type = LogRecordType::kDelete;
+  rec.txn_id = txn->id();
+  rec.table_id = table->id();
+  rec.rid = rid;
+  rec.before = before_enc;
+  OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
+  txn->undo_log().push_back(UndoEntry{LogRecordType::kDelete, table->id(),
+                                      rid, std::move(before_enc)});
+  return Status::OK();
+}
+
+Status Database::Scan(
+    Transaction* txn, const std::string& table_name, const Predicate& pred,
+    const std::function<bool(const Rid&, const Row&)>& fn) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  const catalog::Schema& schema = table->schema();
+
+  Predicate bound = pred;
+  OPDELTA_RETURN_IF_ERROR(bound.Bind(schema));
+  if (txn != nullptr) {
+    OPDELTA_RETURN_IF_ERROR(
+        locks_.LockTable(txn->id(), table->id(), LockMode::kIS));
+  }
+
+  std::shared_lock<std::shared_mutex> latch(table->latch);
+
+  // Access-path selection: stream through an index range when one covers a
+  // conjunct, else full heap scan.
+  std::string index_column;
+  int64_t lo, hi;
+  if (PickIndexPath(table, bound, &index_column, &lo, &hi)) {
+    index::BPlusTree* tree = table->GetIndex(index_column);
+    Status inner;
+    tree->ScanRange(lo, hi, [&](int64_t, const Rid& rid) {
+      std::string record;
+      inner = table->heap()->Read(rid, &record);
+      if (!inner.ok()) return false;
+      Row row;
+      inner = RowCodec::Decode(schema, Slice(record), &row);
+      if (!inner.ok()) return false;
+      if (!bound.Matches(row)) return true;
+      return fn(rid, row);
+    });
+    return inner;
+  }
+
+  Status decode_status;
+  OPDELTA_RETURN_IF_ERROR(table->heap()->ForEach(
+      [&](const Rid& rid, Slice record) {
+        Row row;
+        decode_status = RowCodec::Decode(schema, record, &row);
+        if (!decode_status.ok()) return false;
+        if (!bound.Matches(row)) return true;
+        return fn(rid, row);
+      }));
+  return decode_status;
+}
+
+Status Database::IndexScan(
+    Transaction* txn, const std::string& table_name, const std::string& column,
+    int64_t lo, int64_t hi,
+    const std::function<bool(const Rid&, const Row&)>& fn) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  if (txn != nullptr) {
+    OPDELTA_RETURN_IF_ERROR(
+        locks_.LockTable(txn->id(), table->id(), LockMode::kIS));
+  }
+
+  std::shared_lock<std::shared_mutex> latch(table->latch);
+  index::BPlusTree* tree = table->GetIndex(column);
+  if (tree == nullptr) {
+    return Status::NotFound("no index on " + table_name + "." + column);
+  }
+  Status inner;
+  tree->ScanRange(lo, hi, [&](int64_t, const Rid& rid) {
+    std::string record;
+    inner = table->heap()->Read(rid, &record);
+    if (!inner.ok()) return false;
+    Row row;
+    inner = RowCodec::Decode(table->schema(), Slice(record), &row);
+    if (!inner.ok()) return false;
+    return fn(rid, row);
+  });
+  return inner;
+}
+
+Result<uint64_t> Database::CountRows(const std::string& table_name) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  std::shared_lock<std::shared_mutex> latch(table->latch);
+  return table->heap()->live_records();
+}
+
+Status Database::LockTableExclusive(Transaction* txn,
+                                    const std::string& table_name) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  return locks_.LockTable(txn->id(), table->id(), LockMode::kX);
+}
+
+Status Database::LockTableShared(Transaction* txn,
+                                 const std::string& table_name) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  return locks_.LockTable(txn->id(), table->id(), LockMode::kS);
+}
+
+Status Database::FlushAll() {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  for (auto& [name, table] : tables_) {
+    OPDELTA_RETURN_IF_ERROR(table->pool()->FlushAll(/*sync=*/false));
+  }
+  return Status::OK();
+}
+
+void Database::AggregateIoStats(uint64_t* reads, uint64_t* writes) const {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  uint64_t r = 0, w = 0;
+  for (const auto& [name, table] : tables_) {
+    Table* t = const_cast<Table*>(table.get());
+    r += t->file()->io_stats().page_reads.load();
+    w += t->file()->io_stats().page_writes.load();
+  }
+  *reads = r;
+  *writes = w;
+}
+
+}  // namespace opdelta::engine

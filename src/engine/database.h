@@ -1,0 +1,208 @@
+#ifndef OPDELTA_ENGINE_DATABASE_H_
+#define OPDELTA_ENGINE_DATABASE_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "catalog/catalog.h"
+#include "engine/predicate.h"
+#include "engine/table.h"
+#include "engine/trigger.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "txn/wal.h"
+
+namespace opdelta::engine {
+
+struct DatabaseOptions {
+  /// Buffer-pool frames per table.
+  size_t buffer_pool_pages = 1024;
+
+  /// Auto-maintain the first kTimestamp column on insert/update — the
+  /// source-system behaviour the timestamp extractor (§3.1.1) relies on.
+  bool auto_timestamp = true;
+
+  txn::WalOptions wal;
+
+  std::chrono::milliseconds lock_timeout{10000};
+
+  /// Injectable clock (tests use SimulatedClock). nullptr = real clock.
+  Clock* clock = nullptr;
+};
+
+/// `SET column = value` element of an UPDATE.
+struct Assignment {
+  std::string column;
+  catalog::Value value;
+};
+
+/// A single-node transactional relational engine: the "commercial DBMS"
+/// substrate every extraction method in the paper runs against. Provides
+/// transactions (WAL + hierarchical locks), row-level triggers, automatic
+/// timestamp columns, and secondary indexes.
+///
+/// DML statements deliberately execute the way the paper's §3 assumes:
+/// UPDATE/DELETE perform a table scan to find affected rows, and row-level
+/// triggers fire one sink write per captured image inside the user's
+/// transaction.
+class Database {
+ public:
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Opens (creating if needed) a database rooted at `dir`.
+  static Status Open(const std::string& dir, const DatabaseOptions& options,
+                     std::unique_ptr<Database>* out);
+
+  Status Close();
+
+  // -- DDL ------------------------------------------------------------
+  Status CreateTable(const std::string& name, const catalog::Schema& schema);
+  Status DropTable(const std::string& name);
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Registers a row-level trigger on `table`.
+  Status CreateTrigger(const std::string& table, TriggerDef trigger);
+  Status DropTrigger(const std::string& table, const std::string& name);
+
+  // -- Transactions ----------------------------------------------------
+  /// Begins a transaction (logs kBegin).
+  std::unique_ptr<txn::Transaction> Begin();
+  Status Commit(txn::Transaction* txn);
+  Status Abort(txn::Transaction* txn);
+
+  /// Runs fn inside a transaction, committing on OK and aborting on error.
+  Status WithTransaction(const std::function<Status(txn::Transaction*)>& fn);
+
+  // -- DML --------------------------------------------------------------
+  /// Inserts a row (stamping the timestamp column per options). Fires
+  /// insert triggers. Returns the rid via *rid_out when non-null.
+  Status Insert(txn::Transaction* txn, const std::string& table,
+                catalog::Row row, storage::Rid* rid_out = nullptr);
+
+  /// Insert that preserves the row exactly (no timestamp stamping, no
+  /// triggers). Used by capture sinks writing into delta tables — the
+  /// captured images must not be re-stamped — and by bulk apply paths.
+  Status InsertRaw(txn::Transaction* txn, const std::string& table,
+                   catalog::Row row, storage::Rid* rid_out = nullptr);
+
+  /// UPDATE <table> SET <assignments> WHERE <pred>. Returns rows affected.
+  Result<size_t> UpdateWhere(txn::Transaction* txn, const std::string& table,
+                             const Predicate& pred,
+                             const std::vector<Assignment>& assignments);
+
+  /// DELETE FROM <table> WHERE <pred>. Returns rows affected.
+  Result<size_t> DeleteWhere(txn::Transaction* txn, const std::string& table,
+                             const Predicate& pred);
+
+  // Point operations by rid — used by log-apply tooling and integrators.
+  // They take the same locks and write the same WAL records as the scan
+  // forms but skip predicate evaluation. UpdateAt reports the (possibly
+  // relocated) rid. Triggers do NOT fire for point ops: they model a
+  // recovery-manager-style apply path below the trigger layer.
+  Status ReadAt(txn::Transaction* txn, const std::string& table,
+                const storage::Rid& rid, catalog::Row* out);
+  Status UpdateAt(txn::Transaction* txn, const std::string& table,
+                  const storage::Rid& rid, catalog::Row row,
+                  storage::Rid* new_rid = nullptr);
+  Status DeleteAt(txn::Transaction* txn, const std::string& table,
+                  const storage::Rid& rid);
+
+  // -- Queries ----------------------------------------------------------
+  /// Full scan under an IS lock (read committed). `txn` may be nullptr for
+  /// internal utility reads (no transactional locking, latch only).
+  Status Scan(txn::Transaction* txn, const std::string& table,
+              const Predicate& pred,
+              const std::function<bool(const storage::Rid&,
+                                       const catalog::Row&)>& fn);
+
+  /// Range scan over a B+tree-indexed column, lo <= key <= hi.
+  Status IndexScan(txn::Transaction* txn, const std::string& table,
+                   const std::string& column, int64_t lo, int64_t hi,
+                   const std::function<bool(const storage::Rid&,
+                                            const catalog::Row&)>& fn);
+
+  Result<uint64_t> CountRows(const std::string& table);
+
+  // -- Integration helpers ----------------------------------------------
+  /// Takes a table-X lock: the value-delta integrator's "warehouse outage".
+  Status LockTableExclusive(txn::Transaction* txn, const std::string& table);
+
+  /// Takes a table-S lock (long OLAP reader).
+  Status LockTableShared(txn::Transaction* txn, const std::string& table);
+
+  Status FlushAll();
+
+  // -- Accessors ---------------------------------------------------------
+  Table* GetTable(const std::string& name);
+  Table* GetTableById(catalog::TableId id);
+  const catalog::Catalog& catalog() const { return catalog_; }
+  txn::Wal* wal() { return &wal_; }
+  txn::LockManager* locks() { return &locks_; }
+  Clock* clock() { return clock_; }
+  const std::string& dir() const { return dir_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Sums page reads/writes across all table files (bench reporting).
+  void AggregateIoStats(uint64_t* reads, uint64_t* writes) const;
+
+ private:
+  Database(std::string dir, DatabaseOptions options);
+
+  Status OpenTable(const catalog::TableInfo& info);
+  std::string TableFilePath(catalog::TableId id) const;
+  Status SaveCatalog();
+
+  /// Stamps the timestamp column; `explicitly_set` suppresses stamping for
+  /// columns assigned by the user statement.
+  void StampTimestamp(const catalog::Schema& schema, catalog::Row* row,
+                      int explicit_col = -1);
+
+  /// Fires triggers matching `event`. Runs outside the table latch but
+  /// inside the transaction.
+  Status FireTriggers(Table* table, txn::Transaction* txn,
+                      TriggerEvents event, const catalog::Row& before,
+                      const catalog::Row& after);
+
+  Status UndoOne(const txn::UndoEntry& entry);
+
+  Status InsertImpl(txn::Transaction* txn, const std::string& table,
+                    catalog::Row row, storage::Rid* rid_out, bool stamp,
+                    bool fire_triggers);
+
+  /// Access-path selection: when a conjunct compares an indexed
+  /// int64/timestamp column against a literal, derive the B+tree key range
+  /// it implies. The full predicate is still re-checked per row.
+  static bool PickIndexPath(Table* table, const Predicate& pred,
+                            std::string* column, int64_t* lo, int64_t* hi);
+
+  /// Collects rids+rows matching `bound` (which must be bound), via the
+  /// chosen access path, under the table's shared latch.
+  Status CollectMatches(
+      Table* table, const Predicate& bound,
+      std::vector<std::pair<storage::Rid, catalog::Row>>* out);
+
+  std::string dir_;
+  DatabaseOptions options_;
+  Clock* clock_;
+  catalog::Catalog catalog_;
+  txn::Wal wal_;
+  txn::LockManager locks_;
+  std::atomic<txn::TxnId> next_txn_id_{1};
+  mutable std::mutex tables_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace opdelta::engine
+
+#endif  // OPDELTA_ENGINE_DATABASE_H_

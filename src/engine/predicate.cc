@@ -1,0 +1,83 @@
+#include "engine/predicate.h"
+
+namespace opdelta::engine {
+
+const char* CompareOpSql(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Status Predicate::Bind(const catalog::Schema& schema) {
+  bound_indexes_.clear();
+  bound_indexes_.reserve(conjuncts_.size());
+  for (const Condition& c : conjuncts_) {
+    int idx = schema.ColumnIndex(c.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown column in predicate: " +
+                                     c.column);
+    }
+    bound_indexes_.push_back(idx);
+  }
+  return Status::OK();
+}
+
+bool Predicate::Matches(const catalog::Row& row) const {
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    const Condition& c = conjuncts_[i];
+    const catalog::Value& cell = row[bound_indexes_[i]];
+    if (cell.is_null()) return false;
+    const int cmp = cell.Compare(c.literal);
+    bool match = false;
+    switch (c.op) {
+      case CompareOp::kEq:
+        match = cmp == 0;
+        break;
+      case CompareOp::kNe:
+        match = cmp != 0;
+        break;
+      case CompareOp::kLt:
+        match = cmp < 0;
+        break;
+      case CompareOp::kLe:
+        match = cmp <= 0;
+        break;
+      case CompareOp::kGt:
+        match = cmp > 0;
+        break;
+      case CompareOp::kGe:
+        match = cmp >= 0;
+        break;
+    }
+    if (!match) return false;
+  }
+  return true;
+}
+
+std::string Predicate::ToSql() const {
+  std::string out;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const Condition& c = conjuncts_[i];
+    out += c.column;
+    out += ' ';
+    out += CompareOpSql(c.op);
+    out += ' ';
+    out += c.literal.ToSqlLiteral();
+  }
+  return out;
+}
+
+}  // namespace opdelta::engine

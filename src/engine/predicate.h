@@ -1,0 +1,67 @@
+#ifndef OPDELTA_ENGINE_PREDICATE_H_
+#define OPDELTA_ENGINE_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace opdelta::engine {
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSql(CompareOp op);
+
+/// One `column <op> literal` condition.
+struct Condition {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  catalog::Value literal;
+};
+
+/// A conjunction of conditions (AND). An empty predicate matches all rows,
+/// like an absent WHERE clause. Predicates are part of Op-Delta statement
+/// text, so they render to and parse from SQL (parsing lives in sql/).
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Condition> conjuncts)
+      : conjuncts_(std::move(conjuncts)) {}
+
+  static Predicate True() { return Predicate(); }
+
+  /// Convenience single-condition factory.
+  static Predicate Where(std::string column, CompareOp op,
+                         catalog::Value literal) {
+    return Predicate({Condition{std::move(column), op, std::move(literal)}});
+  }
+
+  Predicate& And(std::string column, CompareOp op, catalog::Value literal) {
+    conjuncts_.push_back(Condition{std::move(column), op, std::move(literal)});
+    return *this;
+  }
+
+  bool is_true() const { return conjuncts_.empty(); }
+  const std::vector<Condition>& conjuncts() const { return conjuncts_; }
+
+  /// Resolves column names against the schema; fails on unknown columns.
+  Status Bind(const catalog::Schema& schema);
+
+  /// Evaluates against a row. Requires a prior successful Bind with the
+  /// row's schema. Null cells never match any condition (SQL semantics).
+  bool Matches(const catalog::Row& row) const;
+
+  /// "status = 'revised' AND qty > 5" — the WHERE-clause fragment used in
+  /// Op-Delta statement text. Empty string when is_true().
+  std::string ToSql() const;
+
+ private:
+  std::vector<Condition> conjuncts_;
+  std::vector<int> bound_indexes_;
+};
+
+}  // namespace opdelta::engine
+
+#endif  // OPDELTA_ENGINE_PREDICATE_H_

@@ -1,0 +1,83 @@
+#include "engine/snapshot.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/env.h"
+#include "catalog/row_codec.h"
+
+namespace opdelta::engine {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x534E4150;  // "SNAP"
+}
+
+Status Snapshot::Write(Database* db, const std::string& table,
+                       const std::string& path) {
+  Table* t = db->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+
+  std::string out;
+  PutFixed32(&out, kSnapshotMagic);
+  t->schema().EncodeTo(&out);
+  const size_t count_pos = out.size();
+  PutFixed64(&out, 0);  // patched below
+
+  uint64_t rows = 0;
+  OPDELTA_RETURN_IF_ERROR(db->Scan(
+      nullptr, table, Predicate::True(),
+      [&](const storage::Rid&, const catalog::Row& row) {
+        std::string enc = catalog::RowCodec::Encode(t->schema(), row);
+        PutLengthPrefixed(&out, Slice(enc));
+        ++rows;
+        return true;
+      }));
+
+  // Patch the row count in place.
+  std::string count_str;
+  PutFixed64(&count_str, rows);
+  out.replace(count_pos, 8, count_str);
+
+  PutFixed32(&out, Crc32c(out.data(), out.size()));
+  return WriteFileAtomic(Env::Default(), path, Slice(out));
+}
+
+Status Snapshot::Read(const std::string& path, catalog::Schema* schema_out,
+                      const std::function<bool(const catalog::Row&)>& fn) {
+  std::string data;
+  OPDELTA_RETURN_IF_ERROR(Env::Default()->ReadFileToString(path, &data));
+  if (data.size() < 16) return Status::Corruption("snapshot too small");
+
+  const uint32_t expected_crc = DecodeFixed32(data.data() + data.size() - 4);
+  if (Crc32c(data.data(), data.size() - 4) != expected_crc) {
+    return Status::Corruption("snapshot crc mismatch: " + path);
+  }
+
+  Slice input(data.data(), data.size() - 4);
+  uint32_t magic = 0;
+  if (!GetFixed32(&input, &magic) || magic != kSnapshotMagic) {
+    return Status::Corruption("snapshot bad magic");
+  }
+  catalog::Schema schema;
+  OPDELTA_RETURN_IF_ERROR(catalog::Schema::DecodeFrom(&input, &schema));
+  if (schema_out != nullptr) *schema_out = schema;
+
+  uint64_t count = 0;
+  if (!GetFixed64(&input, &count)) return Status::Corruption("snapshot count");
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice enc;
+    if (!GetLengthPrefixed(&input, &enc)) {
+      return Status::Corruption("snapshot row " + std::to_string(i));
+    }
+    catalog::Row row;
+    OPDELTA_RETURN_IF_ERROR(catalog::RowCodec::Decode(schema, enc, &row));
+    if (!fn(row)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Snapshot::ReadSchema(const std::string& path,
+                            catalog::Schema* schema_out) {
+  return Read(path, schema_out, [](const catalog::Row&) { return false; });
+}
+
+}  // namespace opdelta::engine

@@ -1,0 +1,36 @@
+#ifndef OPDELTA_ENGINE_SNAPSHOT_H_
+#define OPDELTA_ENGINE_SNAPSHOT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "catalog/schema.h"
+#include "engine/database.h"
+
+namespace opdelta::engine {
+
+/// Full-table snapshot dumps (paper §3.1.2): "in some systems, snapshots of
+/// source databases may be the only allowed operation". The differential-
+/// snapshot extractor compares two of these files.
+///
+/// File format: magic, schema, row count, RowCodec rows, trailing CRC32C of
+/// everything before it.
+class Snapshot {
+ public:
+  /// Dumps every row of `table` to `path`.
+  static Status Write(Database* db, const std::string& table,
+                      const std::string& path);
+
+  /// Streams rows from a snapshot file. Validates the CRC first.
+  static Status Read(const std::string& path, catalog::Schema* schema_out,
+                     const std::function<bool(const catalog::Row&)>& fn);
+
+  /// Reads just the header schema.
+  static Status ReadSchema(const std::string& path,
+                           catalog::Schema* schema_out);
+};
+
+}  // namespace opdelta::engine
+
+#endif  // OPDELTA_ENGINE_SNAPSHOT_H_

@@ -1,0 +1,72 @@
+#ifndef OPDELTA_ENGINE_TABLE_H_
+#define OPDELTA_ENGINE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "catalog/catalog.h"
+#include "catalog/row_codec.h"
+#include "engine/trigger.h"
+#include "index/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "storage/heap_file.h"
+
+namespace opdelta::engine {
+
+/// Physical table: heap storage plus optional secondary B+tree indexes on
+/// int64/timestamp columns. Structural access is serialized by `latch`;
+/// transactional isolation is the lock manager's job (Database layer).
+class Table {
+ public:
+  Table(catalog::TableInfo info, size_t buffer_pool_pages);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  Status Open(const std::string& file_path);
+  Status Close();
+
+  const catalog::TableInfo& info() const { return info_; }
+  const catalog::Schema& schema() const { return info_.schema; }
+  catalog::TableId id() const { return info_.id; }
+
+  storage::HeapFile* heap() { return heap_.get(); }
+  storage::FileManager* file() { return file_.get(); }
+  storage::BufferPool* pool() { return pool_.get(); }
+
+  /// Creates (and backfills) a B+tree index on an int64/timestamp column.
+  Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+  bool HasAnyIndex() const { return !indexes_.empty(); }
+  index::BPlusTree* GetIndex(const std::string& column);
+
+  /// Index maintenance hooks; no-ops for non-indexed columns.
+  void IndexInsert(const catalog::Row& row, const storage::Rid& rid);
+  void IndexErase(const catalog::Row& row, const storage::Rid& rid);
+
+  /// Registered row-level triggers.
+  std::vector<TriggerDef>& triggers() { return triggers_; }
+
+  /// Structure latch: writers exclusive, readers shared.
+  std::shared_mutex latch;
+
+ private:
+  catalog::TableInfo info_;
+  size_t buffer_pool_pages_;
+  std::unique_ptr<storage::FileManager> file_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::HeapFile> heap_;
+  // column name -> (column index, tree)
+  std::map<std::string, std::pair<int, std::unique_ptr<index::BPlusTree>>>
+      indexes_;
+  std::vector<TriggerDef> triggers_;
+};
+
+}  // namespace opdelta::engine
+
+#endif  // OPDELTA_ENGINE_TABLE_H_

@@ -1,0 +1,49 @@
+#ifndef OPDELTA_ENGINE_TRIGGER_H_
+#define OPDELTA_ENGINE_TRIGGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "catalog/value.h"
+#include "txn/transaction.h"
+
+namespace opdelta::engine {
+
+class Database;
+
+/// Events a row-level trigger can fire on. Bit flags, combinable.
+enum TriggerEvents : uint8_t {
+  kOnInsert = 1u << 0,
+  kOnUpdate = 1u << 1,
+  kOnDelete = 1u << 2,
+  kOnAll = kOnInsert | kOnUpdate | kOnDelete,
+};
+
+/// What a fired trigger does with the captured images. The sink runs inside
+/// the triggering transaction ("triggers execute in the same transaction
+/// context as the triggering event", §3.1.3), so a sink failure aborts the
+/// user transaction — the paper's "if a trigger fails it also aborts the
+/// user transaction".
+class TriggerSink {
+ public:
+  virtual ~TriggerSink() = default;
+
+  /// For inserts: before is empty, after = new row. For updates: both set.
+  /// For deletes: before = old row, after empty.
+  virtual Status Write(Database* db, txn::Transaction* txn,
+                       TriggerEvents event, const catalog::Row& before,
+                       const catalog::Row& after) = 0;
+};
+
+/// A registered row-level trigger.
+struct TriggerDef {
+  std::string name;
+  uint8_t events = kOnAll;
+  std::shared_ptr<TriggerSink> sink;
+};
+
+}  // namespace opdelta::engine
+
+#endif  // OPDELTA_ENGINE_TRIGGER_H_

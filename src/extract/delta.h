@@ -1,0 +1,65 @@
+#ifndef OPDELTA_EXTRACT_DELTA_H_
+#define OPDELTA_EXTRACT_DELTA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "txn/log_record.h"
+
+namespace opdelta::extract {
+
+/// Kind of a value-delta record. Updates carry two records (before image +
+/// after image), exactly as the paper's trigger experiment captures them.
+enum class DeltaOp : uint8_t {
+  kInsert = 0,        // image = new values
+  kDelete = 1,        // image = old values
+  kUpdateBefore = 2,  // image = old values
+  kUpdateAfter = 3,   // image = new values
+  kUpsert = 4,        // timestamp extraction: final state, op unknown
+};
+
+const char* DeltaOpName(DeltaOp op);
+
+/// One captured value-delta image.
+struct DeltaRecord {
+  DeltaOp op = DeltaOp::kInsert;
+  txn::TxnId source_txn = 0;  // 0 when the method cannot capture it
+  uint64_t seq = 0;           // capture order within the batch
+  catalog::Row image;
+};
+
+/// A batch of value deltas for one source table. This is the "differential
+/// file" that research and commercial products assume is "somehow made
+/// available".
+struct DeltaBatch {
+  std::string table;
+  catalog::Schema schema;
+  std::vector<DeltaRecord> records;
+
+  /// Approximate transport volume: per-record encoded image size plus a
+  /// small framing overhead. Used by the transport-volume benches.
+  uint64_t SizeBytes() const;
+
+  /// Binary (de)serialization for shipping through a PersistentQueue.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, DeltaBatch* out);
+};
+
+/// Net effect of a batch keyed by the table's key column: key -> final row
+/// (nullopt = deleted). Used to compare extraction methods that observe
+/// different granularities (timestamp sees only final states; triggers and
+/// logs see every state change).
+using NetChanges = std::map<catalog::Value, std::optional<catalog::Row>>;
+
+/// Computes net changes. `key_col` defaults to the schema key column.
+Status ComputeNetChanges(const DeltaBatch& batch, NetChanges* out);
+
+}  // namespace opdelta::extract
+
+#endif  // OPDELTA_EXTRACT_DELTA_H_

@@ -1,0 +1,74 @@
+#include "extract/reconciler.h"
+
+#include <map>
+
+namespace opdelta::extract {
+
+using catalog::CompareRows;
+using catalog::Row;
+using catalog::Value;
+
+Result<DeltaBatch> Reconciler::Reconcile(
+    const std::vector<const DeltaBatch*>& replicas, Stats* stats) {
+  if (replicas.empty()) {
+    return Status::InvalidArgument("no replica batches");
+  }
+  for (const DeltaBatch* b : replicas) {
+    if (!(b->schema == replicas[0]->schema)) {
+      return Status::InvalidArgument("replica schemas differ");
+    }
+  }
+
+  Stats local;
+  // key -> (replica priority that decided it, final state).
+  std::map<Value, std::pair<size_t, std::optional<Row>>> decided;
+
+  for (size_t pri = 0; pri < replicas.size(); ++pri) {
+    const DeltaBatch* batch = replicas[pri];
+    local.input_records += batch->records.size();
+    NetChanges net;
+    OPDELTA_RETURN_IF_ERROR(ComputeNetChanges(*batch, &net));
+    for (auto& [key, final_state] : net) {
+      auto it = decided.find(key);
+      if (it == decided.end()) {
+        decided.emplace(key, std::make_pair(pri, std::move(final_state)));
+        continue;
+      }
+      // Already decided by a higher-priority replica.
+      const std::optional<Row>& winner = it->second.second;
+      const bool same =
+          (winner.has_value() == final_state.has_value()) &&
+          (!winner.has_value() ||
+           CompareRows(*winner, *final_state) == 0);
+      if (same) {
+        local.duplicates_dropped++;
+      } else {
+        local.conflicts++;  // site-priority: keep the earlier replica
+      }
+    }
+  }
+
+  DeltaBatch out;
+  out.table = replicas[0]->table;
+  out.schema = replicas[0]->schema;
+  uint64_t seq = 0;
+  for (auto& [key, decision] : decided) {
+    DeltaRecord r;
+    r.seq = seq++;
+    if (decision.second.has_value()) {
+      r.op = DeltaOp::kUpsert;
+      r.image = std::move(*decision.second);
+    } else {
+      r.op = DeltaOp::kDelete;
+      // Synthesize a key-only image: downstream integrators delete by key.
+      Row img(out.schema.num_columns());
+      img[0] = key;
+      r.image = std::move(img);
+    }
+    out.records.push_back(std::move(r));
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace opdelta::extract

@@ -1,0 +1,36 @@
+#ifndef OPDELTA_EXTRACT_RECONCILER_H_
+#define OPDELTA_EXTRACT_RECONCILER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "extract/delta.h"
+
+namespace opdelta::extract {
+
+/// Reconciliation of value deltas captured from *replicated* sources
+/// (paper §2.2 "Dynamic Replication", §4.1): when COTS software replicates
+/// data across databases, low-level capture (triggers, logs) extracts
+/// "several instances of the same data", and "to obtain one authoritative
+/// copy ... the different instances now have to be reconciled". Op-Delta
+/// avoids this entirely by capturing at the business-transaction level.
+class Reconciler {
+ public:
+  struct Stats {
+    uint64_t input_records = 0;
+    uint64_t duplicates_dropped = 0;
+    uint64_t conflicts = 0;  // same key, differing final values
+  };
+
+  /// Merges per-replica batches into one authoritative batch of net
+  /// changes. Replicas are listed in priority order: on conflicting final
+  /// values for a key, the earliest replica wins (a site-priority policy,
+  /// one of the standard reconciliation rules). All batches must share the
+  /// schema.
+  static Result<DeltaBatch> Reconcile(
+      const std::vector<const DeltaBatch*>& replicas, Stats* stats);
+};
+
+}  // namespace opdelta::extract
+
+#endif  // OPDELTA_EXTRACT_RECONCILER_H_

@@ -1,0 +1,296 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+
+namespace opdelta::index {
+
+namespace {
+
+// Composite ordering: (key, rid.page_id, rid.slot).
+struct EntryKey {
+  int64_t key;
+  storage::Rid rid;
+
+  bool operator<(const EntryKey& o) const {
+    if (key != o.key) return key < o.key;
+    return rid < o.rid;
+  }
+  bool operator==(const EntryKey& o) const {
+    return key == o.key && rid == o.rid;
+  }
+};
+
+}  // namespace
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BPlusTree::LeafNode : BPlusTree::Node {
+  LeafNode() : Node(true) {}
+  std::vector<int64_t> keys;          // parallel arrays
+  std::vector<storage::Rid> rids;
+  LeafNode* next = nullptr;
+
+  // Index of first entry >= (key, rid).
+  size_t LowerBound(int64_t key, const storage::Rid& rid) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      EntryKey a{keys[mid], rids[mid]};
+      EntryKey b{key, rid};
+      if (a < b) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+struct BPlusTree::InternalNode : BPlusTree::Node {
+  InternalNode() : Node(false) {}
+  // children.size() == keys.size() + 1. Entries in children[i] are
+  // strictly < (keys[i], key_rids[i]); entries in children[i+1] are >=.
+  std::vector<int64_t> keys;
+  std::vector<storage::Rid> key_rids;
+  std::vector<Node*> children;
+
+  // Child index to descend into for (key, rid).
+  size_t ChildIndex(int64_t key, const storage::Rid& rid) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      EntryKey sep{keys[mid], key_rids[mid]};
+      EntryKey target{key, rid};
+      if (target < sep) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+};
+
+BPlusTree::BPlusTree() : root_(new LeafNode()) {}
+
+BPlusTree::~BPlusTree() { FreeRecursive(root_); }
+
+void BPlusTree::FreeRecursive(Node* node) {
+  if (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    for (Node* child : internal->children) FreeRecursive(child);
+  }
+  if (node->is_leaf) {
+    delete static_cast<LeafNode*>(node);
+  } else {
+    delete static_cast<InternalNode*>(node);
+  }
+}
+
+BPlusTree::LeafNode* BPlusTree::FindLeaf(int64_t key,
+                                         const storage::Rid& rid) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    node = internal->children[internal->ChildIndex(key, rid)];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+BPlusTree::SplitResult BPlusTree::InsertRecursive(Node* node, int64_t key,
+                                                  const storage::Rid& rid) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    size_t pos = leaf->LowerBound(key, rid);
+    leaf->keys.insert(leaf->keys.begin() + pos, key);
+    leaf->rids.insert(leaf->rids.begin() + pos, rid);
+    if (leaf->keys.size() <= kLeafCapacity) return {};
+
+    // Split: move the upper half to a new right sibling.
+    auto* right = new LeafNode();
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+    right->rids.assign(leaf->rids.begin() + mid, leaf->rids.end());
+    leaf->keys.resize(mid);
+    leaf->rids.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right;
+    return {right, right->keys.front(), right->rids.front()};
+  }
+
+  auto* internal = static_cast<InternalNode*>(node);
+  const size_t child_idx = internal->ChildIndex(key, rid);
+  SplitResult child_split =
+      InsertRecursive(internal->children[child_idx], key, rid);
+  if (child_split.new_node == nullptr) return {};
+
+  internal->keys.insert(internal->keys.begin() + child_idx,
+                        child_split.separator);
+  internal->key_rids.insert(internal->key_rids.begin() + child_idx,
+                            child_split.separator_rid);
+  internal->children.insert(internal->children.begin() + child_idx + 1,
+                            child_split.new_node);
+  if (internal->children.size() <= kInternalCapacity) return {};
+
+  // Split internal node: middle separator moves up.
+  auto* right = new InternalNode();
+  const size_t mid = internal->keys.size() / 2;
+  const int64_t up_key = internal->keys[mid];
+  const storage::Rid up_rid = internal->key_rids[mid];
+
+  right->keys.assign(internal->keys.begin() + mid + 1, internal->keys.end());
+  right->key_rids.assign(internal->key_rids.begin() + mid + 1,
+                         internal->key_rids.end());
+  right->children.assign(internal->children.begin() + mid + 1,
+                         internal->children.end());
+  internal->keys.resize(mid);
+  internal->key_rids.resize(mid);
+  internal->children.resize(mid + 1);
+  return {right, up_key, up_rid};
+}
+
+void BPlusTree::Insert(int64_t key, const storage::Rid& rid) {
+  SplitResult split = InsertRecursive(root_, key, rid);
+  if (split.new_node != nullptr) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(split.separator);
+    new_root->key_rids.push_back(split.separator_rid);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.new_node);
+    root_ = new_root;
+    height_++;
+  }
+  size_++;
+}
+
+bool BPlusTree::Erase(int64_t key, const storage::Rid& rid) {
+  LeafNode* leaf = FindLeaf(key, rid);
+  size_t pos = leaf->LowerBound(key, rid);
+  if (pos >= leaf->keys.size() || leaf->keys[pos] != key ||
+      !(leaf->rids[pos] == rid)) {
+    return false;
+  }
+  leaf->keys.erase(leaf->keys.begin() + pos);
+  leaf->rids.erase(leaf->rids.begin() + pos);
+  size_--;
+  return true;
+}
+
+void BPlusTree::ScanRange(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const storage::Rid&)>& fn) const {
+  // Position at the first entry with key >= lo.
+  LeafNode* leaf = FindLeaf(lo, storage::Rid{0, 0});
+  size_t pos = leaf->LowerBound(lo, storage::Rid{0, 0});
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      if (leaf->keys[pos] > hi) return;
+      if (!fn(leaf->keys[pos], leaf->rids[pos])) return;
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+}
+
+void BPlusTree::ScanAll(
+    const std::function<bool(int64_t, const storage::Rid&)>& fn) const {
+  ScanRange(INT64_MIN, INT64_MAX, fn);
+}
+
+Status BPlusTree::CheckNode(const Node* node, bool is_root, int64_t* min_key,
+                            int64_t* max_key, size_t depth,
+                            size_t* leaf_depth) const {
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    for (size_t i = 1; i < leaf->keys.size(); ++i) {
+      EntryKey prev{leaf->keys[i - 1], leaf->rids[i - 1]};
+      EntryKey cur{leaf->keys[i], leaf->rids[i]};
+      if (!(prev < cur)) return Status::Corruption("leaf not sorted");
+    }
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    if (!leaf->keys.empty()) {
+      *min_key = leaf->keys.front();
+      *max_key = leaf->keys.back();
+    } else if (!is_root) {
+      // Lazy deletion may empty a leaf; that is allowed.
+      *min_key = INT64_MAX;
+      *max_key = INT64_MIN;
+    } else {
+      *min_key = INT64_MAX;
+      *max_key = INT64_MIN;
+    }
+    return Status::OK();
+  }
+
+  const auto* internal = static_cast<const InternalNode*>(node);
+  if (internal->children.size() != internal->keys.size() + 1) {
+    return Status::Corruption("internal fanout mismatch");
+  }
+  for (size_t i = 1; i < internal->keys.size(); ++i) {
+    EntryKey prev{internal->keys[i - 1], internal->key_rids[i - 1]};
+    EntryKey cur{internal->keys[i], internal->key_rids[i]};
+    if (!(prev < cur)) return Status::Corruption("separators not sorted");
+  }
+  int64_t overall_min = INT64_MAX, overall_max = INT64_MIN;
+  for (size_t i = 0; i < internal->children.size(); ++i) {
+    int64_t child_min, child_max;
+    OPDELTA_RETURN_IF_ERROR(CheckNode(internal->children[i], false,
+                                      &child_min, &child_max, depth + 1,
+                                      leaf_depth));
+    if (child_min <= child_max) {  // non-empty subtree
+      if (i > 0 && child_min < internal->keys[i - 1]) {
+        return Status::Corruption("child below left separator");
+      }
+      if (i < internal->keys.size() && child_max > internal->keys[i]) {
+        return Status::Corruption("child above right separator");
+      }
+      overall_min = std::min(overall_min, child_min);
+      overall_max = std::max(overall_max, child_max);
+    }
+  }
+  *min_key = overall_min;
+  *max_key = overall_max;
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  int64_t min_key, max_key;
+  size_t leaf_depth = 0;
+  OPDELTA_RETURN_IF_ERROR(
+      CheckNode(root_, true, &min_key, &max_key, 1, &leaf_depth));
+
+  // Leaf chain must enumerate exactly size_ entries in order.
+  size_t count = 0;
+  int64_t prev_key = INT64_MIN;
+  storage::Rid prev_rid{0, 0};
+  bool have_prev = false;
+  ScanAll([&](int64_t key, const storage::Rid& rid) {
+    if (have_prev) {
+      EntryKey a{prev_key, prev_rid}, b{key, rid};
+      if (!(a < b)) count = static_cast<size_t>(-1);
+    }
+    prev_key = key;
+    prev_rid = rid;
+    have_prev = true;
+    if (count != static_cast<size_t>(-1)) ++count;
+    return count != static_cast<size_t>(-1);
+  });
+  if (count == static_cast<size_t>(-1)) {
+    return Status::Corruption("leaf chain out of order");
+  }
+  if (count != size_) {
+    return Status::Corruption("size mismatch: chain " + std::to_string(count) +
+                              " vs recorded " + std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace opdelta::index

@@ -1,0 +1,86 @@
+#ifndef OPDELTA_INDEX_BPLUS_TREE_H_
+#define OPDELTA_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace opdelta::index {
+
+/// In-memory B+tree mapping int64 keys to record ids. Non-unique: entries
+/// are ordered by (key, rid). Used by the engine for the timestamp-column
+/// index the paper's §3.1.1 discusses ("unless an index is defined on the
+/// time stamp attribute").
+///
+/// Deletion is by exact (key, rid) pair and uses leaf-local removal without
+/// rebalancing (lazy deletion, as in several production engines): lookups
+/// and scans stay correct; space is reclaimed when the index is rebuilt.
+/// Not internally synchronized; the owning table's latch serializes access.
+class BPlusTree {
+ public:
+  using Entry = std::pair<int64_t, storage::Rid>;
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  void Insert(int64_t key, const storage::Rid& rid);
+
+  /// Removes the exact (key, rid) entry. Returns false when absent.
+  bool Erase(int64_t key, const storage::Rid& rid);
+
+  /// Visits all entries with lo <= key <= hi in order; the visitor returns
+  /// false to stop.
+  void ScanRange(int64_t lo, int64_t hi,
+                 const std::function<bool(int64_t, const storage::Rid&)>& fn)
+      const;
+
+  /// Visits every entry in key order.
+  void ScanAll(const std::function<bool(int64_t, const storage::Rid&)>& fn)
+      const;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+
+  /// Structural validation for property tests: sortedness within nodes,
+  /// separator consistency, and leaf-chain ordering.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  static constexpr size_t kLeafCapacity = 64;
+  static constexpr size_t kInternalCapacity = 64;  // max children
+
+  LeafNode* FindLeaf(int64_t key, const storage::Rid& rid) const;
+
+  // Returns a new right sibling + separator when the child split.
+  struct SplitResult {
+    Node* new_node = nullptr;  // nullptr = no split
+    int64_t separator = 0;
+    storage::Rid separator_rid;
+  };
+  SplitResult InsertRecursive(Node* node, int64_t key,
+                              const storage::Rid& rid);
+
+  Status CheckNode(const Node* node, bool is_root, int64_t* min_key,
+                   int64_t* max_key, size_t depth, size_t* leaf_depth) const;
+
+  void FreeRecursive(Node* node);
+
+  Node* root_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace opdelta::index
+
+#endif  // OPDELTA_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,110 @@
+#include "middleware/message_bus.h"
+
+#include "engine/predicate.h"
+#include "sql/parser.h"
+
+namespace opdelta::middleware {
+
+using catalog::Value;
+
+std::string MethodCall::ToString() const {
+  std::string out = service + "." + method + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToSqlLiteral();
+  }
+  out += ")";
+  return out;
+}
+
+Result<MethodCall> MethodCall::Parse(const std::string& text) {
+  const size_t dot = text.find('.');
+  const size_t open = text.find('(', dot == std::string::npos ? 0 : dot);
+  if (dot == std::string::npos || open == std::string::npos ||
+      text.back() != ')') {
+    return Status::InvalidArgument("bad method call: " + text);
+  }
+  MethodCall call;
+  call.service = text.substr(0, dot);
+  call.method = text.substr(dot + 1, open - dot - 1);
+
+  // Reuse the SQL literal grammar for the argument list by parsing a
+  // synthetic single-row insert.
+  const std::string args = text.substr(open + 1, text.size() - open - 2);
+  if (!args.empty()) {
+    Result<sql::Statement> synthetic =
+        sql::Parser::Parse("INSERT INTO t VALUES (" + args + ")");
+    if (!synthetic.ok()) {
+      return Status::InvalidArgument("bad method arguments: " + text);
+    }
+    call.args = synthetic->insert().rows[0];
+  }
+  return call;
+}
+
+Status MessageBus::RegisterService(std::unique_ptr<CotsService> service) {
+  const std::string& name = service->name();
+  if (services_.count(name)) {
+    return Status::AlreadyExists("service " + name);
+  }
+  services_.emplace(name, std::move(service));
+  return Status::OK();
+}
+
+void MessageBus::AddTap(std::shared_ptr<ChannelTap> tap) {
+  taps_.push_back(std::move(tap));
+}
+
+Status MessageBus::Dispatch(const MethodCall& call) {
+  auto it = services_.find(call.service);
+  if (it == services_.end()) {
+    return Status::NotFound("no service " + call.service + " on the bus");
+  }
+  OPDELTA_RETURN_IF_ERROR(it->second->Invoke(call));
+  ++calls_;
+  for (const std::shared_ptr<ChannelTap>& tap : taps_) {
+    OPDELTA_RETURN_IF_ERROR(tap->OnCall(call));
+  }
+  return Status::OK();
+}
+
+Result<sql::Statement> MapPartsCallToStatement(const MethodCall& call,
+                                               const std::string& table) {
+  using engine::CompareOp;
+  using engine::Predicate;
+  if (call.method == "add") {
+    if (call.args.size() != 3) {
+      return Status::InvalidArgument("add(id, status, payload)");
+    }
+    sql::InsertStmt s;
+    s.table = table;
+    s.rows.push_back(
+        {call.args[0], call.args[1], call.args[2], Value::Null()});
+    return sql::Statement(std::move(s));
+  }
+  if (call.method == "revise") {
+    if (call.args.size() != 3) {
+      return Status::InvalidArgument("revise(lo, hi, status)");
+    }
+    sql::UpdateStmt s;
+    s.table = table;
+    s.sets = {engine::Assignment{"status", call.args[2]}};
+    s.where = Predicate::Where("id", CompareOp::kGe, call.args[0])
+                  .And("id", CompareOp::kLt, call.args[1]);
+    return sql::Statement(std::move(s));
+  }
+  if (call.method == "retire") {
+    if (call.args.size() != 2) {
+      return Status::InvalidArgument("retire(lo, hi)");
+    }
+    sql::DeleteStmt s;
+    s.table = table;
+    s.where = Predicate::Where("id", CompareOp::kGe, call.args[0])
+                  .And("id", CompareOp::kLt, call.args[1]);
+    return sql::Statement(std::move(s));
+  }
+  return Status::NotSupported("no warehouse mapping for method " +
+                              call.method);
+}
+
+}  // namespace opdelta::middleware

@@ -1,0 +1,28 @@
+#include "middleware/parts_service.h"
+
+namespace opdelta::middleware {
+
+PartsService::PartsService(std::string name,
+                           std::vector<engine::Database*> replicas,
+                           std::string table)
+    : name_(std::move(name)),
+      replicas_(std::move(replicas)),
+      table_(std::move(table)) {}
+
+Status PartsService::Invoke(const MethodCall& call) {
+  if (call.service != name_) {
+    return Status::InvalidArgument("call routed to wrong service");
+  }
+  OPDELTA_ASSIGN_OR_RETURN(sql::Statement stmt,
+                           MapPartsCallToStatement(call, table_));
+  // Each replica commits independently; a mid-sequence failure leaves the
+  // replicas divergent, exactly the §2.2 reconciliation problem low-level
+  // capture inherits.
+  for (engine::Database* replica : replicas_) {
+    sql::Executor exec(replica);
+    OPDELTA_RETURN_IF_ERROR(exec.ExecuteSql(stmt.ToSql()).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace opdelta::middleware

@@ -1,0 +1,38 @@
+#ifndef OPDELTA_MIDDLEWARE_PARTS_SERVICE_H_
+#define OPDELTA_MIDDLEWARE_PARTS_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "middleware/message_bus.h"
+#include "sql/executor.h"
+
+namespace opdelta::middleware {
+
+/// A COTS parts application registered on the bus. It encapsulates one or
+/// more *replicated* databases — "the COTS software control the
+/// replication logic and the DBMSs are essentially unaware of the
+/// replication" (§2.2) — and applies each business method to every replica
+/// as an independent local transaction (no global transaction manager, per
+/// §2.1's observation that global serializability is often not enforced).
+class PartsService : public CotsService {
+ public:
+  PartsService(std::string name, std::vector<engine::Database*> replicas,
+               std::string table);
+
+  const std::string& name() const override { return name_; }
+
+  /// Supported business methods: add(id, status, payload),
+  /// revise(lo, hi, status), retire(lo, hi).
+  Status Invoke(const MethodCall& call) override;
+
+ private:
+  std::string name_;
+  std::vector<engine::Database*> replicas_;
+  std::string table_;
+};
+
+}  // namespace opdelta::middleware
+
+#endif  // OPDELTA_MIDDLEWARE_PARTS_SERVICE_H_

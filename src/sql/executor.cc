@@ -1,0 +1,169 @@
+#include "sql/executor.h"
+
+#include "sql/parser.h"
+
+namespace opdelta::sql {
+
+using catalog::Value;
+using catalog::ValueType;
+
+namespace {
+
+/// Lossless literal coercion: parsed integer literals may target timestamp
+/// or double columns.
+Status CoerceValue(ValueType want, Value* v) {
+  if (v->is_null() || v->type() == want) return Status::OK();
+  if (v->type() == ValueType::kInt64 && want == ValueType::kTimestamp) {
+    *v = Value::Timestamp(v->AsInt64());
+    return Status::OK();
+  }
+  if (v->type() == ValueType::kInt64 && want == ValueType::kDouble) {
+    *v = Value::Double(static_cast<double>(v->AsInt64()));
+    return Status::OK();
+  }
+  if (v->type() == ValueType::kTimestamp && want == ValueType::kInt64) {
+    *v = Value::Int64(v->AsTimestamp());
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      std::string("cannot coerce ") + catalog::ValueTypeName(v->type()) +
+      " to " + catalog::ValueTypeName(want));
+}
+
+}  // namespace
+
+Status Executor::CoerceRow(const catalog::Schema& schema, catalog::Row* row) {
+  if (row->size() != schema.num_columns()) {
+    return Status::InvalidArgument("value count does not match schema");
+  }
+  for (size_t i = 0; i < row->size(); ++i) {
+    OPDELTA_RETURN_IF_ERROR(CoerceValue(schema.column(i).type, &(*row)[i]));
+  }
+  return Status::OK();
+}
+
+Result<size_t> Executor::Execute(txn::Transaction* txn,
+                                 const Statement& stmt) {
+  switch (stmt.type()) {
+    case StatementType::kInsert: {
+      const InsertStmt& s = stmt.insert();
+      engine::Table* table = db_->GetTable(s.table);
+      if (table == nullptr) return Status::NotFound("table " + s.table);
+      size_t n = 0;
+      for (const catalog::Row& r : s.rows) {
+        catalog::Row row = r;
+        OPDELTA_RETURN_IF_ERROR(CoerceRow(table->schema(), &row));
+        OPDELTA_RETURN_IF_ERROR(db_->Insert(txn, s.table, std::move(row)));
+        ++n;
+      }
+      return n;
+    }
+    case StatementType::kUpdate: {
+      const UpdateStmt& s = stmt.update();
+      engine::Table* table = db_->GetTable(s.table);
+      if (table == nullptr) return Status::NotFound("table " + s.table);
+      // Coerce SET literals and WHERE literals to column types.
+      std::vector<engine::Assignment> sets = s.sets;
+      for (engine::Assignment& a : sets) {
+        const int idx = table->schema().ColumnIndex(a.column);
+        if (idx < 0) return Status::InvalidArgument("unknown column " + a.column);
+        OPDELTA_RETURN_IF_ERROR(
+            CoerceValue(table->schema().column(idx).type, &a.value));
+      }
+      engine::Predicate where = s.where;
+      std::vector<engine::Condition> conds = where.conjuncts();
+      for (engine::Condition& c : conds) {
+        const int idx = table->schema().ColumnIndex(c.column);
+        if (idx < 0) return Status::InvalidArgument("unknown column " + c.column);
+        OPDELTA_RETURN_IF_ERROR(
+            CoerceValue(table->schema().column(idx).type, &c.literal));
+      }
+      return db_->UpdateWhere(txn, s.table, engine::Predicate(conds), sets);
+    }
+    case StatementType::kDelete: {
+      const DeleteStmt& s = stmt.delete_stmt();
+      engine::Table* table = db_->GetTable(s.table);
+      if (table == nullptr) return Status::NotFound("table " + s.table);
+      std::vector<engine::Condition> conds = s.where.conjuncts();
+      for (engine::Condition& c : conds) {
+        const int idx = table->schema().ColumnIndex(c.column);
+        if (idx < 0) return Status::InvalidArgument("unknown column " + c.column);
+        OPDELTA_RETURN_IF_ERROR(
+            CoerceValue(table->schema().column(idx).type, &c.literal));
+      }
+      return db_->DeleteWhere(txn, s.table, engine::Predicate(conds));
+    }
+    case StatementType::kSelect:
+      return Status::InvalidArgument(
+          "SELECT returns rows; use ExecuteQuery");
+  }
+  return Status::Internal("bad statement type");
+}
+
+Result<std::vector<catalog::Row>> Executor::ExecuteQuery(
+    txn::Transaction* txn, const Statement& stmt) {
+  if (!stmt.is_select()) {
+    return Status::InvalidArgument("ExecuteQuery requires a SELECT");
+  }
+  const SelectStmt& s = stmt.select();
+  engine::Table* table = db_->GetTable(s.table);
+  if (table == nullptr) return Status::NotFound("table " + s.table);
+  const catalog::Schema& schema = table->schema();
+
+  // Resolve the projection ([] = every column, in schema order).
+  std::vector<int> projection;
+  for (const std::string& name : s.columns) {
+    const int idx = schema.ColumnIndex(name);
+    if (idx < 0) return Status::InvalidArgument("unknown column " + name);
+    projection.push_back(idx);
+  }
+
+  // Coerce WHERE literals to column types (e.g. int -> timestamp).
+  std::vector<engine::Condition> conds = s.where.conjuncts();
+  for (engine::Condition& c : conds) {
+    const int idx = schema.ColumnIndex(c.column);
+    if (idx < 0) return Status::InvalidArgument("unknown column " + c.column);
+    OPDELTA_RETURN_IF_ERROR(CoerceValue(schema.column(idx).type, &c.literal));
+  }
+
+  std::vector<catalog::Row> rows;
+  OPDELTA_RETURN_IF_ERROR(db_->Scan(
+      txn, s.table, engine::Predicate(conds),
+      [&](const storage::Rid&, const catalog::Row& row) {
+        if (projection.empty()) {
+          rows.push_back(row);
+        } else {
+          catalog::Row projected;
+          projected.reserve(projection.size());
+          for (int idx : projection) projected.push_back(row[idx]);
+          rows.push_back(std::move(projected));
+        }
+        return true;
+      }));
+  return rows;
+}
+
+Result<std::vector<catalog::Row>> Executor::ExecuteSqlQuery(
+    const std::string& text) {
+  OPDELTA_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(text));
+  return ExecuteQuery(nullptr, stmt);
+}
+
+Result<size_t> Executor::ExecuteSql(const std::string& text) {
+  std::vector<Statement> stmts;
+  OPDELTA_RETURN_IF_ERROR(Parser::ParseScript(text, &stmts));
+  size_t total = 0;
+  for (const Statement& stmt : stmts) {
+    std::unique_ptr<txn::Transaction> txn = db_->Begin();
+    Result<size_t> r = Execute(txn.get(), stmt);
+    if (!r.ok()) {
+      db_->Abort(txn.get());
+      return r.status();
+    }
+    OPDELTA_RETURN_IF_ERROR(db_->Commit(txn.get()));
+    total += r.value();
+  }
+  return total;
+}
+
+}  // namespace opdelta::sql

@@ -1,0 +1,47 @@
+#ifndef OPDELTA_SQL_EXECUTOR_H_
+#define OPDELTA_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "sql/statement.h"
+
+namespace opdelta::sql {
+
+/// Executes DML statements against a Database. This is the layer a COTS
+/// application sits above: the Op-Delta wrapper (extract::OpDeltaCapture)
+/// intercepts statements "right before [they are] submitted to the DBMS"
+/// (§4.2) by wrapping this executor.
+class Executor {
+ public:
+  explicit Executor(engine::Database* db) : db_(db) {}
+
+  /// Executes one statement inside the given transaction. Returns rows
+  /// affected. Insert literals are coerced to the table schema (int64
+  /// literals into timestamp/double columns and vice versa when lossless).
+  Result<size_t> Execute(txn::Transaction* txn, const Statement& stmt);
+
+  /// Parses and executes SQL text in a transaction of its own.
+  Result<size_t> ExecuteSql(const std::string& text);
+
+  /// Runs a SELECT and returns the projected rows. `txn` may be nullptr
+  /// for a latch-only read.
+  Result<std::vector<catalog::Row>> ExecuteQuery(txn::Transaction* txn,
+                                                 const Statement& stmt);
+
+  /// Parses and runs a SELECT: the paper's extraction query form,
+  /// "SELECT * from PARTS where last_modified_date > 12/5/99".
+  Result<std::vector<catalog::Row>> ExecuteSqlQuery(const std::string& text);
+
+  engine::Database* db() { return db_; }
+
+ private:
+  Status CoerceRow(const catalog::Schema& schema, catalog::Row* row);
+
+  engine::Database* db_;
+};
+
+}  // namespace opdelta::sql
+
+#endif  // OPDELTA_SQL_EXECUTOR_H_

@@ -1,0 +1,430 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+namespace opdelta::sql {
+
+namespace {
+
+using catalog::Value;
+using engine::CompareOp;
+using engine::Condition;
+using engine::Predicate;
+
+enum class TokType {
+  kIdent,    // bare word (also keywords)
+  kInt,      // integer literal
+  kFloat,    // floating literal
+  kString,   // 'quoted'
+  kTs,       // TS:123
+  kSymbol,   // punctuation / operator
+  kEnd,
+};
+
+struct Token {
+  TokType type = TokType::kEnd;
+  std::string text;   // ident (upper-cased separately on demand) or symbol
+  int64_t ival = 0;
+  double dval = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Status Next(Token* tok) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      tok->type = TokType::kEnd;
+      tok->text.clear();
+      return Status::OK();
+    }
+    const char c = text_[pos_];
+
+    if (c == '\'') return LexString(tok);
+
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      return LexNumber(tok);
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentOrTs(tok);
+    }
+
+    // Multi-char operators first.
+    static const char* kTwoChar[] = {"<>", "<=", ">=", "!="};
+    for (const char* op : kTwoChar) {
+      if (text_.compare(pos_, 2, op) == 0) {
+        tok->type = TokType::kSymbol;
+        tok->text = op;
+        pos_ += 2;
+        return Status::OK();
+      }
+    }
+    if (std::strchr("(),=<>;*", c) != nullptr) {
+      tok->type = TokType::kSymbol;
+      tok->text.assign(1, c);
+      ++pos_;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(pos_));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status LexString(Token* tok) {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\'') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+          out.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        tok->type = TokType::kString;
+        tok->text = std::move(out);
+        return Status::OK();
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Status LexNumber(Token* tok) {
+    const size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        ++pos_;
+        if (c != '.' && pos_ < text_.size() &&
+            (text_[pos_] == '+' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    const std::string num = text_.substr(start, pos_ - start);
+    if (is_float) {
+      tok->type = TokType::kFloat;
+      tok->dval = std::strtod(num.c_str(), nullptr);
+    } else {
+      tok->type = TokType::kInt;
+      auto [p, ec] =
+          std::from_chars(num.data(), num.data() + num.size(), tok->ival);
+      if (ec != std::errc()) {
+        return Status::InvalidArgument("bad integer literal " + num);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status LexIdentOrTs(Token* tok) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string word = text_.substr(start, pos_ - start);
+    // Timestamp literal: TS:<int>.
+    if ((word == "TS" || word == "ts") && pos_ < text_.size() &&
+        text_[pos_] == ':') {
+      ++pos_;
+      Token num;
+      OPDELTA_RETURN_IF_ERROR(LexNumber(&num));
+      if (num.type != TokType::kInt) {
+        return Status::InvalidArgument("bad timestamp literal");
+      }
+      tok->type = TokType::kTs;
+      tok->ival = num.ival;
+      return Status::OK();
+    }
+    tok->type = TokType::kIdent;
+    tok->text = std::move(word);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(const std::string& text) : lexer_(text) {}
+
+  Status Init() { return Advance(); }
+
+  Result<Statement> ParseStatement() {
+    if (cur_.type != TokType::kIdent) {
+      return Status::InvalidArgument("expected statement keyword");
+    }
+    const std::string kw = Upper(cur_.text);
+    if (kw == "INSERT") return ParseInsert();
+    if (kw == "UPDATE") return ParseUpdate();
+    if (kw == "DELETE") return ParseDelete();
+    if (kw == "SELECT") return ParseSelect();
+    return Status::InvalidArgument("unsupported statement: " + kw);
+  }
+
+  bool AtEnd() const { return cur_.type == TokType::kEnd; }
+
+  Status SkipSemicolons() {
+    while (cur_.type == TokType::kSymbol && cur_.text == ";") {
+      OPDELTA_RETURN_IF_ERROR(Advance());
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Advance() { return lexer_.Next(&cur_); }
+
+  Status ExpectKeyword(const char* kw) {
+    if (cur_.type != TokType::kIdent || Upper(cur_.text) != kw) {
+      return Status::InvalidArgument(std::string("expected ") + kw);
+    }
+    return Advance();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (cur_.type != TokType::kSymbol || cur_.text != sym) {
+      return Status::InvalidArgument(std::string("expected '") + sym + "'");
+    }
+    return Advance();
+  }
+
+  bool IsSymbol(const char* sym) const {
+    return cur_.type == TokType::kSymbol && cur_.text == sym;
+  }
+
+  bool IsKeyword(const char* kw) const {
+    return cur_.type == TokType::kIdent && Upper(cur_.text) == kw;
+  }
+
+  Status ParseIdent(std::string* out) {
+    if (cur_.type != TokType::kIdent) {
+      return Status::InvalidArgument("expected identifier");
+    }
+    *out = cur_.text;
+    return Advance();
+  }
+
+  Result<Value> ParseLiteral() {
+    switch (cur_.type) {
+      case TokType::kInt: {
+        Value v = Value::Int64(cur_.ival);
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        return v;
+      }
+      case TokType::kFloat: {
+        Value v = Value::Double(cur_.dval);
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        return v;
+      }
+      case TokType::kString: {
+        Value v = Value::String(cur_.text);
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        return v;
+      }
+      case TokType::kTs: {
+        Value v = Value::Timestamp(cur_.ival);
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        return v;
+      }
+      case TokType::kIdent:
+        if (Upper(cur_.text) == "NULL") {
+          OPDELTA_RETURN_IF_ERROR(Advance());
+          return Value::Null();
+        }
+        return Status::InvalidArgument("expected literal, got identifier " +
+                                       cur_.text);
+      default:
+        return Status::InvalidArgument("expected literal");
+    }
+  }
+
+  Result<Statement> ParseInsert() {
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.table));
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      OPDELTA_RETURN_IF_ERROR(ExpectSymbol("("));
+      catalog::Row row;
+      while (true) {
+        OPDELTA_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        row.push_back(std::move(v));
+        if (IsSymbol(",")) {
+          OPDELTA_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+      OPDELTA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+      if (IsSymbol(",")) {
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      break;
+    } while (true);
+    return Statement(std::move(stmt));
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    if (cur_.type != TokType::kSymbol) {
+      return Status::InvalidArgument("expected comparison operator");
+    }
+    CompareOp op;
+    if (cur_.text == "=") {
+      op = CompareOp::kEq;
+    } else if (cur_.text == "<>" || cur_.text == "!=") {
+      op = CompareOp::kNe;
+    } else if (cur_.text == "<") {
+      op = CompareOp::kLt;
+    } else if (cur_.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (cur_.text == ">") {
+      op = CompareOp::kGt;
+    } else if (cur_.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("bad operator " + cur_.text);
+    }
+    OPDELTA_RETURN_IF_ERROR(Advance());
+    return op;
+  }
+
+  Result<Predicate> ParseWhere() {
+    if (!IsKeyword("WHERE")) return Predicate::True();
+    OPDELTA_RETURN_IF_ERROR(Advance());
+    std::vector<Condition> conds;
+    while (true) {
+      Condition c;
+      OPDELTA_RETURN_IF_ERROR(ParseIdent(&c.column));
+      OPDELTA_ASSIGN_OR_RETURN(c.op, ParseCompareOp());
+      OPDELTA_ASSIGN_OR_RETURN(c.literal, ParseLiteral());
+      conds.push_back(std::move(c));
+      if (IsKeyword("AND")) {
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      break;
+    }
+    return Predicate(std::move(conds));
+  }
+
+  Result<Statement> ParseUpdate() {
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStmt stmt;
+    OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.table));
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      engine::Assignment a;
+      OPDELTA_RETURN_IF_ERROR(ParseIdent(&a.column));
+      OPDELTA_RETURN_IF_ERROR(ExpectSymbol("="));
+      OPDELTA_ASSIGN_OR_RETURN(a.value, ParseLiteral());
+      stmt.sets.push_back(std::move(a));
+      if (IsSymbol(",")) {
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      break;
+    }
+    OPDELTA_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.table));
+    OPDELTA_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseSelect() {
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    if (IsSymbol("*")) {
+      OPDELTA_RETURN_IF_ERROR(Advance());
+    } else {
+      while (true) {
+        std::string column;
+        OPDELTA_RETURN_IF_ERROR(ParseIdent(&column));
+        stmt.columns.push_back(std::move(column));
+        if (IsSymbol(",")) {
+          OPDELTA_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+    }
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.table));
+    OPDELTA_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return Statement(std::move(stmt));
+  }
+
+  Lexer lexer_;
+  Token cur_;
+
+  friend class opdelta::sql::Parser;
+};
+
+}  // namespace
+
+Result<Statement> Parser::Parse(const std::string& text) {
+  ParserImpl impl(text);
+  OPDELTA_RETURN_IF_ERROR(impl.Init());
+  OPDELTA_ASSIGN_OR_RETURN(Statement stmt, impl.ParseStatement());
+  OPDELTA_RETURN_IF_ERROR(impl.SkipSemicolons());
+  if (!impl.AtEnd()) {
+    return Status::InvalidArgument("trailing input after statement");
+  }
+  return stmt;
+}
+
+Status Parser::ParseScript(const std::string& text,
+                           std::vector<Statement>* out) {
+  out->clear();
+  ParserImpl impl(text);
+  OPDELTA_RETURN_IF_ERROR(impl.Init());
+  OPDELTA_RETURN_IF_ERROR(impl.SkipSemicolons());
+  while (!impl.AtEnd()) {
+    OPDELTA_ASSIGN_OR_RETURN(Statement stmt, impl.ParseStatement());
+    out->push_back(std::move(stmt));
+    OPDELTA_RETURN_IF_ERROR(impl.SkipSemicolons());
+  }
+  return Status::OK();
+}
+
+}  // namespace opdelta::sql

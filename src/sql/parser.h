@@ -1,0 +1,39 @@
+#ifndef OPDELTA_SQL_PARSER_H_
+#define OPDELTA_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/statement.h"
+
+namespace opdelta::sql {
+
+/// Parses the DML dialect that Statement::ToSql emits (the Op-Delta wire
+/// format). Supported grammar:
+///
+///   stmt    := insert | update | delete
+///   insert  := INSERT INTO ident VALUES tuple (',' tuple)*
+///   tuple   := '(' literal (',' literal)* ')'
+///   update  := UPDATE ident SET assign (',' assign)* [WHERE conj]
+///   assign  := ident '=' literal
+///   delete  := DELETE FROM ident [WHERE conj]
+///   conj    := cond (AND cond)*
+///   cond    := ident op literal
+///   op      := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+///   literal := NULL | integer | float | 'string' | TS:integer
+///
+/// Keywords are case-insensitive; strings escape quotes by doubling.
+class Parser {
+ public:
+  /// Parses a single statement (optional trailing ';').
+  static Result<Statement> Parse(const std::string& text);
+
+  /// Parses a ';'-separated script.
+  static Status ParseScript(const std::string& text,
+                            std::vector<Statement>* out);
+};
+
+}  // namespace opdelta::sql
+
+#endif  // OPDELTA_SQL_PARSER_H_

@@ -1,0 +1,72 @@
+#include "sql/statement.h"
+
+namespace opdelta::sql {
+
+const std::string& Statement::table() const {
+  switch (type()) {
+    case StatementType::kInsert:
+      return insert().table;
+    case StatementType::kUpdate:
+      return update().table;
+    case StatementType::kDelete:
+      return delete_stmt().table;
+    case StatementType::kSelect:
+      return select().table;
+  }
+  return insert().table;  // unreachable
+}
+
+std::string Statement::ToSql() const {
+  std::string out;
+  switch (type()) {
+    case StatementType::kInsert: {
+      const InsertStmt& s = insert();
+      out = "INSERT INTO " + s.table + " VALUES ";
+      for (size_t r = 0; r < s.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += '(';
+        const catalog::Row& row = s.rows[r];
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += row[i].ToSqlLiteral();
+        }
+        out += ')';
+      }
+      break;
+    }
+    case StatementType::kUpdate: {
+      const UpdateStmt& s = update();
+      out = "UPDATE " + s.table + " SET ";
+      for (size_t i = 0; i < s.sets.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.sets[i].column + " = " + s.sets[i].value.ToSqlLiteral();
+      }
+      if (!s.where.is_true()) out += " WHERE " + s.where.ToSql();
+      break;
+    }
+    case StatementType::kDelete: {
+      const DeleteStmt& s = delete_stmt();
+      out = "DELETE FROM " + s.table;
+      if (!s.where.is_true()) out += " WHERE " + s.where.ToSql();
+      break;
+    }
+    case StatementType::kSelect: {
+      const SelectStmt& s = select();
+      out = "SELECT ";
+      if (s.columns.empty()) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < s.columns.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += s.columns[i];
+        }
+      }
+      out += " FROM " + s.table;
+      if (!s.where.is_true()) out += " WHERE " + s.where.ToSql();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace opdelta::sql

@@ -1,0 +1,85 @@
+#ifndef OPDELTA_SQL_STATEMENT_H_
+#define OPDELTA_SQL_STATEMENT_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "catalog/value.h"
+#include "engine/database.h"
+#include "engine/predicate.h"
+
+namespace opdelta::sql {
+
+enum class StatementType : uint8_t { kInsert, kUpdate, kDelete, kSelect };
+
+/// INSERT INTO <table> VALUES (...), (...). Positional values.
+struct InsertStmt {
+  std::string table;
+  std::vector<catalog::Row> rows;
+};
+
+/// UPDATE <table> SET col = lit, ... [WHERE ...].
+struct UpdateStmt {
+  std::string table;
+  std::vector<engine::Assignment> sets;
+  engine::Predicate where;
+};
+
+/// DELETE FROM <table> [WHERE ...].
+struct DeleteStmt {
+  std::string table;
+  engine::Predicate where;
+};
+
+/// SELECT <columns|*> FROM <table> [WHERE ...]. An empty column list means
+/// `*`. This is the query form the paper's timestamp extraction uses:
+/// "SELECT * from PARTS where last_modified_date > 12/5/99".
+struct SelectStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = *
+  engine::Predicate where;
+};
+
+/// A DML operation. Its SQL text *is* the Op-Delta (paper §4.1: "the SQL
+/// statement itself is already an Op-Delta in the size of about 70 bytes").
+class Statement {
+ public:
+  Statement() : stmt_(InsertStmt{}) {}
+  explicit Statement(InsertStmt s) : stmt_(std::move(s)) {}
+  explicit Statement(UpdateStmt s) : stmt_(std::move(s)) {}
+  explicit Statement(DeleteStmt s) : stmt_(std::move(s)) {}
+  explicit Statement(SelectStmt s) : stmt_(std::move(s)) {}
+
+  StatementType type() const {
+    return static_cast<StatementType>(stmt_.index());
+  }
+
+  const std::string& table() const;
+
+  bool is_insert() const { return type() == StatementType::kInsert; }
+  bool is_update() const { return type() == StatementType::kUpdate; }
+  bool is_delete() const { return type() == StatementType::kDelete; }
+  bool is_select() const { return type() == StatementType::kSelect; }
+
+  const InsertStmt& insert() const { return std::get<InsertStmt>(stmt_); }
+  const UpdateStmt& update() const { return std::get<UpdateStmt>(stmt_); }
+  const DeleteStmt& delete_stmt() const { return std::get<DeleteStmt>(stmt_); }
+  const SelectStmt& select() const { return std::get<SelectStmt>(stmt_); }
+
+  InsertStmt& mutable_insert() { return std::get<InsertStmt>(stmt_); }
+  UpdateStmt& mutable_update() { return std::get<UpdateStmt>(stmt_); }
+  DeleteStmt& mutable_delete() { return std::get<DeleteStmt>(stmt_); }
+  SelectStmt& mutable_select() { return std::get<SelectStmt>(stmt_); }
+
+  /// Renders canonical SQL text (no trailing semicolon).
+  std::string ToSql() const;
+
+ private:
+  std::variant<InsertStmt, UpdateStmt, DeleteStmt, SelectStmt> stmt_;
+};
+
+}  // namespace opdelta::sql
+
+#endif  // OPDELTA_SQL_STATEMENT_H_

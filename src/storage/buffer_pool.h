@@ -1,0 +1,133 @@
+#ifndef OPDELTA_STORAGE_BUFFER_POOL_H_
+#define OPDELTA_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/file_manager.h"
+#include "storage/page.h"
+
+namespace opdelta::storage {
+
+/// Cache statistics for benchmark reporting.
+struct BufferPoolStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> dirty_writebacks{0};
+
+  void Reset() {
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    dirty_writebacks = 0;
+  }
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins on destruction; call MarkDirty()
+/// before releasing if the frame was modified.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, char* data, size_t frame);
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { MoveFrom(std::move(o)); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    Release();
+    MoveFrom(std::move(o));
+    return *this;
+  }
+
+  bool valid() const { return data_ != nullptr; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  PageId page_id() const { return id_; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicitly unpins early.
+  void Release();
+
+ private:
+  void MoveFrom(PageGuard&& o) {
+    pool_ = o.pool_;
+    id_ = o.id_;
+    data_ = o.data_;
+    frame_ = o.frame_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  size_t frame_ = 0;
+  bool dirty_ = false;
+};
+
+/// Fixed-capacity LRU buffer pool over one FileManager. Thread-safe; pages
+/// are pinned while a PageGuard is alive and unpinnable frames are evicted
+/// in LRU order, writing back dirty contents.
+class BufferPool {
+ public:
+  /// `capacity` is the number of kPageSize frames.
+  BufferPool(FileManager* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches an existing page, pinning it.
+  Status FetchPage(PageId id, PageGuard* guard);
+
+  /// Allocates a new page in the file and returns it pinned and zeroed.
+  Status NewPage(PageGuard* guard);
+
+  /// Writes every dirty frame back; optionally fsyncs.
+  Status FlushAll(bool sync);
+
+  BufferPoolStats& stats() { return stats_; }
+  FileManager* file() { return file_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_it;  // valid iff pin_count == 0
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame, bool dirty);
+
+  // Requires lock held. Finds a free or evictable frame.
+  Status GetVictim(size_t* frame_out);
+
+  FileManager* file_;
+  size_t capacity_;
+  std::unique_ptr<char[]> memory_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = most recent
+  std::mutex mutex_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace opdelta::storage
+
+#endif  // OPDELTA_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,92 @@
+#include "storage/file_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace opdelta::storage {
+
+namespace {
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+}  // namespace
+
+FileManager::~FileManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileManager::Open(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return PosixError("open " + path, errno);
+  path_ = path;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return PosixError("fstat " + path, errno);
+  num_pages_ = static_cast<uint32_t>(st.st_size / kPageSize);
+  return Status::OK();
+}
+
+Status FileManager::Close() {
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      return PosixError("close " + path_, errno);
+    }
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+Status FileManager::AllocatePage(PageId* id) {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  const PageId new_id = num_pages_.load();
+  static const char kZeros[kPageSize] = {};
+  ssize_t n = ::pwrite(fd_, kZeros, kPageSize,
+                       static_cast<off_t>(new_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return PosixError("pwrite alloc " + path_, errno);
+  }
+  stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
+  num_pages_.fetch_add(1);
+  *id = new_id;
+  return Status::OK();
+}
+
+Status FileManager::ReadPage(PageId id, char* buf) {
+  if (id >= num_pages_.load()) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  ssize_t n =
+      ::pread(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return PosixError("pread " + path_, errno);
+  }
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FileManager::WritePage(PageId id, const char* buf) {
+  if (id >= num_pages_.load()) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  ssize_t n =
+      ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return PosixError("pwrite " + path_, errno);
+  }
+  stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FileManager::Sync() {
+  if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
+    return PosixError("fdatasync " + path_, errno);
+  }
+  stats_.syncs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace opdelta::storage

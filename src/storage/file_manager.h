@@ -1,0 +1,65 @@
+#ifndef OPDELTA_STORAGE_FILE_MANAGER_H_
+#define OPDELTA_STORAGE_FILE_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace opdelta::storage {
+
+/// I/O counters exposed to benchmarks so experiments can report physical
+/// page traffic (e.g. Import's double I/O vs the Loader's direct writes).
+struct IoStats {
+  std::atomic<uint64_t> page_reads{0};
+  std::atomic<uint64_t> page_writes{0};
+  std::atomic<uint64_t> syncs{0};
+
+  void Reset() {
+    page_reads = 0;
+    page_writes = 0;
+    syncs = 0;
+  }
+};
+
+/// Owns one on-disk file of kPageSize pages and provides page-granular
+/// positional I/O. Thread-safe.
+class FileManager {
+ public:
+  FileManager() = default;
+  ~FileManager();
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  /// Opens (creating if necessary) the backing file.
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Appends a zeroed page; returns its id.
+  Status AllocatePage(PageId* id);
+
+  Status ReadPage(PageId id, char* buf);
+  Status WritePage(PageId id, const char* buf);
+
+  /// fdatasync the backing file.
+  Status Sync();
+
+  uint32_t num_pages() const { return num_pages_.load(); }
+  const std::string& path() const { return path_; }
+  IoStats& io_stats() { return stats_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::atomic<uint32_t> num_pages_{0};
+  std::mutex alloc_mutex_;
+  IoStats stats_;
+};
+
+}  // namespace opdelta::storage
+
+#endif  // OPDELTA_STORAGE_FILE_MANAGER_H_

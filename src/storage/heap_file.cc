@@ -1,0 +1,183 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+namespace opdelta::storage {
+
+Status HeapFile::Open() {
+  const uint32_t pages = pool_->file()->num_pages();
+  free_space_.assign(pages, 0);
+  live_records_ = 0;
+  for (PageId p = 0; p < pages; ++p) {
+    PageGuard guard;
+    OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(p, &guard));
+    SlottedPage page(guard.data());
+    free_space_[p] = static_cast<uint32_t>(page.FreeSpace());
+    live_records_ += page.LiveCount();
+  }
+  return Status::OK();
+}
+
+Status HeapFile::FindPageWithSpace(size_t need, PageId* id, PageGuard* guard) {
+  // Fast path: the last page we appended to.
+  if (append_hint_ != kInvalidPageId && append_hint_ < free_space_.size() &&
+      free_space_[append_hint_] >= need) {
+    OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(append_hint_, guard));
+    *id = append_hint_;
+    return Status::OK();
+  }
+  // First fit over known free space (covers pages with holes from deletes).
+  for (PageId p = 0; p < free_space_.size(); ++p) {
+    if (free_space_[p] >= need) {
+      OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(p, guard));
+      *id = p;
+      return Status::OK();
+    }
+  }
+  // Allocate a fresh page.
+  OPDELTA_RETURN_IF_ERROR(pool_->NewPage(guard));
+  SlottedPage page(guard->data());
+  page.Init();
+  guard->MarkDirty();
+  *id = guard->page_id();
+  if (free_space_.size() <= *id) free_space_.resize(*id + 1, 0);
+  free_space_[*id] = static_cast<uint32_t>(page.FreeSpace());
+  return Status::OK();
+}
+
+Status HeapFile::Insert(Slice record, Rid* rid) {
+  PageId id;
+  PageGuard guard;
+  OPDELTA_RETURN_IF_ERROR(FindPageWithSpace(record.size() + 4, &id, &guard));
+  SlottedPage page(guard.data());
+  uint16_t slot;
+  Status st = page.Insert(record, &slot);
+  if (st.code() == StatusCode::kOutOfRange) {
+    // Our estimate was stale; refresh it and retry on a new page.
+    free_space_[id] = static_cast<uint32_t>(page.FreeSpace());
+    guard.Release();
+    PageGuard fresh;
+    OPDELTA_RETURN_IF_ERROR(pool_->NewPage(&fresh));
+    SlottedPage new_page(fresh.data());
+    new_page.Init();
+    OPDELTA_RETURN_IF_ERROR(new_page.Insert(record, &slot));
+    fresh.MarkDirty();
+    id = fresh.page_id();
+    if (free_space_.size() <= id) free_space_.resize(id + 1, 0);
+    free_space_[id] = static_cast<uint32_t>(new_page.FreeSpace());
+    append_hint_ = id;
+    live_records_++;
+    *rid = Rid{id, slot};
+    return Status::OK();
+  }
+  OPDELTA_RETURN_IF_ERROR(st);
+  guard.MarkDirty();
+  free_space_[id] = static_cast<uint32_t>(page.FreeSpace());
+  append_hint_ = id;
+  live_records_++;
+  *rid = Rid{id, slot};
+  return Status::OK();
+}
+
+Status HeapFile::Read(const Rid& rid, std::string* out) {
+  PageGuard guard;
+  OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(rid.page_id, &guard));
+  SlottedPage page(guard.data());
+  Slice record;
+  OPDELTA_RETURN_IF_ERROR(page.Read(rid.slot, &record));
+  out->assign(record.data(), record.size());
+  return Status::OK();
+}
+
+Status HeapFile::Update(const Rid& rid, Slice record, Rid* new_rid) {
+  PageGuard guard;
+  OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(rid.page_id, &guard));
+  SlottedPage page(guard.data());
+  Status st = page.Update(rid.slot, record);
+  if (st.ok()) {
+    guard.MarkDirty();
+    free_space_[rid.page_id] = static_cast<uint32_t>(page.FreeSpace());
+    *new_rid = rid;
+    return Status::OK();
+  }
+  if (st.code() != StatusCode::kOutOfRange) return st;
+  // Relocate: delete here, insert elsewhere.
+  OPDELTA_RETURN_IF_ERROR(page.Delete(rid.slot));
+  guard.MarkDirty();
+  free_space_[rid.page_id] = static_cast<uint32_t>(page.FreeSpace());
+  guard.Release();
+  live_records_--;  // Insert() will re-increment
+  return Insert(record, new_rid);
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  PageGuard guard;
+  OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(rid.page_id, &guard));
+  SlottedPage page(guard.data());
+  OPDELTA_RETURN_IF_ERROR(page.Delete(rid.slot));
+  guard.MarkDirty();
+  free_space_[rid.page_id] = static_cast<uint32_t>(page.FreeSpace());
+  live_records_--;
+  return Status::OK();
+}
+
+Status HeapFile::ForEach(
+    const std::function<bool(const Rid&, Slice)>& fn) {
+  const uint32_t pages = pool_->file()->num_pages();
+  for (PageId p = 0; p < pages; ++p) {
+    PageGuard guard;
+    OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(p, &guard));
+    SlottedPage page(guard.data());
+    const uint16_t slots = page.slot_count();
+    for (uint16_t s = 0; s < slots; ++s) {
+      Slice record;
+      if (!page.Read(s, &record).ok()) continue;
+      if (!fn(Rid{p, s}, record)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::BulkLoad(const std::vector<std::string>& records) {
+  // Format full pages in a local buffer and append them via the file
+  // manager. No buffer-pool traffic, no per-record page pin.
+  alignas(8) char buf[kPageSize];
+  SlottedPage page(buf);
+  page.Init();
+  bool page_open = false;
+  FileManager* file = pool_->file();
+
+  auto flush_page = [&]() -> Status {
+    PageId id;
+    OPDELTA_RETURN_IF_ERROR(file->AllocatePage(&id));
+    OPDELTA_RETURN_IF_ERROR(file->WritePage(id, buf));
+    if (free_space_.size() <= id) free_space_.resize(id + 1, 0);
+    free_space_[id] = static_cast<uint32_t>(page.FreeSpace());
+    page_open = false;
+    return Status::OK();
+  };
+
+  for (const std::string& r : records) {
+    uint16_t slot;
+    if (!page_open) {
+      page.Init();
+      page_open = true;
+    }
+    Status st = page.Insert(Slice(r), &slot);
+    if (st.code() == StatusCode::kOutOfRange) {
+      OPDELTA_RETURN_IF_ERROR(flush_page());
+      page.Init();
+      page_open = true;
+      OPDELTA_RETURN_IF_ERROR(page.Insert(Slice(r), &slot));
+    } else {
+      OPDELTA_RETURN_IF_ERROR(st);
+    }
+    live_records_++;
+  }
+  if (page_open && page.LiveCount() > 0) {
+    OPDELTA_RETURN_IF_ERROR(flush_page());
+  }
+  return file->Sync();
+}
+
+}  // namespace opdelta::storage

@@ -1,0 +1,69 @@
+#ifndef OPDELTA_STORAGE_HEAP_FILE_H_
+#define OPDELTA_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace opdelta::storage {
+
+/// Unordered collection of variable-length records over slotted pages.
+/// One HeapFile per table (and per trigger delta table). Not internally
+/// synchronized: callers serialize structural access (the engine layer
+/// holds a table latch).
+class HeapFile {
+ public:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Scans existing pages to rebuild the free-space map and live count.
+  /// Call once after the backing file is opened.
+  Status Open();
+
+  Status Insert(Slice record, Rid* rid);
+
+  /// Copies the record at rid into *out.
+  Status Read(const Rid& rid, std::string* out);
+
+  /// Updates in place when possible; relocates otherwise and reports the
+  /// new rid via *new_rid (equal to rid when not moved).
+  Status Update(const Rid& rid, Slice record, Rid* new_rid);
+
+  Status Delete(const Rid& rid);
+
+  /// Invokes fn for every live record; stop early by returning false.
+  /// The Slice points into the pinned page and is valid only inside fn.
+  Status ForEach(
+      const std::function<bool(const Rid&, Slice)>& fn);
+
+  /// Appends pre-serialized records by formatting whole pages and writing
+  /// them directly through the FileManager, bypassing per-record page
+  /// fetches. This is the "DBMS Loader" fast path that loads ASCII data
+  /// directly into database blocks (paper §3, Table 1).
+  Status BulkLoad(const std::vector<std::string>& records);
+
+  uint64_t live_records() const { return live_records_; }
+  uint32_t num_pages() const {
+    return pool_->file()->num_pages();
+  }
+
+ private:
+  Status FindPageWithSpace(size_t need, PageId* id, PageGuard* guard);
+
+  BufferPool* pool_;
+  // free_space_[p] is a conservative (post-compaction) estimate.
+  std::vector<uint32_t> free_space_;
+  uint64_t live_records_ = 0;
+  PageId append_hint_ = kInvalidPageId;
+};
+
+}  // namespace opdelta::storage
+
+#endif  // OPDELTA_STORAGE_HEAP_FILE_H_

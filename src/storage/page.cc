@@ -1,0 +1,133 @@
+#include "storage/page.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace opdelta::storage {
+
+Status SlottedPage::Insert(Slice record, uint16_t* slot_out) {
+  if (record.size() > kPageSize - kHeaderSize - 4) {
+    return Status::InvalidArgument("record larger than page");
+  }
+  const uint16_t count = slot_count();
+
+  // Look for a reusable deleted slot (its 4 directory bytes already exist).
+  uint16_t slot = count;
+  bool reuse = false;
+  for (uint16_t i = 0; i < count; ++i) {
+    if (SlotOffset(i) == 0) {
+      slot = i;
+      reuse = true;
+      break;
+    }
+  }
+
+  size_t dir_end = kHeaderSize + 4 * static_cast<size_t>(count) + (reuse ? 0 : 4);
+  size_t free_ptr = FreePtr();
+  if (free_ptr < dir_end || free_ptr - dir_end < record.size()) {
+    // Try compaction once: deleted records may have left holes.
+    Compact();
+    free_ptr = FreePtr();
+    if (free_ptr < dir_end || free_ptr - dir_end < record.size()) {
+      return Status::OutOfRange("page full");
+    }
+  }
+
+  const uint16_t new_off = static_cast<uint16_t>(free_ptr - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  SetFreePtr(new_off);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  if (!reuse) SetSlotCount(static_cast<uint16_t>(count + 1));
+  *slot_out = slot;
+  return Status::OK();
+}
+
+Status SlottedPage::Read(uint16_t slot, Slice* out) const {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound("no record at slot");
+  }
+  *out = Slice(data_ + SlotOffset(slot), SlotLength(slot));
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound("no record at slot");
+  }
+  SetSlot(slot, 0, 0);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, Slice record) {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound("no record at slot");
+  }
+  const uint16_t old_len = SlotLength(slot);
+  const uint16_t old_off = SlotOffset(slot);
+  if (record.size() <= old_len) {
+    // Shrinking or same size: write in place at the tail of the old space so
+    // the offset stays meaningful.
+    std::memcpy(data_ + old_off, record.data(), record.size());
+    SetSlot(slot, old_off, static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Growing: first check whether the record fits once the old copy's space
+  // is reclaimed — without modifying anything, so a failed update leaves
+  // the page untouched and the caller can relocate the row.
+  const uint16_t count = slot_count();
+  size_t live_bytes = 0;
+  for (uint16_t i = 0; i < count; ++i) {
+    if (i != slot && SlotOffset(i) != 0) live_bytes += SlotLength(i);
+  }
+  const size_t dir_end = kHeaderSize + 4 * static_cast<size_t>(count);
+  const size_t available = kPageSize - dir_end - live_bytes;
+  if (record.size() > available) {
+    return Status::OutOfRange("page full on update");
+  }
+  // Guaranteed to fit: drop the old copy, defragment, place the new one.
+  SetSlot(slot, 0, 0);
+  Compact();
+  const uint16_t new_off = static_cast<uint16_t>(FreePtr() - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  SetFreePtr(new_off);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  const uint16_t count = slot_count();
+  struct Entry {
+    uint16_t slot;
+    uint16_t offset;
+    uint16_t length;
+  };
+  std::vector<Entry> live;
+  live.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    if (SlotOffset(i) != 0) live.push_back({i, SlotOffset(i), SlotLength(i)});
+  }
+  // Rewrite records from the page end downward in descending offset order so
+  // moves never overwrite data not yet copied.
+  std::sort(live.begin(), live.end(),
+            [](const Entry& a, const Entry& b) { return a.offset > b.offset; });
+  uint16_t write_ptr = static_cast<uint16_t>(kPageSize);
+  for (const Entry& e : live) {
+    write_ptr = static_cast<uint16_t>(write_ptr - e.length);
+    if (write_ptr != e.offset) {
+      std::memmove(data_ + write_ptr, data_ + e.offset, e.length);
+      SetSlot(e.slot, write_ptr, e.length);
+    }
+  }
+  SetFreePtr(write_ptr);
+}
+
+uint16_t SlottedPage::LiveCount() const {
+  uint16_t n = 0;
+  const uint16_t count = slot_count();
+  for (uint16_t i = 0; i < count; ++i) {
+    if (SlotOffset(i) != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace opdelta::storage

@@ -1,0 +1,120 @@
+#ifndef OPDELTA_STORAGE_PAGE_H_
+#define OPDELTA_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace opdelta::storage {
+
+/// Database page size. All table, index, and delta-table storage uses
+/// fixed-size pages managed by the buffer pool.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Record identifier: (page, slot). Stable until the record is moved by an
+/// oversized in-place update.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+  bool operator<(const Rid& o) const {
+    return page_id != o.page_id ? page_id < o.page_id : slot < o.slot;
+  }
+};
+
+/// Slotted-page accessor over a raw kPageSize buffer.
+///
+/// Layout:
+///   [0..2)   uint16 slot_count
+///   [2..4)   uint16 free_ptr   -- start of the record data region, which
+///                                 grows downward from kPageSize
+///   [4..)    slot directory: per slot {uint16 offset, uint16 length};
+///            offset == 0 marks a deleted/empty slot.
+///
+/// The class does not own the buffer; the buffer pool does.
+class SlottedPage {
+ public:
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats a fresh page.
+  void Init() {
+    SetSlotCount(0);
+    SetFreePtr(static_cast<uint16_t>(kPageSize));
+  }
+
+  uint16_t slot_count() const { return Load16(0); }
+
+  /// Bytes available for a new record (including its 4-byte slot).
+  size_t FreeSpace() const {
+    size_t dir_end = kHeaderSize + 4 * static_cast<size_t>(slot_count());
+    size_t free_ptr = FreePtr();
+    size_t contiguous = free_ptr > dir_end ? free_ptr - dir_end : 0;
+    return contiguous > 4 ? contiguous - 4 : 0;
+  }
+
+  /// Inserts a record; returns the slot index or NotFound-free error if the
+  /// page lacks space. Reuses deleted slots.
+  Status Insert(Slice record, uint16_t* slot_out);
+
+  /// Reads the record at `slot`; *out points into the page buffer.
+  Status Read(uint16_t slot, Slice* out) const;
+
+  /// Marks the slot deleted. The space is reclaimed lazily by Compact().
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record in place. Succeeds when the new record fits in the
+  /// old space or in the free region; otherwise returns kOutOfRange and the
+  /// caller must relocate (delete here, insert elsewhere).
+  Status Update(uint16_t slot, Slice record);
+
+  /// Defragments the record region, preserving slot numbers.
+  void Compact();
+
+  /// True if the slot currently holds a live record.
+  bool IsLive(uint16_t slot) const {
+    return slot < slot_count() && SlotOffset(slot) != 0;
+  }
+
+  /// Number of live records.
+  uint16_t LiveCount() const;
+
+ private:
+  static constexpr size_t kHeaderSize = 4;
+
+  uint16_t Load16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + off, 2);
+    return v;
+  }
+  void Store16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, 2); }
+
+  void SetSlotCount(uint16_t v) { Store16(0, v); }
+  uint16_t FreePtr() const { return Load16(2); }
+  void SetFreePtr(uint16_t v) { Store16(2, v); }
+
+  uint16_t SlotOffset(uint16_t slot) const {
+    return Load16(kHeaderSize + 4 * static_cast<size_t>(slot));
+  }
+  uint16_t SlotLength(uint16_t slot) const {
+    return Load16(kHeaderSize + 4 * static_cast<size_t>(slot) + 2);
+  }
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+    Store16(kHeaderSize + 4 * static_cast<size_t>(slot), offset);
+    Store16(kHeaderSize + 4 * static_cast<size_t>(slot) + 2, length);
+  }
+
+  char* data_;
+};
+
+}  // namespace opdelta::storage
+
+#endif  // OPDELTA_STORAGE_PAGE_H_

@@ -1,0 +1,19 @@
+#include "transport/file_transport.h"
+
+#include "common/env.h"
+
+namespace opdelta::transport {
+
+Status FileTransport::Ship(const std::string& src, const std::string& dst) {
+  Env* env = Env::Default();
+  std::string data;
+  OPDELTA_RETURN_IF_ERROR(env->ReadFileToString(src, &data));
+  net_->Connect();
+  net_->Transfer(data.size());
+  OPDELTA_RETURN_IF_ERROR(env->WriteStringToFile(dst, Slice(data)));
+  files_++;
+  bytes_ += data.size();
+  return Status::OK();
+}
+
+}  // namespace opdelta::transport

@@ -1,0 +1,33 @@
+#ifndef OPDELTA_TRANSPORT_FILE_TRANSPORT_H_
+#define OPDELTA_TRANSPORT_FILE_TRANSPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "transport/network_simulator.h"
+
+namespace opdelta::transport {
+
+/// Ships delta files from the source system to the warehouse / staging
+/// area, "ftp"-style (paper §1 lists ftp, persistent queues, and fault
+/// tolerant logs as the transport options). Copies the file and charges
+/// its size to the network simulator.
+class FileTransport {
+ public:
+  explicit FileTransport(NetworkSimulator* net) : net_(net) {}
+
+  /// Copies src -> dst, paying connect + transfer cost.
+  Status Ship(const std::string& src, const std::string& dst);
+
+  uint64_t files_shipped() const { return files_; }
+  uint64_t bytes_shipped() const { return bytes_; }
+
+ private:
+  NetworkSimulator* net_;
+  uint64_t files_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace opdelta::transport
+
+#endif  // OPDELTA_TRANSPORT_FILE_TRANSPORT_H_

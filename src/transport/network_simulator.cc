@@ -1,0 +1,31 @@
+#include "transport/network_simulator.h"
+
+namespace opdelta::transport {
+
+void NetworkSimulator::SpinFor(Micros duration) {
+  if (duration <= 0) return;
+  simulated_micros_.fetch_add(duration, std::memory_order_relaxed);
+  const Micros start = RealClock::Default()->NowMicros();
+  // Busy-wait so the cost is visible to wall-clock measurements even for
+  // sub-scheduler-quantum durations.
+  while (RealClock::Default()->NowMicros() - start < duration) {
+  }
+}
+
+void NetworkSimulator::Connect() { SpinFor(profile_.connect_micros); }
+
+void NetworkSimulator::RoundTrip(uint64_t payload_bytes) {
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  SpinFor(profile_.round_trip_micros +
+          static_cast<Micros>(profile_.micros_per_byte *
+                              static_cast<double>(payload_bytes)));
+}
+
+void NetworkSimulator::Transfer(uint64_t payload_bytes) {
+  bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  SpinFor(static_cast<Micros>(profile_.micros_per_byte *
+                              static_cast<double>(payload_bytes)));
+}
+
+}  // namespace opdelta::transport

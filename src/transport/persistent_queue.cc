@@ -1,0 +1,125 @@
+#include "transport/persistent_queue.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace opdelta::transport {
+
+namespace {
+const char kLogFile[] = "/queue.log";
+const char kCursorFile[] = "/queue.cursor";
+}  // namespace
+
+PersistentQueue::~PersistentQueue() {
+  if (log_ != nullptr) log_->Close();
+}
+
+Status PersistentQueue::Open(const std::string& dir) {
+  dir_ = dir;
+  Env* env = Env::Default();
+  OPDELTA_RETURN_IF_ERROR(env->CreateDir(dir));
+  OPDELTA_RETURN_IF_ERROR(env->NewAppendableFile(dir + kLogFile, &log_));
+  return LoadCursor();
+}
+
+Status PersistentQueue::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (log_ != nullptr) {
+    OPDELTA_RETURN_IF_ERROR(log_->Close());
+    log_.reset();
+  }
+  return Status::OK();
+}
+
+Status PersistentQueue::LoadCursor() {
+  Env* env = Env::Default();
+  const std::string path = dir_ + kCursorFile;
+  if (!env->FileExists(path)) {
+    read_offset_ = 0;
+    return Status::OK();
+  }
+  std::string data;
+  OPDELTA_RETURN_IF_ERROR(env->ReadFileToString(path, &data));
+  if (data.size() != 8) return Status::Corruption("queue cursor size");
+  read_offset_ = DecodeFixed64(data.data());
+  return Status::OK();
+}
+
+Status PersistentQueue::SaveCursor() {
+  std::string data;
+  PutFixed64(&data, read_offset_);
+  return WriteFileAtomic(Env::Default(), dir_ + kCursorFile, Slice(data));
+}
+
+Status PersistentQueue::Enqueue(Slice message, bool durable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (log_ == nullptr) return Status::Internal("queue not open");
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(message.size()));
+  PutFixed32(&frame, Crc32c(message.data(), message.size()));
+  frame.append(message.data(), message.size());
+  OPDELTA_RETURN_IF_ERROR(log_->Append(Slice(frame)));
+  if (durable) OPDELTA_RETURN_IF_ERROR(log_->Sync());
+  enqueued_++;
+  return Status::OK();
+}
+
+Status PersistentQueue::Peek(std::string* message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (log_ == nullptr) return Status::Internal("queue not open");
+  OPDELTA_RETURN_IF_ERROR(log_->Flush());
+
+  std::unique_ptr<RandomAccessFile> reader;
+  OPDELTA_RETURN_IF_ERROR(
+      Env::Default()->NewRandomAccessFile(dir_ + kLogFile, &reader));
+  if (read_offset_ >= reader->Size()) return Status::NotFound("queue empty");
+
+  char header[8];
+  Slice result;
+  OPDELTA_RETURN_IF_ERROR(reader->Read(read_offset_, 8, &result, header));
+  if (result.size() != 8) return Status::Corruption("queue frame header");
+  const uint32_t len = DecodeFixed32(result.data());
+  const uint32_t crc = DecodeFixed32(result.data() + 4);
+
+  message->resize(len);
+  OPDELTA_RETURN_IF_ERROR(
+      reader->Read(read_offset_ + 8, len, &result, message->data()));
+  if (result.size() != len) return Status::Corruption("queue frame body");
+  if (Crc32c(result.data(), result.size()) != crc) {
+    return Status::Corruption("queue message crc");
+  }
+  message->assign(result.data(), result.size());
+  peeked_next_ = read_offset_ + 8 + len;
+  has_peeked_ = true;
+  return Status::OK();
+}
+
+Status PersistentQueue::Ack() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_peeked_) return Status::InvalidArgument("Ack without Peek");
+  read_offset_ = peeked_next_;
+  has_peeked_ = false;
+  return SaveCursor();
+}
+
+Result<uint64_t> PersistentQueue::Backlog() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (log_ == nullptr) return Status::Internal("queue not open");
+  OPDELTA_RETURN_IF_ERROR(log_->Flush());
+  std::unique_ptr<RandomAccessFile> reader;
+  OPDELTA_RETURN_IF_ERROR(
+      Env::Default()->NewRandomAccessFile(dir_ + kLogFile, &reader));
+  uint64_t offset = read_offset_;
+  uint64_t count = 0;
+  char header[8];
+  while (offset < reader->Size()) {
+    Slice result;
+    OPDELTA_RETURN_IF_ERROR(reader->Read(offset, 8, &result, header));
+    if (result.size() != 8) break;
+    offset += 8 + DecodeFixed32(result.data());
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace opdelta::transport

@@ -1,0 +1,51 @@
+#include "txn/log_record.h"
+
+#include "common/coding.h"
+
+namespace opdelta::txn {
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutVarint64(dst, txn_id);
+  PutVarint64(dst, lsn);
+  PutVarint32(dst, table_id);
+  PutVarint32(dst, rid.page_id);
+  PutVarint32(dst, rid.slot);
+  PutVarint32(dst, rid2.page_id);
+  PutVarint32(dst, rid2.slot);
+  PutLengthPrefixed(dst, Slice(before));
+  PutLengthPrefixed(dst, Slice(after));
+}
+
+Status LogRecord::DecodeFrom(Slice* input, LogRecord* out) {
+  if (input->empty()) return Status::Corruption("log record: empty");
+  out->type = static_cast<LogRecordType>((*input)[0]);
+  input->remove_prefix(1);
+  if (out->type < LogRecordType::kBegin ||
+      out->type > LogRecordType::kCheckpoint) {
+    return Status::Corruption("log record: bad type");
+  }
+  uint64_t txn_id = 0, lsn = 0;
+  uint32_t table_id = 0, page_id = 0, slot = 0, page_id2 = 0, slot2 = 0;
+  if (!GetVarint64(input, &txn_id) || !GetVarint64(input, &lsn) ||
+      !GetVarint32(input, &table_id) || !GetVarint32(input, &page_id) ||
+      !GetVarint32(input, &slot) || !GetVarint32(input, &page_id2) ||
+      !GetVarint32(input, &slot2)) {
+    return Status::Corruption("log record: header");
+  }
+  out->txn_id = txn_id;
+  out->lsn = lsn;
+  out->table_id = table_id;
+  out->rid = storage::Rid{page_id, static_cast<uint16_t>(slot)};
+  out->rid2 = storage::Rid{page_id2, static_cast<uint16_t>(slot2)};
+  Slice before, after;
+  if (!GetLengthPrefixed(input, &before) ||
+      !GetLengthPrefixed(input, &after)) {
+    return Status::Corruption("log record: images");
+  }
+  out->before = before.ToString();
+  out->after = after.ToString();
+  return Status::OK();
+}
+
+}  // namespace opdelta::txn

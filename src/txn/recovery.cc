@@ -1,0 +1,48 @@
+#include "txn/recovery.h"
+
+#include "txn/wal.h"
+
+namespace opdelta::txn {
+
+Status ReplayCommitted(
+    const std::string& wal_dir,
+    const std::function<Status(const LogRecord&)>& apply,
+    RecoveryStats* stats) {
+  RecoveryStats local;
+
+  // Pass 1: find committed transactions.
+  std::unordered_set<TxnId> committed;
+  std::unordered_set<TxnId> seen;
+  OPDELTA_RETURN_IF_ERROR(Wal::ReadAll(wal_dir, [&](const LogRecord& r) {
+    local.records_scanned++;
+    if (r.type == LogRecordType::kBegin) seen.insert(r.txn_id);
+    if (r.type == LogRecordType::kCommit) committed.insert(r.txn_id);
+    return true;
+  }));
+  local.committed_txns = committed.size();
+  local.aborted_or_open_txns = seen.size() - committed.size();
+
+  // Pass 2: apply DML of committed transactions in LSN order.
+  Status apply_status;
+  OPDELTA_RETURN_IF_ERROR(Wal::ReadAll(wal_dir, [&](const LogRecord& r) {
+    switch (r.type) {
+      case LogRecordType::kInsert:
+      case LogRecordType::kUpdate:
+      case LogRecordType::kDelete:
+        if (committed.count(r.txn_id)) {
+          apply_status = apply(r);
+          if (!apply_status.ok()) return false;
+          local.redo_applied++;
+        }
+        return true;
+      default:
+        return true;
+    }
+  }));
+  OPDELTA_RETURN_IF_ERROR(apply_status);
+
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace opdelta::txn

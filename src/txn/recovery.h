@@ -1,0 +1,34 @@
+#ifndef OPDELTA_TXN_RECOVERY_H_
+#define OPDELTA_TXN_RECOVERY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "txn/log_record.h"
+
+namespace opdelta::txn {
+
+/// Statistics from a recovery / log-apply pass.
+struct RecoveryStats {
+  uint64_t records_scanned = 0;
+  uint64_t committed_txns = 0;
+  uint64_t aborted_or_open_txns = 0;
+  uint64_t redo_applied = 0;
+};
+
+/// Replays the redo log at `wal_dir`, invoking `apply` for each DML record
+/// of a *committed* transaction, in LSN order. This is both crash recovery
+/// and the paper's archive-log apply path: "these logs contain deltas and
+/// can be shipped to another similar database and applied using tools based
+/// on the DBMS recovery managers" (§3). Like such tools, it re-creates
+/// state — it needs the destination schema to match the source exactly.
+Status ReplayCommitted(
+    const std::string& wal_dir,
+    const std::function<Status(const LogRecord&)>& apply,
+    RecoveryStats* stats);
+
+}  // namespace opdelta::txn
+
+#endif  // OPDELTA_TXN_RECOVERY_H_

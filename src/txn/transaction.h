@@ -1,0 +1,50 @@
+#ifndef OPDELTA_TXN_TRANSACTION_H_
+#define OPDELTA_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txn/log_record.h"
+
+namespace opdelta::txn {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+/// In-memory undo entry so an active transaction can roll back. Redo lives
+/// in the WAL; undo is volatile because uncommitted work never needs to
+/// survive a crash in this engine (recovery rebuilds from committed redo).
+struct UndoEntry {
+  LogRecordType type = LogRecordType::kInsert;  // the *forward* op kind
+  catalog::TableId table_id = catalog::kInvalidTableId;
+  storage::Rid rid;
+  std::string before;  // encoded row (to restore on update/delete undo)
+};
+
+/// A transaction handle. Created by TransactionManager::Begin and finished
+/// exactly once via Commit or Abort on the owning engine::Database.
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  std::vector<UndoEntry>& undo_log() { return undo_log_; }
+
+  void MarkCommitted() { state_ = TxnState::kCommitted; }
+  void MarkAborted() { state_ = TxnState::kAborted; }
+
+  /// Number of forward operations performed (statistics).
+  size_t num_ops() const { return undo_log_.size(); }
+
+ private:
+  TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<UndoEntry> undo_log_;
+};
+
+}  // namespace opdelta::txn
+
+#endif  // OPDELTA_TXN_TRANSACTION_H_

@@ -1,0 +1,220 @@
+#include "warehouse/aggregate_view.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/parser.h"
+
+namespace opdelta::warehouse {
+
+using catalog::Column;
+using catalog::Row;
+using catalog::Value;
+using catalog::ValueType;
+using engine::CompareOp;
+using engine::Predicate;
+using sql::Statement;
+
+AggViewMaintainer::AggViewMaintainer(engine::Database* warehouse,
+                                     AggViewDef def,
+                                     catalog::Schema source_schema)
+    : warehouse_(warehouse),
+      def_(std::move(def)),
+      source_schema_(std::move(source_schema)),
+      bound_selection_(def_.selection) {}
+
+Status AggViewMaintainer::Validate() {
+  group_idx_ = source_schema_.ColumnIndex(def_.group_by_column);
+  if (group_idx_ < 0) {
+    return Status::InvalidArgument("unknown group column " +
+                                   def_.group_by_column);
+  }
+  agg_idx_ = source_schema_.ColumnIndex(def_.agg_column);
+  if (agg_idx_ < 0) {
+    return Status::InvalidArgument("unknown agg column " + def_.agg_column);
+  }
+  if (source_schema_.column(agg_idx_).type != ValueType::kInt64) {
+    return Status::NotSupported("SUM requires an int64 column");
+  }
+  return bound_selection_.Bind(source_schema_);
+}
+
+Result<catalog::Schema> AggViewMaintainer::ViewSchemaFor(
+    const AggViewDef& def, const catalog::Schema& source_schema) {
+  const int group_idx = source_schema.ColumnIndex(def.group_by_column);
+  if (group_idx < 0) {
+    return Status::InvalidArgument("unknown group column " +
+                                   def.group_by_column);
+  }
+  return catalog::Schema(
+      {Column{def.group_by_column, source_schema.column(group_idx).type},
+       Column{"row_count", ValueType::kInt64},
+       Column{"sum_" + def.agg_column, ValueType::kInt64}});
+}
+
+Result<std::unique_ptr<AggViewMaintainer>> AggViewMaintainer::CreateTable(
+    engine::Database* warehouse, AggViewDef def,
+    const catalog::Schema& source_schema) {
+  std::unique_ptr<AggViewMaintainer> am(
+      new AggViewMaintainer(warehouse, std::move(def), source_schema));
+  OPDELTA_RETURN_IF_ERROR(am->Validate());
+  OPDELTA_ASSIGN_OR_RETURN(catalog::Schema schema,
+                           ViewSchemaFor(am->def_, source_schema));
+  OPDELTA_RETURN_IF_ERROR(warehouse->CreateTable(am->def_.view_table, schema));
+  return am;
+}
+
+bool AggViewMaintainer::SelectionMatches(const Row& row) const {
+  return bound_selection_.Matches(row);
+}
+
+Status AggViewMaintainer::Accumulate(txn::Transaction* wtxn,
+                                     const Value& group, int64_t count_delta,
+                                     int64_t sum_delta) {
+  if (count_delta == 0 && sum_delta == 0) return Status::OK();
+  // Find the group's current row.
+  bool found = false;
+  storage::Rid rid;
+  Row current;
+  OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+      wtxn, def_.view_table,
+      Predicate::Where(def_.group_by_column, CompareOp::kEq, group),
+      [&](const storage::Rid& r, const Row& row) {
+        rid = r;
+        current = row;
+        found = true;
+        return false;
+      }));
+  if (!found) {
+    if (count_delta <= 0) {
+      return Status::Corruption("aggregate underflow: group " +
+                                group.ToSqlLiteral() + " missing");
+    }
+    Row fresh = {group, Value::Int64(count_delta), Value::Int64(sum_delta)};
+    return warehouse_->InsertRaw(wtxn, def_.view_table, std::move(fresh));
+  }
+  const int64_t new_count = current[1].AsInt64() + count_delta;
+  const int64_t new_sum = current[2].AsInt64() + sum_delta;
+  if (new_count < 0) {
+    return Status::Corruption("aggregate underflow: group " +
+                              group.ToSqlLiteral());
+  }
+  if (new_count == 0) {
+    return warehouse_->DeleteAt(wtxn, def_.view_table, rid);
+  }
+  Row updated = {group, Value::Int64(new_count), Value::Int64(new_sum)};
+  return warehouse_->UpdateAt(wtxn, def_.view_table, rid, std::move(updated));
+}
+
+Status AggViewMaintainer::ApplyRowDelta(txn::Transaction* wtxn,
+                                        const Row& row, int64_t sign) {
+  if (!SelectionMatches(row)) return Status::OK();
+  const Value& group = row[group_idx_];
+  const int64_t agg =
+      row[agg_idx_].is_null() ? 0 : row[agg_idx_].AsInt64();
+  return Accumulate(wtxn, group, sign, sign * agg);
+}
+
+Status AggViewMaintainer::ApplyStatement(
+    txn::Transaction* wtxn, const Statement& stmt,
+    bool captured_before_images, const std::vector<Row>& before_images) {
+  switch (stmt.type()) {
+    case sql::StatementType::kInsert:
+      for (const Row& row : stmt.insert().rows) {
+        if (row.size() != source_schema_.num_columns()) {
+          return Status::InvalidArgument("insert arity mismatch");
+        }
+        OPDELTA_RETURN_IF_ERROR(ApplyRowDelta(wtxn, row, +1));
+      }
+      return Status::OK();
+
+    case sql::StatementType::kDelete:
+      if (!captured_before_images) {
+        return Status::NotSupported(
+            "aggregate view: DELETE needs before images (" + stmt.ToSql() +
+            "); capture with hybrid_before_images=true");
+      }
+      for (const Row& b : before_images) {
+        OPDELTA_RETURN_IF_ERROR(ApplyRowDelta(wtxn, b, -1));
+      }
+      return Status::OK();
+
+    case sql::StatementType::kUpdate: {
+      if (!captured_before_images) {
+        return Status::NotSupported(
+            "aggregate view: UPDATE needs before images (" + stmt.ToSql() +
+            "); capture with hybrid_before_images=true");
+      }
+      const sql::UpdateStmt& u = stmt.update();
+      for (const Row& b : before_images) {
+        Row after = b;
+        for (const engine::Assignment& a : u.sets) {
+          const int idx = source_schema_.ColumnIndex(a.column);
+          if (idx < 0) {
+            return Status::InvalidArgument("unknown SET column " + a.column);
+          }
+          after[idx] = a.value;
+        }
+        OPDELTA_RETURN_IF_ERROR(ApplyRowDelta(wtxn, b, -1));
+        OPDELTA_RETURN_IF_ERROR(ApplyRowDelta(wtxn, after, +1));
+      }
+      return Status::OK();
+    }
+    case sql::StatementType::kSelect:
+      return Status::OK();  // reads have no view effect
+  }
+  return Status::Internal("bad statement type");
+}
+
+Status AggViewMaintainer::ApplyTxn(const extract::OpDeltaTxn& source_txn) {
+  return warehouse_->WithTransaction([&](txn::Transaction* wtxn) -> Status {
+    for (const extract::OpDeltaRecord& op : source_txn.ops) {
+      OPDELTA_ASSIGN_OR_RETURN(Statement stmt, sql::Parser::Parse(op.sql));
+      if (stmt.table() != def_.source_table) continue;
+      OPDELTA_RETURN_IF_ERROR(ApplyStatement(
+          wtxn, stmt, op.captured_before_images, op.before_images));
+    }
+    return Status::OK();
+  });
+}
+
+Result<std::vector<Row>> AggViewMaintainer::ComputeFromSource(
+    engine::Database* source, const AggViewDef& def) {
+  engine::Table* t = source->GetTable(def.source_table);
+  if (t == nullptr) return Status::NotFound("table " + def.source_table);
+  std::unique_ptr<AggViewMaintainer> am(
+      new AggViewMaintainer(nullptr, def, t->schema()));
+  OPDELTA_RETURN_IF_ERROR(am->Validate());
+
+  std::map<Value, std::pair<int64_t, int64_t>> groups;
+  OPDELTA_RETURN_IF_ERROR(source->Scan(
+      nullptr, def.source_table, def.selection,
+      [&](const storage::Rid&, const Row& row) {
+        auto& [count, sum] = groups[row[am->group_idx_]];
+        count += 1;
+        sum += row[am->agg_idx_].is_null() ? 0 : row[am->agg_idx_].AsInt64();
+        return true;
+      }));
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  for (const auto& [group, acc] : groups) {
+    out.push_back({group, Value::Int64(acc.first), Value::Int64(acc.second)});
+  }
+  return out;  // std::map iterates in group order
+}
+
+Result<std::vector<Row>> AggViewMaintainer::Materialized() const {
+  std::vector<Row> rows;
+  OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+      nullptr, def_.view_table, Predicate::True(),
+      [&](const storage::Rid&, const Row& row) {
+        rows.push_back(row);
+        return true;
+      }));
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a[0].Compare(b[0]) < 0;
+  });
+  return rows;
+}
+
+}  // namespace opdelta::warehouse

@@ -1,0 +1,89 @@
+#ifndef OPDELTA_WAREHOUSE_AGGREGATE_VIEW_H_
+#define OPDELTA_WAREHOUSE_AGGREGATE_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "extract/op_delta.h"
+#include "sql/statement.h"
+
+namespace opdelta::warehouse {
+
+/// A GROUP BY aggregate view: per group, COUNT(*) and SUM(agg_column) over
+/// the selected source rows — "the data warehouse schema is typically an
+/// aggregation of the source database schema" (§4.1). Materialized schema:
+///   (group <source type>, row_count INT64, sum_<agg> INT64)
+///
+/// Aggregates are maintained *incrementally* from Op-Delta transactions.
+/// Inserts are self-maintainable from the operation alone; updates and
+/// deletes always need before images (the paper's hybrid capture): the old
+/// contribution must be subtracted before the new one is added. A group
+/// whose count reaches zero is removed, so the view always equals the
+/// recomputed aggregate.
+struct AggViewDef {
+  std::string view_table;
+  std::string source_table;
+  std::string group_by_column;  // any comparable source column
+  std::string agg_column;       // int64 source column to SUM
+  engine::Predicate selection;  // over source columns
+};
+
+class AggViewMaintainer {
+ public:
+  static Result<std::unique_ptr<AggViewMaintainer>> CreateTable(
+      engine::Database* warehouse, AggViewDef def,
+      const catalog::Schema& source_schema);
+
+  static Result<catalog::Schema> ViewSchemaFor(
+      const AggViewDef& def, const catalog::Schema& source_schema);
+
+  /// Applies one captured source transaction as one warehouse transaction.
+  /// Update/delete statements require hybrid capture; a NotSupported error
+  /// names the offending statement otherwise.
+  Status ApplyTxn(const extract::OpDeltaTxn& txn);
+
+  /// Recomputes the aggregates from the live source (ground truth),
+  /// sorted by group.
+  static Result<std::vector<catalog::Row>> ComputeFromSource(
+      engine::Database* source, const AggViewDef& def);
+
+  /// Current materialized rows, sorted by group.
+  Result<std::vector<catalog::Row>> Materialized() const;
+
+  const AggViewDef& def() const { return def_; }
+
+ private:
+  AggViewMaintainer(engine::Database* warehouse, AggViewDef def,
+                    catalog::Schema source_schema);
+
+  Status Validate();
+
+  bool SelectionMatches(const catalog::Row& row) const;
+
+  /// Adds (count_delta, sum_delta) to the group's accumulators, creating
+  /// or removing the group row as needed.
+  Status Accumulate(txn::Transaction* wtxn, const catalog::Value& group,
+                    int64_t count_delta, int64_t sum_delta);
+
+  /// Contribution of one source row: (1, agg value) when selected.
+  Status ApplyRowDelta(txn::Transaction* wtxn, const catalog::Row& row,
+                       int64_t sign);
+
+  Status ApplyStatement(txn::Transaction* wtxn, const sql::Statement& stmt,
+                        bool captured_before_images,
+                        const std::vector<catalog::Row>& before_images);
+
+  engine::Database* warehouse_;
+  AggViewDef def_;
+  catalog::Schema source_schema_;
+  engine::Predicate bound_selection_;
+  int group_idx_ = -1;
+  int agg_idx_ = -1;
+};
+
+}  // namespace opdelta::warehouse
+
+#endif  // OPDELTA_WAREHOUSE_AGGREGATE_VIEW_H_

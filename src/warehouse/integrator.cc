@@ -1,0 +1,162 @@
+#include "warehouse/integrator.h"
+
+#include "sql/parser.h"
+
+namespace opdelta::warehouse {
+
+using extract::DeltaOp;
+using extract::DeltaRecord;
+using sql::DeleteStmt;
+using sql::InsertStmt;
+using sql::Statement;
+
+Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
+                                   IntegrationStats* stats) {
+  engine::Table* t = db_->GetTable(table_);
+  if (t == nullptr) return Status::NotFound("table " + table_);
+  const int key_col = t->schema().KeyColumnIndex();
+  if (key_col < 0) return Status::InvalidArgument("table has no key column");
+  const std::string& key_name = t->schema().column(key_col).name;
+
+  IntegrationStats local;
+  Stopwatch wall;
+
+  auto delete_by_key = [&](const catalog::Row& image) {
+    DeleteStmt d;
+    d.table = table_;
+    d.where = engine::Predicate::Where(key_name, engine::CompareOp::kEq,
+                                       image[key_col]);
+    return Statement(std::move(d));
+  };
+  auto insert_image = [&](const catalog::Row& image) {
+    InsertStmt i;
+    i.table = table_;
+    i.rows.push_back(image);
+    return Statement(std::move(i));
+  };
+
+  // Translate every record into single SQL statements up front.
+  std::vector<Statement> stmts;
+  stmts.reserve(batch.records.size() * 2);
+  for (const DeltaRecord& r : batch.records) {
+    switch (r.op) {
+      case DeltaOp::kInsert:
+        stmts.push_back(insert_image(r.image));
+        break;
+      case DeltaOp::kDelete:
+        stmts.push_back(delete_by_key(r.image));
+        break;
+      case DeltaOp::kUpdateBefore:
+        stmts.push_back(delete_by_key(r.image));
+        break;
+      case DeltaOp::kUpdateAfter:
+        stmts.push_back(insert_image(r.image));
+        break;
+      case DeltaOp::kUpsert:
+        stmts.push_back(delete_by_key(r.image));
+        stmts.push_back(insert_image(r.image));
+        break;
+    }
+  }
+
+  // The indivisible batch: one transaction, table-X lock (the outage).
+  // Each record's statement arrives as SQL text ("each of which will be
+  // translated into a single SQL statement", §4.1) and is parsed like any
+  // client statement — the same treatment the Op-Delta integrator gets.
+  std::unique_ptr<txn::Transaction> txn = db_->Begin();
+  Stopwatch outage;
+  Status st = db_->LockTableExclusive(txn.get(), table_);
+  for (const Statement& stmt : stmts) {
+    if (!st.ok()) break;
+    Result<Statement> parsed = sql::Parser::Parse(stmt.ToSql());
+    st = parsed.status();
+    if (!st.ok()) break;
+    Result<size_t> r = executor_.Execute(txn.get(), parsed.value());
+    st = r.status();
+    if (st.ok()) {
+      local.statements_executed++;
+      local.rows_affected += r.value();
+    }
+  }
+  if (!st.ok()) {
+    db_->Abort(txn.get());
+    return st;
+  }
+  OPDELTA_RETURN_IF_ERROR(db_->Commit(txn.get()));
+  local.outage_micros = outage.ElapsedMicros();
+  local.transactions = 1;
+  local.wall_micros = wall.ElapsedMicros();
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
+                                   IntegrationStats* stats) {
+  IntegrationStats local;
+  Stopwatch wall;
+  std::unique_ptr<txn::Transaction> txn = db_->Begin();
+  for (const extract::OpDeltaRecord& op : source_txn.ops) {
+    Result<Statement> parsed = sql::Parser::Parse(op.sql);
+    Status st = parsed.status();
+    if (st.ok()) {
+      Result<size_t> r = executor_.Execute(txn.get(), parsed.value());
+      st = r.status();
+      if (st.ok()) {
+        local.statements_executed++;
+        local.rows_affected += r.value();
+      }
+    }
+    if (!st.ok()) {
+      db_->Abort(txn.get());
+      return st;
+    }
+  }
+  OPDELTA_RETURN_IF_ERROR(db_->Commit(txn.get()));
+  local.transactions = 1;
+  local.wall_micros = wall.ElapsedMicros();
+  if (stats != nullptr) {
+    stats->statements_executed += local.statements_executed;
+    stats->rows_affected += local.rows_affected;
+    stats->transactions += local.transactions;
+    stats->wall_micros += local.wall_micros;
+  }
+  return Status::OK();
+}
+
+Status OpDeltaIntegrator::Apply(const std::vector<extract::OpDeltaTxn>& txns,
+                                IntegrationStats* stats) {
+  IntegrationStats local;
+  Stopwatch wall;
+  for (const extract::OpDeltaTxn& t : txns) {
+    OPDELTA_RETURN_IF_ERROR(ApplyOne(t, &local));
+  }
+  local.wall_micros = wall.ElapsedMicros();
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status ApplyNetChanges(engine::Database* warehouse, const std::string& table,
+                       const extract::DeltaBatch& batch,
+                       IntegrationStats* stats) {
+  extract::NetChanges net;
+  OPDELTA_RETURN_IF_ERROR(ComputeNetChanges(batch, &net));
+  extract::DeltaBatch translated;
+  translated.table = table;
+  translated.schema = batch.schema;
+  uint64_t seq = 0;
+  for (const auto& [key, state] : net) {
+    if (state.has_value()) {
+      translated.records.push_back(
+          extract::DeltaRecord{DeltaOp::kUpsert, 0, seq++, *state});
+    } else {
+      catalog::Row img(batch.schema.num_columns());
+      img[0] = key;
+      translated.records.push_back(
+          extract::DeltaRecord{DeltaOp::kDelete, 0, seq++, std::move(img)});
+    }
+  }
+  ValueDeltaIntegrator integrator(warehouse, table);
+  return integrator.Apply(translated, stats);
+}
+
+}  // namespace opdelta::warehouse

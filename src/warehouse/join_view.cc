@@ -1,0 +1,467 @@
+#include "warehouse/join_view.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace opdelta::warehouse {
+
+using catalog::Row;
+using catalog::Value;
+using engine::CompareOp;
+using engine::Condition;
+using engine::Predicate;
+using sql::Statement;
+
+JoinViewMaintainer::JoinViewMaintainer(engine::Database* warehouse,
+                                       JoinViewDef def,
+                                       catalog::Schema fact_schema,
+                                       catalog::Schema dim_schema)
+    : warehouse_(warehouse),
+      def_(std::move(def)),
+      fact_schema_(std::move(fact_schema)),
+      dim_schema_(std::move(dim_schema)),
+      bound_selection_(def_.fact_selection) {}
+
+Status JoinViewMaintainer::Validate() {
+  if (def_.fact_projection.empty()) {
+    return Status::InvalidArgument("join view projects no fact columns");
+  }
+  fact_key_idx_ = fact_schema_.KeyColumnIndex();
+  if (fact_key_idx_ < 0 || def_.fact_projection[0].source_column !=
+                               fact_schema_.column(fact_key_idx_).name) {
+    return Status::InvalidArgument(
+        "fact_projection[0] must be the fact key column");
+  }
+  fk_idx_ = fact_schema_.ColumnIndex(def_.fact_fk_column);
+  if (fk_idx_ < 0) {
+    return Status::InvalidArgument("unknown fk column " +
+                                   def_.fact_fk_column);
+  }
+  bool fk_projected = false;
+  fact_proj_idx_.clear();
+  for (const ViewColumn& vc : def_.fact_projection) {
+    const int idx = fact_schema_.ColumnIndex(vc.source_column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown fact column " +
+                                     vc.source_column);
+    }
+    if (idx == fk_idx_) fk_projected = true;
+    fact_proj_idx_.push_back(idx);
+  }
+  if (!fk_projected) {
+    return Status::InvalidArgument(
+        "the fk column must be projected (dimension updates locate view "
+        "rows through it)");
+  }
+  dim_proj_idx_.clear();
+  for (const ViewColumn& vc : def_.dim_projection) {
+    const int idx = dim_schema_.ColumnIndex(vc.source_column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown dim column " +
+                                     vc.source_column);
+    }
+    dim_proj_idx_.push_back(idx);
+  }
+  OPDELTA_RETURN_IF_ERROR(bound_selection_.Bind(fact_schema_));
+  selection_columns_.clear();
+  for (const Condition& c : def_.fact_selection.conjuncts()) {
+    selection_columns_.push_back(c.column);
+  }
+  return Status::OK();
+}
+
+Result<catalog::Schema> JoinViewMaintainer::ViewSchemaFor(
+    const JoinViewDef& def, const catalog::Schema& fact_schema,
+    const catalog::Schema& dim_schema) {
+  std::vector<catalog::Column> cols;
+  for (const ViewColumn& vc : def.fact_projection) {
+    const int idx = fact_schema.ColumnIndex(vc.source_column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown fact column " +
+                                     vc.source_column);
+    }
+    cols.push_back(
+        catalog::Column{vc.view_column, fact_schema.column(idx).type});
+  }
+  for (const ViewColumn& vc : def.dim_projection) {
+    const int idx = dim_schema.ColumnIndex(vc.source_column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown dim column " +
+                                     vc.source_column);
+    }
+    cols.push_back(
+        catalog::Column{vc.view_column, dim_schema.column(idx).type});
+  }
+  return catalog::Schema(std::move(cols));
+}
+
+Result<std::unique_ptr<JoinViewMaintainer>> JoinViewMaintainer::CreateTables(
+    engine::Database* warehouse, JoinViewDef def,
+    const catalog::Schema& fact_schema, const catalog::Schema& dim_schema) {
+  std::unique_ptr<JoinViewMaintainer> jm(new JoinViewMaintainer(
+      warehouse, std::move(def), fact_schema, dim_schema));
+  OPDELTA_RETURN_IF_ERROR(jm->Validate());
+  OPDELTA_ASSIGN_OR_RETURN(
+      catalog::Schema view_schema,
+      ViewSchemaFor(jm->def_, fact_schema, dim_schema));
+  OPDELTA_RETURN_IF_ERROR(
+      warehouse->CreateTable(jm->def_.view_table, view_schema));
+  OPDELTA_RETURN_IF_ERROR(
+      warehouse->CreateTable(jm->aux_table(), dim_schema));
+  return jm;
+}
+
+bool JoinViewMaintainer::SelectionMatches(const Row& fact_row) const {
+  return bound_selection_.Matches(fact_row);
+}
+
+Row JoinViewMaintainer::JoinProject(const Row& fact_row,
+                                    const Row& dim_row) const {
+  Row out;
+  out.reserve(fact_proj_idx_.size() + dim_proj_idx_.size());
+  for (int idx : fact_proj_idx_) out.push_back(fact_row[idx]);
+  for (int idx : dim_proj_idx_) out.push_back(dim_row[idx]);
+  return out;
+}
+
+Status JoinViewMaintainer::LookupDim(txn::Transaction* txn, const Value& key,
+                                     Row* out) const {
+  const std::string& dim_key_col = dim_schema_.column(0).name;
+  bool found = false;
+  OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+      txn, aux_table(),
+      Predicate::Where(dim_key_col, CompareOp::kEq, key),
+      [&](const storage::Rid&, const Row& row) {
+        *out = row;
+        found = true;
+        return false;
+      }));
+  if (!found) {
+    return Status::NotFound("dimension key " + key.ToSqlLiteral() +
+                            " not in auxiliary copy");
+  }
+  return Status::OK();
+}
+
+Status JoinViewMaintainer::InsertJoined(txn::Transaction* wtxn,
+                                        const Row& fact_row) {
+  Row dim_row;
+  OPDELTA_RETURN_IF_ERROR(LookupDim(wtxn, fact_row[fk_idx_], &dim_row));
+  return warehouse_->InsertRaw(wtxn, def_.view_table,
+                               JoinProject(fact_row, dim_row));
+}
+
+Status JoinViewMaintainer::DeleteViewRowByFactKey(txn::Transaction* wtxn,
+                                                  const Value& key) {
+  return warehouse_
+      ->DeleteWhere(wtxn, def_.view_table,
+                    Predicate::Where(def_.fact_projection[0].view_column,
+                                     CompareOp::kEq, key))
+      .status();
+}
+
+Status JoinViewMaintainer::ApplyFactStatement(
+    txn::Transaction* wtxn, const Statement& stmt,
+    bool captured_before_images, const std::vector<Row>& before_images) {
+  // Classification mirrors the SP-view rules, with the fk treated as a
+  // selection column (changing it changes the join partner).
+  auto all_projected = [&](const Predicate& pred) {
+    for (const Condition& c : pred.conjuncts()) {
+      bool found = false;
+      for (const ViewColumn& vc : def_.fact_projection) {
+        if (vc.source_column == c.column) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+
+  switch (stmt.type()) {
+    case sql::StatementType::kInsert: {
+      for (const Row& row : stmt.insert().rows) {
+        if (row.size() != fact_schema_.num_columns()) {
+          return Status::InvalidArgument("fact insert arity mismatch");
+        }
+        if (!SelectionMatches(row)) continue;
+        OPDELTA_RETURN_IF_ERROR(InsertJoined(wtxn, row));
+      }
+      return Status::OK();
+    }
+
+    case sql::StatementType::kDelete: {
+      if (all_projected(stmt.delete_stmt().where)) {
+        // Rewrite to view columns, delete directly.
+        std::vector<Condition> rewritten;
+        for (const Condition& c : stmt.delete_stmt().where.conjuncts()) {
+          for (const ViewColumn& vc : def_.fact_projection) {
+            if (vc.source_column == c.column) {
+              rewritten.push_back(
+                  Condition{vc.view_column, c.op, c.literal});
+              break;
+            }
+          }
+        }
+        return warehouse_
+            ->DeleteWhere(wtxn, def_.view_table, Predicate(rewritten))
+            .status();
+      }
+      if (!captured_before_images) {
+        return Status::NotSupported(
+            "join view: delete needs before images; capture with "
+            "hybrid_before_images=true");
+      }
+      for (const Row& b : before_images) {
+        if (!SelectionMatches(b)) continue;
+        OPDELTA_RETURN_IF_ERROR(
+            DeleteViewRowByFactKey(wtxn, b[fact_key_idx_]));
+      }
+      return Status::OK();
+    }
+
+    case sql::StatementType::kUpdate: {
+      const sql::UpdateStmt& u = stmt.update();
+      bool touches_selection_or_fk = false;
+      for (const engine::Assignment& a : u.sets) {
+        if (a.column == def_.fact_fk_column) touches_selection_or_fk = true;
+        for (const std::string& sel : selection_columns_) {
+          if (a.column == sel) touches_selection_or_fk = true;
+        }
+      }
+      if (!touches_selection_or_fk && all_projected(u.where)) {
+        // Membership and join partner unchanged: rewrite and update.
+        std::vector<Condition> rewritten;
+        for (const Condition& c : u.where.conjuncts()) {
+          for (const ViewColumn& vc : def_.fact_projection) {
+            if (vc.source_column == c.column) {
+              rewritten.push_back(
+                  Condition{vc.view_column, c.op, c.literal});
+              break;
+            }
+          }
+        }
+        std::vector<engine::Assignment> sets;
+        for (const engine::Assignment& a : u.sets) {
+          for (const ViewColumn& vc : def_.fact_projection) {
+            if (vc.source_column == a.column) {
+              sets.push_back(engine::Assignment{vc.view_column, a.value});
+              break;
+            }
+          }
+        }
+        if (sets.empty()) return Status::OK();
+        return warehouse_
+            ->UpdateWhere(wtxn, def_.view_table, Predicate(rewritten), sets)
+            .status();
+      }
+      if (!captured_before_images) {
+        return Status::NotSupported(
+            "join view: update needs before images; capture with "
+            "hybrid_before_images=true");
+      }
+      for (const Row& b : before_images) {
+        Row after = b;
+        for (const engine::Assignment& a : u.sets) {
+          const int idx = fact_schema_.ColumnIndex(a.column);
+          if (idx < 0) {
+            return Status::InvalidArgument("unknown SET column " + a.column);
+          }
+          after[idx] = a.value;
+        }
+        const bool was_in = SelectionMatches(b);
+        const bool now_in = SelectionMatches(after);
+        if (was_in) {
+          OPDELTA_RETURN_IF_ERROR(
+              DeleteViewRowByFactKey(wtxn, b[fact_key_idx_]));
+        }
+        if (now_in) OPDELTA_RETURN_IF_ERROR(InsertJoined(wtxn, after));
+      }
+      return Status::OK();
+    }
+    case sql::StatementType::kSelect:
+      return Status::OK();  // reads have no view effect
+  }
+  return Status::Internal("bad statement type");
+}
+
+Status JoinViewMaintainer::ApplyDimStatement(txn::Transaction* wtxn,
+                                             const Statement& stmt) {
+  // Dimension ops are always self-maintainable: the auxiliary copy holds
+  // every dimension column, so before images come for free.
+  sql::Executor exec(warehouse_);
+  switch (stmt.type()) {
+    case sql::StatementType::kInsert: {
+      // Under fk integrity no existing fact row references a new dim key,
+      // so only the auxiliary copy changes.
+      sql::InsertStmt ins = stmt.insert();
+      ins.table = aux_table();
+      return exec.Execute(wtxn, Statement(std::move(ins))).status();
+    }
+
+    case sql::StatementType::kUpdate: {
+      const sql::UpdateStmt& u = stmt.update();
+      // Collect affected aux rows first (their keys identify view rows).
+      Predicate bound = u.where;
+      OPDELTA_RETURN_IF_ERROR(bound.Bind(dim_schema_));
+      std::vector<Row> affected;
+      OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+          wtxn, aux_table(), u.where,
+          [&](const storage::Rid&, const Row& row) {
+            affected.push_back(row);
+            return true;
+          }));
+      // Apply to the auxiliary copy.
+      sql::UpdateStmt aux_update = u;
+      aux_update.table = aux_table();
+      OPDELTA_RETURN_IF_ERROR(
+          exec.Execute(wtxn, Statement(std::move(aux_update))).status());
+
+      // Propagate projected dimension columns to matching view rows.
+      const std::string& fk_view_col = [&]() -> const std::string& {
+        for (const ViewColumn& vc : def_.fact_projection) {
+          if (vc.source_column == def_.fact_fk_column) return vc.view_column;
+        }
+        return def_.fact_projection[0].view_column;  // unreachable
+      }();
+      for (const Row& before : affected) {
+        Row after = before;
+        for (const engine::Assignment& a : u.sets) {
+          const int idx = dim_schema_.ColumnIndex(a.column);
+          if (idx < 0) {
+            return Status::InvalidArgument("unknown dim SET column " +
+                                           a.column);
+          }
+          after[idx] = a.value;
+        }
+        std::vector<engine::Assignment> view_sets;
+        for (size_t i = 0; i < def_.dim_projection.size(); ++i) {
+          view_sets.push_back(engine::Assignment{
+              def_.dim_projection[i].view_column, after[dim_proj_idx_[i]]});
+        }
+        if (view_sets.empty()) continue;
+        OPDELTA_RETURN_IF_ERROR(
+            warehouse_
+                ->UpdateWhere(wtxn, def_.view_table,
+                              Predicate::Where(fk_view_col, CompareOp::kEq,
+                                               before[0]),
+                              view_sets)
+                .status());
+      }
+      return Status::OK();
+    }
+
+    case sql::StatementType::kDelete: {
+      // Integrity check: no view row may still join the deleted keys.
+      const sql::DeleteStmt& d = stmt.delete_stmt();
+      std::vector<Row> affected;
+      OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+          wtxn, aux_table(), d.where,
+          [&](const storage::Rid&, const Row& row) {
+            affected.push_back(row);
+            return true;
+          }));
+      const std::string& fk_view_col = [&]() -> const std::string& {
+        for (const ViewColumn& vc : def_.fact_projection) {
+          if (vc.source_column == def_.fact_fk_column) return vc.view_column;
+        }
+        return def_.fact_projection[0].view_column;
+      }();
+      for (const Row& row : affected) {
+        bool referenced = false;
+        OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+            wtxn, def_.view_table,
+            Predicate::Where(fk_view_col, CompareOp::kEq, row[0]),
+            [&](const storage::Rid&, const Row&) {
+              referenced = true;
+              return false;
+            }));
+        if (referenced) {
+          return Status::InvalidArgument(
+              "dimension delete violates fk integrity: key " +
+              row[0].ToSqlLiteral() + " still referenced by the view");
+        }
+      }
+      sql::DeleteStmt aux_delete = d;
+      aux_delete.table = aux_table();
+      return exec.Execute(wtxn, Statement(std::move(aux_delete))).status();
+    }
+    case sql::StatementType::kSelect:
+      return Status::OK();  // reads have no view effect
+  }
+  return Status::Internal("bad statement type");
+}
+
+Status JoinViewMaintainer::ApplyTxn(const extract::OpDeltaTxn& source_txn) {
+  return warehouse_->WithTransaction([&](txn::Transaction* wtxn) -> Status {
+    for (const extract::OpDeltaRecord& op : source_txn.ops) {
+      OPDELTA_ASSIGN_OR_RETURN(Statement stmt, sql::Parser::Parse(op.sql));
+      if (stmt.table() == def_.fact_table) {
+        OPDELTA_RETURN_IF_ERROR(ApplyFactStatement(
+            wtxn, stmt, op.captured_before_images, op.before_images));
+      } else if (stmt.table() == def_.dim_table) {
+        OPDELTA_RETURN_IF_ERROR(ApplyDimStatement(wtxn, stmt));
+      }
+    }
+    return Status::OK();
+  });
+}
+
+Result<std::vector<Row>> JoinViewMaintainer::ComputeFromSource(
+    engine::Database* source, const JoinViewDef& def) {
+  engine::Table* fact = source->GetTable(def.fact_table);
+  engine::Table* dim = source->GetTable(def.dim_table);
+  if (fact == nullptr || dim == nullptr) {
+    return Status::NotFound("source tables missing");
+  }
+  std::unique_ptr<JoinViewMaintainer> jm(new JoinViewMaintainer(
+      nullptr, def, fact->schema(), dim->schema()));
+  OPDELTA_RETURN_IF_ERROR(jm->Validate());
+
+  // Hash the dimension, then probe with filtered fact rows.
+  std::map<Value, Row> dim_rows;
+  OPDELTA_RETURN_IF_ERROR(source->Scan(
+      nullptr, def.dim_table, Predicate::True(),
+      [&](const storage::Rid&, const Row& row) {
+        dim_rows[row[0]] = row;
+        return true;
+      }));
+  std::vector<Row> out;
+  Status join_status;
+  OPDELTA_RETURN_IF_ERROR(source->Scan(
+      nullptr, def.fact_table, def.fact_selection,
+      [&](const storage::Rid&, const Row& fact_row) {
+        auto it = dim_rows.find(fact_row[jm->fk_idx_]);
+        if (it == dim_rows.end()) {
+          join_status = Status::Corruption("dangling fk at source");
+          return false;
+        }
+        out.push_back(jm->JoinProject(fact_row, it->second));
+        return true;
+      }));
+  OPDELTA_RETURN_IF_ERROR(join_status);
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    return catalog::CompareRows(a, b) < 0;
+  });
+  return out;
+}
+
+Result<std::vector<Row>> JoinViewMaintainer::Materialized() const {
+  std::vector<Row> rows;
+  OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+      nullptr, def_.view_table, Predicate::True(),
+      [&](const storage::Rid&, const Row& row) {
+        rows.push_back(row);
+        return true;
+      }));
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return catalog::CompareRows(a, b) < 0;
+  });
+  return rows;
+}
+
+}  // namespace opdelta::warehouse

@@ -1,0 +1,331 @@
+#include "warehouse/view.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sql/parser.h"
+
+namespace opdelta::warehouse {
+
+using catalog::Row;
+using catalog::Value;
+using engine::Condition;
+using engine::Predicate;
+using sql::Statement;
+
+const char* MaintainabilityName(Maintainability m) {
+  switch (m) {
+    case Maintainability::kOpOnly:
+      return "op-only";
+    case Maintainability::kNeedsBeforeImage:
+      return "needs-before-image";
+    case Maintainability::kNotSelfMaintainable:
+      return "not-self-maintainable";
+  }
+  return "?";
+}
+
+ViewMaintainer::ViewMaintainer(engine::Database* warehouse, ViewDef def,
+                               catalog::Schema source_schema)
+    : warehouse_(warehouse),
+      def_(std::move(def)),
+      source_schema_(std::move(source_schema)),
+      bound_selection_(def_.selection) {}
+
+Status ViewMaintainer::Validate() {
+  if (def_.projection.empty()) {
+    return Status::InvalidArgument("view projects no columns");
+  }
+  const int key = source_schema_.KeyColumnIndex();
+  if (key < 0 ||
+      def_.projection[0].source_column != source_schema_.column(key).name) {
+    return Status::InvalidArgument(
+        "projection[0] must be the source key column (" +
+        source_schema_.column(key < 0 ? 0 : key).name + ")");
+  }
+  projection_indexes_.clear();
+  for (const ViewColumn& vc : def_.projection) {
+    const int idx = source_schema_.ColumnIndex(vc.source_column);
+    if (idx < 0) {
+      return Status::InvalidArgument("view projects unknown column " +
+                                     vc.source_column);
+    }
+    projection_indexes_.push_back(idx);
+  }
+  OPDELTA_RETURN_IF_ERROR(bound_selection_.Bind(source_schema_));
+  selection_columns_.clear();
+  for (const Condition& c : def_.selection.conjuncts()) {
+    selection_columns_.push_back(c.column);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ViewMaintainer>> ViewMaintainer::Create(
+    engine::Database* warehouse, ViewDef def,
+    const catalog::Schema& source_schema) {
+  std::unique_ptr<ViewMaintainer> vm(
+      new ViewMaintainer(warehouse, std::move(def), source_schema));
+  OPDELTA_RETURN_IF_ERROR(vm->Validate());
+  if (warehouse->GetTable(vm->def_.view_table) == nullptr) {
+    return Status::NotFound("view table " + vm->def_.view_table +
+                            " does not exist (use CreateViewTable)");
+  }
+  return vm;
+}
+
+Result<catalog::Schema> ViewMaintainer::ViewSchemaFor(
+    const ViewDef& def, const catalog::Schema& source_schema) {
+  std::vector<catalog::Column> cols;
+  for (const ViewColumn& vc : def.projection) {
+    const int idx = source_schema.ColumnIndex(vc.source_column);
+    if (idx < 0) {
+      return Status::InvalidArgument("view projects unknown column " +
+                                     vc.source_column);
+    }
+    cols.push_back(
+        catalog::Column{vc.view_column, source_schema.column(idx).type});
+  }
+  return catalog::Schema(std::move(cols));
+}
+
+Result<std::unique_ptr<ViewMaintainer>> ViewMaintainer::CreateViewTable(
+    engine::Database* warehouse, ViewDef def,
+    const catalog::Schema& source_schema) {
+  OPDELTA_ASSIGN_OR_RETURN(catalog::Schema schema,
+                           ViewSchemaFor(def, source_schema));
+  OPDELTA_RETURN_IF_ERROR(warehouse->CreateTable(def.view_table, schema));
+  return Create(warehouse, std::move(def), source_schema);
+}
+
+bool ViewMaintainer::SelectionMatches(const Row& source_row) const {
+  return bound_selection_.Matches(source_row);
+}
+
+Row ViewMaintainer::Project(const Row& source_row) const {
+  Row out;
+  out.reserve(projection_indexes_.size());
+  for (int idx : projection_indexes_) out.push_back(source_row[idx]);
+  return out;
+}
+
+Result<Predicate> ViewMaintainer::RewritePredicate(
+    const Predicate& source_pred) const {
+  std::vector<Condition> rewritten;
+  for (const Condition& c : source_pred.conjuncts()) {
+    bool found = false;
+    for (size_t i = 0; i < def_.projection.size(); ++i) {
+      if (def_.projection[i].source_column == c.column) {
+        rewritten.push_back(
+            Condition{def_.projection[i].view_column, c.op, c.literal});
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("predicate column " + c.column +
+                                     " not projected");
+    }
+  }
+  return Predicate(std::move(rewritten));
+}
+
+Maintainability ViewMaintainer::Analyze(const Statement& stmt) const {
+  auto all_projected = [&](const Predicate& pred) {
+    for (const Condition& c : pred.conjuncts()) {
+      bool found = false;
+      for (const ViewColumn& vc : def_.projection) {
+        if (vc.source_column == c.column) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+
+  switch (stmt.type()) {
+    case sql::StatementType::kInsert:
+      // Full new rows are in the operation: selection is evaluable and the
+      // projection computable without any source round trip.
+      return Maintainability::kOpOnly;
+
+    case sql::StatementType::kDelete:
+      // Rows absent from the view were filtered by the selection, so a
+      // rewritten predicate deletes exactly the right view rows — provided
+      // every referenced column is projected.
+      return all_projected(stmt.delete_stmt().where)
+                 ? Maintainability::kOpOnly
+                 : Maintainability::kNeedsBeforeImage;
+
+    case sql::StatementType::kUpdate: {
+      const sql::UpdateStmt& u = stmt.update();
+      // (a) A SET touching a selection column can move rows in or out of
+      // the view; entering rows have unknown values without before images.
+      for (const engine::Assignment& a : u.sets) {
+        for (const std::string& sel_col : selection_columns_) {
+          if (a.column == sel_col) {
+            return Maintainability::kNeedsBeforeImage;
+          }
+        }
+      }
+      // (b) SET columns dropped by the projection are irrelevant to the
+      // view, but SET columns that are projected must be addressable, and
+      // (c) the WHERE must be evaluable on the view.
+      if (!all_projected(u.where)) {
+        return Maintainability::kNeedsBeforeImage;
+      }
+      return Maintainability::kOpOnly;
+    }
+
+    case sql::StatementType::kSelect:
+      return Maintainability::kOpOnly;  // reads never touch the view
+  }
+  return Maintainability::kNotSelfMaintainable;
+}
+
+Status ViewMaintainer::ApplyStatement(
+    txn::Transaction* wtxn, const Statement& stmt,
+    bool captured_before_images, const std::vector<Row>& before_images) {
+  const Maintainability m = Analyze(stmt);
+  if (m == Maintainability::kNeedsBeforeImage && !captured_before_images &&
+      stmt.type() != sql::StatementType::kInsert) {
+    return Status::NotSupported(
+        "view " + def_.view_table + ": statement needs before images (" +
+        stmt.ToSql() + "); capture with hybrid_before_images=true");
+  }
+
+  const std::string& view_key = def_.projection[0].view_column;
+  const int src_key = projection_indexes_[0];
+
+  auto delete_view_row_by_key = [&](const Value& key) -> Status {
+    return warehouse_
+        ->DeleteWhere(wtxn, def_.view_table,
+                      Predicate::Where(view_key, engine::CompareOp::kEq, key))
+        .status();
+  };
+
+  switch (stmt.type()) {
+    case sql::StatementType::kInsert: {
+      for (const Row& row : stmt.insert().rows) {
+        if (row.size() != source_schema_.num_columns()) {
+          return Status::InvalidArgument("insert arity mismatch for view");
+        }
+        if (!SelectionMatches(row)) continue;
+        OPDELTA_RETURN_IF_ERROR(
+            warehouse_->InsertRaw(wtxn, def_.view_table, Project(row)));
+      }
+      return Status::OK();
+    }
+
+    case sql::StatementType::kDelete: {
+      if (m == Maintainability::kOpOnly) {
+        OPDELTA_ASSIGN_OR_RETURN(Predicate rewritten,
+                                 RewritePredicate(stmt.delete_stmt().where));
+        return warehouse_->DeleteWhere(wtxn, def_.view_table, rewritten)
+            .status();
+      }
+      // Before-image path: delete by key for each affected source row that
+      // was in the view.
+      for (const Row& b : before_images) {
+        if (!SelectionMatches(b)) continue;
+        OPDELTA_RETURN_IF_ERROR(delete_view_row_by_key(b[src_key]));
+      }
+      return Status::OK();
+    }
+
+    case sql::StatementType::kUpdate: {
+      const sql::UpdateStmt& u = stmt.update();
+      if (m == Maintainability::kOpOnly) {
+        // Rewrite the WHERE and keep only projected SET columns.
+        OPDELTA_ASSIGN_OR_RETURN(Predicate rewritten,
+                                 RewritePredicate(u.where));
+        std::vector<engine::Assignment> sets;
+        for (const engine::Assignment& a : u.sets) {
+          for (const ViewColumn& vc : def_.projection) {
+            if (vc.source_column == a.column) {
+              sets.push_back(engine::Assignment{vc.view_column, a.value});
+              break;
+            }
+          }
+        }
+        if (sets.empty()) return Status::OK();  // update invisible to view
+        return warehouse_->UpdateWhere(wtxn, def_.view_table, rewritten, sets)
+            .status();
+      }
+      // Before-image path: compute after images and reconcile membership.
+      for (const Row& b : before_images) {
+        Row after = b;
+        for (const engine::Assignment& a : u.sets) {
+          const int idx = source_schema_.ColumnIndex(a.column);
+          if (idx < 0) {
+            return Status::InvalidArgument("unknown SET column " + a.column);
+          }
+          after[idx] = a.value;
+        }
+        const bool was_in = SelectionMatches(b);
+        const bool now_in = SelectionMatches(after);
+        if (was_in) {
+          OPDELTA_RETURN_IF_ERROR(delete_view_row_by_key(b[src_key]));
+        }
+        if (now_in) {
+          OPDELTA_RETURN_IF_ERROR(
+              warehouse_->InsertRaw(wtxn, def_.view_table, Project(after)));
+        }
+      }
+      return Status::OK();
+    }
+    case sql::StatementType::kSelect:
+      return Status::OK();  // reads have no view effect
+  }
+  return Status::Internal("bad statement type");
+}
+
+Status ViewMaintainer::ApplyTxn(const extract::OpDeltaTxn& source_txn) {
+  return warehouse_->WithTransaction([&](txn::Transaction* wtxn) -> Status {
+    for (const extract::OpDeltaRecord& op : source_txn.ops) {
+      OPDELTA_ASSIGN_OR_RETURN(Statement stmt, sql::Parser::Parse(op.sql));
+      if (stmt.table() != def_.source_table) continue;  // other tables
+      OPDELTA_RETURN_IF_ERROR(ApplyStatement(
+          wtxn, stmt, op.captured_before_images, op.before_images));
+    }
+    return Status::OK();
+  });
+}
+
+Result<std::vector<Row>> ViewMaintainer::ComputeFromSource(
+    engine::Database* source, const ViewDef& def) {
+  engine::Table* t = source->GetTable(def.source_table);
+  if (t == nullptr) return Status::NotFound("table " + def.source_table);
+  std::unique_ptr<ViewMaintainer> vm(
+      new ViewMaintainer(nullptr, def, t->schema()));
+  OPDELTA_RETURN_IF_ERROR(vm->Validate());
+
+  std::vector<Row> rows;
+  OPDELTA_RETURN_IF_ERROR(source->Scan(
+      nullptr, def.source_table, def.selection,
+      [&](const storage::Rid&, const Row& row) {
+        rows.push_back(vm->Project(row));
+        return true;
+      }));
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return catalog::CompareRows(a, b) < 0;
+  });
+  return rows;
+}
+
+Result<std::vector<Row>> ViewMaintainer::Materialized() const {
+  std::vector<Row> rows;
+  OPDELTA_RETURN_IF_ERROR(warehouse_->Scan(
+      nullptr, def_.view_table, Predicate::True(),
+      [&](const storage::Rid&, const Row& row) {
+        rows.push_back(row);
+        return true;
+      }));
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return catalog::CompareRows(a, b) < 0;
+  });
+  return rows;
+}
+
+}  // namespace opdelta::warehouse

@@ -1,0 +1,119 @@
+#ifndef OPDELTA_WAREHOUSE_VIEW_H_
+#define OPDELTA_WAREHOUSE_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "extract/op_delta.h"
+#include "sql/statement.h"
+
+namespace opdelta::warehouse {
+
+/// Can a source operation be applied to the view without consulting the
+/// source system? (The paper's self-maintainability discussion, after [8]
+/// and Gupta et al. [11].)
+enum class Maintainability {
+  /// The operation text alone suffices.
+  kOpOnly,
+  /// The operation must be augmented with before images of affected rows
+  /// (the paper's "hybrid between a partial value delta ... and the
+  /// Op-Delta").
+  kNeedsBeforeImage,
+  /// Cannot be maintained without querying the source.
+  kNotSelfMaintainable,
+};
+
+const char* MaintainabilityName(Maintainability m);
+
+/// One projected column: a source column exposed under a (possibly
+/// renamed) view column. This is the schema transformation of §4.1 — "a
+/// set of transformation rules to directly apply the Op-Delta to various
+/// schema in data warehouses", where "the data warehouse schema is
+/// typically an aggregation of the source database schema unlike a
+/// recovering database".
+struct ViewColumn {
+  std::string source_column;
+  std::string view_column;
+};
+
+/// A select-project view over one source table, materialized in the
+/// warehouse. projection[0] must name the source key column.
+struct ViewDef {
+  std::string view_table;
+  std::string source_table;
+  std::vector<ViewColumn> projection;
+  engine::Predicate selection;  // over source columns; True() = all rows
+};
+
+/// Maintains a materialized SP view incrementally from captured Op-Delta
+/// transactions, applying the transformation rules (column renames,
+/// projection drops, predicate rewrites) and falling back to before images
+/// when the operation alone is insufficient.
+class ViewMaintainer {
+ public:
+  /// Validates the definition against the source schema and binds
+  /// predicates. The view table must already exist in the warehouse with
+  /// ViewSchemaFor()'s schema (CreateViewTable does both).
+  static Result<std::unique_ptr<ViewMaintainer>> Create(
+      engine::Database* warehouse, ViewDef def,
+      const catalog::Schema& source_schema);
+
+  /// The warehouse schema implied by the definition.
+  static Result<catalog::Schema> ViewSchemaFor(
+      const ViewDef& def, const catalog::Schema& source_schema);
+
+  /// Creates the view table in the warehouse and returns a maintainer.
+  static Result<std::unique_ptr<ViewMaintainer>> CreateViewTable(
+      engine::Database* warehouse, ViewDef def,
+      const catalog::Schema& source_schema);
+
+  /// Classifies a source statement.
+  Maintainability Analyze(const sql::Statement& stmt) const;
+
+  /// Applies one captured source transaction to the view, as its own
+  /// warehouse transaction. Statements classified kNeedsBeforeImage
+  /// require the capture to have run in hybrid mode; otherwise
+  /// kNotSupported is returned with guidance.
+  Status ApplyTxn(const extract::OpDeltaTxn& txn);
+
+  /// Recomputes the expected view contents from the live source (ground
+  /// truth for tests), sorted by key.
+  static Result<std::vector<catalog::Row>> ComputeFromSource(
+      engine::Database* source, const ViewDef& def);
+
+  /// Current materialized rows, sorted by key (for verification).
+  Result<std::vector<catalog::Row>> Materialized() const;
+
+  const ViewDef& def() const { return def_; }
+
+ private:
+  ViewMaintainer(engine::Database* warehouse, ViewDef def,
+                 catalog::Schema source_schema);
+
+  Status Validate();
+
+  bool SelectionMatches(const catalog::Row& source_row) const;
+  catalog::Row Project(const catalog::Row& source_row) const;
+
+  /// Renames a source-column predicate to view columns. Fails when a
+  /// referenced column is not projected.
+  Result<engine::Predicate> RewritePredicate(
+      const engine::Predicate& source_pred) const;
+
+  Status ApplyStatement(txn::Transaction* wtxn, const sql::Statement& stmt,
+                        bool captured_before_images,
+                        const std::vector<catalog::Row>& before_images);
+
+  engine::Database* warehouse_;
+  ViewDef def_;
+  catalog::Schema source_schema_;
+  engine::Predicate bound_selection_;
+  std::vector<int> projection_indexes_;   // source column index per ViewColumn
+  std::vector<std::string> selection_columns_;
+};
+
+}  // namespace opdelta::warehouse
+
+#endif  // OPDELTA_WAREHOUSE_VIEW_H_

@@ -1,0 +1,119 @@
+#include "workload/workload.h"
+
+#include "catalog/row_codec.h"
+
+namespace opdelta::workload {
+
+using catalog::Column;
+using catalog::Row;
+using catalog::Value;
+using catalog::ValueType;
+using engine::CompareOp;
+using engine::Predicate;
+
+PartsWorkload::PartsWorkload(Options options)
+    : options_(options), rng_(options.seed) {
+  // Encoded row ≈ bitmap(1) + varint id(≤5) + status(≈9) + payload + ts(≤9).
+  // Pad the payload so the encoded record lands near record_bytes.
+  const size_t overhead = 26;
+  payload_len_ =
+      options_.record_bytes > overhead ? options_.record_bytes - overhead : 8;
+}
+
+catalog::Schema PartsWorkload::Schema() {
+  return catalog::Schema({Column{"id", ValueType::kInt64},
+                          Column{"status", ValueType::kString},
+                          Column{"payload", ValueType::kString},
+                          Column{"last_modified", ValueType::kTimestamp}});
+}
+
+Status PartsWorkload::CreateTable(engine::Database* db,
+                                  const std::string& table) {
+  return db->CreateTable(table, Schema());
+}
+
+Row PartsWorkload::MakeRow(int64_t id) {
+  Row row;
+  row.reserve(4);
+  row.push_back(Value::Int64(id));
+  row.push_back(Value::String("active"));
+  row.push_back(Value::String(rng_.NextString(payload_len_)));
+  row.push_back(Value::Null());  // stamped by the engine
+  return row;
+}
+
+Status PartsWorkload::Populate(engine::Database* db, const std::string& table,
+                               int64_t n, size_t batch) {
+  int64_t id = 0;
+  while (id < n) {
+    Status st = db->WithTransaction([&](txn::Transaction* txn) -> Status {
+      for (size_t i = 0; i < batch && id < n; ++i, ++id) {
+        OPDELTA_RETURN_IF_ERROR(db->Insert(txn, table, MakeRow(id)));
+      }
+      return Status::OK();
+    });
+    OPDELTA_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+sql::Statement PartsWorkload::MakeInsert(const std::string& table,
+                                         int64_t first_id, size_t count) {
+  sql::InsertStmt stmt;
+  stmt.table = table;
+  stmt.rows.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    stmt.rows.push_back(MakeRow(first_id + static_cast<int64_t>(i)));
+  }
+  return sql::Statement(std::move(stmt));
+}
+
+sql::Statement PartsWorkload::MakeUpdate(const std::string& table, int64_t lo,
+                                         int64_t hi,
+                                         const std::string& new_status) {
+  sql::UpdateStmt stmt;
+  stmt.table = table;
+  stmt.sets.push_back(engine::Assignment{"status", Value::String(new_status)});
+  stmt.where = Predicate::Where("id", CompareOp::kGe, Value::Int64(lo))
+                   .And("id", CompareOp::kLt, Value::Int64(hi));
+  return sql::Statement(std::move(stmt));
+}
+
+sql::Statement PartsWorkload::MakeDelete(const std::string& table, int64_t lo,
+                                         int64_t hi) {
+  sql::DeleteStmt stmt;
+  stmt.table = table;
+  stmt.where = Predicate::Where("id", CompareOp::kGe, Value::Int64(lo))
+                   .And("id", CompareOp::kLt, Value::Int64(hi));
+  return sql::Statement(std::move(stmt));
+}
+
+Result<OlapQueryResult> RunOlapQuery(engine::Database* db,
+                                     const std::string& table) {
+  OlapQueryResult result;
+  Stopwatch sw;
+  std::unique_ptr<txn::Transaction> txn = db->Begin();
+  Status st = db->LockTableShared(txn.get(), table);
+  if (!st.ok()) {
+    db->Abort(txn.get());
+    return st;
+  }
+  st = db->Scan(txn.get(), table, Predicate::True(),
+                [&](const storage::Rid&, const Row& row) {
+                  result.rows_scanned++;
+                  if (!row.empty() &&
+                      row[0].type() == ValueType::kInt64) {
+                    result.checksum += row[0].AsInt64();
+                  }
+                  return true;
+                });
+  if (!st.ok()) {
+    db->Abort(txn.get());
+    return st;
+  }
+  OPDELTA_RETURN_IF_ERROR(db->Commit(txn.get()));
+  result.latency_micros = sw.ElapsedMicros();
+  return result;
+}
+
+}  // namespace opdelta::workload

@@ -1,0 +1,81 @@
+#ifndef OPDELTA_WORKLOAD_WORKLOAD_H_
+#define OPDELTA_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "catalog/schema.h"
+#include "engine/database.h"
+#include "sql/statement.h"
+
+namespace opdelta::workload {
+
+/// The PARTS workload from the paper's experiments: 100-byte records with
+/// an integer key, a status string, a payload padding the record to size,
+/// and an auto-maintained `last_modified` timestamp.
+class PartsWorkload {
+ public:
+  struct Options {
+    /// Total encoded record size target (paper: 100 bytes).
+    size_t record_bytes = 100;
+    uint64_t seed = 42;
+  };
+
+  explicit PartsWorkload(Options options);
+  PartsWorkload() : PartsWorkload(Options()) {}
+
+  /// id INT64, status STRING, payload STRING, last_modified TIMESTAMP.
+  static catalog::Schema Schema();
+
+  /// Creates the table (and nothing else) in `db`.
+  Status CreateTable(engine::Database* db, const std::string& table);
+
+  /// Generates a row for `id`.
+  catalog::Row MakeRow(int64_t id);
+
+  /// Populates `table` with ids [0, n) via bulk transactions of
+  /// `batch` rows (no triggers assumed installed yet).
+  Status Populate(engine::Database* db, const std::string& table, int64_t n,
+                  size_t batch = 4096);
+
+  /// Builds an INSERT statement of `count` fresh rows starting at id.
+  sql::Statement MakeInsert(const std::string& table, int64_t first_id,
+                            size_t count);
+
+  /// Builds an UPDATE touching ids [lo, hi) (sets status).
+  sql::Statement MakeUpdate(const std::string& table, int64_t lo, int64_t hi,
+                            const std::string& new_status);
+
+  /// Builds a DELETE of ids [lo, hi).
+  sql::Statement MakeDelete(const std::string& table, int64_t lo, int64_t hi);
+
+  Rng& rng() { return rng_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  size_t payload_len_;
+};
+
+/// A long-running OLAP-style query: repeated filtered aggregation scans
+/// over a warehouse table. Used by the online-maintenance experiment to
+/// measure query latency while integrators run.
+struct OlapQueryResult {
+  uint64_t rows_scanned = 0;
+  int64_t checksum = 0;
+  Micros latency_micros = 0;
+  bool blocked = false;  // lock wait exceeded the no-contention baseline
+};
+
+/// Runs one OLAP query (full scan + aggregate) under a table-S lock, the
+/// access pattern a long reader needs for a consistent answer.
+Result<OlapQueryResult> RunOlapQuery(engine::Database* db,
+                                     const std::string& table);
+
+}  // namespace opdelta::workload
+
+#endif  // OPDELTA_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "extract/op_delta.h"
+#include "sql/executor.h"
+#include "warehouse/aggregate_view.h"
+#include "workload/workload.h"
+#include "tests/test_util.h"
+
+namespace opdelta::warehouse {
+namespace {
+
+using catalog::Column;
+using catalog::Row;
+using catalog::Value;
+using catalog::ValueType;
+using engine::CompareOp;
+using engine::Predicate;
+using extract::OpDeltaTxn;
+using opdelta::testing::OpenDb;
+using opdelta::testing::TempDir;
+
+/// Sales: sale_id, region, amount, status.
+catalog::Schema SalesSchema() {
+  return catalog::Schema({Column{"sale_id", ValueType::kInt64},
+                          Column{"region", ValueType::kString},
+                          Column{"amount", ValueType::kInt64},
+                          Column{"status", ValueType::kString}});
+}
+
+class AggViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine::DatabaseOptions options;
+    options.auto_timestamp = false;
+    src_ = OpenDb(dir_, "src", options);
+    wh_ = OpenDb(dir_, "wh", options);
+    OPDELTA_ASSERT_OK(src_->CreateTable("sales", SalesSchema()));
+
+    def_.view_table = "sales_by_region";
+    def_.source_table = "sales";
+    def_.group_by_column = "region";
+    def_.agg_column = "amount";
+    def_.selection =
+        Predicate::Where("status", CompareOp::kEq, Value::String("final"));
+
+    Result<std::unique_ptr<AggViewMaintainer>> am =
+        AggViewMaintainer::CreateTable(wh_.get(), def_, SalesSchema());
+    ASSERT_TRUE(am.ok()) << am.status().ToString();
+    maintainer_ = std::move(*am);
+
+    exec_ = std::make_unique<sql::Executor>(src_.get());
+    Result<std::unique_ptr<extract::OpDeltaFileSink>> sink =
+        extract::OpDeltaFileSink::Create(dir_.Sub("ops.log"));
+    ASSERT_TRUE(sink.ok());
+    extract::OpDeltaCapture::Options copt;
+    copt.hybrid_before_images = true;
+    capture_ = std::make_unique<extract::OpDeltaCapture>(
+        exec_.get(), std::shared_ptr<extract::OpDeltaSink>(std::move(*sink)),
+        copt);
+  }
+
+  sql::Statement InsertSale(int64_t id, const std::string& region,
+                            int64_t amount, const std::string& status) {
+    sql::InsertStmt s;
+    s.table = "sales";
+    s.rows.push_back({Value::Int64(id), Value::String(region),
+                      Value::Int64(amount), Value::String(status)});
+    return sql::Statement(std::move(s));
+  }
+
+  Status RunAndMaintain(const std::vector<sql::Statement>& stmts) {
+    OPDELTA_RETURN_IF_ERROR(capture_->RunTransaction(stmts).status());
+    std::vector<OpDeltaTxn> txns;
+    OPDELTA_RETURN_IF_ERROR(extract::OpDeltaLogReader::ReadFile(
+        dir_.Sub("ops.log"), SalesSchema(), &txns));
+    return maintainer_->ApplyTxn(txns.back());
+  }
+
+  ::testing::AssertionResult ViewMatchesRecompute() {
+    Result<std::vector<Row>> expected =
+        AggViewMaintainer::ComputeFromSource(src_.get(), def_);
+    if (!expected.ok()) {
+      return ::testing::AssertionFailure() << expected.status().ToString();
+    }
+    Result<std::vector<Row>> actual = maintainer_->Materialized();
+    if (!actual.ok()) {
+      return ::testing::AssertionFailure() << actual.status().ToString();
+    }
+    if (expected->size() != actual->size()) {
+      return ::testing::AssertionFailure()
+             << "view " << actual->size() << " groups vs recompute "
+             << expected->size();
+    }
+    for (size_t i = 0; i < expected->size(); ++i) {
+      if (catalog::CompareRows((*expected)[i], (*actual)[i]) != 0) {
+        return ::testing::AssertionFailure()
+               << "group " << (*expected)[i][0].ToSqlLiteral()
+               << " differs: view (" << (*actual)[i][1].AsInt64() << ","
+               << (*actual)[i][2].AsInt64() << ") vs ("
+               << (*expected)[i][1].AsInt64() << ","
+               << (*expected)[i][2].AsInt64() << ")";
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<engine::Database> src_, wh_;
+  AggViewDef def_;
+  std::unique_ptr<AggViewMaintainer> maintainer_;
+  std::unique_ptr<sql::Executor> exec_;
+  std::unique_ptr<extract::OpDeltaCapture> capture_;
+};
+
+TEST_F(AggViewTest, ViewSchemaShape) {
+  engine::Table* vt = wh_->GetTable("sales_by_region");
+  ASSERT_NE(vt, nullptr);
+  EXPECT_EQ(vt->schema().column(0).name, "region");
+  EXPECT_EQ(vt->schema().column(1).name, "row_count");
+  EXPECT_EQ(vt->schema().column(2).name, "sum_amount");
+}
+
+TEST_F(AggViewTest, InsertsAccumulate) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSale(1, "west", 100, "final"),
+                                    InsertSale(2, "west", 50, "final"),
+                                    InsertSale(3, "east", 70, "final"),
+                                    InsertSale(4, "west", 999, "draft")}));
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "east");
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 1);
+  EXPECT_EQ((*rows)[0][2].AsInt64(), 70);
+  EXPECT_EQ((*rows)[1][0].AsString(), "west");
+  EXPECT_EQ((*rows)[1][1].AsInt64(), 2);     // draft row filtered
+  EXPECT_EQ((*rows)[1][2].AsInt64(), 150);
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(AggViewTest, DeleteSubtractsAndRemovesEmptyGroups) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSale(1, "west", 100, "final"),
+                                    InsertSale(2, "east", 70, "final")}));
+  sql::DeleteStmt d;
+  d.table = "sales";
+  d.where = Predicate::Where("sale_id", CompareOp::kEq, Value::Int64(2));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(d)}));
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);  // east group vanished at count 0
+  EXPECT_EQ((*rows)[0][0].AsString(), "west");
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(AggViewTest, UpdateMovesContributionAcrossGroups) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSale(1, "west", 100, "final")}));
+  sql::UpdateStmt u;
+  u.table = "sales";
+  u.sets = {engine::Assignment{"region", Value::String("east")}};
+  u.where = Predicate::Where("sale_id", CompareOp::kEq, Value::Int64(1));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(u)}));
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "east");
+  EXPECT_EQ((*rows)[0][2].AsInt64(), 100);
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(AggViewTest, UpdateChangesAmountAndSelection) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSale(1, "west", 100, "final"),
+                                    InsertSale(2, "west", 40, "final")}));
+  // Change amount (same group, sum shifts).
+  sql::UpdateStmt u1;
+  u1.table = "sales";
+  u1.sets = {engine::Assignment{"amount", Value::Int64(250)}};
+  u1.where = Predicate::Where("sale_id", CompareOp::kEq, Value::Int64(1));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(u1)}));
+  EXPECT_TRUE(ViewMatchesRecompute());
+
+  // Void a sale (leaves the selection).
+  sql::UpdateStmt u2;
+  u2.table = "sales";
+  u2.sets = {engine::Assignment{"status", Value::String("void")}};
+  u2.where = Predicate::Where("sale_id", CompareOp::kEq, Value::Int64(2));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(u2)}));
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 1);
+  EXPECT_EQ((*rows)[0][2].AsInt64(), 250);
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(AggViewTest, RequiresHybridCaptureForUpdatesAndDeletes) {
+  Result<std::unique_ptr<extract::OpDeltaFileSink>> sink =
+      extract::OpDeltaFileSink::Create(dir_.Sub("plain.log"));
+  ASSERT_TRUE(sink.ok());
+  extract::OpDeltaCapture plain(
+      exec_.get(), std::shared_ptr<extract::OpDeltaSink>(std::move(*sink)),
+      extract::OpDeltaCapture::Options());
+  OPDELTA_ASSERT_OK(
+      plain.RunTransaction({InsertSale(1, "west", 10, "final")}).status());
+  sql::DeleteStmt d;
+  d.table = "sales";
+  d.where = Predicate::True();
+  OPDELTA_ASSERT_OK(plain.RunTransaction({sql::Statement(d)}).status());
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(extract::OpDeltaLogReader::ReadFile(
+      dir_.Sub("plain.log"), SalesSchema(), &txns));
+  OPDELTA_ASSERT_OK(maintainer_->ApplyTxn(txns[0]));
+  EXPECT_EQ(maintainer_->ApplyTxn(txns[1]).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(AggViewTest, RandomizedMaintenanceMatchesRecompute) {
+  Rng rng(456);
+  const char* regions[] = {"west", "east", "north", "south"};
+  const char* statuses[] = {"final", "draft", "void"};
+  int64_t next_id = 0;
+  for (int step = 0; step < 30; ++step) {
+    std::vector<sql::Statement> stmts;
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const size_t n = 1 + rng.Uniform(6);
+        for (size_t i = 0; i < n; ++i) {
+          stmts.push_back(InsertSale(next_id++, regions[rng.Uniform(4)],
+                                     static_cast<int64_t>(rng.Uniform(1000)),
+                                     statuses[rng.Uniform(3)]));
+        }
+        break;
+      }
+      case 1: {
+        sql::UpdateStmt u;
+        u.table = "sales";
+        switch (rng.Uniform(3)) {
+          case 0:
+            u.sets = {engine::Assignment{
+                "region", Value::String(regions[rng.Uniform(4)])}};
+            break;
+          case 1:
+            u.sets = {engine::Assignment{
+                "amount",
+                Value::Int64(static_cast<int64_t>(rng.Uniform(1000)))}};
+            break;
+          default:
+            u.sets = {engine::Assignment{
+                "status", Value::String(statuses[rng.Uniform(3)])}};
+            break;
+        }
+        int64_t lo = rng.Uniform(std::max<int64_t>(next_id, 1));
+        u.where = Predicate::Where("sale_id", CompareOp::kGe,
+                                   Value::Int64(lo))
+                      .And("sale_id", CompareOp::kLt,
+                           Value::Int64(lo + 1 + rng.Uniform(8)));
+        stmts.push_back(sql::Statement(std::move(u)));
+        break;
+      }
+      default: {
+        sql::DeleteStmt d;
+        d.table = "sales";
+        int64_t lo = rng.Uniform(std::max<int64_t>(next_id, 1));
+        d.where = Predicate::Where("sale_id", CompareOp::kGe,
+                                   Value::Int64(lo))
+                      .And("sale_id", CompareOp::kLt,
+                           Value::Int64(lo + 1 + rng.Uniform(5)));
+        stmts.push_back(sql::Statement(std::move(d)));
+        break;
+      }
+    }
+    OPDELTA_ASSERT_OK(RunAndMaintain(stmts));
+    ASSERT_TRUE(ViewMatchesRecompute()) << "after step " << step;
+  }
+}
+
+TEST(AggViewValidationTest, RejectsBadColumns) {
+  TempDir dir;
+  auto wh = OpenDb(dir, "wh");
+  AggViewDef def;
+  def.view_table = "v";
+  def.source_table = "sales";
+  def.group_by_column = "ghost";
+  def.agg_column = "amount";
+  EXPECT_FALSE(
+      AggViewMaintainer::CreateTable(wh.get(), def, SalesSchema()).ok());
+
+  def.group_by_column = "region";
+  def.agg_column = "status";  // not int64
+  EXPECT_FALSE(
+      AggViewMaintainer::CreateTable(wh.get(), def, SalesSchema()).ok());
+}
+
+}  // namespace
+}  // namespace opdelta::warehouse

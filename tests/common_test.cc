@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "tests/test_util.h"
+
+namespace opdelta {
+namespace {
+
+using testing::TempDir;
+
+// ----------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, DistinctCodes) {
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_FALSE(Status::IOError("x").IsConflict());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Busy("nope"); };
+  auto wrapper = [&]() -> Status {
+    OPDELTA_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kBusy);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = []() -> Result<std::string> { return std::string("hi"); };
+  auto consume = [&]() -> Result<size_t> {
+    OPDELTA_ASSIGN_OR_RETURN(std::string s, produce());
+    return s.size();
+  };
+  Result<size_t> r = consume();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);
+}
+
+// ------------------------------------------------------------------ Slice
+
+TEST(SliceTest, BasicViews) {
+  std::string s = "hello world";
+  Slice slice(s);
+  EXPECT_EQ(slice.size(), 11u);
+  EXPECT_TRUE(slice.starts_with("hello"));
+  slice.remove_prefix(6);
+  EXPECT_EQ(slice.ToString(), "world");
+}
+
+TEST(SliceTest, Comparison) {
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+// ----------------------------------------------------------------- Coding
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  Slice in(buf);
+  uint16_t a;
+  uint32_t b;
+  uint64_t c;
+  ASSERT_TRUE(GetFixed16(&in, &a));
+  ASSERT_TRUE(GetFixed32(&in, &b));
+  ASSERT_TRUE(GetFixed64(&in, &c));
+  EXPECT_EQ(a, 0xBEEF);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,       1,          127,        128,
+                            16383,   16384,      (1u << 21) - 1,
+                            1u << 21, 0xFFFFFFFFull, 1ull << 42,
+                            ~0ull};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    Slice in(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Varint32TruncatedFails) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 30);
+  buf.resize(buf.size() - 1);
+  Slice in(buf);
+  uint32_t out;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(CodingTest, ZigZagSigned) {
+  const int64_t cases[] = {0, 1, -1, 63, -64, INT64_MAX, INT64_MIN, -123456789};
+  for (int64_t v : cases) {
+    std::string buf;
+    PutVarint64Signed(&buf, v);
+    Slice in(buf);
+    int64_t out = 0;
+    ASSERT_TRUE(GetVarint64Signed(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("alpha"));
+  PutLengthPrefixed(&buf, Slice(""));
+  PutLengthPrefixed(&buf, Slice(std::string(1000, 'x')));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a.ToString(), "alpha");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+// Property sweep: random varint round trips.
+class CodingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodingPropertyTest, RandomVarintRoundTrips) {
+  Rng rng(GetParam());
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Next() >> (rng.Uniform(64));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Slice in(buf);
+  for (uint64_t expected : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodingPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+// -------------------------------------------------------------------- CRC
+
+TEST(Crc32Test, KnownValues) {
+  // CRC-32C of "123456789" is 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); split += 7) {
+    uint32_t crc = Crc32c(data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, Crc32c(data.data(), data.size()));
+  }
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::string data = "some payload";
+  const uint32_t crc = Crc32c(data.data(), data.size());
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32c(data.data(), data.size()), crc);
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextStringAlphanumeric) {
+  Rng rng(9);
+  std::string s = rng.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ------------------------------------------------------------------ Clock
+
+TEST(ClockTest, RealClockAdvances) {
+  RealClock* clock = RealClock::Default();
+  Micros a = clock->NowMicros();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(clock->NowMicros(), a);
+}
+
+TEST(ClockTest, SimulatedClockTicksAndAdvances) {
+  SimulatedClock clock(1000, 1);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  EXPECT_EQ(clock.NowMicros(), 1001);  // auto tick
+  clock.Advance(500);
+  EXPECT_GE(clock.NowMicros(), 1500);
+  clock.Set(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+}
+
+TEST(ClockTest, StopwatchMeasures) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(sw.ElapsedMicros(), 4000);
+}
+
+// -------------------------------------------------------------------- Env
+
+TEST(EnvTest, WriteReadRoundTrip) {
+  TempDir dir;
+  Env* env = Env::Default();
+  const std::string path = dir.Sub("file.txt");
+  OPDELTA_ASSERT_OK(env->WriteStringToFile(path, Slice("payload")));
+  EXPECT_TRUE(env->FileExists(path));
+  std::string data;
+  OPDELTA_ASSERT_OK(env->ReadFileToString(path, &data));
+  EXPECT_EQ(data, "payload");
+  uint64_t size = 0;
+  OPDELTA_ASSERT_OK(env->GetFileSize(path, &size));
+  EXPECT_EQ(size, 7u);
+}
+
+TEST(EnvTest, AppendableFileAccumulates) {
+  TempDir dir;
+  Env* env = Env::Default();
+  const std::string path = dir.Sub("log.txt");
+  for (int i = 0; i < 3; ++i) {
+    std::unique_ptr<WritableFile> f;
+    OPDELTA_ASSERT_OK(env->NewAppendableFile(path, &f));
+    OPDELTA_ASSERT_OK(f->Append(Slice("x")));
+    OPDELTA_ASSERT_OK(f->Close());
+  }
+  std::string data;
+  OPDELTA_ASSERT_OK(env->ReadFileToString(path, &data));
+  EXPECT_EQ(data, "xxx");
+}
+
+TEST(EnvTest, RandomAccessReadAtOffset) {
+  TempDir dir;
+  Env* env = Env::Default();
+  const std::string path = dir.Sub("ra.bin");
+  OPDELTA_ASSERT_OK(env->WriteStringToFile(path, Slice("0123456789")));
+  std::unique_ptr<RandomAccessFile> f;
+  OPDELTA_ASSERT_OK(env->NewRandomAccessFile(path, &f));
+  char scratch[4];
+  Slice result;
+  OPDELTA_ASSERT_OK(f->Read(3, 4, &result, scratch));
+  EXPECT_EQ(result.ToString(), "3456");
+}
+
+TEST(EnvTest, ListDirAndDelete) {
+  TempDir dir;
+  Env* env = Env::Default();
+  OPDELTA_ASSERT_OK(env->WriteStringToFile(dir.Sub("a"), Slice("1")));
+  OPDELTA_ASSERT_OK(env->WriteStringToFile(dir.Sub("b"), Slice("2")));
+  std::vector<std::string> children;
+  OPDELTA_ASSERT_OK(env->ListDir(dir.path(), &children));
+  std::set<std::string> names(children.begin(), children.end());
+  EXPECT_TRUE(names.count("a"));
+  EXPECT_TRUE(names.count("b"));
+  OPDELTA_ASSERT_OK(env->DeleteFile(dir.Sub("a")));
+  EXPECT_FALSE(env->FileExists(dir.Sub("a")));
+}
+
+TEST(EnvTest, MissingFileErrors) {
+  TempDir dir;
+  std::string data;
+  EXPECT_FALSE(Env::Default()->ReadFileToString(dir.Sub("nope"), &data).ok());
+  EXPECT_FALSE(Env::Default()->DeleteFile(dir.Sub("nope")).ok());
+}
+
+TEST(EnvTest, AtomicWriteReplaces) {
+  TempDir dir;
+  Env* env = Env::Default();
+  const std::string path = dir.Sub("atomic");
+  OPDELTA_ASSERT_OK(WriteFileAtomic(env, path, Slice("v1")));
+  OPDELTA_ASSERT_OK(WriteFileAtomic(env, path, Slice("v2")));
+  std::string data;
+  OPDELTA_ASSERT_OK(env->ReadFileToString(path, &data));
+  EXPECT_EQ(data, "v2");
+  EXPECT_FALSE(env->FileExists(path + ".tmp"));
+}
+
+}  // namespace
+}  // namespace opdelta

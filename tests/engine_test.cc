@@ -1,0 +1,585 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/database.h"
+#include "engine/snapshot.h"
+#include "workload/workload.h"
+#include "tests/test_util.h"
+
+namespace opdelta::engine {
+namespace {
+
+using catalog::Row;
+using catalog::Value;
+using opdelta::testing::CountRows;
+using opdelta::testing::OpenDb;
+using opdelta::testing::TableContents;
+using opdelta::testing::TempDir;
+
+catalog::Schema PartsSchema() { return workload::PartsWorkload::Schema(); }
+
+Row PartsRow(int64_t id, const std::string& status) {
+  return {Value::Int64(id), Value::String(status), Value::String("payload"),
+          Value::Null()};
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb(dir_, "src");
+    OPDELTA_ASSERT_OK(db_->CreateTable("parts", PartsSchema()));
+  }
+
+  Status InsertOne(int64_t id, const std::string& status = "active") {
+    return db_->WithTransaction([&](txn::Transaction* txn) {
+      return db_->Insert(txn, "parts", PartsRow(id, status));
+    });
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// --------------------------------------------------------------- Predicate
+
+TEST(PredicateTest, BindRejectsUnknownColumn) {
+  Predicate p = Predicate::Where("ghost", CompareOp::kEq, Value::Int64(1));
+  EXPECT_FALSE(p.Bind(PartsSchema()).ok());
+}
+
+TEST(PredicateTest, MatchSemantics) {
+  catalog::Schema s = PartsSchema();
+  Row row = {Value::Int64(5), Value::String("active"), Value::String("p"),
+             Value::Timestamp(100)};
+
+  struct Case {
+    CompareOp op;
+    int64_t literal;
+    bool expect;
+  };
+  const Case cases[] = {
+      {CompareOp::kEq, 5, true},  {CompareOp::kEq, 6, false},
+      {CompareOp::kNe, 6, true},  {CompareOp::kLt, 6, true},
+      {CompareOp::kLt, 5, false}, {CompareOp::kLe, 5, true},
+      {CompareOp::kGt, 4, true},  {CompareOp::kGe, 5, true},
+      {CompareOp::kGe, 6, false},
+  };
+  for (const Case& c : cases) {
+    Predicate p = Predicate::Where("id", c.op, Value::Int64(c.literal));
+    OPDELTA_ASSERT_OK(p.Bind(s));
+    EXPECT_EQ(p.Matches(row), c.expect)
+        << CompareOpSql(c.op) << " " << c.literal;
+  }
+}
+
+TEST(PredicateTest, ConjunctionAndNulls) {
+  catalog::Schema s = PartsSchema();
+  Predicate p = Predicate::Where("id", CompareOp::kGe, Value::Int64(0))
+                    .And("status", CompareOp::kEq, Value::String("active"));
+  OPDELTA_ASSERT_OK(p.Bind(s));
+  Row match = {Value::Int64(1), Value::String("active"), Value::Null(),
+               Value::Null()};
+  Row wrong_status = {Value::Int64(1), Value::String("retired"),
+                      Value::Null(), Value::Null()};
+  Row null_status = {Value::Int64(1), Value::Null(), Value::Null(),
+                     Value::Null()};
+  EXPECT_TRUE(p.Matches(match));
+  EXPECT_FALSE(p.Matches(wrong_status));
+  EXPECT_FALSE(p.Matches(null_status));  // null never matches
+}
+
+TEST(PredicateTest, SqlRendering) {
+  Predicate p = Predicate::Where("id", CompareOp::kGt, Value::Int64(10))
+                    .And("status", CompareOp::kEq, Value::String("x"));
+  EXPECT_EQ(p.ToSql(), "id > 10 AND status = 'x'");
+  EXPECT_EQ(Predicate::True().ToSql(), "");
+}
+
+// ------------------------------------------------------------------- DML
+
+TEST_F(DatabaseTest, InsertAndScan) {
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  OPDELTA_ASSERT_OK(InsertOne(2));
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 2u);
+  auto contents = TableContents(db_.get(), "parts");
+  EXPECT_TRUE(contents.count(Value::Int64(1)));
+  EXPECT_TRUE(contents.count(Value::Int64(2)));
+}
+
+TEST_F(DatabaseTest, AutoTimestampStamped) {
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  auto contents = TableContents(db_.get(), "parts");
+  const Row& row = contents.at(Value::Int64(1));
+  ASSERT_FALSE(row[3].is_null());
+  EXPECT_GT(row[3].AsTimestamp(), 0);
+}
+
+TEST_F(DatabaseTest, UpdateWhereStampsAndChanges) {
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  OPDELTA_ASSERT_OK(InsertOne(2));
+  const Micros ts_before =
+      TableContents(db_.get(), "parts").at(Value::Int64(1))[3].AsTimestamp();
+
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    return db_
+        ->UpdateWhere(txn, "parts",
+                      Predicate::Where("id", CompareOp::kEq, Value::Int64(1)),
+                      {Assignment{"status", Value::String("revised")}})
+        .status();
+  }));
+  auto contents = TableContents(db_.get(), "parts");
+  EXPECT_EQ(contents.at(Value::Int64(1))[1].AsString(), "revised");
+  EXPECT_EQ(contents.at(Value::Int64(2))[1].AsString(), "active");
+  EXPECT_GT(contents.at(Value::Int64(1))[3].AsTimestamp(), ts_before);
+}
+
+TEST_F(DatabaseTest, DeleteWhereRemovesMatching) {
+  for (int64_t i = 0; i < 10; ++i) OPDELTA_ASSERT_OK(InsertOne(i));
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    Result<size_t> r = db_->DeleteWhere(
+        txn, "parts", Predicate::Where("id", CompareOp::kLt, Value::Int64(5)));
+    if (!r.ok()) return r.status();
+    EXPECT_EQ(r.value(), 5u);
+    return Status::OK();
+  }));
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 5u);
+}
+
+TEST_F(DatabaseTest, UpdateAffectedCountReported) {
+  for (int64_t i = 0; i < 20; ++i) OPDELTA_ASSERT_OK(InsertOne(i));
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    Result<size_t> r = db_->UpdateWhere(
+        txn, "parts",
+        Predicate::Where("id", CompareOp::kGe, Value::Int64(15)),
+        {Assignment{"status", Value::String("hot")}});
+    if (!r.ok()) return r.status();
+    EXPECT_EQ(r.value(), 5u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(DatabaseTest, InsertValidatesSchema) {
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    Row bad = {Value::String("not-an-int"), Value::String("a"),
+               Value::String("b"), Value::Null()};
+    Status st = db_->Insert(txn, "parts", bad);
+    EXPECT_FALSE(st.ok());
+    return Status::OK();
+  }));
+}
+
+TEST_F(DatabaseTest, UnknownTableErrors) {
+  auto txn = db_->Begin();
+  EXPECT_TRUE(db_->Insert(txn.get(), "ghost", PartsRow(1, "a")).IsNotFound());
+  db_->Abort(txn.get());
+}
+
+// ----------------------------------------------------------- Transactions
+
+TEST_F(DatabaseTest, AbortUndoesInsert) {
+  auto txn = db_->Begin();
+  OPDELTA_ASSERT_OK(db_->Insert(txn.get(), "parts", PartsRow(1, "a")));
+  OPDELTA_ASSERT_OK(db_->Abort(txn.get()));
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 0u);
+}
+
+TEST_F(DatabaseTest, AbortUndoesUpdateAndDelete) {
+  OPDELTA_ASSERT_OK(InsertOne(1, "original"));
+  OPDELTA_ASSERT_OK(InsertOne(2, "original"));
+
+  auto txn = db_->Begin();
+  OPDELTA_ASSERT_OK(
+      db_->UpdateWhere(txn.get(), "parts",
+                       Predicate::Where("id", CompareOp::kEq, Value::Int64(1)),
+                       {Assignment{"status", Value::String("mutated")}})
+          .status());
+  OPDELTA_ASSERT_OK(
+      db_->DeleteWhere(txn.get(), "parts",
+                       Predicate::Where("id", CompareOp::kEq, Value::Int64(2)))
+          .status());
+  OPDELTA_ASSERT_OK(db_->Abort(txn.get()));
+
+  auto contents = TableContents(db_.get(), "parts");
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents.at(Value::Int64(1))[1].AsString(), "original");
+  EXPECT_EQ(contents.at(Value::Int64(2))[1].AsString(), "original");
+}
+
+TEST_F(DatabaseTest, AbortRestoresIndexConsistency) {
+  OPDELTA_ASSERT_OK(db_->CreateIndex("parts", "id"));
+  OPDELTA_ASSERT_OK(InsertOne(10));
+
+  auto txn = db_->Begin();
+  OPDELTA_ASSERT_OK(db_->Insert(txn.get(), "parts", PartsRow(20, "a")));
+  OPDELTA_ASSERT_OK(
+      db_->DeleteWhere(txn.get(), "parts",
+                       Predicate::Where("id", CompareOp::kEq, Value::Int64(10)))
+          .status());
+  OPDELTA_ASSERT_OK(db_->Abort(txn.get()));
+
+  // Index scan must see exactly id=10 again.
+  std::vector<int64_t> ids;
+  OPDELTA_ASSERT_OK(db_->IndexScan(
+      nullptr, "parts", "id", INT64_MIN, INT64_MAX,
+      [&](const storage::Rid&, const Row& row) {
+        ids.push_back(row[0].AsInt64());
+        return true;
+      }));
+  EXPECT_EQ(ids, std::vector<int64_t>{10});
+}
+
+TEST_F(DatabaseTest, CommitReleasesLocks) {
+  auto t1 = db_->Begin();
+  OPDELTA_ASSERT_OK(db_->LockTableExclusive(t1.get(), "parts"));
+  OPDELTA_ASSERT_OK(db_->Commit(t1.get()));
+  auto t2 = db_->Begin();
+  OPDELTA_ASSERT_OK(db_->LockTableExclusive(t2.get(), "parts"));
+  OPDELTA_ASSERT_OK(db_->Commit(t2.get()));
+}
+
+TEST_F(DatabaseTest, WithTransactionAbortsOnError) {
+  Status st = db_->WithTransaction([&](txn::Transaction* txn) -> Status {
+    OPDELTA_RETURN_IF_ERROR(db_->Insert(txn, "parts", PartsRow(1, "x")));
+    return Status::Internal("forced failure");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 0u);
+}
+
+// -------------------------------------------------------------- Point ops
+
+TEST_F(DatabaseTest, PointOpsRoundTrip) {
+  storage::Rid rid;
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    return db_->Insert(txn, "parts", PartsRow(1, "a"), &rid);
+  }));
+
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) -> Status {
+    Row row;
+    OPDELTA_RETURN_IF_ERROR(db_->ReadAt(txn, "parts", rid, &row));
+    EXPECT_EQ(row[0].AsInt64(), 1);
+    row[1] = Value::String("updated");
+    storage::Rid new_rid;
+    OPDELTA_RETURN_IF_ERROR(db_->UpdateAt(txn, "parts", rid, row, &new_rid));
+    return db_->DeleteAt(txn, "parts", new_rid);
+  }));
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 0u);
+}
+
+// --------------------------------------------------------------- Triggers
+
+class RecordingSink : public TriggerSink {
+ public:
+  Status Write(Database*, txn::Transaction*, TriggerEvents event,
+               const Row& before, const Row& after) override {
+    events.push_back(event);
+    befores.push_back(before);
+    afters.push_back(after);
+    return Status::OK();
+  }
+  std::vector<TriggerEvents> events;
+  std::vector<Row> befores, afters;
+};
+
+TEST_F(DatabaseTest, TriggersFirePerRowWithImages) {
+  auto sink = std::make_shared<RecordingSink>();
+  OPDELTA_ASSERT_OK(
+      db_->CreateTrigger("parts", TriggerDef{"t", kOnAll, sink}));
+
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  ASSERT_EQ(sink->events.size(), 1u);
+  EXPECT_EQ(sink->events[0], kOnInsert);
+  EXPECT_TRUE(sink->befores[0].empty());
+  EXPECT_EQ(sink->afters[0][0].AsInt64(), 1);
+
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    return db_
+        ->UpdateWhere(txn, "parts", Predicate::True(),
+                      {Assignment{"status", Value::String("u")}})
+        .status();
+  }));
+  ASSERT_EQ(sink->events.size(), 2u);
+  EXPECT_EQ(sink->events[1], kOnUpdate);
+  EXPECT_EQ(sink->befores[1][1].AsString(), "active");
+  EXPECT_EQ(sink->afters[1][1].AsString(), "u");
+
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    return db_->DeleteWhere(txn, "parts", Predicate::True()).status();
+  }));
+  ASSERT_EQ(sink->events.size(), 3u);
+  EXPECT_EQ(sink->events[2], kOnDelete);
+  EXPECT_EQ(sink->befores[2][1].AsString(), "u");
+}
+
+TEST_F(DatabaseTest, EventMaskFilters) {
+  auto sink = std::make_shared<RecordingSink>();
+  OPDELTA_ASSERT_OK(
+      db_->CreateTrigger("parts", TriggerDef{"t", kOnDelete, sink}));
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  EXPECT_TRUE(sink->events.empty());
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    return db_->DeleteWhere(txn, "parts", Predicate::True()).status();
+  }));
+  EXPECT_EQ(sink->events.size(), 1u);
+}
+
+class FailingSink : public TriggerSink {
+ public:
+  Status Write(Database*, txn::Transaction*, TriggerEvents, const Row&,
+               const Row&) override {
+    return Status::Internal("trigger boom");
+  }
+};
+
+TEST_F(DatabaseTest, FailingTriggerAbortsUserTransaction) {
+  // "If a trigger fails it also aborts the user transaction."
+  OPDELTA_ASSERT_OK(db_->CreateTrigger(
+      "parts", TriggerDef{"bad", kOnInsert, std::make_shared<FailingSink>()}));
+  Status st = InsertOne(1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 0u);
+}
+
+TEST_F(DatabaseTest, DropTriggerStopsFiring) {
+  auto sink = std::make_shared<RecordingSink>();
+  OPDELTA_ASSERT_OK(
+      db_->CreateTrigger("parts", TriggerDef{"t", kOnAll, sink}));
+  OPDELTA_ASSERT_OK(db_->DropTrigger("parts", "t"));
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  EXPECT_TRUE(sink->events.empty());
+  EXPECT_TRUE(db_->DropTrigger("parts", "t").IsNotFound());
+}
+
+// ---------------------------------------------------------------- Indexes
+
+TEST_F(DatabaseTest, IndexScanRange) {
+  OPDELTA_ASSERT_OK(db_->CreateIndex("parts", "id"));
+  for (int64_t i = 0; i < 100; ++i) OPDELTA_ASSERT_OK(InsertOne(i));
+  std::vector<int64_t> ids;
+  OPDELTA_ASSERT_OK(db_->IndexScan(
+      nullptr, "parts", "id", 40, 49,
+      [&](const storage::Rid&, const Row& row) {
+        ids.push_back(row[0].AsInt64());
+        return true;
+      }));
+  ASSERT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids.front(), 40);
+  EXPECT_EQ(ids.back(), 49);
+}
+
+TEST_F(DatabaseTest, IndexMaintainedThroughUpdates) {
+  OPDELTA_ASSERT_OK(db_->CreateIndex("parts", "last_modified"));
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  const Micros first_ts =
+      TableContents(db_.get(), "parts").at(Value::Int64(1))[3].AsTimestamp();
+
+  OPDELTA_ASSERT_OK(db_->WithTransaction([&](txn::Transaction* txn) {
+    return db_
+        ->UpdateWhere(txn, "parts", Predicate::True(),
+                      {Assignment{"status", Value::String("v2")}})
+        .status();
+  }));
+  // Old timestamp entry must be gone; new one must be found.
+  int found_old = 0, found_new = 0;
+  OPDELTA_ASSERT_OK(db_->IndexScan(
+      nullptr, "parts", "last_modified", first_ts, first_ts,
+      [&](const storage::Rid&, const Row&) {
+        ++found_old;
+        return true;
+      }));
+  OPDELTA_ASSERT_OK(db_->IndexScan(
+      nullptr, "parts", "last_modified", first_ts + 1, INT64_MAX,
+      [&](const storage::Rid&, const Row&) {
+        ++found_new;
+        return true;
+      }));
+  EXPECT_EQ(found_old, 0);
+  EXPECT_EQ(found_new, 1);
+}
+
+TEST_F(DatabaseTest, IndexBackfillsExistingRows) {
+  for (int64_t i = 0; i < 50; ++i) OPDELTA_ASSERT_OK(InsertOne(i));
+  OPDELTA_ASSERT_OK(db_->CreateIndex("parts", "id"));
+  int count = 0;
+  OPDELTA_ASSERT_OK(db_->IndexScan(nullptr, "parts", "id", 0, 49,
+                                   [&](const storage::Rid&, const Row&) {
+                                     ++count;
+                                     return true;
+                                   }));
+  EXPECT_EQ(count, 50);
+}
+
+TEST(DoubleColumnTest, FullDmlLifecycle) {
+  // Double columns through insert / predicate / update / persistence.
+  TempDir dir;
+  auto db = OpenDb(dir, "db");
+  catalog::Schema schema({catalog::Column{"id", catalog::ValueType::kInt64},
+                          catalog::Column{"price",
+                                          catalog::ValueType::kDouble}});
+  OPDELTA_ASSERT_OK(db->CreateTable("prices", schema));
+  OPDELTA_ASSERT_OK(db->WithTransaction([&](txn::Transaction* txn) -> Status {
+    for (int i = 0; i < 10; ++i) {
+      OPDELTA_RETURN_IF_ERROR(db->Insert(
+          txn, "prices",
+          {Value::Int64(i), Value::Double(i * 1.5)}));
+    }
+    return Status::OK();
+  }));
+
+  // Predicate over doubles, including int literal coercion via Compare.
+  int matches = 0;
+  OPDELTA_ASSERT_OK(db->Scan(
+      nullptr, "prices",
+      Predicate::Where("price", CompareOp::kGt, Value::Double(6.0)),
+      [&](const storage::Rid&, const Row& row) {
+        EXPECT_GT(row[1].AsDouble(), 6.0);
+        ++matches;
+        return true;
+      }));
+  EXPECT_EQ(matches, 5);  // 7.5, 9.0, 10.5, 12.0, 13.5
+
+  OPDELTA_ASSERT_OK(db->WithTransaction([&](txn::Transaction* txn) {
+    return db
+        ->UpdateWhere(txn, "prices",
+                      Predicate::Where("id", CompareOp::kEq, Value::Int64(0)),
+                      {Assignment{"price", Value::Double(99.25)}})
+        .status();
+  }));
+  auto contents = TableContents(db.get(), "prices");
+  EXPECT_DOUBLE_EQ(contents.at(Value::Int64(0))[1].AsDouble(), 99.25);
+}
+
+// ------------------------------------------------------------ Persistence
+
+TEST(DatabasePersistenceTest, SurvivesReopen) {
+  TempDir dir;
+  {
+    auto db = OpenDb(dir, "db");
+    OPDELTA_ASSERT_OK(db->CreateTable("parts", PartsSchema()));
+    OPDELTA_ASSERT_OK(db->WithTransaction([&](txn::Transaction* txn) {
+      OPDELTA_RETURN_IF_ERROR(db->Insert(txn, "parts", PartsRow(1, "a")));
+      return db->Insert(txn, "parts", PartsRow(2, "b"));
+    }));
+    OPDELTA_ASSERT_OK(db->Close());
+  }
+  auto db = OpenDb(dir, "db");
+  ASSERT_NE(db->GetTable("parts"), nullptr);
+  EXPECT_EQ(CountRows(db.get(), "parts"), 2u);
+  auto contents = TableContents(db.get(), "parts");
+  EXPECT_EQ(contents.at(Value::Int64(2))[1].AsString(), "b");
+}
+
+TEST(DatabasePersistenceTest, TxnIdsNeverRepeatAcrossReopens) {
+  // A reopened database must continue the txn-id sequence: the archive log
+  // identifies transactions by id, and an old commit record must not vouch
+  // for a new transaction's redo (it could even be aborted).
+  TempDir dir;
+  txn::TxnId first_id;
+  {
+    auto db = OpenDb(dir, "db");
+    OPDELTA_ASSERT_OK(db->CreateTable("parts", PartsSchema()));
+    auto txn = db->Begin();
+    first_id = txn->id();
+    OPDELTA_ASSERT_OK(db->Insert(txn.get(), "parts", PartsRow(1, "a")));
+    OPDELTA_ASSERT_OK(db->Commit(txn.get()));
+    OPDELTA_ASSERT_OK(db->Close());
+  }
+  auto db = OpenDb(dir, "db");
+  auto txn = db->Begin();
+  EXPECT_GT(txn->id(), first_id);
+  db->Abort(txn.get());
+}
+
+TEST(DatabasePersistenceTest, DropTableRemovesData) {
+  TempDir dir;
+  auto db = OpenDb(dir, "db");
+  OPDELTA_ASSERT_OK(db->CreateTable("t", PartsSchema()));
+  OPDELTA_ASSERT_OK(db->DropTable("t"));
+  EXPECT_EQ(db->GetTable("t"), nullptr);
+  EXPECT_TRUE(db->CreateTable("t", PartsSchema()).ok());  // recreatable
+}
+
+// --------------------------------------------------------------- Snapshot
+
+TEST_F(DatabaseTest, SnapshotRoundTrip) {
+  for (int64_t i = 0; i < 25; ++i) OPDELTA_ASSERT_OK(InsertOne(i));
+  const std::string path = dir_.Sub("snap.bin");
+  OPDELTA_ASSERT_OK(Snapshot::Write(db_.get(), "parts", path));
+
+  catalog::Schema schema;
+  int rows = 0;
+  OPDELTA_ASSERT_OK(Snapshot::Read(path, &schema, [&](const Row& row) {
+    EXPECT_EQ(row.size(), 4u);
+    ++rows;
+    return true;
+  }));
+  EXPECT_EQ(rows, 25);
+  EXPECT_TRUE(schema == PartsSchema());
+}
+
+TEST_F(DatabaseTest, SnapshotDetectsCorruption) {
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  const std::string path = dir_.Sub("snap.bin");
+  OPDELTA_ASSERT_OK(Snapshot::Write(db_.get(), "parts", path));
+  std::string data;
+  OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(path, &data));
+  data[data.size() / 2] ^= 0x1;
+  OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(path, Slice(data)));
+  Status st = Snapshot::Read(path, nullptr, [](const Row&) { return true; });
+  EXPECT_TRUE(st.IsCorruption());
+}
+
+// ------------------------------------------------------------ Concurrency
+
+TEST_F(DatabaseTest, ExclusiveLockBlocksReaderTransaction) {
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  auto writer = db_->Begin();
+  OPDELTA_ASSERT_OK(db_->LockTableExclusive(writer.get(), "parts"));
+
+  std::atomic<bool> reader_done{false};
+  std::thread reader([&]() {
+    auto txn = db_->Begin();
+    Status st = db_->LockTableShared(txn.get(), "parts");
+    if (st.ok()) {
+      db_->Commit(txn.get());
+      reader_done = true;
+    } else {
+      db_->Abort(txn.get());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(reader_done.load());  // blocked by X
+  OPDELTA_ASSERT_OK(db_->Commit(writer.get()));
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+}
+
+TEST_F(DatabaseTest, ConcurrentWritersOnDifferentRowsProceed) {
+  OPDELTA_ASSERT_OK(InsertOne(1));
+  OPDELTA_ASSERT_OK(InsertOne(2));
+  std::atomic<int> committed{0};
+  auto worker = [&](int64_t id, const char* status) {
+    Status st = db_->WithTransaction([&](txn::Transaction* txn) {
+      return db_
+          ->UpdateWhere(txn, "parts",
+                        Predicate::Where("id", CompareOp::kEq,
+                                         Value::Int64(id)),
+                        {Assignment{"status", Value::String(status)}})
+          .status();
+    });
+    if (st.ok()) committed++;
+  };
+  std::thread t1(worker, 1, "one");
+  std::thread t2(worker, 2, "two");
+  t1.join();
+  t2.join();
+  EXPECT_EQ(committed.load(), 2);
+  auto contents = TableContents(db_.get(), "parts");
+  EXPECT_EQ(contents.at(Value::Int64(1))[1].AsString(), "one");
+  EXPECT_EQ(contents.at(Value::Int64(2))[1].AsString(), "two");
+}
+
+}  // namespace
+}  // namespace opdelta::engine

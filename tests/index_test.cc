@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "index/bplus_tree.h"
+#include "tests/test_util.h"
+
+namespace opdelta::index {
+namespace {
+
+using storage::Rid;
+
+Rid MakeRid(uint32_t n) { return Rid{n, static_cast<uint16_t>(n % 7)}; }
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  int visits = 0;
+  tree.ScanAll([&](int64_t, const Rid&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+  OPDELTA_ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertAndScanSorted) {
+  BPlusTree tree;
+  for (int64_t k : {5, 3, 9, 1, 7}) tree.Insert(k, MakeRid(k));
+  std::vector<int64_t> keys;
+  tree.ScanAll([&](int64_t k, const Rid&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+  OPDELTA_ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, RangeScanInclusive) {
+  BPlusTree tree;
+  for (int64_t k = 0; k < 100; ++k) tree.Insert(k, MakeRid(k));
+  std::vector<int64_t> keys;
+  tree.ScanRange(10, 20, [&](int64_t k, const Rid&) {
+    keys.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 20);
+}
+
+TEST(BPlusTreeTest, RangeScanEmptyInterval) {
+  BPlusTree tree;
+  for (int64_t k = 0; k < 50; k += 10) tree.Insert(k, MakeRid(k));
+  int visits = 0;
+  tree.ScanRange(11, 19, [&](int64_t, const Rid&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BPlusTreeTest, EarlyStopScan) {
+  BPlusTree tree;
+  for (int64_t k = 0; k < 100; ++k) tree.Insert(k, MakeRid(k));
+  int visits = 0;
+  tree.ScanAll([&](int64_t, const Rid&) { return ++visits < 5; });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllRetained) {
+  BPlusTree tree;
+  for (uint32_t i = 0; i < 10; ++i) tree.Insert(42, MakeRid(i));
+  int visits = 0;
+  tree.ScanRange(42, 42, [&](int64_t, const Rid&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 10);
+  OPDELTA_ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, EraseExactPair) {
+  BPlusTree tree;
+  tree.Insert(1, MakeRid(10));
+  tree.Insert(1, MakeRid(20));
+  EXPECT_TRUE(tree.Erase(1, MakeRid(10)));
+  EXPECT_FALSE(tree.Erase(1, MakeRid(10)));  // already gone
+  EXPECT_FALSE(tree.Erase(2, MakeRid(20)));  // wrong key
+  EXPECT_EQ(tree.size(), 1u);
+  int visits = 0;
+  tree.ScanRange(1, 1, [&](int64_t, const Rid& rid) {
+    EXPECT_TRUE(rid == MakeRid(20));
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.height(), 1u);
+  for (int64_t k = 0; k < 10000; ++k) tree.Insert(k, MakeRid(k));
+  EXPECT_GT(tree.height(), 1u);
+  EXPECT_EQ(tree.size(), 10000u);
+  OPDELTA_ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, DescendingInsertion) {
+  BPlusTree tree;
+  for (int64_t k = 5000; k > 0; --k) tree.Insert(k, MakeRid(k));
+  OPDELTA_ASSERT_OK(tree.CheckInvariants());
+  int64_t prev = -1;
+  tree.ScanAll([&](int64_t k, const Rid&) {
+    EXPECT_GT(k, prev);
+    prev = k;
+    return true;
+  });
+  EXPECT_EQ(prev, 5000);
+}
+
+TEST(BPlusTreeTest, NegativeAndExtremeKeys) {
+  BPlusTree tree;
+  const int64_t keys[] = {INT64_MIN, -1, 0, 1, INT64_MAX};
+  for (int64_t k : keys) tree.Insert(k, MakeRid(1));
+  std::vector<int64_t> seen;
+  tree.ScanAll([&](int64_t k, const Rid&) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, std::vector<int64_t>(std::begin(keys), std::end(keys)));
+}
+
+// Property test: random operations mirrored against std::multimap.
+class BPlusTreePropertyTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, int>> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesReferenceModel) {
+  const auto [seed, ops] = GetParam();
+  Rng rng(seed);
+  BPlusTree tree;
+  std::multimap<int64_t, Rid> model;
+
+  for (int i = 0; i < ops; ++i) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 7 || model.empty()) {
+      int64_t key = static_cast<int64_t>(rng.Uniform(1000));
+      Rid rid = MakeRid(static_cast<uint32_t>(rng.Uniform(100000)));
+      tree.Insert(key, rid);
+      model.emplace(key, rid);
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      EXPECT_TRUE(tree.Erase(it->first, it->second));
+      model.erase(it);
+    }
+  }
+
+  EXPECT_EQ(tree.size(), model.size());
+  OPDELTA_ASSERT_OK(tree.CheckInvariants());
+
+  // Full-scan contents must match the model as multisets of (key, rid).
+  using Entry = std::tuple<int64_t, uint32_t, uint16_t>;
+  std::vector<Entry> got, want;
+  tree.ScanAll([&](int64_t k, const Rid& rid) {
+    got.emplace_back(k, rid.page_id, rid.slot);
+    return true;
+  });
+  for (const auto& [k, rid] : model) {
+    want.emplace_back(k, rid.page_id, rid.slot);
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+
+  // Random range scans must agree too.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = static_cast<int64_t>(rng.Uniform(1000));
+    int64_t hi = lo + static_cast<int64_t>(rng.Uniform(200));
+    size_t tree_count = 0;
+    tree.ScanRange(lo, hi, [&](int64_t, const Rid&) {
+      ++tree_count;
+      return true;
+    });
+    size_t model_count = 0;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      ++model_count;
+    }
+    EXPECT_EQ(tree_count, model_count) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomOps, BPlusTreePropertyTest,
+    ::testing::Values(std::make_pair(1ull, 500), std::make_pair(2ull, 2000),
+                      std::make_pair(3ull, 8000), std::make_pair(4ull, 20000),
+                      std::make_pair(5ull, 5000)));
+
+}  // namespace
+}  // namespace opdelta::index

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "extract/op_delta.h"
+#include "sql/executor.h"
+#include "warehouse/join_view.h"
+#include "workload/workload.h"
+#include "tests/test_util.h"
+
+namespace opdelta::warehouse {
+namespace {
+
+using catalog::Column;
+using catalog::Row;
+using catalog::Value;
+using catalog::ValueType;
+using engine::CompareOp;
+using engine::Predicate;
+using extract::OpDeltaTxn;
+using opdelta::testing::OpenDb;
+using opdelta::testing::TempDir;
+
+/// Orders: order_id, supplier_id (fk), status, qty.
+catalog::Schema OrdersSchema() {
+  return catalog::Schema({Column{"order_id", ValueType::kInt64},
+                          Column{"supplier_id", ValueType::kInt64},
+                          Column{"status", ValueType::kString},
+                          Column{"qty", ValueType::kInt64}});
+}
+
+/// Suppliers: supplier_id, name, region.
+catalog::Schema SuppliersSchema() {
+  return catalog::Schema({Column{"supplier_id", ValueType::kInt64},
+                          Column{"name", ValueType::kString},
+                          Column{"region", ValueType::kString}});
+}
+
+class JoinViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine::DatabaseOptions options;
+    options.auto_timestamp = false;
+    src_ = OpenDb(dir_, "src", options);
+    wh_ = OpenDb(dir_, "wh", options);
+    OPDELTA_ASSERT_OK(src_->CreateTable("orders", OrdersSchema()));
+    OPDELTA_ASSERT_OK(src_->CreateTable("suppliers", SuppliersSchema()));
+
+    def_.view_table = "orders_by_supplier";
+    def_.fact_table = "orders";
+    def_.dim_table = "suppliers";
+    def_.fact_fk_column = "supplier_id";
+    def_.fact_projection = {{"order_id", "order_id"},
+                            {"supplier_id", "supplier_id"},
+                            {"qty", "qty"}};
+    def_.dim_projection = {{"name", "supplier_name"},
+                           {"region", "supplier_region"}};
+    def_.fact_selection =
+        Predicate::Where("status", CompareOp::kNe, Value::String("void"));
+
+    Result<std::unique_ptr<JoinViewMaintainer>> jm =
+        JoinViewMaintainer::CreateTables(wh_.get(), def_, OrdersSchema(),
+                                         SuppliersSchema());
+    ASSERT_TRUE(jm.ok()) << jm.status().ToString();
+    maintainer_ = std::move(*jm);
+
+    exec_ = std::make_unique<sql::Executor>(src_.get());
+    Result<std::unique_ptr<extract::OpDeltaFileSink>> sink =
+        extract::OpDeltaFileSink::Create(dir_.Sub("ops.log"));
+    ASSERT_TRUE(sink.ok());
+    extract::OpDeltaCapture::Options copt;
+    copt.hybrid_before_images = true;
+    capture_ = std::make_unique<extract::OpDeltaCapture>(
+        exec_.get(), std::shared_ptr<extract::OpDeltaSink>(std::move(*sink)),
+        copt);
+  }
+
+  sql::Statement InsertSupplier(int64_t id, const std::string& name,
+                                const std::string& region) {
+    sql::InsertStmt s;
+    s.table = "suppliers";
+    s.rows.push_back(
+        {Value::Int64(id), Value::String(name), Value::String(region)});
+    return sql::Statement(std::move(s));
+  }
+
+  sql::Statement InsertOrder(int64_t id, int64_t supplier,
+                             const std::string& status, int64_t qty) {
+    sql::InsertStmt s;
+    s.table = "orders";
+    s.rows.push_back({Value::Int64(id), Value::Int64(supplier),
+                      Value::String(status), Value::Int64(qty)});
+    return sql::Statement(std::move(s));
+  }
+
+  /// Runs stmts as one captured txn and applies the newest txn to the view.
+  Status RunAndMaintain(const std::vector<sql::Statement>& stmts) {
+    OPDELTA_RETURN_IF_ERROR(capture_->RunTransaction(stmts).status());
+    std::vector<OpDeltaTxn> txns;
+    const extract::SchemaMap schemas = {{"orders", OrdersSchema()},
+                                        {"suppliers", SuppliersSchema()}};
+    OPDELTA_RETURN_IF_ERROR(extract::OpDeltaLogReader::ReadFile(
+        dir_.Sub("ops.log"), schemas, &txns));
+    return maintainer_->ApplyTxn(txns.back());
+  }
+
+  ::testing::AssertionResult ViewMatchesRecompute() {
+    Result<std::vector<Row>> expected =
+        JoinViewMaintainer::ComputeFromSource(src_.get(), def_);
+    if (!expected.ok()) {
+      return ::testing::AssertionFailure() << expected.status().ToString();
+    }
+    Result<std::vector<Row>> actual = maintainer_->Materialized();
+    if (!actual.ok()) {
+      return ::testing::AssertionFailure() << actual.status().ToString();
+    }
+    if (expected->size() != actual->size()) {
+      return ::testing::AssertionFailure()
+             << "view " << actual->size() << " rows vs recompute "
+             << expected->size();
+    }
+    for (size_t i = 0; i < expected->size(); ++i) {
+      if (catalog::CompareRows((*expected)[i], (*actual)[i]) != 0) {
+        return ::testing::AssertionFailure() << "row " << i << " differs";
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<engine::Database> src_, wh_;
+  JoinViewDef def_;
+  std::unique_ptr<JoinViewMaintainer> maintainer_;
+  std::unique_ptr<sql::Executor> exec_;
+  std::unique_ptr<extract::OpDeltaCapture> capture_;
+};
+
+TEST_F(JoinViewTest, SchemaCombinesBothSides) {
+  engine::Table* vt = wh_->GetTable("orders_by_supplier");
+  ASSERT_NE(vt, nullptr);
+  EXPECT_EQ(vt->schema().num_columns(), 5u);
+  EXPECT_EQ(vt->schema().column(3).name, "supplier_name");
+  // Aux copy mirrors the dimension exactly.
+  engine::Table* aux = wh_->GetTable(maintainer_->aux_table());
+  ASSERT_NE(aux, nullptr);
+  EXPECT_TRUE(aux->schema() == SuppliersSchema());
+}
+
+TEST_F(JoinViewTest, FactInsertJoinsAgainstAuxCopy) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSupplier(1, "Acme", "west"),
+                                    InsertSupplier(2, "Bolt", "east")}));
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertOrder(100, 1, "open", 5),
+                                    InsertOrder(101, 2, "open", 7),
+                                    InsertOrder(102, 1, "void", 9)}));
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);  // void order filtered by the selection
+  EXPECT_EQ((*rows)[0][3].AsString(), "Acme");
+  EXPECT_EQ((*rows)[1][3].AsString(), "Bolt");
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(JoinViewTest, FactInsertWithDanglingFkFails) {
+  Status st = RunAndMaintain({InsertOrder(1, 999, "open", 1)});
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+}
+
+TEST_F(JoinViewTest, DimensionUpdatePropagatesToViewRows) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSupplier(1, "Acme", "west")}));
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertOrder(100, 1, "open", 5),
+                                    InsertOrder(101, 1, "open", 6)}));
+  // Rename the supplier at the source.
+  sql::UpdateStmt u;
+  u.table = "suppliers";
+  u.sets = {engine::Assignment{"name", Value::String("AcmeCorp")}};
+  u.where = Predicate::Where("supplier_id", CompareOp::kEq, Value::Int64(1));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(u)}));
+
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][3].AsString(), "AcmeCorp");
+  EXPECT_EQ((*rows)[1][3].AsString(), "AcmeCorp");
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(JoinViewTest, FactUpdateChangingFkRejoins) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSupplier(1, "Acme", "west"),
+                                    InsertSupplier(2, "Bolt", "east")}));
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertOrder(100, 1, "open", 5)}));
+  // Reassign the order to supplier 2 (fk touch -> before-image path).
+  sql::UpdateStmt u;
+  u.table = "orders";
+  u.sets = {engine::Assignment{"supplier_id", Value::Int64(2)}};
+  u.where = Predicate::Where("order_id", CompareOp::kEq, Value::Int64(100));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(u)}));
+
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][3].AsString(), "Bolt");
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(JoinViewTest, SelectionTransitionsViaBeforeImages) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSupplier(1, "Acme", "west")}));
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertOrder(100, 1, "open", 5)}));
+  // Void the order: it leaves the view.
+  sql::UpdateStmt u;
+  u.table = "orders";
+  u.sets = {engine::Assignment{"status", Value::String("void")}};
+  u.where = Predicate::Where("order_id", CompareOp::kEq, Value::Int64(100));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(u)}));
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_TRUE(ViewMatchesRecompute());
+}
+
+TEST_F(JoinViewTest, OpOnlyFactUpdateAndDelete) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSupplier(1, "Acme", "west")}));
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertOrder(100, 1, "open", 5),
+                                    InsertOrder(101, 1, "open", 6)}));
+  // qty is projected and not a selection/fk column: op-only update.
+  sql::UpdateStmt u;
+  u.table = "orders";
+  u.sets = {engine::Assignment{"qty", Value::Int64(50)}};
+  u.where = Predicate::Where("order_id", CompareOp::kEq, Value::Int64(100));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(u)}));
+  EXPECT_TRUE(ViewMatchesRecompute());
+
+  // order_id is projected: op-only delete.
+  sql::DeleteStmt d;
+  d.table = "orders";
+  d.where = Predicate::Where("order_id", CompareOp::kEq, Value::Int64(101));
+  OPDELTA_ASSERT_OK(RunAndMaintain({sql::Statement(d)}));
+  EXPECT_TRUE(ViewMatchesRecompute());
+  Result<std::vector<Row>> rows = maintainer_->Materialized();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][2].AsInt64(), 50);
+}
+
+TEST_F(JoinViewTest, DimensionDeleteGuardedByIntegrity) {
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertSupplier(1, "Acme", "west")}));
+  OPDELTA_ASSERT_OK(RunAndMaintain({InsertOrder(100, 1, "open", 5)}));
+  // Source-side integrity is the application's job; the maintainer rejects
+  // the dangling delete when it arrives.
+  sql::DeleteStmt d;
+  d.table = "suppliers";
+  d.where = Predicate::Where("supplier_id", CompareOp::kEq, Value::Int64(1));
+  OPDELTA_ASSERT_OK(exec_->ExecuteSql(sql::Statement(d).ToSql()).status());
+  OpDeltaTxn txn{99, {extract::OpDeltaRecord{
+                         99, 1, sql::Statement(d).ToSql(), false, {}}}};
+  Status st = maintainer_->ApplyTxn(txn);
+  EXPECT_FALSE(st.ok());
+
+  // After the referencing order goes away, the delete is fine.
+  sql::DeleteStmt d2;
+  d2.table = "orders";
+  d2.where = Predicate::Where("order_id", CompareOp::kEq, Value::Int64(100));
+  OpDeltaTxn t2{100, {extract::OpDeltaRecord{
+                         100, 2, sql::Statement(d2).ToSql(), false, {}}}};
+  OPDELTA_ASSERT_OK(maintainer_->ApplyTxn(t2));
+  OPDELTA_ASSERT_OK(maintainer_->ApplyTxn(txn));
+  EXPECT_EQ(opdelta::testing::CountRows(wh_.get(), maintainer_->aux_table()),
+            0u);
+}
+
+TEST_F(JoinViewTest, RandomizedMaintenanceMatchesRecompute) {
+  Rng rng(123);
+  // Seed dimensions.
+  std::vector<sql::Statement> suppliers;
+  const char* regions[] = {"west", "east", "north"};
+  for (int64_t s = 1; s <= 5; ++s) {
+    suppliers.push_back(
+        InsertSupplier(s, "S" + std::to_string(s), regions[s % 3]));
+  }
+  OPDELTA_ASSERT_OK(RunAndMaintain(suppliers));
+
+  int64_t next_order = 0;
+  const char* statuses[] = {"open", "void", "closed"};
+  for (int step = 0; step < 40; ++step) {
+    std::vector<sql::Statement> stmts;
+    switch (rng.Uniform(4)) {
+      case 0: {  // insert 1-5 orders
+        const size_t n = 1 + rng.Uniform(5);
+        for (size_t i = 0; i < n; ++i) {
+          stmts.push_back(InsertOrder(next_order++,
+                                      1 + rng.Uniform(5),
+                                      statuses[rng.Uniform(3)],
+                                      rng.Uniform(100)));
+        }
+        break;
+      }
+      case 1: {  // update order status / qty / fk
+        sql::UpdateStmt u;
+        u.table = "orders";
+        switch (rng.Uniform(3)) {
+          case 0:
+            u.sets = {engine::Assignment{
+                "status", Value::String(statuses[rng.Uniform(3)])}};
+            break;
+          case 1:
+            u.sets = {engine::Assignment{
+                "qty", Value::Int64(static_cast<int64_t>(rng.Uniform(500)))}};
+            break;
+          default:
+            u.sets = {engine::Assignment{
+                "supplier_id",
+                Value::Int64(1 + static_cast<int64_t>(rng.Uniform(5)))}};
+            break;
+        }
+        int64_t lo = rng.Uniform(std::max<int64_t>(next_order, 1));
+        u.where =
+            Predicate::Where("order_id", CompareOp::kGe, Value::Int64(lo))
+                .And("order_id", CompareOp::kLt,
+                     Value::Int64(lo + 1 + rng.Uniform(6)));
+        stmts.push_back(sql::Statement(std::move(u)));
+        break;
+      }
+      case 2: {  // delete orders
+        sql::DeleteStmt d;
+        d.table = "orders";
+        int64_t lo = rng.Uniform(std::max<int64_t>(next_order, 1));
+        d.where =
+            Predicate::Where("order_id", CompareOp::kGe, Value::Int64(lo))
+                .And("order_id", CompareOp::kLt,
+                     Value::Int64(lo + 1 + rng.Uniform(4)));
+        stmts.push_back(sql::Statement(std::move(d)));
+        break;
+      }
+      default: {  // rename a supplier
+        sql::UpdateStmt u;
+        u.table = "suppliers";
+        u.sets = {engine::Assignment{
+            "name", Value::String("S" + std::to_string(rng.Uniform(1000)))}};
+        u.where = Predicate::Where(
+            "supplier_id", CompareOp::kEq,
+            Value::Int64(1 + static_cast<int64_t>(rng.Uniform(5))));
+        stmts.push_back(sql::Statement(std::move(u)));
+        break;
+      }
+    }
+    OPDELTA_ASSERT_OK(RunAndMaintain(stmts));
+    ASSERT_TRUE(ViewMatchesRecompute()) << "after step " << step;
+  }
+}
+
+TEST(JoinViewValidationTest, RequiresFkProjection) {
+  TempDir dir;
+  engine::DatabaseOptions options;
+  auto wh = OpenDb(dir, "wh", options);
+  JoinViewDef def;
+  def.view_table = "v";
+  def.fact_table = "orders";
+  def.dim_table = "suppliers";
+  def.fact_fk_column = "supplier_id";
+  def.fact_projection = {{"order_id", "order_id"}};  // fk missing
+  def.dim_projection = {{"name", "name"}};
+  EXPECT_FALSE(JoinViewMaintainer::CreateTables(
+                   wh.get(), def, OrdersSchema(), SuppliersSchema())
+                   .ok());
+}
+
+TEST(JoinViewValidationTest, RequiresFactKeyFirst) {
+  TempDir dir;
+  auto wh = OpenDb(dir, "wh");
+  JoinViewDef def;
+  def.view_table = "v";
+  def.fact_table = "orders";
+  def.dim_table = "suppliers";
+  def.fact_fk_column = "supplier_id";
+  def.fact_projection = {{"supplier_id", "sid"}, {"order_id", "oid"}};
+  def.dim_projection = {{"name", "name"}};
+  EXPECT_FALSE(JoinViewMaintainer::CreateTables(
+                   wh.get(), def, OrdersSchema(), SuppliersSchema())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace opdelta::warehouse

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "extract/op_delta.h"
+#include "extract/trigger_extractor.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "warehouse/integrator.h"
+#include "workload/workload.h"
+#include "tests/test_util.h"
+
+namespace opdelta::extract {
+namespace {
+
+using catalog::Row;
+using catalog::Value;
+using opdelta::testing::CountRows;
+using opdelta::testing::OpenDb;
+using opdelta::testing::TablesEqual;
+using opdelta::testing::TempDir;
+using sql::Statement;
+
+class OpDeltaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb(dir_, "src");
+    OPDELTA_ASSERT_OK(wl_.CreateTable(db_.get(), "parts"));
+    executor_ = std::make_unique<sql::Executor>(db_.get());
+  }
+
+  /// Capture wrapper with a DB-table sink.
+  std::unique_ptr<OpDeltaCapture> MakeDbCapture(bool hybrid = false) {
+    if (db_->GetTable("op_log") == nullptr) {
+      Status st = db_->CreateTable("op_log", OpDeltaLogTableSchema());
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    OpDeltaCapture::Options options;
+    options.hybrid_before_images = hybrid;
+    return std::make_unique<OpDeltaCapture>(
+        executor_.get(), std::make_shared<OpDeltaDbSink>("op_log"), options);
+  }
+
+  TempDir dir_;
+  workload::PartsWorkload wl_;
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<sql::Executor> executor_;
+};
+
+// -------------------------------------------------------------- Capturing
+
+TEST_F(OpDeltaTest, DbSinkCapturesTransactionBoundaries) {
+  auto capture = MakeDbCapture();
+  OPDELTA_ASSERT_OK(capture
+                        ->RunTransaction({wl_.MakeInsert("parts", 0, 3),
+                                          wl_.MakeUpdate("parts", 0, 2, "u")})
+                        .status());
+
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::DrainDbTable(
+      db_.get(), "op_log", workload::PartsWorkload::Schema(), &txns));
+  ASSERT_EQ(txns.size(), 1u);
+  ASSERT_EQ(txns[0].ops.size(), 2u);
+  EXPECT_TRUE(txns[0].ops[0].sql.rfind("INSERT INTO parts", 0) == 0);
+  EXPECT_TRUE(txns[0].ops[1].sql.rfind("UPDATE parts", 0) == 0);
+  // Drained: the log table is empty afterwards.
+  EXPECT_EQ(CountRows(db_.get(), "op_log"), 0u);
+}
+
+TEST_F(OpDeltaTest, AbortedTransactionLeavesNoDbLogEntries) {
+  auto capture = MakeDbCapture();
+  Result<std::unique_ptr<txn::Transaction>> txn = capture->Begin();
+  ASSERT_TRUE(txn.ok());
+  OPDELTA_ASSERT_OK(
+      capture->Execute(txn->get(), wl_.MakeInsert("parts", 0, 2)).status());
+  OPDELTA_ASSERT_OK(capture->Abort(txn->get()));
+
+  // Capture rode the user transaction: nothing committed anywhere.
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 0u);
+  EXPECT_EQ(CountRows(db_.get(), "op_log"), 0u);
+}
+
+TEST_F(OpDeltaTest, FileSinkRoundTrip) {
+  const std::string log_path = dir_.Sub("ops.log");
+  Result<std::unique_ptr<OpDeltaFileSink>> sink =
+      OpDeltaFileSink::Create(log_path);
+  ASSERT_TRUE(sink.ok());
+  OpDeltaCapture capture(executor_.get(),
+                         std::shared_ptr<OpDeltaSink>(std::move(*sink)),
+                         OpDeltaCapture::Options());
+
+  OPDELTA_ASSERT_OK(capture
+                        .RunTransaction({wl_.MakeInsert("parts", 0, 2),
+                                         wl_.MakeDelete("parts", 0, 1)})
+                        .status());
+  OPDELTA_ASSERT_OK(
+      capture.RunTransaction({wl_.MakeUpdate("parts", 1, 2, "x")}).status());
+
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::ReadFile(
+      log_path, workload::PartsWorkload::Schema(), &txns));
+  ASSERT_EQ(txns.size(), 2u);
+  EXPECT_EQ(txns[0].ops.size(), 2u);
+  EXPECT_EQ(txns[1].ops.size(), 1u);
+}
+
+TEST_F(OpDeltaTest, FileSinkAbortedTxnSkippedByReader) {
+  const std::string log_path = dir_.Sub("ops.log");
+  Result<std::unique_ptr<OpDeltaFileSink>> sink =
+      OpDeltaFileSink::Create(log_path);
+  ASSERT_TRUE(sink.ok());
+  OpDeltaCapture capture(executor_.get(),
+                         std::shared_ptr<OpDeltaSink>(std::move(*sink)),
+                         OpDeltaCapture::Options());
+
+  Result<std::unique_ptr<txn::Transaction>> txn = capture.Begin();
+  ASSERT_TRUE(txn.ok());
+  OPDELTA_ASSERT_OK(
+      capture.Execute(txn->get(), wl_.MakeInsert("parts", 0, 1)).status());
+  OPDELTA_ASSERT_OK(capture.Abort(txn->get()));
+  OPDELTA_ASSERT_OK(
+      capture.RunTransaction({wl_.MakeInsert("parts", 5, 1)}).status());
+
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::ReadFile(
+      log_path, workload::PartsWorkload::Schema(), &txns));
+  ASSERT_EQ(txns.size(), 1u);  // the aborted txn was discarded
+}
+
+TEST_F(OpDeltaTest, HybridModeCapturesBeforeImages) {
+  auto capture = MakeDbCapture(/*hybrid=*/true);
+  OPDELTA_ASSERT_OK(
+      capture->RunTransaction({wl_.MakeInsert("parts", 0, 5)}).status());
+  OPDELTA_ASSERT_OK(
+      capture->RunTransaction({wl_.MakeUpdate("parts", 0, 3, "u")}).status());
+
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::DrainDbTable(
+      db_.get(), "op_log", workload::PartsWorkload::Schema(), &txns));
+  ASSERT_EQ(txns.size(), 2u);
+  EXPECT_TRUE(txns[0].ops[0].before_images.empty());  // inserts never need it
+  ASSERT_EQ(txns[1].ops[0].before_images.size(), 3u);
+  EXPECT_EQ(txns[1].ops[0].before_images[0][1].AsString(), "active");
+}
+
+TEST_F(OpDeltaTest, OpDeltaVolumeIndependentOfTransactionSize) {
+  // §4.1: "the size of an Op-Delta for deletion and update is independent
+  // of the size of the transaction", unlike value delta.
+  OPDELTA_ASSERT_OK(wl_.Populate(db_.get(), "parts", 2000));
+  auto capture = MakeDbCapture();
+
+  OPDELTA_ASSERT_OK(
+      capture->RunTransaction({wl_.MakeUpdate("parts", 0, 10, "v")}).status());
+  std::vector<OpDeltaTxn> small;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::DrainDbTable(
+      db_.get(), "op_log", workload::PartsWorkload::Schema(), &small));
+
+  OPDELTA_ASSERT_OK(
+      capture->RunTransaction({wl_.MakeUpdate("parts", 0, 1000, "w")})
+          .status());
+  std::vector<OpDeltaTxn> large;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::DrainDbTable(
+      db_.get(), "op_log", workload::PartsWorkload::Schema(), &large));
+
+  const catalog::Schema schema = workload::PartsWorkload::Schema();
+  const uint64_t small_bytes = OpDeltaVolumeBytes(small, schema);
+  const uint64_t large_bytes = OpDeltaVolumeBytes(large, schema);
+  // 100x more affected records, nearly identical op-delta volume.
+  EXPECT_LT(large_bytes, small_bytes + 16);
+  // The paper's ~70-byte example statement: ours are the same order.
+  EXPECT_LT(small_bytes, 200u);
+}
+
+TEST_F(OpDeltaTest, StatementTextIsCanonicalSql) {
+  auto capture = MakeDbCapture();
+  OPDELTA_ASSERT_OK(
+      capture->RunTransaction({wl_.MakeUpdate("parts", 5, 9, "revised")})
+          .status());
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::DrainDbTable(
+      db_.get(), "op_log", workload::PartsWorkload::Schema(), &txns));
+  ASSERT_EQ(txns.size(), 1u);
+  const std::string& sql = txns[0].ops[0].sql;
+  EXPECT_EQ(sql,
+            "UPDATE parts SET status = 'revised' WHERE id >= 5 AND id < 9");
+  // And it re-parses to the same text (wire-format stability).
+  Result<Statement> parsed = sql::Parser::Parse(sql);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToSql(), sql);
+}
+
+TEST_F(OpDeltaTest, DbSinkChunksOversizedStatements) {
+  // A multi-thousand-row INSERT statement exceeds a storage page; the DB
+  // sink must split it across continuation rows and the reader must
+  // reassemble it byte-exactly.
+  auto capture = MakeDbCapture();
+  sql::Statement big = wl_.MakeInsert("parts", 0, 2000);
+  const std::string original_sql = big.ToSql();
+  ASSERT_GT(original_sql.size(), 100000u);  // really oversized
+  OPDELTA_ASSERT_OK(capture->RunTransaction({big}).status());
+
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::DrainDbTable(
+      db_.get(), "op_log", workload::PartsWorkload::Schema(), &txns));
+  ASSERT_EQ(txns.size(), 1u);
+  ASSERT_EQ(txns[0].ops.size(), 1u);
+  EXPECT_EQ(txns[0].ops[0].sql, original_sql);
+
+  // And the reassembled statement must replay correctly.
+  engine::DatabaseOptions options;
+  options.auto_timestamp = false;
+  TempDir wh_dir;
+  auto wh = opdelta::testing::OpenDb(wh_dir, "wh", options);
+  OPDELTA_ASSERT_OK(wl_.CreateTable(wh.get(), "parts"));
+  warehouse::OpDeltaIntegrator integrator(wh.get());
+  OPDELTA_ASSERT_OK(integrator.Apply(txns, nullptr));
+  EXPECT_EQ(CountRows(wh.get(), "parts"), 2000u);
+}
+
+// ----------------------------------------------- Apply-equivalence property
+
+class OpDeltaReplayPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(OpDeltaReplayPropertyTest, WarehouseReplayReproducesSource) {
+  // Property: applying the captured op stream at an (initially equal)
+  // warehouse reproduces the source table exactly — the foundation of the
+  // §4.1 claim that Op-Delta alone can refresh the warehouse.
+  TempDir dir;
+  workload::PartsWorkload wl(
+      workload::PartsWorkload::Options{100, GetParam()});
+
+  engine::DatabaseOptions no_stamp;
+  no_stamp.auto_timestamp = false;  // replay must not re-stamp
+  auto src = OpenDb(dir, "src", no_stamp);
+  auto wh = OpenDb(dir, "wh", no_stamp);
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(wh.get(), "parts"));
+
+  sql::Executor exec(src.get());
+  const std::string log_path = dir.Sub("ops.log");
+  Result<std::unique_ptr<OpDeltaFileSink>> sink =
+      OpDeltaFileSink::Create(log_path);
+  ASSERT_TRUE(sink.ok());
+  OpDeltaCapture capture(&exec, std::shared_ptr<OpDeltaSink>(std::move(*sink)),
+                         OpDeltaCapture::Options());
+
+  Rng rng(GetParam());
+  int64_t next_id = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Statement> stmts;
+    const size_t ops = 1 + rng.Uniform(3);
+    for (size_t j = 0; j < ops; ++j) {
+      switch (rng.Uniform(3)) {
+        case 0: {
+          const size_t n = 1 + rng.Uniform(20);
+          stmts.push_back(wl.MakeInsert("parts", next_id, n));
+          next_id += static_cast<int64_t>(n);
+          break;
+        }
+        case 1: {
+          int64_t lo = rng.Uniform(std::max<int64_t>(next_id, 1));
+          stmts.push_back(wl.MakeUpdate("parts", lo, lo + 1 + rng.Uniform(15),
+                                        "s" + std::to_string(i)));
+          break;
+        }
+        default: {
+          int64_t lo = rng.Uniform(std::max<int64_t>(next_id, 1));
+          stmts.push_back(wl.MakeDelete("parts", lo, lo + 1 + rng.Uniform(8)));
+          break;
+        }
+      }
+    }
+    OPDELTA_ASSERT_OK(capture.RunTransaction(stmts).status());
+  }
+
+  std::vector<OpDeltaTxn> txns;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::ReadFile(
+      log_path, workload::PartsWorkload::Schema(), &txns));
+  warehouse::OpDeltaIntegrator integrator(wh.get());
+  warehouse::IntegrationStats stats;
+  OPDELTA_ASSERT_OK(integrator.Apply(txns, &stats));
+
+  EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  EXPECT_EQ(stats.transactions, txns.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpDeltaReplayPropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+// -------------------------------------------- Comparison with value delta
+
+TEST_F(OpDeltaTest, TransportVolumeFarBelowValueDelta) {
+  OPDELTA_ASSERT_OK(wl_.Populate(db_.get(), "parts", 1000));
+  Result<std::string> delta_table =
+      TriggerExtractor::Install(db_.get(), "parts");
+  ASSERT_TRUE(delta_table.ok());
+  auto capture = MakeDbCapture();
+
+  OPDELTA_ASSERT_OK(
+      capture->RunTransaction({wl_.MakeUpdate("parts", 0, 500, "bulk")})
+          .status());
+
+  Result<DeltaBatch> value_delta = TriggerExtractor::Drain(db_.get(), "parts");
+  ASSERT_TRUE(value_delta.ok());
+  std::vector<OpDeltaTxn> op_delta;
+  OPDELTA_ASSERT_OK(OpDeltaLogReader::DrainDbTable(
+      db_.get(), "op_log", workload::PartsWorkload::Schema(), &op_delta));
+
+  const uint64_t value_bytes = value_delta->SizeBytes();
+  const uint64_t op_bytes =
+      OpDeltaVolumeBytes(op_delta, workload::PartsWorkload::Schema());
+  // 500 before+after images (~100B each) vs one ~70B statement.
+  EXPECT_GT(value_bytes, 50u * op_bytes);
+}
+
+}  // namespace
+}  // namespace opdelta::extract

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pipeline/cdc_pipeline.h"
+#include "sql/executor.h"
+#include "workload/workload.h"
+#include "tests/test_util.h"
+
+namespace opdelta::pipeline {
+namespace {
+
+using opdelta::testing::CountRows;
+using opdelta::testing::OpenDb;
+using opdelta::testing::TablesEqual;
+using opdelta::testing::TempDir;
+
+class PipelineTest : public ::testing::TestWithParam<Method> {
+ protected:
+  void SetUp() override {
+    engine::DatabaseOptions options;
+    options.auto_timestamp = GetParam() == Method::kTimestamp;
+    src_ = OpenDb(dir_, "src", options);
+    engine::DatabaseOptions wh_options;
+    wh_options.auto_timestamp = false;
+    wh_ = OpenDb(dir_, "wh", wh_options);
+    OPDELTA_ASSERT_OK(wl_.CreateTable(src_.get(), "parts"));
+    OPDELTA_ASSERT_OK(wl_.CreateTable(wh_.get(), "parts"));
+
+    PipelineOptions popts;
+    popts.method = GetParam();
+    popts.source_table = "parts";
+    popts.warehouse_table = "parts";
+    popts.work_dir = dir_.Sub("pipeline");
+    Result<std::unique_ptr<CdcPipeline>> p =
+        CdcPipeline::Create(src_.get(), wh_.get(), popts);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    pipeline_ = std::move(*p);
+    OPDELTA_ASSERT_OK(pipeline_->Setup());
+    exec_ = std::make_unique<sql::Executor>(src_.get());
+  }
+
+  /// Runs one source transaction through the right entry point.
+  Status RunSource(const sql::Statement& stmt) {
+    if (GetParam() == Method::kOpDelta) {
+      return pipeline_->capture()->RunTransaction({stmt}).status();
+    }
+    return exec_->ExecuteSql(stmt.ToSql()).status();
+  }
+
+  TempDir dir_;
+  workload::PartsWorkload wl_;
+  std::unique_ptr<engine::Database> src_, wh_;
+  std::unique_ptr<CdcPipeline> pipeline_;
+  std::unique_ptr<sql::Executor> exec_;
+};
+
+TEST_P(PipelineTest, ConvergesOverMultipleRounds) {
+  // Round 1: inserts.
+  OPDELTA_ASSERT_OK(RunSource(wl_.MakeInsert("parts", 0, 200)));
+  OPDELTA_ASSERT_OK(pipeline_->RunOnce());
+  EXPECT_TRUE(TablesEqual(src_.get(), "parts", wh_.get(), "parts"));
+
+  // Round 2: updates.
+  OPDELTA_ASSERT_OK(RunSource(wl_.MakeUpdate("parts", 50, 150, "v2")));
+  OPDELTA_ASSERT_OK(pipeline_->RunOnce());
+  EXPECT_TRUE(TablesEqual(src_.get(), "parts", wh_.get(), "parts"));
+
+  // Round 3: deletes — visible to every method except timestamp.
+  OPDELTA_ASSERT_OK(RunSource(wl_.MakeDelete("parts", 0, 30)));
+  OPDELTA_ASSERT_OK(pipeline_->RunOnce());
+  if (GetParam() == Method::kTimestamp) {
+    // Documented blind spot: the warehouse keeps the deleted rows.
+    EXPECT_EQ(CountRows(wh_.get(), "parts"), 200u);
+    EXPECT_EQ(CountRows(src_.get(), "parts"), 170u);
+  } else {
+    EXPECT_TRUE(TablesEqual(src_.get(), "parts", wh_.get(), "parts"));
+  }
+
+  EXPECT_EQ(pipeline_->stats().rounds, 3u);
+  // The timestamp method ships nothing for the delete-only round (the
+  // deletes are invisible to it); every other method ships three batches.
+  EXPECT_GE(pipeline_->stats().batches_shipped,
+            GetParam() == Method::kTimestamp ? 2u : 3u);
+  EXPECT_GT(pipeline_->stats().bytes_shipped, 0u);
+}
+
+TEST_P(PipelineTest, IdleRoundsShipNothing) {
+  OPDELTA_ASSERT_OK(RunSource(wl_.MakeInsert("parts", 0, 10)));
+  OPDELTA_ASSERT_OK(pipeline_->RunOnce());
+  const uint64_t shipped = pipeline_->stats().batches_shipped;
+  OPDELTA_ASSERT_OK(pipeline_->RunOnce());
+  OPDELTA_ASSERT_OK(pipeline_->RunOnce());
+  EXPECT_EQ(pipeline_->stats().batches_shipped, shipped);  // no new batches
+  EXPECT_TRUE(TablesEqual(src_.get(), "parts", wh_.get(), "parts"));
+}
+
+TEST_P(PipelineTest, InterleavedChangesAcrossRounds) {
+  Rng rng(31 + static_cast<uint64_t>(GetParam()));
+  int64_t next_id = 0;
+  for (int round = 0; round < 8; ++round) {
+    const size_t n = 1 + rng.Uniform(20);
+    OPDELTA_ASSERT_OK(RunSource(wl_.MakeInsert("parts", next_id, n)));
+    next_id += static_cast<int64_t>(n);
+    if (round % 2 == 1) {
+      int64_t lo = rng.Uniform(next_id);
+      OPDELTA_ASSERT_OK(RunSource(wl_.MakeUpdate(
+          "parts", lo, lo + 1 + rng.Uniform(10),
+          "r" + std::to_string(round))));
+    }
+    OPDELTA_ASSERT_OK(pipeline_->RunOnce());
+    ASSERT_TRUE(TablesEqual(src_.get(), "parts", wh_.get(), "parts"))
+        << "after round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, PipelineTest,
+                         ::testing::Values(Method::kTimestamp, Method::kLog,
+                                           Method::kTrigger,
+                                           Method::kOpDelta),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           switch (info.param) {
+                             case Method::kTimestamp:
+                               return "Timestamp";
+                             case Method::kLog:
+                               return "Log";
+                             case Method::kTrigger:
+                               return "Trigger";
+                             case Method::kOpDelta:
+                               return "OpDelta";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(PipelineRestartTest, WatermarkSurvivesRestart) {
+  TempDir dir;
+  engine::DatabaseOptions options;
+  options.auto_timestamp = false;
+  auto src = OpenDb(dir, "src", options);
+  auto wh = OpenDb(dir, "wh", options);
+  workload::PartsWorkload wl;
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(wh.get(), "parts"));
+  sql::Executor exec(src.get());
+
+  PipelineOptions popts;
+  popts.method = Method::kLog;
+  popts.source_table = "parts";
+  popts.warehouse_table = "parts";
+  popts.work_dir = dir.Sub("pipeline");
+
+  {
+    Result<std::unique_ptr<CdcPipeline>> p =
+        CdcPipeline::Create(src.get(), wh.get(), popts);
+    ASSERT_TRUE(p.ok());
+    OPDELTA_ASSERT_OK((*p)->Setup());
+    OPDELTA_ASSERT_OK(
+        exec.ExecuteSql(wl.MakeInsert("parts", 0, 100).ToSql()).status());
+    OPDELTA_ASSERT_OK((*p)->RunOnce());
+    EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  }
+
+  // "Restart": a new pipeline instance over the same work dir must resume
+  // from the persisted LSN watermark — the first batch must not re-ship.
+  Result<std::unique_ptr<CdcPipeline>> p2 =
+      CdcPipeline::Create(src.get(), wh.get(), popts);
+  ASSERT_TRUE(p2.ok());
+  OPDELTA_ASSERT_OK((*p2)->Setup());
+  OPDELTA_ASSERT_OK(
+      exec.ExecuteSql(wl.MakeUpdate("parts", 0, 10, "after").ToSql())
+          .status());
+  OPDELTA_ASSERT_OK((*p2)->RunOnce());
+  // Only the update's 20 images (before+after per row) were extracted.
+  EXPECT_EQ((*p2)->stats().records_extracted, 20u);
+  EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+}
+
+TEST(PipelineValidationTest, RejectsMismatchedSchemas) {
+  TempDir dir;
+  auto src = OpenDb(dir, "src");
+  auto wh = OpenDb(dir, "wh");
+  workload::PartsWorkload wl;
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wh->CreateTable(
+      "parts",
+      catalog::Schema({catalog::Column{"x", catalog::ValueType::kInt64}})));
+  PipelineOptions popts;
+  popts.source_table = "parts";
+  popts.warehouse_table = "parts";
+  popts.work_dir = dir.Sub("p");
+  EXPECT_FALSE(CdcPipeline::Create(src.get(), wh.get(), popts).ok());
+}
+
+}  // namespace
+}  // namespace opdelta::pipeline

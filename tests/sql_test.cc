@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/statement.h"
+#include "workload/workload.h"
+#include "tests/test_util.h"
+
+namespace opdelta::sql {
+namespace {
+
+using catalog::Row;
+using catalog::Value;
+using engine::CompareOp;
+using engine::Predicate;
+using opdelta::testing::CountRows;
+using opdelta::testing::OpenDb;
+using opdelta::testing::TableContents;
+using opdelta::testing::TempDir;
+
+// -------------------------------------------------------------- Rendering
+
+TEST(StatementTest, InsertToSql) {
+  InsertStmt s;
+  s.table = "parts";
+  s.rows.push_back({Value::Int64(1), Value::String("it's"), Value::Null()});
+  s.rows.push_back({Value::Int64(2), Value::String("b"), Value::Double(1.5)});
+  Statement stmt(std::move(s));
+  EXPECT_EQ(stmt.ToSql(),
+            "INSERT INTO parts VALUES (1, 'it''s', NULL), (2, 'b', 1.5)");
+}
+
+TEST(StatementTest, UpdateToSql) {
+  UpdateStmt s;
+  s.table = "parts";
+  s.sets.push_back(engine::Assignment{"status", Value::String("revised")});
+  s.where = Predicate::Where("last_modified", CompareOp::kGt,
+                             Value::Timestamp(942652800));
+  Statement stmt(std::move(s));
+  // The paper's motivating example: this text ~70 bytes, while its value
+  // delta would be thousands of before/after records.
+  EXPECT_EQ(stmt.ToSql(),
+            "UPDATE parts SET status = 'revised' WHERE last_modified > "
+            "TS:942652800");
+  EXPECT_LT(stmt.ToSql().size(), 80u);
+}
+
+TEST(StatementTest, DeleteToSql) {
+  DeleteStmt s;
+  s.table = "parts";
+  s.where = Predicate::Where("id", CompareOp::kLe, Value::Int64(10))
+                .And("status", CompareOp::kNe, Value::String("keep"));
+  Statement stmt(std::move(s));
+  EXPECT_EQ(stmt.ToSql(),
+            "DELETE FROM parts WHERE id <= 10 AND status <> 'keep'");
+}
+
+TEST(StatementTest, DeleteWithoutWhere) {
+  DeleteStmt s;
+  s.table = "t";
+  EXPECT_EQ(Statement(std::move(s)).ToSql(), "DELETE FROM t");
+}
+
+// ---------------------------------------------------------------- Parsing
+
+TEST(ParserTest, ParseInsert) {
+  Result<Statement> r =
+      Parser::Parse("INSERT INTO parts VALUES (1, 'a', 2.5, TS:99, NULL)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->is_insert());
+  const InsertStmt& s = r->insert();
+  EXPECT_EQ(s.table, "parts");
+  ASSERT_EQ(s.rows.size(), 1u);
+  ASSERT_EQ(s.rows[0].size(), 5u);
+  EXPECT_EQ(s.rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(s.rows[0][1].AsString(), "a");
+  EXPECT_DOUBLE_EQ(s.rows[0][2].AsDouble(), 2.5);
+  EXPECT_EQ(s.rows[0][3].AsTimestamp(), 99);
+  EXPECT_TRUE(s.rows[0][4].is_null());
+}
+
+TEST(ParserTest, ParseMultiRowInsert) {
+  Result<Statement> r =
+      Parser::Parse("insert into t values (1), (2), (3)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->insert().rows.size(), 3u);
+}
+
+TEST(ParserTest, ParseUpdateWithWhere) {
+  Result<Statement> r = Parser::Parse(
+      "UPDATE parts SET status = 'revised', qty = 5 WHERE id >= 10 AND id < "
+      "20");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const UpdateStmt& s = r->update();
+  ASSERT_EQ(s.sets.size(), 2u);
+  EXPECT_EQ(s.sets[0].column, "status");
+  EXPECT_EQ(s.sets[1].value.AsInt64(), 5);
+  ASSERT_EQ(s.where.conjuncts().size(), 2u);
+  EXPECT_EQ(s.where.conjuncts()[0].op, CompareOp::kGe);
+  EXPECT_EQ(s.where.conjuncts()[1].op, CompareOp::kLt);
+}
+
+TEST(ParserTest, ParseDeleteVariants) {
+  ASSERT_TRUE(Parser::Parse("DELETE FROM t").ok());
+  Result<Statement> r = Parser::Parse("delete from t where x <> 'a''b'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->delete_stmt().where.conjuncts()[0].literal.AsString(), "a'b");
+}
+
+TEST(ParserTest, NegativeNumbersAndFloats) {
+  Result<Statement> r =
+      Parser::Parse("INSERT INTO t VALUES (-5, -2.5, 1e3)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->insert().rows[0][0].AsInt64(), -5);
+  EXPECT_DOUBLE_EQ(r->insert().rows[0][1].AsDouble(), -2.5);
+  EXPECT_DOUBLE_EQ(r->insert().rows[0][2].AsDouble(), 1000.0);
+}
+
+TEST(ParserTest, ParseSelect) {
+  Result<Statement> star = Parser::Parse(
+      "SELECT * FROM parts WHERE last_modified > TS:942652800");
+  ASSERT_TRUE(star.ok()) << star.status().ToString();
+  ASSERT_TRUE(star->is_select());
+  EXPECT_TRUE(star->select().columns.empty());
+  EXPECT_EQ(star->select().table, "parts");
+  EXPECT_EQ(star->select().where.conjuncts().size(), 1u);
+
+  Result<Statement> cols =
+      Parser::Parse("select id, status from parts");
+  ASSERT_TRUE(cols.ok()) << cols.status().ToString();
+  EXPECT_EQ(cols->select().columns,
+            (std::vector<std::string>{"id", "status"}));
+  // Round trip.
+  EXPECT_EQ(cols->ToSql(), "SELECT id, status FROM parts");
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parser::Parse("").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * t").ok());
+  EXPECT_FALSE(Parser::Parse("DROP TABLE t").ok());
+  EXPECT_FALSE(Parser::Parse("INSERT INTO t VALUES (1").ok());
+  EXPECT_FALSE(Parser::Parse("UPDATE t SET").ok());
+  EXPECT_FALSE(Parser::Parse("DELETE FROM t WHERE x ==== 1").ok());
+  EXPECT_FALSE(Parser::Parse("INSERT INTO t VALUES (1) garbage").ok());
+  EXPECT_FALSE(Parser::Parse("INSERT INTO t VALUES ('unterminated)").ok());
+}
+
+TEST(ParserTest, ParseScriptMultipleStatements) {
+  std::vector<Statement> stmts;
+  OPDELTA_ASSERT_OK(Parser::ParseScript(
+      "INSERT INTO t VALUES (1); DELETE FROM t WHERE id = 1;\n"
+      "UPDATE t SET x = 2",
+      &stmts));
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_TRUE(stmts[0].is_insert());
+  EXPECT_TRUE(stmts[1].is_delete());
+  EXPECT_TRUE(stmts[2].is_update());
+}
+
+// Robustness property: arbitrary byte strings and mutated statements must
+// come back as error statuses, never crashes or hangs.
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, GarbageNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    const size_t len = rng.Uniform(120);
+    for (size_t j = 0; j < len; ++j) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    Result<Statement> r = Parser::Parse(input);  // must not crash
+    if (r.ok()) {
+      // Whatever parsed must round-trip through its own rendering.
+      EXPECT_TRUE(Parser::Parse(r->ToSql()).ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidStatementsNeverCrash) {
+  Rng rng(GetParam() + 1000);
+  const std::string base =
+      "UPDATE parts SET status = 'revised', qty = 5 WHERE id >= 10 AND "
+      "name <> 'it''s' AND ts > TS:123456";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = base;
+    const size_t mutations = 1 + rng.Uniform(6);
+    for (size_t m = 0; m < mutations; ++m) {
+      switch (rng.Uniform(3)) {
+        case 0:  // flip a byte
+          input[rng.Uniform(input.size())] =
+              static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // delete a span
+          input.erase(rng.Uniform(input.size()),
+                      rng.Uniform(10));
+          break;
+        default:  // duplicate a span
+          input.insert(rng.Uniform(input.size() + 1),
+                       input.substr(rng.Uniform(input.size()),
+                                    rng.Uniform(10)));
+          break;
+      }
+      if (input.empty()) input = "x";
+    }
+    Parser::Parse(input);  // outcome irrelevant; crash/hang is the failure
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Values(41, 42));
+
+// Round-trip property: ToSql -> Parse -> ToSql is a fixed point.
+class SqlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlRoundTripTest, RandomStatementsRoundTrip) {
+  Rng rng(GetParam());
+  workload::PartsWorkload wl(
+      workload::PartsWorkload::Options{100, GetParam()});
+  for (int i = 0; i < 200; ++i) {
+    Statement stmt;
+    switch (rng.Uniform(3)) {
+      case 0:
+        stmt = wl.MakeInsert("parts", rng.Uniform(1000),
+                             1 + rng.Uniform(5));
+        break;
+      case 1:
+        stmt = wl.MakeUpdate("parts", rng.Uniform(100),
+                             100 + rng.Uniform(100),
+                             "s" + std::to_string(rng.Uniform(10)));
+        break;
+      default:
+        stmt = wl.MakeDelete("parts", rng.Uniform(100),
+                             100 + rng.Uniform(100));
+        break;
+    }
+    const std::string sql = stmt.ToSql();
+    Result<Statement> parsed = Parser::Parse(sql);
+    ASSERT_TRUE(parsed.ok()) << sql << " => " << parsed.status().ToString();
+    EXPECT_EQ(parsed->ToSql(), sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlRoundTripTest,
+                         ::testing::Values(11, 12, 13));
+
+// --------------------------------------------------------------- Executor
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb(dir_, "db");
+    OPDELTA_ASSERT_OK(
+        db_->CreateTable("parts", workload::PartsWorkload::Schema()));
+    executor_ = std::make_unique<Executor>(db_.get());
+  }
+  TempDir dir_;
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorTest, InsertUpdateDeleteLifecycle) {
+  Result<size_t> r = executor_->ExecuteSql(
+      "INSERT INTO parts VALUES (1, 'active', 'p1', NULL), "
+      "(2, 'active', 'p2', NULL)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 2u);
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 2u);
+
+  r = executor_->ExecuteSql("UPDATE parts SET status = 'done' WHERE id = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 1u);
+  auto contents = TableContents(db_.get(), "parts");
+  EXPECT_EQ(contents.at(Value::Int64(1))[1].AsString(), "done");
+
+  r = executor_->ExecuteSql("DELETE FROM parts WHERE status = 'done'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 1u);
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 1u);
+}
+
+TEST_F(ExecutorTest, CoercesIntLiteralsToTimestampColumns) {
+  // The timestamp column is last; an integer literal must coerce.
+  OPDELTA_ASSERT_OK(executor_
+                        ->ExecuteSql("INSERT INTO parts VALUES "
+                                     "(1, 'a', 'p', 12345)")
+                        .status());
+  auto contents = TableContents(db_.get(), "parts");
+  // auto_timestamp stamps over explicit nulls but InsertStmt supplied a
+  // value through the normal (stamping) path, so just check the row landed.
+  ASSERT_EQ(contents.size(), 1u);
+}
+
+TEST_F(ExecutorTest, WherePredicateAgainstTimestampCoerces) {
+  OPDELTA_ASSERT_OK(
+      executor_->ExecuteSql("INSERT INTO parts VALUES (1, 'a', 'p', NULL)")
+          .status());
+  // last_modified was stamped with the current clock; 0 is far in the past.
+  Result<size_t> r = executor_->ExecuteSql(
+      "DELETE FROM parts WHERE last_modified > 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST_F(ExecutorTest, ArityMismatchRejected) {
+  EXPECT_FALSE(
+      executor_->ExecuteSql("INSERT INTO parts VALUES (1, 'a')").ok());
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 0u);
+}
+
+TEST_F(ExecutorTest, UnknownColumnRejected) {
+  EXPECT_FALSE(
+      executor_->ExecuteSql("UPDATE parts SET ghost = 1 WHERE id = 1").ok());
+  EXPECT_FALSE(
+      executor_->ExecuteSql("DELETE FROM parts WHERE ghost = 1").ok());
+}
+
+TEST_F(ExecutorTest, UnknownTableRejected) {
+  EXPECT_FALSE(executor_->ExecuteSql("INSERT INTO ghost VALUES (1)").ok());
+}
+
+TEST_F(ExecutorTest, SelectQueryReturnsProjectedRows) {
+  OPDELTA_ASSERT_OK(executor_
+                        ->ExecuteSql("INSERT INTO parts VALUES "
+                                     "(1, 'a', 'p1', NULL), "
+                                     "(2, 'b', 'p2', NULL), "
+                                     "(3, 'a', 'p3', NULL)")
+                        .status());
+  // The paper's extraction query shape.
+  Result<std::vector<catalog::Row>> all =
+      executor_->ExecuteSqlQuery("SELECT * FROM parts WHERE status = 'a'");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].size(), 4u);
+
+  Result<std::vector<catalog::Row>> projected = executor_->ExecuteSqlQuery(
+      "SELECT payload, id FROM parts WHERE id >= 2");
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+  ASSERT_EQ(projected->size(), 2u);
+  EXPECT_EQ((*projected)[0].size(), 2u);
+  EXPECT_EQ((*projected)[0][0].AsString(), "p2");
+  EXPECT_EQ((*projected)[0][1].AsInt64(), 2);
+}
+
+TEST_F(ExecutorTest, SelectErrors) {
+  EXPECT_FALSE(executor_->ExecuteSqlQuery("SELECT * FROM ghost").ok());
+  EXPECT_FALSE(
+      executor_->ExecuteSqlQuery("SELECT ghost_col FROM parts").ok());
+  // SELECT through the DML entry point is rejected with guidance.
+  Result<Statement> stmt = Parser::Parse("SELECT * FROM parts");
+  ASSERT_TRUE(stmt.ok());
+  auto txn = db_->Begin();
+  EXPECT_FALSE(executor_->Execute(txn.get(), *stmt).ok());
+  db_->Abort(txn.get());
+  // And DML through the query entry point likewise.
+  Result<Statement> dml = Parser::Parse("DELETE FROM parts");
+  ASSERT_TRUE(dml.ok());
+  EXPECT_FALSE(executor_->ExecuteQuery(nullptr, *dml).ok());
+}
+
+TEST_F(ExecutorTest, StringToIntCoercionFails) {
+  EXPECT_FALSE(executor_
+                   ->ExecuteSql("INSERT INTO parts VALUES "
+                                "('x', 'a', 'p', NULL)")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, ScriptFailureAbortsThatStatementOnly) {
+  Result<size_t> r = executor_->ExecuteSql(
+      "INSERT INTO parts VALUES (1, 'a', 'p', NULL); "
+      "INSERT INTO parts VALUES ('bad', 'a', 'p', NULL)");
+  EXPECT_FALSE(r.ok());
+  // First statement committed in its own transaction before the failure.
+  EXPECT_EQ(CountRows(db_.get(), "parts"), 1u);
+}
+
+}  // namespace
+}  // namespace opdelta::sql

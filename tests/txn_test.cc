@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "txn/lock_manager.h"
+#include "txn/log_record.h"
+#include "txn/recovery.h"
+#include "txn/wal.h"
+#include "tests/test_util.h"
+
+namespace opdelta::txn {
+namespace {
+
+using opdelta::testing::TempDir;
+
+// -------------------------------------------------------------- LogRecord
+
+TEST(LogRecordTest, RoundTripAllFields) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = 77;
+  rec.lsn = 123456;
+  rec.table_id = 9;
+  rec.rid = storage::Rid{42, 7};
+  rec.rid2 = storage::Rid{43, 1};
+  rec.before = "before-image-bytes";
+  rec.after = "after-image-bytes";
+
+  std::string buf;
+  rec.EncodeTo(&buf);
+  Slice in(buf);
+  LogRecord out;
+  OPDELTA_ASSERT_OK(LogRecord::DecodeFrom(&in, &out));
+  EXPECT_EQ(out.type, rec.type);
+  EXPECT_EQ(out.txn_id, rec.txn_id);
+  EXPECT_EQ(out.lsn, rec.lsn);
+  EXPECT_EQ(out.table_id, rec.table_id);
+  EXPECT_TRUE(out.rid == rec.rid);
+  EXPECT_TRUE(out.rid2 == rec.rid2);
+  EXPECT_EQ(out.before, rec.before);
+  EXPECT_EQ(out.after, rec.after);
+}
+
+TEST(LogRecordTest, RejectsBadType) {
+  std::string buf = "\x7f rest";
+  Slice in(buf);
+  LogRecord out;
+  EXPECT_FALSE(LogRecord::DecodeFrom(&in, &out).ok());
+}
+
+// -------------------------------------------------------------------- Wal
+
+TEST(WalTest, AppendAssignsMonotonicLsns) {
+  TempDir dir;
+  Wal wal;
+  OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+  Lsn prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    LogRecord rec;
+    rec.type = LogRecordType::kBegin;
+    rec.txn_id = i;
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+    EXPECT_GT(rec.lsn, prev);
+    prev = rec.lsn;
+  }
+  OPDELTA_ASSERT_OK(wal.Close());
+}
+
+TEST(WalTest, ReadAllReturnsRecordsInOrder) {
+  TempDir dir;
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+    for (int i = 0; i < 100; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kInsert;
+      rec.txn_id = i;
+      rec.after = "row-" + std::to_string(i);
+      OPDELTA_ASSERT_OK(wal.Append(&rec));
+    }
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  int i = 0;
+  OPDELTA_ASSERT_OK(Wal::ReadAll(dir.Sub("wal"), [&](const LogRecord& r) {
+    EXPECT_EQ(r.txn_id, static_cast<TxnId>(i));
+    EXPECT_EQ(r.after, "row-" + std::to_string(i));
+    ++i;
+    return true;
+  }));
+  EXPECT_EQ(i, 100);
+}
+
+TEST(WalTest, SegmentsRollOver) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_size = 4096;  // tiny segments force rolls
+  Wal wal;
+  OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), options));
+  for (int i = 0; i < 200; ++i) {
+    LogRecord rec;
+    rec.type = LogRecordType::kInsert;
+    rec.after = std::string(100, 'x');
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+  }
+  std::vector<std::string> segments;
+  OPDELTA_ASSERT_OK(wal.ListSegments(&segments));
+  EXPECT_GT(segments.size(), 2u);
+  // All records must still stream back.
+  int count = 0;
+  OPDELTA_ASSERT_OK(Wal::ReadAll(dir.Sub("wal"), [&](const LogRecord&) {
+    ++count;
+    return true;
+  }));
+  EXPECT_EQ(count, 200);
+}
+
+TEST(WalTest, ArchiveModeRetainsSegmentsAtCheckpoint) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_size = 4096;
+  options.archive_mode = true;
+  Wal wal;
+  OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), options));
+  for (int i = 0; i < 200; ++i) {
+    LogRecord rec;
+    rec.type = LogRecordType::kInsert;
+    rec.after = std::string(100, 'x');
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+  }
+  std::vector<std::string> before;
+  OPDELTA_ASSERT_OK(wal.ListSegments(&before));
+  OPDELTA_ASSERT_OK(wal.Checkpoint());
+  std::vector<std::string> after;
+  OPDELTA_ASSERT_OK(wal.ListSegments(&after));
+  EXPECT_EQ(before.size(), after.size());  // nothing recycled
+}
+
+TEST(WalTest, NonArchiveCheckpointRecyclesClosedSegments) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_size = 4096;
+  options.archive_mode = false;
+  Wal wal;
+  OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), options));
+  for (int i = 0; i < 200; ++i) {
+    LogRecord rec;
+    rec.type = LogRecordType::kInsert;
+    rec.after = std::string(100, 'x');
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+  }
+  OPDELTA_ASSERT_OK(wal.Checkpoint());
+  std::vector<std::string> segments;
+  OPDELTA_ASSERT_OK(wal.ListSegments(&segments));
+  EXPECT_EQ(segments.size(), 1u);  // only the active segment remains
+}
+
+TEST(WalTest, ReopenContinuesLsnSequence) {
+  TempDir dir;
+  Lsn last;
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+    LogRecord rec;
+    rec.type = LogRecordType::kBegin;
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+    last = rec.lsn;
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  Wal wal;
+  OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  OPDELTA_ASSERT_OK(wal.Append(&rec));
+  EXPECT_GT(rec.lsn, last);
+}
+
+TEST(WalTest, CorruptFrameDetected) {
+  TempDir dir;
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+    LogRecord rec;
+    rec.type = LogRecordType::kInsert;
+    rec.after = "payload";
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  // Flip a payload byte in the only segment.
+  std::vector<std::string> children;
+  OPDELTA_ASSERT_OK(Env::Default()->ListDir(dir.Sub("wal"), &children));
+  ASSERT_FALSE(children.empty());
+  const std::string seg = dir.Sub("wal") + "/" + children[0];
+  std::string data;
+  OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(seg, &data));
+  data[data.size() - 2] ^= 0xFF;
+  OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(seg, Slice(data)));
+
+  Status st = Wal::ReadAll(dir.Sub("wal"), [](const LogRecord&) {
+    return true;
+  });
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(WalTest, TornTailOfNewestSegmentIsEndOfLog) {
+  // A crash mid-append leaves a partial frame at the end of the active
+  // segment; recovery must treat it as the end of the log, not corruption.
+  TempDir dir;
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+    for (int i = 0; i < 5; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kInsert;
+      rec.txn_id = i;
+      rec.after = "row";
+      OPDELTA_ASSERT_OK(wal.Append(&rec));
+    }
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  std::vector<std::string> children;
+  OPDELTA_ASSERT_OK(Env::Default()->ListDir(dir.Sub("wal"), &children));
+  ASSERT_EQ(children.size(), 1u);
+  const std::string seg = dir.Sub("wal") + "/" + children[0];
+  std::string data;
+  OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(seg, &data));
+  // Chop the last record in half and append a few header bytes of a
+  // never-completed frame.
+  data.resize(data.size() - 10);
+  data.append("\x40\x00", 2);
+  OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(seg, Slice(data)));
+
+  int seen = 0;
+  OPDELTA_ASSERT_OK(Wal::ReadAll(dir.Sub("wal"), [&](const LogRecord&) {
+    ++seen;
+    return true;
+  }));
+  EXPECT_EQ(seen, 4);  // the torn 5th record is dropped cleanly
+}
+
+TEST(WalTest, TruncationInOlderSegmentIsCorruption) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_size = 512;  // force several segments
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), options));
+    for (int i = 0; i < 50; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kInsert;
+      rec.after = std::string(100, 'x');
+      OPDELTA_ASSERT_OK(wal.Append(&rec));
+    }
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  std::vector<std::string> children;
+  OPDELTA_ASSERT_OK(Env::Default()->ListDir(dir.Sub("wal"), &children));
+  std::sort(children.begin(), children.end());
+  ASSERT_GT(children.size(), 2u);
+  // Truncate the FIRST segment: a hole in the middle of the log.
+  const std::string seg = dir.Sub("wal") + "/" + children[0];
+  std::string data;
+  OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(seg, &data));
+  data.resize(data.size() / 2);
+  OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(seg, Slice(data)));
+
+  Status st = Wal::ReadAll(dir.Sub("wal"), [](const LogRecord&) {
+    return true;
+  });
+  EXPECT_TRUE(st.IsCorruption());
+}
+
+TEST(WalTest, BytesAppendedTracksVolume) {
+  TempDir dir;
+  Wal wal;
+  OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+  EXPECT_EQ(wal.bytes_appended(), 0u);
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.after = std::string(1000, 'v');
+  OPDELTA_ASSERT_OK(wal.Append(&rec));
+  EXPECT_GT(wal.bytes_appended(), 1000u);
+}
+
+// ------------------------------------------------------------ LockManager
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using L = LockMode;
+  // IS compatible with all but X.
+  EXPECT_TRUE(LockModesCompatible(L::kIS, L::kIS));
+  EXPECT_TRUE(LockModesCompatible(L::kIS, L::kIX));
+  EXPECT_TRUE(LockModesCompatible(L::kIS, L::kS));
+  EXPECT_FALSE(LockModesCompatible(L::kIS, L::kX));
+  // IX compatible with intentions only.
+  EXPECT_TRUE(LockModesCompatible(L::kIX, L::kIX));
+  EXPECT_FALSE(LockModesCompatible(L::kIX, L::kS));
+  EXPECT_FALSE(LockModesCompatible(L::kIX, L::kX));
+  // S compatible with IS and S.
+  EXPECT_TRUE(LockModesCompatible(L::kS, L::kIS));
+  EXPECT_TRUE(LockModesCompatible(L::kS, L::kS));
+  EXPECT_FALSE(LockModesCompatible(L::kS, L::kIX));
+  // X compatible with nothing.
+  EXPECT_FALSE(LockModesCompatible(L::kX, L::kIS));
+  EXPECT_FALSE(LockModesCompatible(L::kX, L::kX));
+}
+
+TEST(LockManagerTest, SharedTableLocksCoexist) {
+  LockManager lm;
+  OPDELTA_ASSERT_OK(lm.LockTable(1, 100, LockMode::kS));
+  OPDELTA_ASSERT_OK(lm.LockTable(2, 100, LockMode::kS));
+  OPDELTA_ASSERT_OK(lm.LockTable(3, 100, LockMode::kIS));
+  EXPECT_EQ(lm.HoldersOnTable(100), 3u);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthersUntilRelease) {
+  LockManager lm(std::chrono::milliseconds(100));
+  OPDELTA_ASSERT_OK(lm.LockTable(1, 100, LockMode::kX));
+  // A second transaction times out while txn 1 holds X.
+  Status st = lm.LockTable(2, 100, LockMode::kIS,
+                           std::chrono::milliseconds(50));
+  EXPECT_TRUE(st.IsConflict());
+
+  // After release the blocked mode is grantable.
+  lm.ReleaseAll(1);
+  OPDELTA_ASSERT_OK(lm.LockTable(2, 100, LockMode::kIS));
+}
+
+TEST(LockManagerTest, BlockedRequestWakesOnRelease) {
+  LockManager lm;
+  OPDELTA_ASSERT_OK(lm.LockTable(1, 5, LockMode::kX));
+  std::atomic<bool> granted{false};
+  std::thread waiter([&]() {
+    Status st = lm.LockTable(2, 5, LockMode::kS, std::chrono::seconds(5));
+    if (st.ok()) granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm(std::chrono::milliseconds(100));
+  OPDELTA_ASSERT_OK(lm.LockTable(1, 7, LockMode::kIS));
+  OPDELTA_ASSERT_OK(lm.LockTable(1, 7, LockMode::kIS));  // re-entrant
+  OPDELTA_ASSERT_OK(lm.LockTable(1, 7, LockMode::kX));   // upgrade, sole holder
+  // Another txn now conflicts.
+  EXPECT_TRUE(lm.LockTable(2, 7, LockMode::kIS, std::chrono::milliseconds(30))
+                  .IsConflict());
+}
+
+TEST(LockManagerTest, RowLocksConflictOnlyOnSameRow) {
+  LockManager lm(std::chrono::milliseconds(100));
+  const storage::Rid r1{1, 1}, r2{1, 2};
+  OPDELTA_ASSERT_OK(lm.LockRow(1, 9, r1, /*exclusive=*/true));
+  OPDELTA_ASSERT_OK(lm.LockRow(2, 9, r2, /*exclusive=*/true));  // no conflict
+  EXPECT_TRUE(lm.LockRow(2, 9, r1, true, std::chrono::milliseconds(30))
+                  .IsConflict());
+  // Shared row locks coexist.
+  const storage::Rid r3{2, 0};
+  OPDELTA_ASSERT_OK(lm.LockRow(1, 9, r3, false));
+  OPDELTA_ASSERT_OK(lm.LockRow(2, 9, r3, false));
+  EXPECT_TRUE(lm.LockRow(3, 9, r3, true, std::chrono::milliseconds(30))
+                  .IsConflict());
+}
+
+TEST(LockManagerTest, RowLockReentrantUpgrade) {
+  LockManager lm;
+  const storage::Rid r{1, 1};
+  OPDELTA_ASSERT_OK(lm.LockRow(1, 3, r, false));
+  OPDELTA_ASSERT_OK(lm.LockRow(1, 3, r, true));  // upgrade, sole sharer
+  OPDELTA_ASSERT_OK(lm.LockRow(1, 3, r, true));  // re-entrant
+}
+
+TEST(LockManagerTest, ReleaseAllClearsEverything) {
+  LockManager lm;
+  OPDELTA_ASSERT_OK(lm.LockTable(1, 1, LockMode::kX));
+  OPDELTA_ASSERT_OK(lm.LockRow(1, 1, storage::Rid{0, 0}, true));
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HoldersOnTable(1), 0u);
+  OPDELTA_ASSERT_OK(lm.LockTable(2, 1, LockMode::kX));
+}
+
+// --------------------------------------------------------------- Recovery
+
+TEST(RecoveryTest, ReplaysOnlyCommittedInLsnOrder) {
+  TempDir dir;
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+    auto append = [&](LogRecordType type, TxnId txn, const std::string& data) {
+      LogRecord rec;
+      rec.type = type;
+      rec.txn_id = txn;
+      rec.after = data;
+      OPDELTA_ASSERT_OK(wal.Append(&rec));
+    };
+    // Txn 1 commits, txn 2 aborts, txn 3 is left open.
+    append(LogRecordType::kBegin, 1, "");
+    append(LogRecordType::kInsert, 1, "a1");
+    append(LogRecordType::kBegin, 2, "");
+    append(LogRecordType::kInsert, 2, "b1");
+    append(LogRecordType::kInsert, 1, "a2");
+    append(LogRecordType::kCommit, 1, "");
+    append(LogRecordType::kAbort, 2, "");
+    append(LogRecordType::kBegin, 3, "");
+    append(LogRecordType::kInsert, 3, "c1");
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+
+  std::vector<std::string> applied;
+  RecoveryStats stats;
+  OPDELTA_ASSERT_OK(ReplayCommitted(
+      dir.Sub("wal"),
+      [&](const LogRecord& r) -> Status {
+        applied.push_back(r.after);
+        return Status::OK();
+      },
+      &stats));
+  EXPECT_EQ(applied, (std::vector<std::string>{"a1", "a2"}));
+  EXPECT_EQ(stats.committed_txns, 1u);
+  EXPECT_EQ(stats.aborted_or_open_txns, 2u);
+  EXPECT_EQ(stats.redo_applied, 2u);
+}
+
+TEST(RecoveryTest, ApplyErrorPropagates) {
+  TempDir dir;
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+    LogRecord rec;
+    rec.type = LogRecordType::kBegin;
+    rec.txn_id = 1;
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+    rec.type = LogRecordType::kInsert;
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+    rec.type = LogRecordType::kCommit;
+    OPDELTA_ASSERT_OK(wal.Append(&rec));
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  Status st = ReplayCommitted(
+      dir.Sub("wal"),
+      [](const LogRecord&) { return Status::IOError("apply boom"); },
+      nullptr);
+  EXPECT_TRUE(st.IsIOError());
+}
+
+}  // namespace
+}  // namespace opdelta::txn

@@ -1,0 +1,263 @@
+// opdelta_cli — command-line front end for poking at opdelta databases,
+// logs, and extraction machinery.
+//
+//   opdelta_cli create-parts <dbdir> <rows>     create + populate PARTS
+//   opdelta_cli tables <dbdir>                  list tables and row counts
+//   opdelta_cli dump <dbdir> <table>            print a table as CSV
+//   opdelta_cli sql <dbdir> "<statement>"       run DML or SELECT
+//   opdelta_cli snapshot <dbdir> <table> <out>  write a snapshot file
+//   opdelta_cli diff <old.snap> <new.snap>      summarize a snapshot diff
+//   opdelta_cli extract-log <dbdir> <table>     decode the archive log
+//   opdelta_cli oplog <file>                    pretty-print an op-delta log
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dbutils/ascii_dump.h"
+#include "engine/database.h"
+#include "engine/snapshot.h"
+#include "extract/log_extractor.h"
+#include "extract/op_delta.h"
+#include "extract/snapshot_differential.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "workload/workload.h"
+
+namespace opdelta {
+namespace {
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+#define CLI_OK(expr)                          \
+  do {                                        \
+    ::opdelta::Status _st = (expr);           \
+    if (!_st.ok()) return Fail(_st);          \
+  } while (0)
+
+Result<std::unique_ptr<engine::Database>> OpenExisting(
+    const std::string& dir) {
+  if (!Env::Default()->FileExists(dir + "/catalog.meta")) {
+    return Status::NotFound("no opdelta database at " + dir);
+  }
+  std::unique_ptr<engine::Database> db;
+  OPDELTA_RETURN_IF_ERROR(
+      engine::Database::Open(dir, engine::DatabaseOptions(), &db));
+  return db;
+}
+
+void PrintRow(const catalog::Row& row) {
+  std::string line;
+  catalog::CsvCodec::EncodeLine(row, &line);
+  std::fputs(line.c_str(), stdout);
+}
+
+int CmdCreateParts(const std::string& dir, int64_t rows) {
+  std::unique_ptr<engine::Database> db;
+  CLI_OK(engine::Database::Open(dir, engine::DatabaseOptions(), &db));
+  workload::PartsWorkload wl;
+  CLI_OK(wl.CreateTable(db.get(), "parts"));
+  CLI_OK(wl.Populate(db.get(), "parts", rows));
+  CLI_OK(db->FlushAll());
+  std::printf("created %s with parts(%lld rows)\n", dir.c_str(),
+              static_cast<long long>(rows));
+  return 0;
+}
+
+int CmdTables(const std::string& dir) {
+  Result<std::unique_ptr<engine::Database>> db = OpenExisting(dir);
+  if (!db.ok()) return Fail(db.status());
+  for (const std::string& name : (*db)->catalog().TableNames()) {
+    Result<uint64_t> count = (*db)->CountRows(name);
+    if (!count.ok()) return Fail(count.status());
+    const engine::Table* t = (*db)->GetTable(name);
+    std::printf("%-24s %10llu rows   (%s)\n", name.c_str(),
+                static_cast<unsigned long long>(*count),
+                t->schema().ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdDump(const std::string& dir, const std::string& table) {
+  Result<std::unique_ptr<engine::Database>> db = OpenExisting(dir);
+  if (!db.ok()) return Fail(db.status());
+  Status st = (*db)->Scan(nullptr, table, engine::Predicate::True(),
+                          [&](const storage::Rid&, const catalog::Row& row) {
+                            PrintRow(row);
+                            return true;
+                          });
+  CLI_OK(st);
+  return 0;
+}
+
+int CmdSql(const std::string& dir, const std::string& text) {
+  Result<std::unique_ptr<engine::Database>> db = OpenExisting(dir);
+  if (!db.ok()) return Fail(db.status());
+  sql::Executor exec(db->get());
+
+  Result<sql::Statement> stmt = sql::Parser::Parse(text);
+  if (!stmt.ok()) return Fail(stmt.status());
+  if (stmt->is_select()) {
+    Result<std::vector<catalog::Row>> rows = exec.ExecuteSqlQuery(text);
+    if (!rows.ok()) return Fail(rows.status());
+    for (const catalog::Row& row : *rows) PrintRow(row);
+    std::fprintf(stderr, "%zu rows\n", rows->size());
+    return 0;
+  }
+  Result<size_t> affected = exec.ExecuteSql(text);
+  if (!affected.ok()) return Fail(affected.status());
+  CLI_OK((*db)->FlushAll());
+  std::printf("%zu rows affected\n", *affected);
+  return 0;
+}
+
+int CmdSnapshot(const std::string& dir, const std::string& table,
+                const std::string& out) {
+  Result<std::unique_ptr<engine::Database>> db = OpenExisting(dir);
+  if (!db.ok()) return Fail(db.status());
+  CLI_OK(engine::Snapshot::Write(db->get(), table, out));
+  uint64_t size = 0;
+  CLI_OK(Env::Default()->GetFileSize(out, &size));
+  std::printf("wrote %s (%llu bytes)\n", out.c_str(),
+              static_cast<unsigned long long>(size));
+  return 0;
+}
+
+int CmdDiff(const std::string& old_path, const std::string& new_path) {
+  extract::SnapshotDifferential::Stats stats;
+  Result<extract::DeltaBatch> diff = extract::SnapshotDifferential::Diff(
+      old_path, new_path, extract::SnapshotDifferential::Options(), &stats);
+  if (!diff.ok()) return Fail(diff.status());
+  size_t ins = 0, del = 0, upd = 0;
+  for (const extract::DeltaRecord& r : diff->records) {
+    switch (r.op) {
+      case extract::DeltaOp::kInsert:
+        ++ins;
+        break;
+      case extract::DeltaOp::kDelete:
+        ++del;
+        break;
+      case extract::DeltaOp::kUpdateAfter:
+        ++upd;
+        break;
+      default:
+        break;
+    }
+  }
+  std::printf("old: %llu rows, new: %llu rows\n",
+              static_cast<unsigned long long>(stats.old_rows),
+              static_cast<unsigned long long>(stats.new_rows));
+  std::printf("delta: %zu inserts, %zu deletes, %zu updates\n", ins, del,
+              upd);
+  return 0;
+}
+
+int CmdExtractLog(const std::string& dir, const std::string& table) {
+  Result<std::unique_ptr<engine::Database>> db = OpenExisting(dir);
+  if (!db.ok()) return Fail(db.status());
+  engine::Table* t = (*db)->GetTable(table);
+  if (t == nullptr) return Fail(Status::NotFound("table " + table));
+  extract::LogExtractor extractor((*db)->wal()->dir());
+  txn::Lsn wm = 0;
+  Result<extract::DeltaBatch> batch =
+      extractor.ExtractSince(0, t->id(), table, t->schema(), &wm);
+  if (!batch.ok()) return Fail(batch.status());
+  for (const extract::DeltaRecord& r : batch->records) {
+    std::printf("txn=%llu %-14s ",
+                static_cast<unsigned long long>(r.source_txn),
+                extract::DeltaOpName(r.op));
+    PrintRow(r.image);
+  }
+  std::fprintf(stderr, "%zu delta records, watermark lsn=%llu\n",
+               batch->records.size(), static_cast<unsigned long long>(wm));
+  return 0;
+}
+
+int CmdOplog(const std::string& path) {
+  std::string data;
+  CLI_OK(Env::Default()->ReadFileToString(path, &data));
+  // Schema-less pretty print: show structure, statements and image lines.
+  size_t start = 0, txns = 0, stmts = 0;
+  while (start < data.size()) {
+    size_t end = data.find('\n', start);
+    if (end == std::string::npos) end = data.size();
+    const std::string line = data.substr(start, end - start);
+    if (!line.empty()) {
+      switch (line[0]) {
+        case 'B':
+          std::printf("BEGIN  %s\n", line.c_str() + 2);
+          break;
+        case 'C':
+          std::printf("COMMIT %s\n", line.c_str() + 2);
+          ++txns;
+          break;
+        case 'A':
+          std::printf("ABORT  %s\n", line.c_str() + 2);
+          break;
+        case 'S':
+        case 'T': {
+          const size_t sql_pos = line.find(' ', line.find(' ', 2) + 1);
+          std::printf("  %s%s\n",
+                      line[0] == 'T' ? "[hybrid] " : "",
+                      sql_pos == std::string::npos
+                          ? line.c_str()
+                          : line.c_str() + sql_pos + 1);
+          ++stmts;
+          break;
+        }
+        case 'V':
+          std::printf("    before-image: %s\n",
+                      line.substr(line.find(' ', line.find(' ', 2) + 1) + 1)
+                          .c_str());
+          break;
+        default:
+          std::printf("  ? %s\n", line.c_str());
+      }
+    }
+    start = end + 1;
+  }
+  std::fprintf(stderr, "%zu committed txns, %zu statements\n", txns, stmts);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  opdelta_cli create-parts <dbdir> <rows>\n"
+               "  opdelta_cli tables <dbdir>\n"
+               "  opdelta_cli dump <dbdir> <table>\n"
+               "  opdelta_cli sql <dbdir> \"<statement>\"\n"
+               "  opdelta_cli snapshot <dbdir> <table> <out>\n"
+               "  opdelta_cli diff <old.snap> <new.snap>\n"
+               "  opdelta_cli extract-log <dbdir> <table>\n"
+               "  opdelta_cli oplog <file>\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "create-parts" && argc == 4) {
+    return CmdCreateParts(argv[2], std::strtoll(argv[3], nullptr, 10));
+  }
+  if (cmd == "tables" && argc == 3) return CmdTables(argv[2]);
+  if (cmd == "dump" && argc == 4) return CmdDump(argv[2], argv[3]);
+  if (cmd == "sql" && argc == 4) return CmdSql(argv[2], argv[3]);
+  if (cmd == "snapshot" && argc == 5) {
+    return CmdSnapshot(argv[2], argv[3], argv[4]);
+  }
+  if (cmd == "diff" && argc == 4) return CmdDiff(argv[2], argv[3]);
+  if (cmd == "extract-log" && argc == 4) {
+    return CmdExtractLog(argv[2], argv[3]);
+  }
+  if (cmd == "oplog" && argc == 3) return CmdOplog(argv[2]);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace opdelta
+
+int main(int argc, char** argv) { return opdelta::Main(argc, argv); }
