@@ -1,0 +1,80 @@
+#ifndef OPDELTA_COMMON_THREAD_POOL_H_
+#define OPDELTA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opdelta {
+
+/// Fixed-size worker pool executing submitted tasks FIFO. General-purpose:
+/// the hub schedules per-source extract legs on it, but nothing in the
+/// interface is CDC-specific. Tasks must not throw (the library is
+/// exception-free); a task that needs to report failure captures a Status
+/// into state it owns.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers immediately (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe from any thread, including pool workers
+  /// (submission never blocks on task execution). After Shutdown the task
+  /// is silently dropped.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. New tasks may
+  /// be submitted concurrently; they are not waited for.
+  void WaitIdle();
+
+  /// Drains outstanding tasks, then joins the workers. Idempotent; also
+  /// called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signalled on submit/shutdown
+  std::condition_variable idle_cv_;   // signalled when a task completes
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;       // tasks currently executing
+  bool shutdown_ = false;
+};
+
+/// One-shot synchronization point: Wait() returns once CountDown() has been
+/// called `count` times. Used to join a batch of pool tasks without
+/// stalling the pool itself.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+}  // namespace opdelta
+
+#endif  // OPDELTA_COMMON_THREAD_POOL_H_

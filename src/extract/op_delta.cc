@@ -146,7 +146,13 @@ OpDeltaCapture::OpDeltaCapture(sql::Executor* executor,
 
 Result<std::unique_ptr<txn::Transaction>> OpDeltaCapture::Begin() {
   std::unique_ptr<txn::Transaction> txn = executor_->db()->Begin();
-  OPDELTA_RETURN_IF_ERROR(sink_->OnBegin(executor_->db(), txn.get()));
+  Status st = sink_->OnBegin(executor_->db(), txn.get());
+  if (!st.ok()) {
+    // The engine transaction must not outlive this call still holding
+    // locks: only Commit/Abort release them.
+    executor_->db()->Abort(txn.get());
+    return st;
+  }
   return txn;
 }
 
@@ -187,13 +193,19 @@ Result<size_t> OpDeltaCapture::Execute(txn::Transaction* txn,
 }
 
 Status OpDeltaCapture::Commit(txn::Transaction* txn) {
-  OPDELTA_RETURN_IF_ERROR(sink_->OnCommit(executor_->db(), txn));
-  return executor_->db()->Commit(txn);
+  Status st = sink_->OnCommit(executor_->db(), txn);
+  if (st.ok()) st = executor_->db()->Commit(txn);
+  // A failed sink write (e.g. a lock conflict on the capture table with a
+  // concurrent drain) or a failed WAL commit leaves the transaction
+  // active; abort it so its locks cannot leak.
+  if (!st.ok() && txn->active()) executor_->db()->Abort(txn);
+  return st;
 }
 
 Status OpDeltaCapture::Abort(txn::Transaction* txn) {
-  OPDELTA_RETURN_IF_ERROR(sink_->OnAbort(executor_->db(), txn));
-  return executor_->db()->Abort(txn);
+  Status sink_st = sink_->OnAbort(executor_->db(), txn);
+  Status st = executor_->db()->Abort(txn);
+  return sink_st.ok() ? st : sink_st;
 }
 
 Result<size_t> OpDeltaCapture::RunTransaction(
@@ -373,15 +385,24 @@ Status DrainDbTableImpl(engine::Database* db, const std::string& log_table,
     std::string kind;
     std::string payload;
   };
+  // Scan and clear atomically under a table X lock: once granted, every
+  // in-flight writer has finished, so the scan sees only complete
+  // capture streams and no row can slip in between the scan and the
+  // delete (it would be silently lost, never having been extracted).
   std::vector<Entry> entries;
-  OPDELTA_RETURN_IF_ERROR(db->Scan(
-      nullptr, log_table, engine::Predicate::True(),
-      [&](const storage::Rid&, const Row& row) {
-        entries.push_back(Entry{static_cast<uint64_t>(row[0].AsInt64()),
-                                static_cast<txn::TxnId>(row[1].AsInt64()),
-                                row[2].AsString(), row[3].AsString()});
-        return true;
-      }));
+  OPDELTA_RETURN_IF_ERROR(db->WithTransaction([&](txn::Transaction* txn) {
+    OPDELTA_RETURN_IF_ERROR(db->LockTableExclusive(txn, log_table));
+    OPDELTA_RETURN_IF_ERROR(db->Scan(
+        nullptr, log_table, engine::Predicate::True(),
+        [&](const storage::Rid&, const Row& row) {
+          entries.push_back(Entry{static_cast<uint64_t>(row[0].AsInt64()),
+                                  static_cast<txn::TxnId>(row[1].AsInt64()),
+                                  row[2].AsString(), row[3].AsString()});
+          return true;
+        }));
+    return db->DeleteWhere(txn, log_table, engine::Predicate::True())
+        .status();
+  }));
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
 
@@ -390,11 +411,6 @@ Status DrainDbTableImpl(engine::Database* db, const std::string& log_table,
     OPDELTA_RETURN_IF_ERROR(assembler.Feed(e.kind, e.txn, e.seq, e.payload));
   }
   *out = assembler.TakeCommitted();
-
-  OPDELTA_RETURN_IF_ERROR(db->WithTransaction([&](txn::Transaction* txn) {
-    return db->DeleteWhere(txn, log_table, engine::Predicate::True())
-        .status();
-  }));
   return Status::OK();
 }
 

@@ -149,27 +149,30 @@ Result<DeltaBatch> TriggerExtractor::Drain(engine::Database* db,
   batch.schema = src->schema();
   const size_t n_src = src->schema().num_columns();
 
-  OPDELTA_RETURN_IF_ERROR(db->Scan(
-      nullptr, delta_table, engine::Predicate::True(),
-      [&](const storage::Rid&, const Row& row) {
-        DeltaRecord r;
-        r.op = static_cast<DeltaOp>(row[0].AsInt64());
-        r.source_txn = static_cast<txn::TxnId>(row[1].AsInt64());
-        r.seq = static_cast<uint64_t>(row[2].AsInt64());
-        r.image.assign(row.begin() + 3, row.begin() + 3 + n_src);
-        batch.records.push_back(std::move(r));
-        return true;
-      }));
+  // Scan and clear atomically under a table X lock: once granted, no
+  // trigger-writing transaction is in flight, so the scan sees a stable
+  // snapshot and no delta row inserted after the scan can be deleted
+  // unextracted.
+  OPDELTA_RETURN_IF_ERROR(db->WithTransaction([&](txn::Transaction* txn) {
+    OPDELTA_RETURN_IF_ERROR(db->LockTableExclusive(txn, delta_table));
+    OPDELTA_RETURN_IF_ERROR(db->Scan(
+        nullptr, delta_table, engine::Predicate::True(),
+        [&](const storage::Rid&, const Row& row) {
+          DeltaRecord r;
+          r.op = static_cast<DeltaOp>(row[0].AsInt64());
+          r.source_txn = static_cast<txn::TxnId>(row[1].AsInt64());
+          r.seq = static_cast<uint64_t>(row[2].AsInt64());
+          r.image.assign(row.begin() + 3, row.begin() + 3 + n_src);
+          batch.records.push_back(std::move(r));
+          return true;
+        }));
+    return db->DeleteWhere(txn, delta_table, engine::Predicate::True())
+        .status();
+  }));
   std::sort(batch.records.begin(), batch.records.end(),
             [](const DeltaRecord& a, const DeltaRecord& b) {
               return a.seq < b.seq;
             });
-
-  // Clear the drained rows.
-  OPDELTA_RETURN_IF_ERROR(db->WithTransaction([&](txn::Transaction* txn) {
-    return db->DeleteWhere(txn, delta_table, engine::Predicate::True())
-        .status();
-  }));
   return batch;
 }
 

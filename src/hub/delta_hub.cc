@@ -1,0 +1,433 @@
+#include "hub/delta_hub.h"
+
+#include <unordered_map>
+
+#include "common/env.h"
+#include "extract/reconciler.h"
+
+namespace opdelta::hub {
+
+struct DeltaHub::Source {
+  SourceSpec spec;
+  std::unique_ptr<pipeline::SourceLeg> leg;
+  size_t stats_index = 0;
+};
+
+/// A unit of scheduling: one standalone source, or all members of a
+/// replica group. Per group at most one batch is in flight at a time, so
+/// batches for any one source always apply in ship order.
+struct DeltaHub::Group {
+  std::string warehouse_table;
+  std::vector<Source*> members;  // registration order = site priority
+  size_t worker = 0;             // apply-worker lane owning the table
+};
+
+struct DeltaHub::StagedBatch {
+  Group* group = nullptr;
+  std::string message;
+  uint64_t bytes = 0;
+  std::vector<Source*> acks;     // queues to advance after integration
+  Status status;                 // written by the worker before `done`
+  CountDownLatch* done = nullptr;
+};
+
+DeltaHub::DeltaHub(engine::Database* warehouse, HubOptions options)
+    : warehouse_(warehouse), options_(std::move(options)) {}
+
+DeltaHub::~DeltaHub() { Stop(); }
+
+Result<std::unique_ptr<DeltaHub>> DeltaHub::Create(
+    engine::Database* warehouse, HubOptions options) {
+  if (warehouse == nullptr) {
+    return Status::InvalidArgument("warehouse database required");
+  }
+  if (options.work_dir.empty()) {
+    return Status::InvalidArgument("work_dir required");
+  }
+  if (options.extract_threads == 0) options.extract_threads = 1;
+  if (options.apply_workers == 0) options.apply_workers = 1;
+  if (options.staging_budget_bytes == 0) {
+    return Status::InvalidArgument("staging budget must be positive");
+  }
+  return std::unique_ptr<DeltaHub>(
+      new DeltaHub(warehouse, std::move(options)));
+}
+
+Status DeltaHub::AddSource(const SourceSpec& spec) {
+  if (setup_done_) {
+    return Status::InvalidArgument("AddSource must precede Setup");
+  }
+  if (spec.name.empty()) return Status::InvalidArgument("source name empty");
+  if (spec.source == nullptr) {
+    return Status::InvalidArgument("source database required");
+  }
+  for (const auto& existing : sources_) {
+    if (existing->spec.name == spec.name) {
+      return Status::AlreadyExists("source " + spec.name);
+    }
+  }
+  engine::Table* dst = warehouse_->GetTable(spec.warehouse_table);
+  if (dst == nullptr) {
+    return Status::NotFound("warehouse table " + spec.warehouse_table);
+  }
+  engine::Table* src = spec.source->GetTable(spec.source_table);
+  if (src == nullptr) {
+    return Status::NotFound("source table " + spec.source_table);
+  }
+  if (!(src->schema() == dst->schema())) {
+    return Status::InvalidArgument(
+        "source and warehouse table schemas must match for " + spec.name);
+  }
+  if (spec.method == pipeline::Method::kOpDelta &&
+      spec.warehouse_table != spec.source_table) {
+    return Status::NotSupported(
+        "op-delta source requires matching table names: " + spec.name);
+  }
+  if (spec.method == pipeline::Method::kOpDelta &&
+      !spec.replica_group.empty()) {
+    // §4.1: op-delta captures one authoritative stream at the wrapper, so
+    // there is nothing to reconcile — replica groups are value-delta only.
+    return Status::NotSupported(
+        "op-delta sources cannot join a replica group: " + spec.name);
+  }
+
+  pipeline::PipelineOptions leg_options;
+  leg_options.method = spec.method;
+  leg_options.source_table = spec.source_table;
+  leg_options.warehouse_table = spec.warehouse_table;
+  leg_options.timestamp_column = spec.timestamp_column;
+  leg_options.op_log_table = spec.op_log_table;
+  leg_options.work_dir = options_.work_dir + "/" + spec.name;
+
+  auto source = std::make_unique<Source>();
+  source->spec = spec;
+  OPDELTA_ASSIGN_OR_RETURN(
+      source->leg,
+      pipeline::SourceLeg::Create(spec.source, std::move(leg_options)));
+  sources_.push_back(std::move(source));
+  return Status::OK();
+}
+
+Status DeltaHub::BuildGroups() {
+  groups_.clear();
+  std::unordered_map<std::string, Group*> by_name;
+  for (const auto& source : sources_) {
+    const std::string& group_name = source->spec.replica_group;
+    Group* group = nullptr;
+    if (!group_name.empty()) {
+      auto it = by_name.find(group_name);
+      if (it != by_name.end()) group = it->second;
+    }
+    if (group == nullptr) {
+      groups_.push_back(std::make_unique<Group>());
+      group = groups_.back().get();
+      group->warehouse_table = source->spec.warehouse_table;
+      if (!group_name.empty()) by_name.emplace(group_name, group);
+    }
+    if (group->warehouse_table != source->spec.warehouse_table) {
+      return Status::InvalidArgument(
+          "replica group " + group_name +
+          " members disagree on the warehouse table");
+    }
+    group->members.push_back(source.get());
+  }
+  // Partition warehouse tables across apply workers: every group writing a
+  // table maps to the same lane, so one table never applies out of order.
+  std::unordered_map<std::string, size_t> table_worker;
+  size_t next_worker = 0;
+  for (const auto& group : groups_) {
+    auto [it, inserted] = table_worker.emplace(
+        group->warehouse_table, next_worker % options_.apply_workers);
+    if (inserted) ++next_worker;
+    group->worker = it->second;
+  }
+  return Status::OK();
+}
+
+Status DeltaHub::Setup() {
+  if (setup_done_) return Status::OK();
+  if (sources_.empty()) return Status::InvalidArgument("no sources added");
+  OPDELTA_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.work_dir));
+  OPDELTA_RETURN_IF_ERROR(BuildGroups());
+
+  stats_.sources.clear();
+  for (const auto& source : sources_) {
+    source->stats_index = stats_.sources.size();
+    SourceStats entry;
+    entry.name = source->spec.name;
+    entry.warehouse_table = source->spec.warehouse_table;
+    stats_.sources.push_back(std::move(entry));
+    OPDELTA_RETURN_IF_ERROR(source->leg->Setup());
+  }
+
+  worker_queues_.resize(options_.apply_workers);
+  apply_threads_.reserve(options_.apply_workers);
+  for (size_t i = 0; i < options_.apply_workers; ++i) {
+    apply_threads_.emplace_back([this, i] { ApplyWorkerLoop(i); });
+  }
+  extract_pool_ = std::make_unique<ThreadPool>(options_.extract_threads);
+  setup_done_ = true;
+  return Status::OK();
+}
+
+extract::OpDeltaCapture* DeltaHub::capture(const std::string& source_name) {
+  for (const auto& source : sources_) {
+    if (source->spec.name == source_name) return source->leg->capture();
+  }
+  return nullptr;
+}
+
+void DeltaHub::RefreshSourceStats(Source* source) {
+  const pipeline::LegStats& leg_stats = source->leg->stats();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  SourceStats& entry = stats_.sources[source->stats_index];
+  entry.rounds = leg_stats.rounds;
+  entry.records_extracted = leg_stats.records_extracted;
+  entry.batches_shipped = leg_stats.batches_shipped;
+  entry.bytes_shipped = leg_stats.bytes_shipped;
+}
+
+Status DeltaHub::ProduceRound(Group* group) {
+  // 1. Extract→ship every member (durable; watermark persists with it).
+  for (Source* source : group->members) {
+    OPDELTA_RETURN_IF_ERROR(source->leg->ExtractAndShip());
+    RefreshSourceStats(source);
+  }
+
+  // 2. Drain the group's shipped backlog — which replays anything staged
+  //    before a restart first, in FIFO order — one batch in flight at a
+  //    time so per-source apply order matches ship order.
+  while (true) {
+    std::vector<Source*> present;
+    std::vector<std::string> messages;
+    for (Source* source : group->members) {
+      std::string message;
+      Status st = source->leg->PeekShipped(&message);
+      if (st.IsNotFound()) continue;
+      OPDELTA_RETURN_IF_ERROR(st);
+      present.push_back(source);
+      messages.push_back(std::move(message));
+    }
+    if (present.empty()) return Status::OK();
+
+    std::string staged;
+    if (group->members.size() == 1) {
+      staged = std::move(messages[0]);
+    } else {
+      // Replica group: merge this round's per-replica batches into one
+      // authoritative net-change stream (§2.2 / §4.1).
+      std::vector<extract::DeltaBatch> batches(messages.size());
+      std::vector<const extract::DeltaBatch*> replica_order;
+      for (size_t i = 0; i < messages.size(); ++i) {
+        OPDELTA_RETURN_IF_ERROR(
+            pipeline::DecodeValueDeltaMessage(messages[i], &batches[i]));
+        replica_order.push_back(&batches[i]);
+      }
+      extract::Reconciler::Stats rstats;
+      OPDELTA_ASSIGN_OR_RETURN(
+          extract::DeltaBatch merged,
+          extract::Reconciler::Reconcile(replica_order, &rstats));
+      pipeline::EncodeValueDeltaMessage(merged, &staged);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.batches_reconciled += present.size();
+      stats_.duplicates_dropped += rstats.duplicates_dropped;
+      stats_.conflicts += rstats.conflicts;
+    }
+
+    const uint64_t bytes = staged.size();
+    OPDELTA_RETURN_IF_ERROR(
+        StageAndApply(group, std::move(staged), bytes, std::move(present)));
+  }
+}
+
+Status DeltaHub::StageAndApply(Group* group, std::string message,
+                               uint64_t bytes, std::vector<Source*> acks) {
+  StagedBatch batch;
+  batch.group = group;
+  batch.message = std::move(message);
+  batch.bytes = bytes;
+  batch.acks = std::move(acks);
+  CountDownLatch done(1);
+  batch.done = &done;
+
+  {
+    std::unique_lock<std::mutex> lock(staging_mutex_);
+    // Backpressure: block while the budget is exceeded, except when the
+    // staging area is empty (an oversized batch must still pass through).
+    if (staging_bytes_ > 0 &&
+        staging_bytes_ + bytes > options_.staging_budget_bytes) {
+      ++producer_stalls_;
+      producer_cv_.wait(lock, [&] {
+        return staging_bytes_ == 0 ||
+               staging_bytes_ + bytes <= options_.staging_budget_bytes;
+      });
+    }
+    staging_bytes_ += bytes;
+    if (staging_bytes_ > staging_peak_bytes_) {
+      staging_peak_bytes_ = staging_bytes_;
+    }
+    ++batches_staged_;
+    worker_queues_[group->worker].push_back(&batch);
+  }
+  worker_cv_.notify_all();
+
+  done.Wait();
+  return batch.status;
+}
+
+void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
+  while (true) {
+    StagedBatch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(staging_mutex_);
+      worker_cv_.wait(lock, [&] {
+        return workers_stop_ || !worker_queues_[worker_index].empty();
+      });
+      if (worker_queues_[worker_index].empty()) return;  // stop + drained
+      batch = worker_queues_[worker_index].front();
+      worker_queues_[worker_index].pop_front();
+    }
+
+    Stopwatch apply_timer;
+    warehouse::IntegrationStats istats;
+    Status st = batch->group->members.front()->leg->Integrate(
+        warehouse_, batch->message, &istats);
+    if (st.ok()) {
+      // Acknowledge only after successful integration: a crash or error
+      // before this point leaves the batch in the queues for replay.
+      for (Source* source : batch->acks) {
+        Status ack = source->leg->AckShipped();
+        if (st.ok() && !ack.ok()) st = ack;
+      }
+    }
+    const Micros elapsed = apply_timer.ElapsedMicros();
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (st.ok()) {
+        ++stats_.batches_applied;
+        stats_.transactions_applied += istats.transactions;
+        stats_.apply_micros_total += elapsed;
+        if (elapsed > stats_.apply_micros_max) {
+          stats_.apply_micros_max = elapsed;
+        }
+        for (Source* source : batch->acks) {
+          ++stats_.sources[source->stats_index].batches_applied;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(staging_mutex_);
+      staging_bytes_ -= batch->bytes;
+    }
+    producer_cv_.notify_all();
+
+    batch->status = st;
+    batch->done->CountDown();  // `batch` is invalid past this line
+  }
+}
+
+Status DeltaHub::RunRound() {
+  if (!setup_done_) return Status::Internal("call Setup() first");
+  {
+    std::lock_guard<std::mutex> lock(staging_mutex_);
+    if (stopped_) return Status::Internal("hub stopped");
+  }
+
+  CountDownLatch latch(groups_.size());
+  std::mutex error_mutex;
+  Status first_error;
+  for (const auto& group : groups_) {
+    extract_pool_->Submit([this, group = group.get(), &latch, &error_mutex,
+                           &first_error] {
+      Status st = ProduceRound(group);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = st;
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rounds;
+  }
+  return first_error;
+}
+
+Status DeltaHub::Start() {
+  if (!setup_done_) return Status::Internal("call Setup() first");
+  std::lock_guard<std::mutex> lock(driver_mutex_);
+  if (driver_running_) return Status::Busy("hub already started");
+  driver_stop_ = false;
+  driver_status_ = Status::OK();
+  driver_running_ = true;
+  driver_ = std::thread([this] {
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lk(driver_mutex_);
+        if (driver_stop_) return;
+      }
+      Status st = RunRound();
+      std::unique_lock<std::mutex> lk(driver_mutex_);
+      if (!st.ok()) {
+        if (driver_status_.ok()) driver_status_ = st;
+        return;  // fail-stop; Stop() reports the error
+      }
+      driver_cv_.wait_for(lk, options_.poll_interval,
+                          [this] { return driver_stop_; });
+      if (driver_stop_) return;
+    }
+  });
+  return Status::OK();
+}
+
+Status DeltaHub::Stop() {
+  // 1. Stop the driver (it finishes any in-flight round first).
+  {
+    std::lock_guard<std::mutex> lock(driver_mutex_);
+    driver_stop_ = true;
+  }
+  driver_cv_.notify_all();
+  if (driver_.joinable()) driver_.join();
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(driver_mutex_);
+    result = driver_status_;
+    driver_running_ = false;
+  }
+
+  // 2. Quiesce the extract pool, then the (now idle) apply workers.
+  if (extract_pool_ != nullptr) extract_pool_->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(staging_mutex_);
+    workers_stop_ = true;
+    stopped_ = true;
+  }
+  worker_cv_.notify_all();
+  for (std::thread& t : apply_threads_) {
+    if (t.joinable()) t.join();
+  }
+  apply_threads_.clear();
+  return result;
+}
+
+HubStats DeltaHub::Stats() const {
+  HubStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(staging_mutex_);
+    out.staging_bytes = staging_bytes_;
+    out.staging_peak_bytes = staging_peak_bytes_;
+    out.batches_staged = batches_staged_;
+    out.producer_stalls = producer_stalls_;
+  }
+  return out;
+}
+
+}  // namespace opdelta::hub

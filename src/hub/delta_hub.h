@@ -1,0 +1,208 @@
+#ifndef OPDELTA_HUB_DELTA_HUB_H_
+#define OPDELTA_HUB_DELTA_HUB_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/database.h"
+#include "extract/op_delta.h"
+#include "pipeline/source_leg.h"
+
+namespace opdelta::hub {
+
+/// One operational source feeding the hub: an extract→ship leg over a
+/// single table, by any pipeline::Method.
+struct SourceSpec {
+  /// Unique within the hub; also names the per-source state directory
+  /// (`<hub work_dir>/<name>`), so it must be stable across restarts.
+  std::string name;
+  engine::Database* source = nullptr;
+  pipeline::Method method = pipeline::Method::kOpDelta;
+  std::string source_table;
+  std::string warehouse_table;
+
+  /// Non-empty: this source is one instance of dynamically replicated data
+  /// (paper §2.2). All members of a group must use a value-delta method
+  /// and feed the same warehouse table; the hub reconciles their batches
+  /// into one authoritative stream before applying. Registration order is
+  /// the site-priority order on conflicts.
+  std::string replica_group;
+
+  /// Method::kTimestamp: the auto-maintained timestamp column.
+  std::string timestamp_column = "last_modified";
+  /// Method::kOpDelta: the DB-sink log table (created by Setup).
+  std::string op_log_table = "op_log";
+};
+
+struct HubOptions {
+  /// Root directory for per-source queues and watermark files.
+  std::string work_dir;
+
+  /// Workers driving extract→ship→stage producer legs (one task per
+  /// source group per round).
+  size_t extract_threads = 4;
+
+  /// Workers applying staged batches to the warehouse. Warehouse tables
+  /// are partitioned across workers, so batches for one table always
+  /// apply in ship order (the §4.1 per-source concurrency guarantee)
+  /// while distinct tables integrate in parallel.
+  size_t apply_workers = 2;
+
+  /// Staging-area byte budget. Producers block staging new batches while
+  /// the resident staged bytes exceed this (one oversized batch is always
+  /// admitted to avoid livelock).
+  uint64_t staging_budget_bytes = 64ull << 20;
+
+  /// Idle wait between rounds of the Start() background driver.
+  std::chrono::milliseconds poll_interval{20};
+};
+
+/// Per-source counters inside a HubStats snapshot.
+struct SourceStats {
+  std::string name;
+  std::string warehouse_table;
+  uint64_t rounds = 0;             // extract rounds driven
+  uint64_t records_extracted = 0;
+  uint64_t batches_shipped = 0;
+  uint64_t bytes_shipped = 0;
+  uint64_t batches_applied = 0;    // shipped batches acknowledged
+};
+
+/// Consistent point-in-time snapshot of the hub's operation.
+struct HubStats {
+  uint64_t rounds = 0;
+  std::vector<SourceStats> sources;
+
+  // Staging area.
+  uint64_t staging_bytes = 0;       // current occupancy
+  uint64_t staging_peak_bytes = 0;
+  uint64_t batches_staged = 0;
+  uint64_t producer_stalls = 0;     // producers blocked on the byte budget
+
+  // Warehouse apply.
+  uint64_t batches_applied = 0;
+  uint64_t transactions_applied = 0;
+  Micros apply_micros_total = 0;    // staging-pop → integrated, summed
+  Micros apply_micros_max = 0;
+
+  // Replica reconciliation.
+  uint64_t batches_reconciled = 0;  // group batches merged into one
+  uint64_t duplicates_dropped = 0;
+  uint64_t conflicts = 0;
+};
+
+/// A long-running CDC orchestration service over N registered sources: the
+/// many-operational-sources → one-warehouse shape of the paper's Figure 1.
+/// Each round, every source group extracts and ships concurrently on the
+/// extract pool; shipped batches funnel through a bounded in-memory
+/// staging area (backpressure on a byte budget) to apply workers
+/// partitioned by warehouse table. Batches from a replica group pass
+/// through extract::Reconciler first, yielding one authoritative stream.
+///
+/// Restart safety: per-source watermarks persist exactly as CdcPipeline's
+/// do (after the durable ship), and staged-but-unacknowledged batches
+/// replay from each source's PersistentQueue — a batch is acknowledged
+/// only after successful integration.
+///
+/// Usage: Create → AddSource×N → Setup → RunRound loop or Start/Stop.
+class DeltaHub {
+ public:
+  static Result<std::unique_ptr<DeltaHub>> Create(engine::Database* warehouse,
+                                                  HubOptions options);
+  ~DeltaHub();
+
+  DeltaHub(const DeltaHub&) = delete;
+  DeltaHub& operator=(const DeltaHub&) = delete;
+
+  /// Registers a source. Must precede Setup().
+  Status AddSource(const SourceSpec& spec);
+
+  /// Opens every leg (queues, watermarks, capture machinery), assembles
+  /// replica groups, partitions warehouse tables across apply workers and
+  /// starts them. Idempotent.
+  Status Setup();
+
+  /// The op-delta capture wrapper for a registered kOpDelta source
+  /// (nullptr for other methods or unknown names). Valid after Setup.
+  extract::OpDeltaCapture* capture(const std::string& source_name);
+
+  /// Drives one synchronous round: every source group extracts, ships,
+  /// stages and applies its backlog; returns once the warehouse has
+  /// absorbed everything pending. Groups run concurrently on the extract
+  /// pool. Not reentrant (the Start() driver or the caller, not both).
+  Status RunRound();
+
+  /// Launches the background driver: RunRound in a loop with
+  /// poll_interval idle waits. Errors are retained and returned by Stop.
+  Status Start();
+
+  /// Stops the driver, drains in-flight work and joins all threads.
+  /// Returns the first error the driver encountered. Idempotent.
+  Status Stop();
+
+  HubStats Stats() const;
+
+ private:
+  struct Source;
+  struct Group;
+  struct StagedBatch;
+
+  DeltaHub(engine::Database* warehouse, HubOptions options);
+
+  Status BuildGroups();
+  Status ProduceRound(Group* group);
+  Status StageAndApply(Group* group, std::string message, uint64_t bytes,
+                       std::vector<Source*> acks);
+  void ApplyWorkerLoop(size_t worker_index);
+  void RefreshSourceStats(Source* source);  // locks stats_mutex_
+
+  engine::Database* warehouse_;
+  HubOptions options_;
+
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  bool setup_done_ = false;
+
+  std::unique_ptr<ThreadPool> extract_pool_;
+
+  // Staging area: per-worker FIFO lanes sharing one byte budget. The
+  // staging counters live here (not in stats_) so producers and workers
+  // never need both mutexes at once.
+  mutable std::mutex staging_mutex_;
+  std::condition_variable producer_cv_;  // staged bytes released
+  std::condition_variable worker_cv_;    // work queued / shutdown
+  std::vector<std::deque<StagedBatch*>> worker_queues_;
+  uint64_t staging_bytes_ = 0;
+  uint64_t staging_peak_bytes_ = 0;
+  uint64_t batches_staged_ = 0;
+  uint64_t producer_stalls_ = 0;
+  bool workers_stop_ = false;
+  std::vector<std::thread> apply_threads_;
+  bool stopped_ = false;  // Stop() ran; the hub is permanently quiesced
+
+  // Background driver.
+  std::thread driver_;
+  std::mutex driver_mutex_;
+  std::condition_variable driver_cv_;
+  bool driver_stop_ = false;
+  bool driver_running_ = false;
+  Status driver_status_;
+
+  // Aggregate counters (everything HubStats reports except
+  // staging_bytes_, which lives under staging_mutex_).
+  mutable std::mutex stats_mutex_;
+  HubStats stats_;
+};
+
+}  // namespace opdelta::hub
+
+#endif  // OPDELTA_HUB_DELTA_HUB_H_

@@ -1,255 +1,65 @@
 #include "pipeline/cdc_pipeline.h"
 
-#include "common/coding.h"
-#include "common/env.h"
-
 namespace opdelta::pipeline {
 
-using extract::DeltaBatch;
-
-const char* MethodName(Method method) {
-  switch (method) {
-    case Method::kTimestamp:
-      return "timestamp";
-    case Method::kLog:
-      return "log";
-    case Method::kTrigger:
-      return "trigger";
-    case Method::kOpDelta:
-      return "op-delta";
-  }
-  return "?";
-}
-
-namespace {
-// Message framing: one byte discriminates value-delta batches from
-// serialized op-delta transaction logs.
-constexpr char kValueDeltaMessage = 'V';
-constexpr char kOpDeltaMessage = 'O';
-}  // namespace
-
-CdcPipeline::CdcPipeline(engine::Database* source,
-                         engine::Database* warehouse,
-                         PipelineOptions options)
-    : source_(source), warehouse_(warehouse), options_(std::move(options)) {}
+CdcPipeline::CdcPipeline(std::unique_ptr<SourceLeg> leg,
+                         engine::Database* warehouse)
+    : leg_(std::move(leg)), warehouse_(warehouse) {}
 
 Result<std::unique_ptr<CdcPipeline>> CdcPipeline::Create(
     engine::Database* source, engine::Database* warehouse,
     PipelineOptions options) {
-  if (options.work_dir.empty()) {
-    return Status::InvalidArgument("work_dir required");
+  engine::Table* dst = warehouse->GetTable(options.warehouse_table);
+  if (dst == nullptr) {
+    return Status::NotFound("warehouse table " + options.warehouse_table);
   }
   engine::Table* src = source->GetTable(options.source_table);
   if (src == nullptr) {
     return Status::NotFound("source table " + options.source_table);
   }
-  engine::Table* dst = warehouse->GetTable(options.warehouse_table);
-  if (dst == nullptr) {
-    return Status::NotFound("warehouse table " + options.warehouse_table);
-  }
   if (!(src->schema() == dst->schema())) {
     return Status::InvalidArgument(
         "source and warehouse table schemas must match");
   }
+  OPDELTA_ASSIGN_OR_RETURN(std::unique_ptr<SourceLeg> leg,
+                           SourceLeg::Create(source, std::move(options)));
   return std::unique_ptr<CdcPipeline>(
-      new CdcPipeline(source, warehouse, std::move(options)));
+      new CdcPipeline(std::move(leg), warehouse));
 }
 
-Status CdcPipeline::Setup() {
-  if (setup_done_) return Status::OK();
-  OPDELTA_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.work_dir));
-  OPDELTA_RETURN_IF_ERROR(queue_.Open(options_.work_dir + "/queue"));
-  OPDELTA_RETURN_IF_ERROR(LoadState());
-
-  switch (options_.method) {
-    case Method::kTrigger: {
-      Result<std::string> delta_table =
-          extract::TriggerExtractor::Install(source_, options_.source_table);
-      if (!delta_table.ok() &&
-          delta_table.status().code() != StatusCode::kAlreadyExists) {
-        return delta_table.status();
-      }
-      break;
-    }
-    case Method::kOpDelta: {
-      if (source_->GetTable(options_.op_log_table) == nullptr) {
-        OPDELTA_RETURN_IF_ERROR(source_->CreateTable(
-            options_.op_log_table, extract::OpDeltaLogTableSchema()));
-      }
-      source_executor_ = std::make_unique<sql::Executor>(source_);
-      capture_ = std::make_unique<extract::OpDeltaCapture>(
-          source_executor_.get(),
-          std::make_shared<extract::OpDeltaDbSink>(options_.op_log_table),
-          extract::OpDeltaCapture::Options());
-      break;
-    }
-    case Method::kTimestamp:
-    case Method::kLog:
-      break;  // pure readers, nothing to install
-  }
-  setup_done_ = true;
-  return Status::OK();
-}
-
-Status CdcPipeline::LoadState() {
-  const std::string path = options_.work_dir + "/watermarks";
-  if (!Env::Default()->FileExists(path)) return Status::OK();
-  std::string data;
-  OPDELTA_RETURN_IF_ERROR(Env::Default()->ReadFileToString(path, &data));
-  Slice input(data);
-  uint64_t ts = 0, lsn = 0;
-  if (!GetFixed64(&input, &ts) || !GetFixed64(&input, &lsn)) {
-    return Status::Corruption("pipeline watermark file");
-  }
-  ts_watermark_ = static_cast<Micros>(ts);
-  lsn_watermark_ = lsn;
-  return Status::OK();
-}
-
-Status CdcPipeline::SaveState() {
-  std::string data;
-  PutFixed64(&data, static_cast<uint64_t>(ts_watermark_));
-  PutFixed64(&data, lsn_watermark_);
-  return WriteFileAtomic(Env::Default(), options_.work_dir + "/watermarks",
-                         Slice(data));
-}
-
-Status CdcPipeline::ExtractMessage(std::string* message, uint64_t* records) {
-  message->clear();
-  *records = 0;
-  engine::Table* src = source_->GetTable(options_.source_table);
-
-  switch (options_.method) {
-    case Method::kTimestamp: {
-      extract::TimestampExtractor extractor(source_, options_.source_table,
-                                            options_.timestamp_column);
-      OPDELTA_ASSIGN_OR_RETURN(DeltaBatch batch,
-                               extractor.ExtractSince(ts_watermark_));
-      if (batch.records.empty()) return Status::OK();
-      // Advance conservatively to the largest timestamp actually seen.
-      const int ts_col =
-          src->schema().ColumnIndex(options_.timestamp_column);
-      for (const extract::DeltaRecord& r : batch.records) {
-        if (!r.image[ts_col].is_null() &&
-            r.image[ts_col].AsTimestamp() > ts_watermark_) {
-          ts_watermark_ = r.image[ts_col].AsTimestamp();
-        }
-      }
-      *records = batch.records.size();
-      message->push_back(kValueDeltaMessage);
-      batch.EncodeTo(message);
-      return Status::OK();
-    }
-
-    case Method::kLog: {
-      extract::LogExtractor extractor(source_->wal()->dir());
-      txn::Lsn new_watermark = lsn_watermark_;
-      OPDELTA_ASSIGN_OR_RETURN(
-          DeltaBatch batch,
-          extractor.ExtractSince(lsn_watermark_, src->id(),
-                                 options_.source_table, src->schema(),
-                                 &new_watermark));
-      lsn_watermark_ = new_watermark;
-      if (batch.records.empty()) return Status::OK();
-      *records = batch.records.size();
-      message->push_back(kValueDeltaMessage);
-      batch.EncodeTo(message);
-      return Status::OK();
-    }
-
-    case Method::kTrigger: {
-      OPDELTA_ASSIGN_OR_RETURN(
-          DeltaBatch batch,
-          extract::TriggerExtractor::Drain(source_, options_.source_table));
-      if (batch.records.empty()) return Status::OK();
-      *records = batch.records.size();
-      message->push_back(kValueDeltaMessage);
-      batch.EncodeTo(message);
-      return Status::OK();
-    }
-
-    case Method::kOpDelta: {
-      std::vector<extract::OpDeltaTxn> txns;
-      OPDELTA_RETURN_IF_ERROR(extract::OpDeltaLogReader::DrainDbTable(
-          source_, options_.op_log_table, src->schema(), &txns));
-      if (txns.empty()) return Status::OK();
-      for (const extract::OpDeltaTxn& t : txns) *records += t.ops.size();
-      message->push_back(kOpDeltaMessage);
-      message->append(extract::SerializeOpDeltaTxns(txns));
-      return Status::OK();
-    }
-  }
-  return Status::Internal("bad method");
-}
-
-Status CdcPipeline::Integrate(const std::string& message) {
-  if (message.empty()) return Status::Corruption("empty pipeline message");
-  const char tag = message[0];
-  const std::string body = message.substr(1);
-
-  if (tag == kValueDeltaMessage) {
-    DeltaBatch batch;
-    OPDELTA_RETURN_IF_ERROR(DeltaBatch::DecodeFrom(Slice(body), &batch));
-    warehouse::IntegrationStats istats;
-    // Net-change integration: idempotent under at-least-once delivery.
-    OPDELTA_RETURN_IF_ERROR(warehouse::ApplyNetChanges(
-        warehouse_, options_.warehouse_table, batch, &istats));
-    stats_.transactions_applied += istats.transactions;
-    return Status::OK();
-  }
-  if (tag == kOpDeltaMessage) {
-    engine::Table* src = source_->GetTable(options_.source_table);
-    extract::SchemaMap schemas{{options_.source_table, src->schema()}};
-    std::vector<extract::OpDeltaTxn> txns;
-    OPDELTA_RETURN_IF_ERROR(
-        extract::ParseOpDeltaLog(body, schemas, &txns));
-    // Rewrite table names when source and warehouse tables differ.
-    if (options_.warehouse_table != options_.source_table) {
-      return Status::NotSupported(
-          "op-delta pipeline requires matching table names");
-    }
-    warehouse::OpDeltaIntegrator integrator(warehouse_);
-    warehouse::IntegrationStats istats;
-    OPDELTA_RETURN_IF_ERROR(integrator.Apply(txns, &istats));
-    stats_.transactions_applied += istats.transactions;
-    return Status::OK();
-  }
-  return Status::Corruption("unknown pipeline message tag");
-}
+Status CdcPipeline::Setup() { return leg_->Setup(); }
 
 Status CdcPipeline::DrainBacklog() {
   while (true) {
     std::string message;
-    Status st = queue_.Peek(&message);
+    Status st = leg_->PeekShipped(&message);
     if (st.IsNotFound()) return Status::OK();
     OPDELTA_RETURN_IF_ERROR(st);
-    OPDELTA_RETURN_IF_ERROR(Integrate(message));
-    OPDELTA_RETURN_IF_ERROR(queue_.Ack());
+    warehouse::IntegrationStats istats;
+    OPDELTA_RETURN_IF_ERROR(leg_->Integrate(warehouse_, message, &istats));
+    stats_.transactions_applied += istats.transactions;
+    OPDELTA_RETURN_IF_ERROR(leg_->AckShipped());
   }
 }
 
 Status CdcPipeline::RunOnce() {
-  if (!setup_done_) return Status::Internal("call Setup() first");
   stats_.rounds++;
 
   // 1. Anything shipped earlier but not yet acknowledged applies first.
   OPDELTA_RETURN_IF_ERROR(DrainBacklog());
 
-  // 2. Extract since the watermark.
-  std::string message;
-  uint64_t records = 0;
-  OPDELTA_RETURN_IF_ERROR(ExtractMessage(&message, &records));
-  if (message.empty()) return SaveState();
-  stats_.records_extracted += records;
+  // 2. Extract since the watermark and ship durably (the leg persists the
+  //    advanced watermark once the batch is staged).
+  OPDELTA_RETURN_IF_ERROR(leg_->ExtractAndShip());
 
-  // 3. Ship durably, then integrate and acknowledge.
-  OPDELTA_RETURN_IF_ERROR(queue_.Enqueue(Slice(message), /*durable=*/true));
-  stats_.batches_shipped++;
-  stats_.bytes_shipped += message.size();
+  // 3. Integrate and acknowledge.
   OPDELTA_RETURN_IF_ERROR(DrainBacklog());
 
-  // 4. The watermark only persists after successful integration.
-  return SaveState();
+  const LegStats& leg_stats = leg_->stats();
+  stats_.records_extracted = leg_stats.records_extracted;
+  stats_.batches_shipped = leg_stats.batches_shipped;
+  stats_.bytes_shipped = leg_stats.bytes_shipped;
+  return Status::OK();
 }
 
 }  // namespace opdelta::pipeline

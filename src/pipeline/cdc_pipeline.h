@@ -6,55 +6,11 @@
 
 #include "common/status.h"
 #include "engine/database.h"
-#include "extract/log_extractor.h"
 #include "extract/op_delta.h"
-#include "extract/timestamp_extractor.h"
-#include "extract/trigger_extractor.h"
-#include "sql/executor.h"
-#include "transport/persistent_queue.h"
-#include "warehouse/integrator.h"
+#include "pipeline/pipeline_options.h"
+#include "pipeline/source_leg.h"
 
 namespace opdelta::pipeline {
-
-/// Which extraction method drives the pipeline (paper §3 + §4).
-enum class Method {
-  // §3.1.1 — misses deletes; net-change (upsert) integration. Note the
-  // method's inherent boundary hazard: a row stamped in the same
-  // microsecond as the watermark row but committed after extraction is
-  // missed (strict `>` watermark). Log and trigger methods are exact;
-  // this imprecision is part of why the paper calls timestamps suitable
-  // only for sources "that natively support time stamps and have little
-  // change activity".
-  kTimestamp,
-  kLog,        // §3.1.4 — archive-log decode; net-change integration
-  kTrigger,    // §3.1.3 — delta-table drain; net-change integration
-  kOpDelta,    // §4    — DB-sink drain; per-transaction integration
-};
-
-const char* MethodName(Method method);
-
-struct PipelineOptions {
-  Method method = Method::kOpDelta;
-  std::string source_table;
-  std::string warehouse_table;  // must have the exact source schema
-
-  /// kTimestamp: the auto-maintained timestamp column.
-  std::string timestamp_column = "last_modified";
-
-  /// kOpDelta: the DB-sink log table (created by Setup).
-  std::string op_log_table = "op_log";
-
-  /// Directory for the shipping queue and the watermark state file.
-  std::string work_dir;
-};
-
-struct PipelineStats {
-  uint64_t rounds = 0;
-  uint64_t records_extracted = 0;  // value-delta images / op statements
-  uint64_t batches_shipped = 0;
-  uint64_t bytes_shipped = 0;
-  uint64_t transactions_applied = 0;
-};
 
 /// A continuous extract → ship → integrate loop over one table, with
 /// persistent watermarks so it resumes where it left off across restarts.
@@ -64,7 +20,8 @@ struct PipelineStats {
 /// re-apply only when integration itself failed mid-run).
 ///
 /// The paper's end-to-end reference architecture (Figure 1) as a library
-/// object.
+/// object. Internally this is a `SourceLeg` (the extract→ship half, which
+/// `hub::DeltaHub` composes N of) plus an inline integrate step.
 class CdcPipeline {
  public:
   static Result<std::unique_ptr<CdcPipeline>> Create(
@@ -77,7 +34,7 @@ class CdcPipeline {
 
   /// For Method::kOpDelta: the capture wrapper the application must route
   /// its statements through. nullptr for other methods.
-  extract::OpDeltaCapture* capture() { return capture_.get(); }
+  extract::OpDeltaCapture* capture() { return leg_->capture(); }
 
   /// One incremental round: drain any unacknowledged backlog, extract
   /// changes since the watermark, ship, integrate, advance the watermark.
@@ -86,30 +43,12 @@ class CdcPipeline {
   const PipelineStats& stats() const { return stats_; }
 
  private:
-  CdcPipeline(engine::Database* source, engine::Database* warehouse,
-              PipelineOptions options);
-
-  Status LoadState();
-  Status SaveState();
-
-  /// Extracts pending changes into a queue message; empty string = none.
-  Status ExtractMessage(std::string* message, uint64_t* records);
-
-  /// Applies one queue message to the warehouse.
-  Status Integrate(const std::string& message);
+  CdcPipeline(std::unique_ptr<SourceLeg> leg, engine::Database* warehouse);
 
   Status DrainBacklog();
 
-  engine::Database* source_;
+  std::unique_ptr<SourceLeg> leg_;
   engine::Database* warehouse_;
-  PipelineOptions options_;
-  transport::PersistentQueue queue_;
-  std::unique_ptr<sql::Executor> source_executor_;
-  std::unique_ptr<extract::OpDeltaCapture> capture_;
-  bool setup_done_ = false;
-
-  Micros ts_watermark_ = 0;
-  txn::Lsn lsn_watermark_ = 0;
   PipelineStats stats_;
 };
 

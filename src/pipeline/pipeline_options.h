@@ -1,0 +1,55 @@
+#ifndef OPDELTA_PIPELINE_PIPELINE_OPTIONS_H_
+#define OPDELTA_PIPELINE_PIPELINE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace opdelta::pipeline {
+
+/// Which extraction method drives the pipeline (paper §3 + §4).
+enum class Method {
+  // §3.1.1 — misses deletes; net-change (upsert) integration. Note the
+  // method's inherent boundary hazard: a row stamped in the same
+  // microsecond as the watermark row but committed after extraction is
+  // missed (strict `>` watermark). Log and trigger methods are exact;
+  // this imprecision is part of why the paper calls timestamps suitable
+  // only for sources "that natively support time stamps and have little
+  // change activity".
+  kTimestamp,
+  kLog,        // §3.1.4 — archive-log decode; net-change integration
+  kTrigger,    // §3.1.3 — delta-table drain; net-change integration
+  kOpDelta,    // §4    — DB-sink drain; per-transaction integration
+};
+
+const char* MethodName(Method method);
+
+/// Parses a method name as printed by MethodName ("timestamp", "log",
+/// "trigger", "op-delta"); false on unknown names.
+bool ParseMethod(const std::string& name, Method* out);
+
+struct PipelineOptions {
+  Method method = Method::kOpDelta;
+  std::string source_table;
+  std::string warehouse_table;  // must have the exact source schema
+
+  /// kTimestamp: the auto-maintained timestamp column.
+  std::string timestamp_column = "last_modified";
+
+  /// kOpDelta: the DB-sink log table (created by Setup).
+  std::string op_log_table = "op_log";
+
+  /// Directory for the shipping queue and the watermark state file.
+  std::string work_dir;
+};
+
+struct PipelineStats {
+  uint64_t rounds = 0;
+  uint64_t records_extracted = 0;  // value-delta images / op statements
+  uint64_t batches_shipped = 0;
+  uint64_t bytes_shipped = 0;
+  uint64_t transactions_applied = 0;
+};
+
+}  // namespace opdelta::pipeline
+
+#endif  // OPDELTA_PIPELINE_PIPELINE_OPTIONS_H_

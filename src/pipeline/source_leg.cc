@@ -1,0 +1,276 @@
+#include "pipeline/source_leg.h"
+
+#include "common/coding.h"
+#include "common/env.h"
+#include "extract/log_extractor.h"
+#include "extract/timestamp_extractor.h"
+#include "extract/trigger_extractor.h"
+
+namespace opdelta::pipeline {
+
+using extract::DeltaBatch;
+
+namespace {
+// Message framing: one byte discriminates value-delta batches from
+// serialized op-delta transaction logs.
+constexpr char kValueDeltaMessage = 'V';
+constexpr char kOpDeltaMessage = 'O';
+}  // namespace
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kTimestamp:
+      return "timestamp";
+    case Method::kLog:
+      return "log";
+    case Method::kTrigger:
+      return "trigger";
+    case Method::kOpDelta:
+      return "op-delta";
+  }
+  return "?";
+}
+
+bool ParseMethod(const std::string& name, Method* out) {
+  if (name == "timestamp") {
+    *out = Method::kTimestamp;
+  } else if (name == "log") {
+    *out = Method::kLog;
+  } else if (name == "trigger") {
+    *out = Method::kTrigger;
+  } else if (name == "op-delta" || name == "opdelta") {
+    *out = Method::kOpDelta;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsValueDeltaMessage(const std::string& message) {
+  return !message.empty() && message[0] == kValueDeltaMessage;
+}
+
+Status DecodeValueDeltaMessage(const std::string& message, DeltaBatch* out) {
+  if (!IsValueDeltaMessage(message)) {
+    return Status::InvalidArgument("not a value-delta message");
+  }
+  return DeltaBatch::DecodeFrom(
+      Slice(message.data() + 1, message.size() - 1), out);
+}
+
+void EncodeValueDeltaMessage(const DeltaBatch& batch, std::string* out) {
+  out->clear();
+  out->push_back(kValueDeltaMessage);
+  batch.EncodeTo(out);
+}
+
+SourceLeg::SourceLeg(engine::Database* source, PipelineOptions options)
+    : source_(source), options_(std::move(options)) {}
+
+Result<std::unique_ptr<SourceLeg>> SourceLeg::Create(
+    engine::Database* source, PipelineOptions options) {
+  if (options.work_dir.empty()) {
+    return Status::InvalidArgument("work_dir required");
+  }
+  if (source->GetTable(options.source_table) == nullptr) {
+    return Status::NotFound("source table " + options.source_table);
+  }
+  return std::unique_ptr<SourceLeg>(
+      new SourceLeg(source, std::move(options)));
+}
+
+Status SourceLeg::Setup() {
+  if (setup_done_) return Status::OK();
+  OPDELTA_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.work_dir));
+  OPDELTA_RETURN_IF_ERROR(queue_.Open(options_.work_dir + "/queue"));
+  OPDELTA_RETURN_IF_ERROR(LoadState());
+
+  switch (options_.method) {
+    case Method::kTrigger: {
+      Result<std::string> delta_table =
+          extract::TriggerExtractor::Install(source_, options_.source_table);
+      if (!delta_table.ok() &&
+          delta_table.status().code() != StatusCode::kAlreadyExists) {
+        return delta_table.status();
+      }
+      break;
+    }
+    case Method::kOpDelta: {
+      if (source_->GetTable(options_.op_log_table) == nullptr) {
+        OPDELTA_RETURN_IF_ERROR(source_->CreateTable(
+            options_.op_log_table, extract::OpDeltaLogTableSchema()));
+      }
+      source_executor_ = std::make_unique<sql::Executor>(source_);
+      capture_ = std::make_unique<extract::OpDeltaCapture>(
+          source_executor_.get(),
+          std::make_shared<extract::OpDeltaDbSink>(options_.op_log_table),
+          extract::OpDeltaCapture::Options());
+      break;
+    }
+    case Method::kTimestamp:
+    case Method::kLog:
+      break;  // pure readers, nothing to install
+  }
+  setup_done_ = true;
+  return Status::OK();
+}
+
+Status SourceLeg::LoadState() {
+  const std::string path = options_.work_dir + "/watermarks";
+  if (!Env::Default()->FileExists(path)) return Status::OK();
+  std::string data;
+  OPDELTA_RETURN_IF_ERROR(Env::Default()->ReadFileToString(path, &data));
+  Slice input(data);
+  uint64_t ts = 0, lsn = 0;
+  if (!GetFixed64(&input, &ts) || !GetFixed64(&input, &lsn)) {
+    return Status::Corruption("pipeline watermark file");
+  }
+  ts_watermark_ = static_cast<Micros>(ts);
+  lsn_watermark_ = lsn;
+  return Status::OK();
+}
+
+Status SourceLeg::SaveState() {
+  std::string data;
+  PutFixed64(&data, static_cast<uint64_t>(ts_watermark_));
+  PutFixed64(&data, lsn_watermark_);
+  return WriteFileAtomic(Env::Default(), options_.work_dir + "/watermarks",
+                         Slice(data));
+}
+
+Status SourceLeg::ExtractMessage(std::string* message, uint64_t* records) {
+  message->clear();
+  *records = 0;
+  engine::Table* src = source_->GetTable(options_.source_table);
+
+  switch (options_.method) {
+    case Method::kTimestamp: {
+      extract::TimestampExtractor extractor(source_, options_.source_table,
+                                            options_.timestamp_column);
+      OPDELTA_ASSIGN_OR_RETURN(DeltaBatch batch,
+                               extractor.ExtractSince(ts_watermark_));
+      if (batch.records.empty()) return Status::OK();
+      // Advance conservatively to the largest timestamp actually seen.
+      const int ts_col =
+          src->schema().ColumnIndex(options_.timestamp_column);
+      for (const extract::DeltaRecord& r : batch.records) {
+        if (!r.image[ts_col].is_null() &&
+            r.image[ts_col].AsTimestamp() > ts_watermark_) {
+          ts_watermark_ = r.image[ts_col].AsTimestamp();
+        }
+      }
+      *records = batch.records.size();
+      EncodeValueDeltaMessage(batch, message);
+      return Status::OK();
+    }
+
+    case Method::kLog: {
+      extract::LogExtractor extractor(source_->wal()->dir());
+      txn::Lsn new_watermark = lsn_watermark_;
+      OPDELTA_ASSIGN_OR_RETURN(
+          DeltaBatch batch,
+          extractor.ExtractSince(lsn_watermark_, src->id(),
+                                 options_.source_table, src->schema(),
+                                 &new_watermark));
+      lsn_watermark_ = new_watermark;
+      if (batch.records.empty()) return Status::OK();
+      *records = batch.records.size();
+      EncodeValueDeltaMessage(batch, message);
+      return Status::OK();
+    }
+
+    case Method::kTrigger: {
+      OPDELTA_ASSIGN_OR_RETURN(
+          DeltaBatch batch,
+          extract::TriggerExtractor::Drain(source_, options_.source_table));
+      if (batch.records.empty()) return Status::OK();
+      *records = batch.records.size();
+      EncodeValueDeltaMessage(batch, message);
+      return Status::OK();
+    }
+
+    case Method::kOpDelta: {
+      std::vector<extract::OpDeltaTxn> txns;
+      OPDELTA_RETURN_IF_ERROR(extract::OpDeltaLogReader::DrainDbTable(
+          source_, options_.op_log_table, src->schema(), &txns));
+      if (txns.empty()) return Status::OK();
+      for (const extract::OpDeltaTxn& t : txns) *records += t.ops.size();
+      message->push_back(kOpDeltaMessage);
+      message->append(extract::SerializeOpDeltaTxns(txns));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad method");
+}
+
+Status SourceLeg::ExtractAndShip(bool* shipped) {
+  if (shipped != nullptr) *shipped = false;
+  if (!setup_done_) return Status::Internal("call Setup() first");
+  stats_.rounds++;
+
+  std::string message;
+  uint64_t records = 0;
+  OPDELTA_RETURN_IF_ERROR(ExtractMessage(&message, &records));
+  // The watermark may advance even on an empty round (kLog skips
+  // non-matching records); persist it regardless.
+  if (message.empty()) return SaveState();
+
+  OPDELTA_RETURN_IF_ERROR(queue_.Enqueue(Slice(message), /*durable=*/true));
+  stats_.records_extracted += records;
+  stats_.batches_shipped++;
+  stats_.bytes_shipped += message.size();
+  if (shipped != nullptr) *shipped = true;
+  // Persisting after the durable enqueue makes the pair restart-safe: a
+  // crash here replays the staged batch, never re-extracts it.
+  return SaveState();
+}
+
+Status SourceLeg::PeekShipped(std::string* message) {
+  return queue_.Peek(message);
+}
+
+Status SourceLeg::AckShipped() { return queue_.Ack(); }
+
+Result<uint64_t> SourceLeg::Backlog() { return queue_.Backlog(); }
+
+Status SourceLeg::Integrate(engine::Database* warehouse,
+                            const std::string& message,
+                            warehouse::IntegrationStats* stats) {
+  if (message.empty()) return Status::Corruption("empty pipeline message");
+  const char tag = message[0];
+  const std::string body = message.substr(1);
+
+  if (tag == kValueDeltaMessage) {
+    DeltaBatch batch;
+    OPDELTA_RETURN_IF_ERROR(DeltaBatch::DecodeFrom(Slice(body), &batch));
+    // Net-change integration: idempotent under at-least-once delivery.
+    // ApplyNetChanges overwrites its stats; accumulate into the caller's.
+    warehouse::IntegrationStats local;
+    OPDELTA_RETURN_IF_ERROR(warehouse::ApplyNetChanges(
+        warehouse, options_.warehouse_table, batch, &local));
+    if (stats != nullptr) {
+      stats->statements_executed += local.statements_executed;
+      stats->rows_affected += local.rows_affected;
+      stats->transactions += local.transactions;
+      stats->wall_micros += local.wall_micros;
+      stats->outage_micros += local.outage_micros;
+    }
+    return Status::OK();
+  }
+  if (tag == kOpDeltaMessage) {
+    engine::Table* src = source_->GetTable(options_.source_table);
+    extract::SchemaMap schemas{{options_.source_table, src->schema()}};
+    std::vector<extract::OpDeltaTxn> txns;
+    OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(body, schemas, &txns));
+    // Rewrite table names when source and warehouse tables differ.
+    if (options_.warehouse_table != options_.source_table) {
+      return Status::NotSupported(
+          "op-delta pipeline requires matching table names");
+    }
+    warehouse::OpDeltaIntegrator integrator(warehouse);
+    return integrator.Apply(txns, stats);
+  }
+  return Status::Corruption("unknown pipeline message tag");
+}
+
+}  // namespace opdelta::pipeline

@@ -1,0 +1,109 @@
+#ifndef OPDELTA_PIPELINE_SOURCE_LEG_H_
+#define OPDELTA_PIPELINE_SOURCE_LEG_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "extract/delta.h"
+#include "extract/op_delta.h"
+#include "pipeline/pipeline_options.h"
+#include "sql/executor.h"
+#include "transport/persistent_queue.h"
+#include "warehouse/integrator.h"
+
+namespace opdelta::pipeline {
+
+/// Counters for one extract→ship leg.
+struct LegStats {
+  uint64_t rounds = 0;             // ExtractAndShip calls
+  uint64_t records_extracted = 0;  // value-delta images / op statements
+  uint64_t batches_shipped = 0;
+  uint64_t bytes_shipped = 0;
+};
+
+/// One source table's extract→ship half of the Figure-1 loop: watermarked
+/// extraction by any Method, durable shipping through a PersistentQueue,
+/// restart-safe persisted state. The integrate half is pulled by whoever
+/// consumes the queue — `CdcPipeline` inline, or a `hub::DeltaHub` apply
+/// worker — via PeekShipped / Integrate / AckShipped.
+///
+/// The watermark persists after a successful durable enqueue: once a batch
+/// is staged in the queue it is never re-extracted, and a crash before
+/// integration replays it from the queue (at-least-once delivery).
+///
+/// Threading: ExtractAndShip and the consumer-side calls may run on
+/// different threads, but each side must be externally serialized (one
+/// producer, one consumer at a time).
+class SourceLeg {
+ public:
+  static Result<std::unique_ptr<SourceLeg>> Create(engine::Database* source,
+                                                   PipelineOptions options);
+
+  /// Installs capture machinery (trigger / op-log table), opens the queue,
+  /// loads the persisted watermark. Idempotent.
+  Status Setup();
+
+  /// For Method::kOpDelta: the capture wrapper the application must route
+  /// its statements through. nullptr for other methods.
+  extract::OpDeltaCapture* capture() { return capture_.get(); }
+
+  /// Extracts changes since the watermark, ships them durably, persists
+  /// the advanced watermark. `*shipped` reports whether a batch went out.
+  Status ExtractAndShip(bool* shipped = nullptr);
+
+  /// Consumer side: the oldest shipped-but-unacknowledged message.
+  /// NotFound when the backlog is empty.
+  Status PeekShipped(std::string* message);
+
+  /// Acknowledges the message returned by the last PeekShipped.
+  Status AckShipped();
+
+  /// Shipped-but-unacknowledged batches (counts across restarts).
+  Result<uint64_t> Backlog();
+
+  /// Applies one shipped message to `warehouse` (table
+  /// options().warehouse_table). Value-delta messages integrate as
+  /// idempotent net changes; op-delta messages replay per-transaction.
+  Status Integrate(engine::Database* warehouse, const std::string& message,
+                   warehouse::IntegrationStats* stats);
+
+  const PipelineOptions& options() const { return options_; }
+  const LegStats& stats() const { return stats_; }
+  engine::Database* source() { return source_; }
+
+ private:
+  SourceLeg(engine::Database* source, PipelineOptions options);
+
+  Status LoadState();
+  Status SaveState();
+
+  /// Extracts pending changes into a framed queue message; empty = none.
+  Status ExtractMessage(std::string* message, uint64_t* records);
+
+  engine::Database* source_;
+  PipelineOptions options_;
+  transport::PersistentQueue queue_;
+  std::unique_ptr<sql::Executor> source_executor_;
+  std::unique_ptr<extract::OpDeltaCapture> capture_;
+  bool setup_done_ = false;
+
+  Micros ts_watermark_ = 0;
+  txn::Lsn lsn_watermark_ = 0;
+  LegStats stats_;
+};
+
+/// Message framing helpers. A shipped message is a one-byte tag ('V' for a
+/// value-delta batch, 'O' for an op-delta transaction log) plus the encoded
+/// body. The hub uses these to reconcile value-delta messages from replica
+/// groups before integration.
+bool IsValueDeltaMessage(const std::string& message);
+Status DecodeValueDeltaMessage(const std::string& message,
+                               extract::DeltaBatch* out);
+void EncodeValueDeltaMessage(const extract::DeltaBatch& batch,
+                             std::string* out);
+
+}  // namespace opdelta::pipeline
+
+#endif  // OPDELTA_PIPELINE_SOURCE_LEG_H_

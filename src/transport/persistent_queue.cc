@@ -60,7 +60,7 @@ Status PersistentQueue::Enqueue(Slice message, bool durable) {
   frame.append(message.data(), message.size());
   OPDELTA_RETURN_IF_ERROR(log_->Append(Slice(frame)));
   if (durable) OPDELTA_RETURN_IF_ERROR(log_->Sync());
-  enqueued_++;
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

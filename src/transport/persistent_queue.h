@@ -1,6 +1,7 @@
 #ifndef OPDELTA_TRANSPORT_PERSISTENT_QUEUE_H_
 #define OPDELTA_TRANSPORT_PERSISTENT_QUEUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -40,8 +41,11 @@ class PersistentQueue {
   /// Advances the cursor past the message returned by the last Peek.
   Status Ack();
 
-  /// Messages appended since Open (not persisted across reopen).
-  uint64_t enqueued() const { return enqueued_; }
+  /// Messages appended since Open (not persisted across reopen). Readable
+  /// from any thread while producers are enqueueing.
+  uint64_t enqueued() const {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
   /// Current backlog (messages after the cursor).
   Result<uint64_t> Backlog();
 
@@ -55,7 +59,9 @@ class PersistentQueue {
   uint64_t read_offset_ = 0;   // byte offset of the cursor in the log
   uint64_t peeked_next_ = 0;   // offset after the last peeked message
   bool has_peeked_ = false;
-  uint64_t enqueued_ = 0;
+  // Atomic: enqueued() reads it without mutex_ while producers mutate it
+  // under mutex_ in Enqueue().
+  std::atomic<uint64_t> enqueued_{0};
 };
 
 }  // namespace opdelta::transport

@@ -107,24 +107,28 @@ Status LockManager::LockRow(TxnId txn, catalog::TableId table,
                             Duration timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
   TableEntry& entry = tables_[table];
-  RowLock& row = entry.rows[rid];
-
-  if (!exclusive && row.sharers.count(txn)) return Status::OK();
-  if (row.exclusive_owner == txn) return Status::OK();
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (!RowGrantable(row, txn, exclusive)) {
+  while (true) {
+    // Re-resolve the row entry on every pass: while this thread waited on
+    // the condition variable, a concurrent ReleaseAll may have erased the
+    // map node a reference from before the wait would point into.
+    RowLock& row = entry.rows[rid];
+    if (!exclusive && row.sharers.count(txn)) return Status::OK();
+    if (row.exclusive_owner == txn) return Status::OK();
+    if (RowGrantable(row, txn, exclusive)) {
+      if (exclusive) {
+        row.sharers.erase(txn);
+        row.exclusive_owner = txn;
+      } else {
+        row.sharers.insert(txn);
+      }
+      return Status::OK();
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       return Status::Conflict("row lock timeout");
     }
   }
-  if (exclusive) {
-    row.sharers.erase(txn);
-    row.exclusive_owner = txn;
-  } else {
-    row.sharers.insert(txn);
-  }
-  return Status::OK();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {

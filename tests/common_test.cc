@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -10,6 +12,7 @@
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace opdelta {
@@ -349,6 +352,80 @@ TEST(EnvTest, AtomicWriteReplaces) {
   OPDELTA_ASSERT_OK(env->ReadFileToString(path, &data));
   EXPECT_EQ(data, "v2");
   EXPECT_FALSE(env->FileExists(path + ".tmp"));
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.Shutdown();  // must not drop accepted tasks
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsDropped) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });  // no crash, no execution
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  CountDownLatch latch(1);
+  pool.Submit([&] {
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      latch.CountDown();
+    });
+  });
+  latch.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleObservesRunningTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(CountDownLatchTest, WaitReleasesAtZero) {
+  CountDownLatch latch(3);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  latch.CountDown();
+  latch.CountDown();
+  EXPECT_FALSE(released.load());
+  latch.CountDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
 }
 
 }  // namespace

@@ -1,0 +1,426 @@
+#include "hub/delta_hub.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "pipeline/cdc_pipeline.h"
+#include "pipeline/source_leg.h"
+#include "sql/executor.h"
+#include "workload/workload.h"
+#include "tests/test_util.h"
+
+namespace opdelta::hub {
+namespace {
+
+using opdelta::testing::CountRows;
+using opdelta::testing::OpenDb;
+using opdelta::testing::TablesEqual;
+using opdelta::testing::TempDir;
+
+engine::DatabaseOptions NoTimestampOptions() {
+  engine::DatabaseOptions options;
+  options.auto_timestamp = false;
+  return options;
+}
+
+/// The acceptance scenario: four concurrent source streams — timestamp,
+/// log, op-delta, and a 2-replica trigger group reconciled to a single
+/// stream — all integrating into one warehouse, with per-source
+/// transaction order preserved.
+class HubIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine::DatabaseOptions ts_options;
+    ts_options.auto_timestamp = true;
+    src_ts_ = OpenDb(dir_, "src_ts", ts_options);
+    src_log_ = OpenDb(dir_, "src_log", NoTimestampOptions());
+    src_op_ = OpenDb(dir_, "src_op", NoTimestampOptions());
+    replica1_ = OpenDb(dir_, "replica1", NoTimestampOptions());
+    replica2_ = OpenDb(dir_, "replica2", NoTimestampOptions());
+    wh_ = OpenDb(dir_, "wh", NoTimestampOptions());
+
+    for (engine::Database* db : {src_ts_.get(), src_log_.get(), src_op_.get(),
+                                 replica1_.get(), replica2_.get()}) {
+      OPDELTA_ASSERT_OK(wl_.CreateTable(db, "parts"));
+    }
+    for (const char* table : {"parts", "parts_ts", "parts_log", "parts_rep"}) {
+      OPDELTA_ASSERT_OK(wh_->CreateTable(table, workload::PartsWorkload::Schema()));
+    }
+  }
+
+  Result<std::unique_ptr<DeltaHub>> MakeHub(HubOptions options) {
+    options.work_dir = options.work_dir.empty() ? dir_.Sub("hub")
+                                                : options.work_dir;
+    OPDELTA_ASSIGN_OR_RETURN(std::unique_ptr<DeltaHub> hub,
+                             DeltaHub::Create(wh_.get(), options));
+    SourceSpec ts;
+    ts.name = "ts";
+    ts.source = src_ts_.get();
+    ts.method = pipeline::Method::kTimestamp;
+    ts.source_table = "parts";
+    ts.warehouse_table = "parts_ts";
+    OPDELTA_RETURN_IF_ERROR(hub->AddSource(ts));
+
+    SourceSpec log;
+    log.name = "log";
+    log.source = src_log_.get();
+    log.method = pipeline::Method::kLog;
+    log.source_table = "parts";
+    log.warehouse_table = "parts_log";
+    OPDELTA_RETURN_IF_ERROR(hub->AddSource(log));
+
+    SourceSpec op;
+    op.name = "op";
+    op.source = src_op_.get();
+    op.method = pipeline::Method::kOpDelta;
+    op.source_table = "parts";
+    op.warehouse_table = "parts";
+    OPDELTA_RETURN_IF_ERROR(hub->AddSource(op));
+
+    // Two trigger-captured instances of dynamically replicated data,
+    // reconciled to one authoritative stream (§2.2).
+    for (int i = 1; i <= 2; ++i) {
+      SourceSpec rep;
+      rep.name = "rep" + std::to_string(i);
+      rep.source = i == 1 ? replica1_.get() : replica2_.get();
+      rep.method = pipeline::Method::kTrigger;
+      rep.source_table = "parts";
+      rep.warehouse_table = "parts_rep";
+      rep.replica_group = "g";
+      OPDELTA_RETURN_IF_ERROR(hub->AddSource(rep));
+    }
+    OPDELTA_RETURN_IF_ERROR(hub->Setup());
+    return hub;
+  }
+
+  /// Runs a statement, retrying lock-timeout conflicts: when the hub's
+  /// background driver drains a source concurrently, client transactions
+  /// can conflict with the drain transaction and must retry, exactly as
+  /// real OLTP clients would.
+  template <typename Fn>
+  Status Retry(Fn&& fn) {
+    Status st;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      st = fn();
+      if (!st.IsConflict()) return st;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return st;
+  }
+
+  Status Run(engine::Database* db, const sql::Statement& stmt) {
+    return Retry([&] {
+      return sql::Executor(db).ExecuteSql(stmt.ToSql()).status();
+    });
+  }
+
+  /// Replicated COTS behaviour: the same statement lands on both replicas.
+  Status RunReplicated(const sql::Statement& stmt) {
+    OPDELTA_RETURN_IF_ERROR(Run(replica1_.get(), stmt));
+    return Run(replica2_.get(), stmt);
+  }
+
+  /// One round of order-sensitive traffic on every source. The
+  /// overlapping updates make final state depend on apply order, so any
+  /// reordering at the warehouse shows up as a table mismatch.
+  void DriveRound(DeltaHub* hub, int round) {
+    const int64_t base = round * 40;
+    OPDELTA_ASSERT_OK(
+        Run(src_ts_.get(), wl_.MakeInsert("parts", base, 20)));
+    OPDELTA_ASSERT_OK(Run(src_ts_.get(),
+                          wl_.MakeUpdate("parts", 0, base + 10,
+                                         "t" + std::to_string(round))));
+
+    OPDELTA_ASSERT_OK(
+        Run(src_log_.get(), wl_.MakeInsert("parts", base, 15)));
+    OPDELTA_ASSERT_OK(Run(src_log_.get(),
+                          wl_.MakeUpdate("parts", base, base + 10,
+                                         "l" + std::to_string(round))));
+    if (round > 1) {
+      OPDELTA_ASSERT_OK(
+          Run(src_log_.get(), wl_.MakeDelete("parts", base - 40, base - 35)));
+    }
+
+    extract::OpDeltaCapture* capture = hub->capture("op");
+    ASSERT_NE(capture, nullptr);
+    OPDELTA_ASSERT_OK(Retry([&] {
+      return capture->RunTransaction({wl_.MakeInsert("parts", base, 10)})
+          .status();
+    }));
+    // Two order-dependent updates over overlapping key ranges.
+    OPDELTA_ASSERT_OK(Retry([&] {
+      return capture
+          ->RunTransaction({wl_.MakeUpdate("parts", 0, base + 5, "first"),
+                            wl_.MakeUpdate("parts", 0, base + 3,
+                                           "o" + std::to_string(round))})
+          .status();
+    }));
+
+    OPDELTA_ASSERT_OK(RunReplicated(wl_.MakeInsert("parts", base, 12)));
+    OPDELTA_ASSERT_OK(RunReplicated(wl_.MakeUpdate(
+        "parts", base, base + 6, "r" + std::to_string(round))));
+  }
+
+  void ExpectWarehouseConverged() {
+    EXPECT_TRUE(TablesEqual(src_ts_.get(), "parts", wh_.get(), "parts_ts"));
+    EXPECT_TRUE(TablesEqual(src_log_.get(), "parts", wh_.get(), "parts_log"));
+    EXPECT_TRUE(TablesEqual(src_op_.get(), "parts", wh_.get(), "parts"));
+    // Sequential application of the replicated stream ends at the
+    // replicas' own final state; both replicas saw identical statements.
+    EXPECT_TRUE(TablesEqual(replica1_.get(), "parts", wh_.get(), "parts_rep"));
+    EXPECT_TRUE(
+        TablesEqual(replica1_.get(), "parts", replica2_.get(), "parts"));
+  }
+
+  TempDir dir_;
+  workload::PartsWorkload wl_;
+  std::unique_ptr<engine::Database> src_ts_, src_log_, src_op_;
+  std::unique_ptr<engine::Database> replica1_, replica2_, wh_;
+};
+
+TEST_F(HubIntegrationTest, FourSourcesConvergeWithOrderPreserved) {
+  Result<std::unique_ptr<DeltaHub>> hub = MakeHub(HubOptions());
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    DriveRound(hub->get(), round);
+    OPDELTA_ASSERT_OK((*hub)->RunRound());
+  }
+  ExpectWarehouseConverged();
+
+  const HubStats stats = (*hub)->Stats();
+  EXPECT_EQ(stats.rounds, static_cast<uint64_t>(kRounds));
+  ASSERT_EQ(stats.sources.size(), 5u);
+  uint64_t shipped = 0;
+  for (const SourceStats& s : stats.sources) {
+    EXPECT_EQ(s.rounds, static_cast<uint64_t>(kRounds)) << s.name;
+    EXPECT_GT(s.records_extracted, 0u) << s.name;
+    EXPECT_GT(s.batches_shipped, 0u) << s.name;
+    // Every shipped batch was applied and acknowledged.
+    EXPECT_EQ(s.batches_applied, s.batches_shipped) << s.name;
+    shipped += s.batches_shipped;
+  }
+  // The two replicas merge into one authoritative batch per round, so
+  // fewer batches apply than ship.
+  EXPECT_LT(stats.batches_applied, shipped);
+  EXPECT_EQ(stats.batches_reconciled, 2u * kRounds);
+  EXPECT_GT(stats.duplicates_dropped, 0u);  // replicas mirror each other
+  EXPECT_GT(stats.transactions_applied, 0u);
+  EXPECT_GT(stats.batches_staged, 0u);
+  EXPECT_EQ(stats.staging_bytes, 0u);  // everything drained
+  EXPECT_GT(stats.staging_peak_bytes, 0u);
+  EXPECT_GT(stats.apply_micros_total, 0);
+  EXPECT_GE(stats.apply_micros_total, stats.apply_micros_max);
+
+  OPDELTA_EXPECT_OK((*hub)->Stop());
+}
+
+TEST_F(HubIntegrationTest, SequentialPipelineBaselineMatchesHubResult) {
+  // Ground truth via the single-threaded path: a CdcPipeline over the
+  // same archive log (log extraction is non-destructive, so the hub and
+  // the baseline can both consume it) applied sequentially to a second
+  // warehouse must produce exactly the table the hub produced.
+  Result<std::unique_ptr<DeltaHub>> hub = MakeHub(HubOptions());
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  for (int round = 0; round < 3; ++round) {
+    DriveRound(hub->get(), round);
+    OPDELTA_ASSERT_OK((*hub)->RunRound());
+  }
+  OPDELTA_EXPECT_OK((*hub)->Stop());
+
+  auto baseline_wh = OpenDb(dir_, "baseline_wh", NoTimestampOptions());
+  OPDELTA_ASSERT_OK(
+      baseline_wh->CreateTable("parts", workload::PartsWorkload::Schema()));
+  pipeline::PipelineOptions popts;
+  popts.method = pipeline::Method::kLog;
+  popts.source_table = "parts";
+  popts.warehouse_table = "parts";
+  popts.work_dir = dir_.Sub("baseline_pipeline");
+  Result<std::unique_ptr<pipeline::CdcPipeline>> baseline =
+      pipeline::CdcPipeline::Create(src_log_.get(), baseline_wh.get(), popts);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  OPDELTA_ASSERT_OK((*baseline)->Setup());
+  OPDELTA_ASSERT_OK((*baseline)->RunOnce());
+
+  EXPECT_TRUE(
+      TablesEqual(baseline_wh.get(), "parts", wh_.get(), "parts_log"));
+}
+
+TEST_F(HubIntegrationTest, TinyStagingBudgetBackpressuresButConverges) {
+  HubOptions options;
+  options.staging_budget_bytes = 1;  // every batch oversized: serialized
+  options.apply_workers = 1;
+  Result<std::unique_ptr<DeltaHub>> hub = MakeHub(options);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+
+  for (int round = 0; round < 3; ++round) {
+    DriveRound(hub->get(), round);
+    OPDELTA_ASSERT_OK((*hub)->RunRound());
+  }
+  ExpectWarehouseConverged();
+
+  const HubStats stats = (*hub)->Stats();
+  // With a 1-byte budget at most one batch is ever resident, so the peak
+  // stays below the total volume that flowed through.
+  uint64_t total_applied_bytes = 0;
+  for (const SourceStats& s : stats.sources) {
+    total_applied_bytes += s.bytes_shipped;
+  }
+  EXPECT_GT(stats.staging_peak_bytes, 0u);
+  EXPECT_LT(stats.staging_peak_bytes, total_applied_bytes);
+  EXPECT_EQ(stats.staging_bytes, 0u);
+  OPDELTA_EXPECT_OK((*hub)->Stop());
+}
+
+TEST_F(HubIntegrationTest, BackgroundDriverIntegratesContinuously) {
+  HubOptions options;
+  options.poll_interval = std::chrono::milliseconds(2);
+  Result<std::unique_ptr<DeltaHub>> hub = MakeHub(options);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  OPDELTA_ASSERT_OK((*hub)->Start());
+  EXPECT_TRUE((*hub)->Start().code() == StatusCode::kBusy);
+
+  for (int round = 0; round < 3; ++round) DriveRound(hub->get(), round);
+
+  // Wait (bounded) for the driver to absorb everything.
+  const uint64_t want = CountRows(src_log_.get(), "parts");
+  for (int i = 0; i < 500; ++i) {
+    if (CountRows(wh_.get(), "parts_log") == want &&
+        (*hub)->Stats().staging_bytes == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  OPDELTA_ASSERT_OK((*hub)->Stop());
+  ExpectWarehouseConverged();
+}
+
+TEST(HubRestartTest, ShippedButUnappliedBatchesReplayWithoutLossOrDup) {
+  TempDir dir;
+  auto src = OpenDb(dir, "src", NoTimestampOptions());
+  auto wh = OpenDb(dir, "wh", NoTimestampOptions());
+  workload::PartsWorkload wl;
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(wh.get(), "parts"));
+  sql::Executor exec(src.get());
+
+  // Phase 1 — the extract half of a hub round runs alone: the batch ships
+  // durably and the watermark advances, then the process "dies" before
+  // any integration. This is exactly the leg state a crashed hub leaves.
+  pipeline::PipelineOptions leg_options;
+  leg_options.method = pipeline::Method::kLog;
+  leg_options.source_table = "parts";
+  leg_options.warehouse_table = "parts";
+  leg_options.work_dir = dir.Sub("hub") + "/s1";  // the hub's path for "s1"
+  {
+    OPDELTA_ASSERT_OK(Env::Default()->CreateDir(dir.Sub("hub")));
+    Result<std::unique_ptr<pipeline::SourceLeg>> leg =
+        pipeline::SourceLeg::Create(src.get(), leg_options);
+    ASSERT_TRUE(leg.ok());
+    OPDELTA_ASSERT_OK((*leg)->Setup());
+    OPDELTA_ASSERT_OK(
+        exec.ExecuteSql(wl.MakeInsert("parts", 0, 100).ToSql()).status());
+    bool shipped = false;
+    OPDELTA_ASSERT_OK((*leg)->ExtractAndShip(&shipped));
+    EXPECT_TRUE(shipped);
+    Result<uint64_t> backlog = (*leg)->Backlog();
+    ASSERT_TRUE(backlog.ok());
+    EXPECT_EQ(*backlog, 1u);  // staged, never integrated
+  }
+  EXPECT_EQ(CountRows(wh.get(), "parts"), 0u);
+
+  // Phase 2 — a fresh hub over the same work_dir recovers: the staged
+  // batch replays from the queue; the persisted watermark prevents
+  // re-extraction of rows 0..99.
+  OPDELTA_ASSERT_OK(
+      exec.ExecuteSql(wl.MakeUpdate("parts", 0, 10, "after").ToSql())
+          .status());
+  HubOptions options;
+  options.work_dir = dir.Sub("hub");
+  Result<std::unique_ptr<DeltaHub>> hub = DeltaHub::Create(wh.get(), options);
+  ASSERT_TRUE(hub.ok());
+  SourceSpec spec;
+  spec.name = "s1";
+  spec.source = src.get();
+  spec.method = pipeline::Method::kLog;
+  spec.source_table = "parts";
+  spec.warehouse_table = "parts";
+  OPDELTA_ASSERT_OK((*hub)->AddSource(spec));
+  OPDELTA_ASSERT_OK((*hub)->Setup());
+  OPDELTA_ASSERT_OK((*hub)->RunRound());
+
+  EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  HubStats stats = (*hub)->Stats();
+  ASSERT_EQ(stats.sources.size(), 1u);
+  // Only the post-crash update re-extracted (20 images): rows 0..99 came
+  // from the replayed batch, not a second extraction.
+  EXPECT_EQ(stats.sources[0].records_extracted, 20u);
+  EXPECT_EQ(stats.sources[0].batches_applied, 2u);  // replayed + new
+
+  // An idle round ships nothing and changes nothing.
+  OPDELTA_ASSERT_OK((*hub)->RunRound());
+  stats = (*hub)->Stats();
+  EXPECT_EQ(stats.sources[0].batches_shipped, 1u);  // phase-2 batch only
+  EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  OPDELTA_EXPECT_OK((*hub)->Stop());
+}
+
+TEST(HubValidationTest, RejectsBadConfigurations) {
+  TempDir dir;
+  auto src = OpenDb(dir, "src", NoTimestampOptions());
+  auto wh = OpenDb(dir, "wh", NoTimestampOptions());
+  workload::PartsWorkload wl;
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(wh.get(), "parts"));
+  OPDELTA_ASSERT_OK(wh->CreateTable(
+      "skinny",
+      catalog::Schema({catalog::Column{"x", catalog::ValueType::kInt64}})));
+
+  EXPECT_FALSE(DeltaHub::Create(nullptr, HubOptions()).ok());
+  EXPECT_FALSE(DeltaHub::Create(wh.get(), HubOptions()).ok());  // no work_dir
+
+  HubOptions options;
+  options.work_dir = dir.Sub("hub");
+  Result<std::unique_ptr<DeltaHub>> hub = DeltaHub::Create(wh.get(), options);
+  ASSERT_TRUE(hub.ok());
+
+  SourceSpec spec;
+  spec.name = "a";
+  spec.source = src.get();
+  spec.method = pipeline::Method::kTrigger;
+  spec.source_table = "parts";
+  spec.warehouse_table = "parts";
+  OPDELTA_ASSERT_OK((*hub)->AddSource(spec));
+  EXPECT_TRUE((*hub)->AddSource(spec).code() ==
+              StatusCode::kAlreadyExists);  // duplicate name
+
+  spec.name = "b";
+  spec.warehouse_table = "skinny";
+  EXPECT_FALSE((*hub)->AddSource(spec).ok());  // schema mismatch
+
+  spec.warehouse_table = "nope";
+  EXPECT_TRUE((*hub)->AddSource(spec).IsNotFound());
+
+  spec.warehouse_table = "parts";
+  spec.method = pipeline::Method::kOpDelta;
+  spec.replica_group = "g";
+  EXPECT_TRUE((*hub)->AddSource(spec).code() ==
+              StatusCode::kNotSupported);  // op-delta can't be reconciled
+
+  // Group members must agree on the warehouse table.
+  spec.method = pipeline::Method::kTrigger;
+  spec.replica_group = "g2";
+  OPDELTA_ASSERT_OK((*hub)->AddSource(spec));
+  OPDELTA_ASSERT_OK(wh->CreateTable("parts2", workload::PartsWorkload::Schema()));
+  SourceSpec other = spec;
+  other.name = "c";
+  other.warehouse_table = "parts2";
+  OPDELTA_ASSERT_OK((*hub)->AddSource(other));
+  EXPECT_FALSE((*hub)->Setup().ok());
+}
+
+}  // namespace
+}  // namespace opdelta::hub

@@ -217,6 +217,73 @@ TEST(PersistentQueueTest, ConcurrentProducerSingleConsumer) {
   EXPECT_EQ(total, kProducers * kPerProducer);
 }
 
+TEST(PersistentQueueTest, ConcurrentProducersWithLiveConsumer) {
+  // The hub's shape: several producers enqueueing while a consumer
+  // Peek/Acks concurrently and other threads read enqueued()/Backlog().
+  // Counts must come out exact — this is the test that catches the
+  // formerly-unsynchronized enqueued_ counter under TSan.
+  TempDir dir;
+  PersistentQueue q;
+  OPDELTA_ASSERT_OK(q.Open(dir.Sub("q")));
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  std::atomic<int> enqueue_failures{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::string msg = std::to_string(p) + ":" + std::to_string(i);
+        if (!q.Enqueue(Slice(msg)).ok()) enqueue_failures++;
+      }
+    });
+  }
+
+  // Consumer drains concurrently until it has seen every message.
+  std::map<int, int> next_expected;
+  int consumed = 0;
+  std::thread consumer([&]() {
+    while (consumed < kTotal) {
+      std::string msg;
+      Status st = q.Peek(&msg);
+      if (st.IsNotFound()) continue;  // producers still catching up
+      OPDELTA_ASSERT_OK(st);
+      const int producer = std::stoi(msg.substr(0, msg.find(':')));
+      const int seq = std::stoi(msg.substr(msg.find(':') + 1));
+      EXPECT_EQ(seq, next_expected[producer]) << "producer " << producer;
+      next_expected[producer] = seq + 1;
+      ++consumed;
+      OPDELTA_ASSERT_OK(q.Ack());
+    }
+  });
+
+  // Monitor thread exercising the lock-free enqueued() reader.
+  std::atomic<bool> stop_monitor{false};
+  std::thread monitor([&]() {
+    uint64_t last = 0;
+    while (!stop_monitor.load()) {
+      const uint64_t now = q.enqueued();
+      EXPECT_GE(now, last);  // monotone
+      EXPECT_LE(now, static_cast<uint64_t>(kTotal));
+      last = now;
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  consumer.join();
+  stop_monitor.store(true);
+  monitor.join();
+
+  EXPECT_EQ(enqueue_failures.load(), 0);
+  EXPECT_EQ(consumed, kTotal);
+  EXPECT_EQ(q.enqueued(), static_cast<uint64_t>(kTotal));
+  Result<uint64_t> backlog = q.Backlog();
+  ASSERT_TRUE(backlog.ok());
+  EXPECT_EQ(*backlog, 0u);  // fully drained: backlog exact
+}
+
 TEST(PersistentQueueTest, CorruptMessageDetected) {
   TempDir dir;
   PersistentQueue q;

@@ -9,8 +9,10 @@
 //   opdelta_cli diff <old.snap> <new.snap>      summarize a snapshot diff
 //   opdelta_cli extract-log <dbdir> <table>     decode the archive log
 //   opdelta_cli oplog <file>                    pretty-print an op-delta log
+//   opdelta_cli hub <whdir> <spec> <rounds>     run a DeltaHub over N sources
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "extract/log_extractor.h"
 #include "extract/op_delta.h"
 #include "extract/snapshot_differential.h"
+#include "hub/delta_hub.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "workload/workload.h"
@@ -223,6 +226,103 @@ int CmdOplog(const std::string& path) {
   return 0;
 }
 
+// Spec file: one source per line,
+//   <name> <dbdir> <method> <source_table> <warehouse_table> [replica_group]
+// '#' starts a comment. Missing warehouse tables are created from the
+// source table's schema. The hub's state lives under <whdir>/hub.
+int CmdHub(const std::string& wh_dir, const std::string& spec_path,
+           int64_t rounds) {
+  Result<std::unique_ptr<engine::Database>> wh = OpenExisting(wh_dir);
+  if (!wh.ok()) return Fail(wh.status());
+
+  std::string spec_text;
+  CLI_OK(Env::Default()->ReadFileToString(spec_path, &spec_text));
+
+  hub::HubOptions options;
+  options.work_dir = wh_dir + "/hub";
+  Result<std::unique_ptr<hub::DeltaHub>> hub =
+      hub::DeltaHub::Create(wh->get(), options);
+  if (!hub.ok()) return Fail(hub.status());
+
+  // Source databases must outlive the hub's Stop(); declared first.
+  std::vector<std::unique_ptr<engine::Database>> sources;
+  std::istringstream lines(spec_text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    hub::SourceSpec spec;
+    std::string db_dir, method;
+    if (!(fields >> spec.name >> db_dir >> method >> spec.source_table >>
+          spec.warehouse_table)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      return Fail(Status::InvalidArgument(
+          spec_path + ":" + std::to_string(line_no) +
+          ": want <name> <dbdir> <method> <src_table> <wh_table> [group]"));
+    }
+    fields >> spec.replica_group;
+    if (!pipeline::ParseMethod(method, &spec.method)) {
+      return Fail(Status::InvalidArgument(
+          spec_path + ":" + std::to_string(line_no) + ": bad method '" +
+          method + "'"));
+    }
+    Result<std::unique_ptr<engine::Database>> src = OpenExisting(db_dir);
+    if (!src.ok()) return Fail(src.status());
+    spec.source = src->get();
+    sources.push_back(std::move(*src));
+
+    if ((*wh)->GetTable(spec.warehouse_table) == nullptr) {
+      const engine::Table* t = spec.source->GetTable(spec.source_table);
+      if (t == nullptr) {
+        return Fail(Status::NotFound("table " + spec.source_table + " in " +
+                                     db_dir));
+      }
+      CLI_OK((*wh)->CreateTable(spec.warehouse_table, t->schema()));
+      std::printf("created warehouse table %s\n",
+                  spec.warehouse_table.c_str());
+    }
+    CLI_OK((*hub)->AddSource(spec));
+  }
+
+  CLI_OK((*hub)->Setup());
+  for (int64_t i = 0; i < rounds; ++i) CLI_OK((*hub)->RunRound());
+  Status stop = (*hub)->Stop();
+  CLI_OK((*wh)->FlushAll());
+
+  const hub::HubStats stats = (*hub)->Stats();
+  std::printf("rounds                %10llu\n",
+              static_cast<unsigned long long>(stats.rounds));
+  std::printf("batches staged        %10llu  (peak %llu bytes, %llu "
+              "producer stalls)\n",
+              static_cast<unsigned long long>(stats.batches_staged),
+              static_cast<unsigned long long>(stats.staging_peak_bytes),
+              static_cast<unsigned long long>(stats.producer_stalls));
+  std::printf("batches reconciled    %10llu  (%llu duplicates dropped, "
+              "%llu conflicts)\n",
+              static_cast<unsigned long long>(stats.batches_reconciled),
+              static_cast<unsigned long long>(stats.duplicates_dropped),
+              static_cast<unsigned long long>(stats.conflicts));
+  std::printf("batches applied       %10llu  (%llu txns, %lld us total, "
+              "%lld us max)\n",
+              static_cast<unsigned long long>(stats.batches_applied),
+              static_cast<unsigned long long>(stats.transactions_applied),
+              static_cast<long long>(stats.apply_micros_total),
+              static_cast<long long>(stats.apply_micros_max));
+  for (const hub::SourceStats& s : stats.sources) {
+    std::printf("  %-16s -> %-16s %8llu extracted, %llu shipped, "
+                "%llu applied\n",
+                s.name.c_str(), s.warehouse_table.c_str(),
+                static_cast<unsigned long long>(s.records_extracted),
+                static_cast<unsigned long long>(s.batches_shipped),
+                static_cast<unsigned long long>(s.batches_applied));
+  }
+  CLI_OK(stop);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -233,7 +333,8 @@ int Usage() {
                "  opdelta_cli snapshot <dbdir> <table> <out>\n"
                "  opdelta_cli diff <old.snap> <new.snap>\n"
                "  opdelta_cli extract-log <dbdir> <table>\n"
-               "  opdelta_cli oplog <file>\n");
+               "  opdelta_cli oplog <file>\n"
+               "  opdelta_cli hub <whdir> <spec_file> <rounds>\n");
   return 2;
 }
 
@@ -254,6 +355,16 @@ int Main(int argc, char** argv) {
     return CmdExtractLog(argv[2], argv[3]);
   }
   if (cmd == "oplog" && argc == 3) return CmdOplog(argv[2]);
+  if (cmd == "hub" && argc == 5) {
+    char* end = nullptr;
+    int64_t rounds = std::strtoll(argv[4], &end, 10);
+    if (end == argv[4] || *end != '\0' || rounds < 1) {
+      std::fprintf(stderr, "error: rounds must be a positive integer, got '%s'\n",
+                   argv[4]);
+      return 1;
+    }
+    return CmdHub(argv[2], argv[3], rounds);
+  }
   return Usage();
 }
 
