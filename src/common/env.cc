@@ -5,6 +5,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -173,6 +174,13 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError("truncate " + path, errno);
+    }
+    return Status::OK();
+  }
+
   Status CreateDir(const std::string& path) override {
     std::error_code ec;
     std::filesystem::create_directories(path, ec);
@@ -200,16 +208,33 @@ class PosixEnv : public Env {
   }
 };
 
+std::atomic<Env*>& InstalledEnv() {
+  static std::atomic<Env*> installed{nullptr};
+  return installed;
+}
+
 }  // namespace
 
 Env* Env::Default() {
-  static Env* env = new PosixEnv();
-  return env;
+  static Env* posix = new PosixEnv();
+  Env* installed = InstalledEnv().load(std::memory_order_acquire);
+  return installed != nullptr ? installed : posix;
+}
+
+Env* Env::SetDefault(Env* env) {
+  return InstalledEnv().exchange(env, std::memory_order_acq_rel);
 }
 
 Status WriteFileAtomic(Env* env, const std::string& path, Slice data) {
   const std::string tmp = path + ".tmp";
-  OPDELTA_RETURN_IF_ERROR(env->WriteStringToFile(tmp, data));
+  std::unique_ptr<WritableFile> file;
+  OPDELTA_RETURN_IF_ERROR(env->NewWritableFile(tmp, &file));
+  OPDELTA_RETURN_IF_ERROR(file->Append(data));
+  // Sync before the rename: rename only orders the directory entry, not the
+  // file's data, so an unsynced temp could surface as an empty/torn file
+  // after a crash even though the rename "committed" it.
+  OPDELTA_RETURN_IF_ERROR(file->Sync());
+  OPDELTA_RETURN_IF_ERROR(file->Close());
   return env->RenameFile(tmp, path);
 }
 

@@ -41,7 +41,14 @@ class Env {
  public:
   virtual ~Env() = default;
 
+  /// The process-wide environment: the POSIX env unless a test installed a
+  /// wrapper via SetDefault (e.g. common::FaultInjectionEnv).
   static Env* Default();
+
+  /// Installs `env` as the process-wide default and returns the previous
+  /// one; pass nullptr to restore the POSIX env. The caller keeps ownership
+  /// and must keep `env` alive until it is uninstalled.
+  static Env* SetDefault(Env* env);
 
   virtual Status NewWritableFile(const std::string& path,
                                  std::unique_ptr<WritableFile>* out) = 0;
@@ -60,6 +67,8 @@ class Env {
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
   virtual Status GetFileSize(const std::string& path, uint64_t* size) = 0;
+  /// Truncates the file to `size` bytes (crash-recovery: drop a torn tail).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
   virtual Status CreateDir(const std::string& path) = 0;
   /// Recursively removes a directory tree. Use with care.
   virtual Status RemoveDirAll(const std::string& path) = 0;
@@ -67,7 +76,9 @@ class Env {
                          std::vector<std::string>* children) = 0;
 };
 
-/// Writes `data` through a WritableFile in one call (helper).
+/// Writes `data` to a temp file, syncs it, then renames over `path`, so a
+/// crash at any point leaves either the old contents or the new — never a
+/// torn or empty file. Used for watermark and cursor files.
 Status WriteFileAtomic(Env* env, const std::string& path, Slice data);
 
 }  // namespace opdelta

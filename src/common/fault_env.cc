@@ -1,0 +1,337 @@
+#include "common/fault_env.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace opdelta {
+
+namespace {
+
+const char* OpKindName(FaultInjectionEnv::OpKind kind) {
+  switch (kind) {
+    case FaultInjectionEnv::OpKind::kOpen:
+      return "open";
+    case FaultInjectionEnv::OpKind::kRead:
+      return "read";
+    case FaultInjectionEnv::OpKind::kWrite:
+      return "write";
+    case FaultInjectionEnv::OpKind::kSync:
+      return "sync";
+    case FaultInjectionEnv::OpKind::kRename:
+      return "rename";
+    case FaultInjectionEnv::OpKind::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+}  // namespace
+
+/// WritableFile wrapper routing Append/Sync through the fault dice and
+/// reporting synced sizes back for crash simulation.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path,
+                    std::unique_ptr<WritableFile> inner)
+      : env_(env), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  Status Append(Slice data) override {
+    uint64_t short_bytes = 0;
+    Status fault = env_->MaybeFault(FaultInjectionEnv::OpKind::kWrite, path_,
+                                    /*mutating=*/true, data.size(),
+                                    &short_bytes);
+    if (!fault.ok()) {
+      if (short_bytes > 0) {
+        // Torn append: a prefix reached the disk before the failure.
+        inner_->Append(Slice(data.data(), short_bytes));
+      }
+      return fault;
+    }
+    return inner_->Append(data);
+  }
+
+  Status Flush() override { return inner_->Flush(); }
+
+  Status Sync() override {
+    OPDELTA_RETURN_IF_ERROR(env_->MaybeFault(FaultInjectionEnv::OpKind::kSync,
+                                             path_, /*mutating=*/true));
+    OPDELTA_RETURN_IF_ERROR(inner_->Sync());
+    env_->MarkDurable(path_, inner_->Size());
+    return Status::OK();
+  }
+
+  Status Close() override { return inner_->Close(); }
+
+  uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> inner_;
+};
+
+/// RandomAccessFile wrapper injecting read errors.
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectionEnv* env, std::string path,
+                        std::unique_ptr<RandomAccessFile> inner)
+      : env_(env), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    OPDELTA_RETURN_IF_ERROR(env_->MaybeFault(FaultInjectionEnv::OpKind::kRead,
+                                             path_, /*mutating=*/false));
+    return inner_->Read(offset, n, result, scratch);
+  }
+
+  uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomAccessFile> inner_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
+    : base_(base), rng_(seed) {}
+
+void FaultInjectionEnv::SetScope(std::string substring) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scope_ = std::move(substring);
+}
+
+void FaultInjectionEnv::SetErrorProbability(OpKind kind, double p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  probability_[static_cast<int>(kind)] = p;
+}
+
+void FaultInjectionEnv::SetShortWriteProbability(double p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  short_write_probability_ = p;
+}
+
+void FaultInjectionEnv::FailAllOpsAfter(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_after_ = n;
+  crossed_crash_point_ = false;
+  mutations_ = 0;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (double& p : probability_) p = 0.0;
+  short_write_probability_ = 0.0;
+  fail_after_ = UINT64_MAX;
+  crossed_crash_point_ = false;
+}
+
+uint64_t FaultInjectionEnv::mutations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mutations_;
+}
+
+uint64_t FaultInjectionEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_;
+}
+
+bool FaultInjectionEnv::InScope(const std::string& path) const {
+  return scope_.empty() || path.find(scope_) != std::string::npos;
+}
+
+Status FaultInjectionEnv::MaybeFault(OpKind kind, const std::string& path,
+                                     bool mutating, uint64_t payload_size,
+                                     uint64_t* short_write_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (short_write_bytes != nullptr) *short_write_bytes = 0;
+  if (!InScope(path)) return Status::OK();
+
+  bool fault = false;
+  bool may_tear = false;
+  if (mutating) {
+    ++mutations_;
+    if (mutations_ > fail_after_) {
+      fault = true;
+      // Only the operation that crosses the crash point can tear; the
+      // "disk" is dead afterwards and later ops have no effect at all.
+      may_tear = !crossed_crash_point_;
+      crossed_crash_point_ = true;
+    }
+  }
+  if (!fault) {
+    const double p = probability_[static_cast<int>(kind)];
+    if (p > 0.0 && rng_.NextDouble() < p) {
+      fault = true;
+      may_tear = true;
+    }
+  }
+  if (!fault) return Status::OK();
+
+  ++faults_;
+  if (kind == OpKind::kWrite && short_write_bytes != nullptr && may_tear &&
+      payload_size > 0 && rng_.NextDouble() < short_write_probability_) {
+    *short_write_bytes = rng_.Uniform(payload_size);  // strict prefix
+  }
+  return Status::IOError(std::string("injected ") + OpKindName(kind) +
+                         " fault: " + path);
+}
+
+void FaultInjectionEnv::MarkDurable(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (InScope(path)) durable_size_[path] = size;
+}
+
+Status FaultInjectionEnv::CrashAndDropUnsynced(bool torn_tails) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [path, durable] : durable_size_) {
+    if (!base_->FileExists(path)) continue;
+    uint64_t size = 0;
+    OPDELTA_RETURN_IF_ERROR(base_->GetFileSize(path, &size));
+    if (size <= durable) continue;
+    uint64_t keep = durable;
+    if (torn_tails) keep += rng_.Uniform(size - durable + 1);
+    if (keep < size) {
+      OPDELTA_RETURN_IF_ERROR(base_->Truncate(path, keep));
+      OPDELTA_LOG(kDebug) << "crash: dropped " << (size - keep)
+                          << " unsynced bytes of " << path;
+    }
+    durable = keep;  // the surviving bytes are on disk now
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& path,
+                                          std::unique_ptr<WritableFile>* out) {
+  OPDELTA_RETURN_IF_ERROR(
+      MaybeFault(OpKind::kOpen, path, /*mutating=*/true));
+  std::unique_ptr<WritableFile> inner;
+  OPDELTA_RETURN_IF_ERROR(base_->NewWritableFile(path, &inner));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Created/truncated: nothing durable yet.
+    if (InScope(path)) durable_size_[path] = 0;
+  }
+  *out = std::make_unique<FaultWritableFile>(this, path, std::move(inner));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewAppendableFile(
+    const std::string& path, std::unique_ptr<WritableFile>* out) {
+  OPDELTA_RETURN_IF_ERROR(
+      MaybeFault(OpKind::kOpen, path, /*mutating=*/true));
+  std::unique_ptr<WritableFile> inner;
+  OPDELTA_RETURN_IF_ERROR(base_->NewAppendableFile(path, &inner));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Pre-existing bytes (written before tracking began) count as durable.
+    if (InScope(path) && durable_size_.find(path) == durable_size_.end()) {
+      durable_size_[path] = inner->Size();
+    }
+  }
+  *out = std::make_unique<FaultWritableFile>(this, path, std::move(inner));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* out) {
+  OPDELTA_RETURN_IF_ERROR(
+      MaybeFault(OpKind::kOpen, path, /*mutating=*/false));
+  std::unique_ptr<RandomAccessFile> inner;
+  OPDELTA_RETURN_IF_ERROR(base_->NewRandomAccessFile(path, &inner));
+  *out = std::make_unique<FaultRandomAccessFile>(this, path, std::move(inner));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::ReadFileToString(const std::string& path,
+                                           std::string* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  OPDELTA_RETURN_IF_ERROR(NewRandomAccessFile(path, &file));
+  out->clear();
+  out->resize(file->Size());
+  Slice result;
+  OPDELTA_RETURN_IF_ERROR(file->Read(0, out->size(), &result, out->data()));
+  if (result.size() != out->size()) {
+    return Status::IOError("short read " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::WriteStringToFile(const std::string& path,
+                                            Slice data) {
+  std::unique_ptr<WritableFile> file;
+  OPDELTA_RETURN_IF_ERROR(NewWritableFile(path, &file));
+  OPDELTA_RETURN_IF_ERROR(file->Append(data));
+  return file->Close();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  OPDELTA_RETURN_IF_ERROR(
+      MaybeFault(OpKind::kDelete, path, /*mutating=*/true));
+  Status st = base_->DeleteFile(path);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    durable_size_.erase(path);
+  }
+  return st;
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  OPDELTA_RETURN_IF_ERROR(
+      MaybeFault(OpKind::kRename, from, /*mutating=*/true));
+  OPDELTA_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = durable_size_.find(from);
+  if (it != durable_size_.end()) {
+    // The rename moves the file's durability along with its bytes.
+    durable_size_[to] = it->second;
+    durable_size_.erase(from);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& path,
+                                      uint64_t* size) {
+  return base_->GetFileSize(path, size);
+}
+
+Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
+  OPDELTA_RETURN_IF_ERROR(
+      MaybeFault(OpKind::kDelete, path, /*mutating=*/true));
+  OPDELTA_RETURN_IF_ERROR(base_->Truncate(path, size));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = durable_size_.find(path);
+  if (it != durable_size_.end()) it->second = std::min(it->second, size);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status FaultInjectionEnv::RemoveDirAll(const std::string& path) {
+  Status st = base_->RemoveDirAll(path);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = durable_size_.begin(); it != durable_size_.end();) {
+      if (it->first.rfind(path, 0) == 0) {
+        it = durable_size_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return st;
+}
+
+Status FaultInjectionEnv::ListDir(const std::string& path,
+                                  std::vector<std::string>* children) {
+  return base_->ListDir(path, children);
+}
+
+}  // namespace opdelta

@@ -1,0 +1,134 @@
+#ifndef OPDELTA_COMMON_FAULT_ENV_H_
+#define OPDELTA_COMMON_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace opdelta {
+
+/// An Env wrapper that injects I/O faults under deterministic seeded
+/// control: failed and short (torn) writes, failed syncs, error returns on
+/// open/read, rename and delete failures, and whole-process "crash points"
+/// after which every mutating operation fails. It also tracks, per file,
+/// how many bytes have actually been made durable (Sync), so a test can
+/// simulate a power failure with CrashAndDropUnsynced(): every tracked file
+/// is truncated back to its last synced size, optionally keeping a seeded
+/// prefix of the unsynced tail — exactly the torn tail a real crash leaves.
+///
+/// Faults and durability tracking apply only to paths containing the scope
+/// substring (default: every path), so a test can crash a hub's transport
+/// state while the "other machines'" database files stay untouched.
+///
+/// Install process-wide with Env::SetDefault(&fault_env); the caller owns
+/// both the wrapper and the wrapped base env. Thread-safe.
+class FaultInjectionEnv : public Env {
+ public:
+  /// Fault site, for targeted probabilities.
+  enum class OpKind : int {
+    kOpen = 0,   // NewWritableFile / NewAppendableFile / NewRandomAccessFile
+    kRead,       // RandomAccessFile::Read
+    kWrite,      // WritableFile::Append
+    kSync,       // WritableFile::Sync
+    kRename,     // RenameFile
+    kDelete,     // DeleteFile / Truncate
+  };
+  static constexpr int kNumOpKinds = 6;
+
+  explicit FaultInjectionEnv(Env* base, uint64_t seed = 1);
+  ~FaultInjectionEnv() override = default;
+
+  FaultInjectionEnv(const FaultInjectionEnv&) = delete;
+  FaultInjectionEnv& operator=(const FaultInjectionEnv&) = delete;
+
+  // ------------------------------------------------------ fault programming
+
+  /// Restricts faults and durability tracking to paths containing
+  /// `substring` ("" = all paths).
+  void SetScope(std::string substring);
+
+  /// Independent per-operation fault probability in [0, 1].
+  void SetErrorProbability(OpKind kind, double p);
+
+  /// Fraction of injected kWrite faults that persist a seeded prefix of the
+  /// data before failing (a torn append) instead of failing cleanly.
+  void SetShortWriteProbability(double p);
+
+  /// Crash point: the first `n` in-scope mutating operations succeed, every
+  /// later one fails. The operation that crosses the point may tear (short
+  /// write); everything after it fails cleanly, like a dead disk.
+  void FailAllOpsAfter(uint64_t n);
+
+  /// Clears all programmed faults (scope and durability tracking remain).
+  void ClearFaults();
+
+  /// In-scope mutating operations observed so far (crash-point currency).
+  uint64_t mutations() const;
+  uint64_t faults_injected() const;
+
+  // ------------------------------------------------------ crash simulation
+
+  /// Simulates a power failure: truncates every tracked in-scope file to
+  /// its last synced size plus, when `torn_tails`, a seeded prefix of the
+  /// unsynced tail. Call with faults cleared (the "disk" must be writable).
+  Status CrashAndDropUnsynced(bool torn_tails = true);
+
+  // ----------------------------------------------------------- Env interface
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* out) override;
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status WriteStringToFile(const std::string& path, Slice data) override;
+  bool FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Status RemoveDirAll(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* children) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  bool InScope(const std::string& path) const;  // requires mutex_ held
+
+  /// Rolls the dice for one operation. Returns OK, or the injected error.
+  /// For kWrite faults, *short_write_bytes (when non-null) receives the
+  /// seeded number of payload bytes to persist before failing.
+  Status MaybeFault(OpKind kind, const std::string& path, bool mutating,
+                    uint64_t payload_size = 0,
+                    uint64_t* short_write_bytes = nullptr);
+
+  void MarkDurable(const std::string& path, uint64_t size);
+
+  Env* const base_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::string scope_;
+  double probability_[kNumOpKinds] = {};
+  double short_write_probability_ = 0.0;
+  uint64_t fail_after_ = UINT64_MAX;
+  bool crossed_crash_point_ = false;
+  uint64_t mutations_ = 0;
+  uint64_t faults_ = 0;
+  /// Last synced byte count per tracked (in-scope, written) file.
+  std::unordered_map<std::string, uint64_t> durable_size_;
+};
+
+}  // namespace opdelta
+
+#endif  // OPDELTA_COMMON_FAULT_ENV_H_

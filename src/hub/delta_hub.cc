@@ -1,11 +1,61 @@
 #include "hub/delta_hub.h"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "common/coding.h"
 #include "common/env.h"
+#include "common/logging.h"
+#include "common/random.h"
 #include "extract/reconciler.h"
 
 namespace opdelta::hub {
+
+namespace {
+
+/// Transient integration failures worth retrying in place; everything else
+/// (Corruption, InvalidArgument, NotSupported, NotFound, ...) is
+/// deterministic — retrying replays the same poison message forever.
+bool IsRetryableApplyError(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kConflict:
+    case StatusCode::kBusy:
+    case StatusCode::kAborted:
+    case StatusCode::kIOError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Folds several errors into one: the first error's code, all distinct
+/// messages joined. OK when the list is empty.
+Status JoinErrors(const std::vector<Status>& errors) {
+  if (errors.empty()) return Status::OK();
+  if (errors.size() == 1) return errors.front();
+  std::string joined;
+  for (const Status& e : errors) {
+    if (!joined.empty()) joined += "; ";
+    joined += e.ToString();
+  }
+  switch (errors.front().code()) {
+    case StatusCode::kNotFound: return Status::NotFound(joined);
+    case StatusCode::kInvalidArgument: return Status::InvalidArgument(joined);
+    case StatusCode::kIOError: return Status::IOError(joined);
+    case StatusCode::kCorruption: return Status::Corruption(joined);
+    case StatusCode::kConflict: return Status::Conflict(joined);
+    case StatusCode::kBusy: return Status::Busy(joined);
+    case StatusCode::kNotSupported: return Status::NotSupported(joined);
+    case StatusCode::kAborted: return Status::Aborted(joined);
+    case StatusCode::kAlreadyExists: return Status::AlreadyExists(joined);
+    case StatusCode::kOutOfRange: return Status::OutOfRange(joined);
+    default: return Status::Internal(joined);
+  }
+}
+
+constexpr size_t kMaxRetainedDriverErrors = 16;
+
+}  // namespace
 
 struct DeltaHub::Source {
   SourceSpec spec;
@@ -20,6 +70,15 @@ struct DeltaHub::Group {
   std::string warehouse_table;
   std::vector<Source*> members;  // registration order = site priority
   size_t worker = 0;             // apply-worker lane owning the table
+
+  // Self-healing state, touched only by this group's round task (RunRound
+  // schedules at most one task per group); published into stats_ under
+  // stats_mutex_.
+  int consecutive_failures = 0;
+  bool quarantined = false;
+  int probes = 0;                // probes attempted while quarantined
+  Micros next_probe_micros = 0;  // RealClock time of the next probe
+  Rng rng{1};                    // backoff jitter, seeded per group
 };
 
 struct DeltaHub::StagedBatch {
@@ -131,6 +190,9 @@ Status DeltaHub::BuildGroups() {
     }
     group->members.push_back(source.get());
   }
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    groups_[i]->rng = Rng(options_.retry_seed + i);
+  }
   // Partition warehouse tables across apply workers: every group writing a
   // table maps to the same lane, so one table never applies out of order.
   std::unordered_map<std::string, size_t> table_worker;
@@ -240,6 +302,88 @@ Status DeltaHub::ProduceRound(Group* group) {
   }
 }
 
+Status DeltaHub::SuperviseRound(Group* group) {
+  Clock* clock = RealClock::Default();
+  if (group->quarantined && clock->NowMicros() < group->next_probe_micros) {
+    return Status::OK();  // skipped; healthy groups keep flowing
+  }
+
+  // A quarantined group gets exactly one probe attempt — a retry storm is
+  // what put it there. A healthy group gets produce_attempts tries with
+  // jittered exponential backoff between them.
+  const int attempts =
+      group->quarantined ? 1 : std::max(1, options_.produce_attempts);
+  Status st;
+  for (int attempt = 0;; ++attempt) {
+    st = ProduceRound(group);
+    if (st.ok() || attempt + 1 >= attempts) break;
+
+    double delay_ms = static_cast<double>(options_.backoff_initial.count()) *
+                      static_cast<double>(uint64_t{1} << attempt);
+    delay_ms = std::min(
+        delay_ms, static_cast<double>(options_.backoff_max.count()));
+    // Jitter desynchronizes retries across groups hitting a shared fault.
+    delay_ms *= 1.0 + options_.backoff_jitter *
+                          (2.0 * group->rng.NextDouble() - 1.0);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      for (Source* source : group->members) {
+        ++stats_.sources[source->stats_index].retries;
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(delay_ms * 1000.0)));
+  }
+
+  if (st.ok()) {
+    if (group->quarantined) {
+      OPDELTA_LOG(kInfo) << "source group for table "
+                         << group->warehouse_table
+                         << " recovered; lifting quarantine";
+    }
+    group->consecutive_failures = 0;
+    group->quarantined = false;
+    group->probes = 0;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (Source* source : group->members) {
+      stats_.sources[source->stats_index].quarantined = false;
+    }
+    return Status::OK();
+  }
+
+  ++group->consecutive_failures;
+  if (options_.quarantine_after > 0 &&
+      group->consecutive_failures >= options_.quarantine_after) {
+    if (!group->quarantined) {
+      group->quarantined = true;
+      group->probes = 0;
+      OPDELTA_LOG(kWarn) << "quarantining source group for table "
+                         << group->warehouse_table << " after "
+                         << group->consecutive_failures
+                         << " consecutive failed rounds: " << st.ToString();
+    }
+    // Probe at growing intervals so a persistently dead source costs an
+    // ever-smaller fraction of each round.
+    const int shift = std::min(group->probes, 20);
+    const Micros delay_micros =
+        std::min(options_.backoff_initial.count() << shift,
+                 options_.backoff_max.count()) *
+        1000;
+    ++group->probes;
+    group->next_probe_micros = clock->NowMicros() + delay_micros;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (Source* source : group->members) {
+      SourceStats& entry = stats_.sources[source->stats_index];
+      ++entry.errors;
+      entry.quarantined = group->quarantined;
+      entry.last_error = st.ToString();
+    }
+  }
+  return st;
+}
+
 Status DeltaHub::StageAndApply(Group* group, std::string message,
                                uint64_t bytes, std::vector<Source*> acks) {
   StagedBatch batch;
@@ -290,9 +434,36 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
 
     Stopwatch apply_timer;
     warehouse::IntegrationStats istats;
-    Status st = batch->group->members.front()->leg->Integrate(
-        warehouse_, batch->message, &istats);
-    if (st.ok()) {
+    Status st;
+    for (int attempt = 0;; ++attempt) {
+      st = batch->group->members.front()->leg->Integrate(
+          warehouse_, batch->message, &istats);
+      // Retry only transient errors; a deterministic failure would replay
+      // the same poison message forever.
+      if (st.ok() || !IsRetryableApplyError(st) ||
+          attempt + 1 >= std::max(1, options_.apply_attempts)) {
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        for (Source* source : batch->acks) {
+          ++stats_.sources[source->stats_index].retries;
+        }
+      }
+      std::this_thread::sleep_for(options_.backoff_initial);
+    }
+
+    bool dead_lettered = false;
+    if (!st.ok() && !IsRetryableApplyError(st)) {
+      // Divert the poison batch so the queue (and the group) can advance;
+      // if the diversion itself fails, keep the original error and let the
+      // batch replay.
+      if (DeadLetter(batch, st).ok()) {
+        dead_lettered = true;
+        st = Status::OK();
+      }
+    }
+    if (st.ok() && !dead_lettered) {
       // Acknowledge only after successful integration: a crash or error
       // before this point leaves the batch in the queues for replay.
       for (Source* source : batch->acks) {
@@ -304,7 +475,7 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
 
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
-      if (st.ok()) {
+      if (st.ok() && !dead_lettered) {
         ++stats_.batches_applied;
         stats_.transactions_applied += istats.transactions;
         stats_.apply_micros_total += elapsed;
@@ -327,6 +498,54 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
   }
 }
 
+Status DeltaHub::DeadLetter(StagedBatch* batch, const Status& cause) {
+  // Persist the undeliverable batch (length-framed, appended to the
+  // table's dead-letter log under work_dir) for offline inspection, then
+  // acknowledge it so the queue advances past it.
+  Env* env = Env::Default();
+  const std::string dir = options_.work_dir + "/dead_letters";
+  OPDELTA_RETURN_IF_ERROR(env->CreateDir(dir));
+  const std::string path =
+      dir + "/" + batch->group->warehouse_table + ".log";
+  std::unique_ptr<WritableFile> file;
+  OPDELTA_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(batch->message.size()));
+  frame.append(batch->message);
+  OPDELTA_RETURN_IF_ERROR(file->Append(Slice(frame)));
+  OPDELTA_RETURN_IF_ERROR(file->Sync());
+  OPDELTA_RETURN_IF_ERROR(file->Close());
+  OPDELTA_LOG(kWarn) << "dead-lettered undeliverable batch for table "
+                     << batch->group->warehouse_table << ": "
+                     << cause.ToString();
+
+  Status ack_status;
+  for (Source* source : batch->acks) {
+    Status ack = source->leg->AckShipped();
+    if (ack_status.ok() && !ack.ok()) ack_status = ack;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.dead_letters;
+    for (Source* source : batch->acks) {
+      SourceStats& entry = stats_.sources[source->stats_index];
+      ++entry.dead_letters;
+      entry.last_error = cause.ToString();
+    }
+  }
+  return ack_status;
+}
+
+void DeltaHub::RetainDriverError(const Status& error) {
+  std::lock_guard<std::mutex> lock(driver_mutex_);
+  for (const Status& retained : driver_errors_) {
+    if (retained == error) return;  // dedupe steady-state repeats
+  }
+  if (driver_errors_.size() < kMaxRetainedDriverErrors) {
+    driver_errors_.push_back(error);
+  }
+}
+
 Status DeltaHub::RunRound() {
   if (!setup_done_) return Status::Internal("call Setup() first");
   {
@@ -336,14 +555,14 @@ Status DeltaHub::RunRound() {
 
   CountDownLatch latch(groups_.size());
   std::mutex error_mutex;
-  Status first_error;
+  std::vector<Status> errors;
   for (const auto& group : groups_) {
     extract_pool_->Submit([this, group = group.get(), &latch, &error_mutex,
-                           &first_error] {
-      Status st = ProduceRound(group);
+                           &errors] {
+      Status st = SuperviseRound(group);
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = st;
+        errors.push_back(st);
       }
       latch.CountDown();
     });
@@ -354,7 +573,7 @@ Status DeltaHub::RunRound() {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.rounds;
   }
-  return first_error;
+  return JoinErrors(errors);
 }
 
 Status DeltaHub::Start() {
@@ -362,7 +581,7 @@ Status DeltaHub::Start() {
   std::lock_guard<std::mutex> lock(driver_mutex_);
   if (driver_running_) return Status::Busy("hub already started");
   driver_stop_ = false;
-  driver_status_ = Status::OK();
+  driver_errors_.clear();
   driver_running_ = true;
   driver_ = std::thread([this] {
     while (true) {
@@ -370,12 +589,12 @@ Status DeltaHub::Start() {
         std::unique_lock<std::mutex> lk(driver_mutex_);
         if (driver_stop_) return;
       }
+      // Supervisor, not fail-stop: a failed round is retained for Stop()
+      // and the loop keeps driving — healthy groups keep flowing while a
+      // failing group backs off or sits in quarantine.
       Status st = RunRound();
+      if (!st.ok()) RetainDriverError(st);
       std::unique_lock<std::mutex> lk(driver_mutex_);
-      if (!st.ok()) {
-        if (driver_status_.ok()) driver_status_ = st;
-        return;  // fail-stop; Stop() reports the error
-      }
       driver_cv_.wait_for(lk, options_.poll_interval,
                           [this] { return driver_stop_; });
       if (driver_stop_) return;
@@ -395,7 +614,7 @@ Status DeltaHub::Stop() {
   Status result;
   {
     std::lock_guard<std::mutex> lock(driver_mutex_);
-    result = driver_status_;
+    result = JoinErrors(driver_errors_);
     driver_running_ = false;
   }
 

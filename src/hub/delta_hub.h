@@ -64,6 +64,30 @@ struct HubOptions {
 
   /// Idle wait between rounds of the Start() background driver.
   std::chrono::milliseconds poll_interval{20};
+
+  // --- Self-healing (retry / quarantine / dead-letter) ---
+
+  /// Extract→ship→apply attempts per source group per round. A failing
+  /// group is retried (attempts - 1) times with exponential backoff before
+  /// the round counts as failed for it.
+  int produce_attempts = 3;
+  /// First retry delay; doubles per retry up to backoff_max.
+  std::chrono::milliseconds backoff_initial{10};
+  std::chrono::milliseconds backoff_max{1000};
+  /// Uniform ± fraction of the delay added to desynchronize retries.
+  double backoff_jitter = 0.2;
+  /// Consecutive failed rounds after which a group is quarantined: skipped
+  /// by subsequent rounds and probed at growing backoff intervals. A
+  /// successful probe lifts the quarantine. <= 0 disables quarantining.
+  int quarantine_after = 3;
+  /// Integration attempts per staged batch when the error is transient
+  /// (Conflict/Busy/Aborted/IOError). Deterministic failures (Corruption,
+  /// InvalidArgument, NotSupported, NotFound) skip retries and dead-letter
+  /// immediately; transient failures that exhaust retries stay queued and
+  /// replay next round.
+  int apply_attempts = 3;
+  /// Seed for the retry-jitter RNG (deterministic tests).
+  uint64_t retry_seed = 1;
 };
 
 /// Per-source counters inside a HubStats snapshot.
@@ -75,6 +99,13 @@ struct SourceStats {
   uint64_t batches_shipped = 0;
   uint64_t bytes_shipped = 0;
   uint64_t batches_applied = 0;    // shipped batches acknowledged
+
+  // Self-healing.
+  uint64_t errors = 0;             // supervised rounds that failed
+  uint64_t retries = 0;            // backoff retries (produce + apply)
+  uint64_t dead_letters = 0;       // batches diverted to the dead-letter log
+  bool quarantined = false;        // currently skipped, probed on backoff
+  std::string last_error;          // most recent failure, retained
 };
 
 /// Consistent point-in-time snapshot of the hub's operation.
@@ -98,6 +129,9 @@ struct HubStats {
   uint64_t batches_reconciled = 0;  // group batches merged into one
   uint64_t duplicates_dropped = 0;
   uint64_t conflicts = 0;
+
+  // Self-healing.
+  uint64_t dead_letters = 0;        // total batches dead-lettered
 };
 
 /// A long-running CDC orchestration service over N registered sources: the
@@ -138,15 +172,22 @@ class DeltaHub {
   /// Drives one synchronous round: every source group extracts, ships,
   /// stages and applies its backlog; returns once the warehouse has
   /// absorbed everything pending. Groups run concurrently on the extract
-  /// pool. Not reentrant (the Start() driver or the caller, not both).
+  /// pool; a failing group retries with backoff and — after
+  /// quarantine_after consecutive failed rounds — is quarantined (skipped,
+  /// probed on growing backoff) so healthy groups keep flowing. Returns
+  /// every group error of the round, joined. Not reentrant (the Start()
+  /// driver or the caller, not both).
   Status RunRound();
 
   /// Launches the background driver: RunRound in a loop with
-  /// poll_interval idle waits. Errors are retained and returned by Stop.
+  /// poll_interval idle waits. The driver is a supervisor — a failing
+  /// round degrades (errors are retained, quarantined groups are skipped)
+  /// instead of halting the loop.
   Status Start();
 
   /// Stops the driver, drains in-flight work and joins all threads.
-  /// Returns the first error the driver encountered. Idempotent.
+  /// Returns every distinct retained driver error, joined into one Status
+  /// (the first error's code). Idempotent.
   Status Stop();
 
   HubStats Stats() const;
@@ -160,10 +201,19 @@ class DeltaHub {
 
   Status BuildGroups();
   Status ProduceRound(Group* group);
+  /// ProduceRound wrapped in the self-healing policy: bounded retries with
+  /// jittered exponential backoff, then quarantine with backoff probing.
+  /// OK when the group succeeded or is quarantined-and-skipped.
+  Status SuperviseRound(Group* group);
   Status StageAndApply(Group* group, std::string message, uint64_t bytes,
                        std::vector<Source*> acks);
   void ApplyWorkerLoop(size_t worker_index);
+  /// Diverts an undeliverable batch to the per-table dead-letter log and
+  /// acknowledges it so the queue can advance past the poison message.
+  Status DeadLetter(StagedBatch* batch, const Status& cause);
   void RefreshSourceStats(Source* source);  // locks stats_mutex_
+  /// Retains a driver error for Stop(), deduplicated and capped.
+  void RetainDriverError(const Status& error);
 
   engine::Database* warehouse_;
   HubOptions options_;
@@ -195,7 +245,7 @@ class DeltaHub {
   std::condition_variable driver_cv_;
   bool driver_stop_ = false;
   bool driver_running_ = false;
-  Status driver_status_;
+  std::vector<Status> driver_errors_;  // distinct retained errors, capped
 
   // Aggregate counters (everything HubStats reports except
   // staging_bytes_, which lives under staging_mutex_).

@@ -210,12 +210,26 @@ Status SourceLeg::ExtractAndShip(bool* shipped) {
 
   std::string message;
   uint64_t records = 0;
-  OPDELTA_RETURN_IF_ERROR(ExtractMessage(&message, &records));
+  if (!pending_message_.empty()) {
+    // A previous round extracted this batch but failed to ship it. The
+    // extraction was destructive (drained capture state / advanced
+    // watermarks), so retry the ship instead of extracting anew.
+    message.swap(pending_message_);
+    records = pending_records_;
+    pending_records_ = 0;
+  } else {
+    OPDELTA_RETURN_IF_ERROR(ExtractMessage(&message, &records));
+  }
   // The watermark may advance even on an empty round (kLog skips
   // non-matching records); persist it regardless.
   if (message.empty()) return SaveState();
 
-  OPDELTA_RETURN_IF_ERROR(queue_.Enqueue(Slice(message), /*durable=*/true));
+  Status enqueue_status = queue_.Enqueue(Slice(message), /*durable=*/true);
+  if (!enqueue_status.ok()) {
+    pending_message_.swap(message);
+    pending_records_ = records;
+    return enqueue_status;
+  }
   stats_.records_extracted += records;
   stats_.batches_shipped++;
   stats_.bytes_shipped += message.size();

@@ -92,6 +92,13 @@ class SourceLeg {
   Micros ts_watermark_ = 0;
   txn::Lsn lsn_watermark_ = 0;
   LegStats stats_;
+
+  // A batch that was extracted but failed to enqueue. Extraction is
+  // destructive for kTrigger/kOpDelta (the capture table is drained) and
+  // advances in-memory watermarks for the others, so the batch must be
+  // retained and retried — dropping it on a ship failure would lose data.
+  std::string pending_message_;
+  uint64_t pending_records_ = 0;
 };
 
 /// Message framing helpers. A shipped message is a one-byte tag ('V' for a

@@ -9,7 +9,7 @@ Status FileTransport::Ship(const std::string& src, const std::string& dst) {
   std::string data;
   OPDELTA_RETURN_IF_ERROR(env->ReadFileToString(src, &data));
   net_->Connect();
-  net_->Transfer(data.size());
+  OPDELTA_RETURN_IF_ERROR(net_->TryTransfer(data.size()));
   OPDELTA_RETURN_IF_ERROR(env->WriteStringToFile(dst, Slice(data)));
   files_++;
   bytes_ += data.size();

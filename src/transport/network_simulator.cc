@@ -12,6 +12,36 @@ void NetworkSimulator::SpinFor(Micros duration) {
   }
 }
 
+void NetworkSimulator::SetFaults(const FaultProfile& faults) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  faults_ = faults;
+  fault_rng_ = Rng(faults.seed);
+}
+
+Status NetworkSimulator::MaybeFault() {
+  Micros timeout = 0;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    const double roll = (faults_.drop_probability > 0.0 ||
+                         faults_.timeout_probability > 0.0)
+                            ? fault_rng_.NextDouble()
+                            : 1.0;
+    if (roll < faults_.drop_probability) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError("simulated network drop");
+    }
+    if (roll < faults_.drop_probability + faults_.timeout_probability) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      timeout = faults_.timeout_micros;
+    }
+  }
+  if (timeout > 0) {
+    SpinFor(timeout);  // the peer stays silent until we give up
+    return Status::Busy("simulated network timeout");
+  }
+  return Status::OK();
+}
+
 void NetworkSimulator::Connect() { SpinFor(profile_.connect_micros); }
 
 void NetworkSimulator::RoundTrip(uint64_t payload_bytes) {
@@ -26,6 +56,23 @@ void NetworkSimulator::Transfer(uint64_t payload_bytes) {
   bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
   SpinFor(static_cast<Micros>(profile_.micros_per_byte *
                               static_cast<double>(payload_bytes)));
+}
+
+Status NetworkSimulator::TryRoundTrip(uint64_t payload_bytes) {
+  Status st = MaybeFault();
+  if (st.IsIOError()) {
+    // The request left the source before the drop: pay the one-way cost.
+    SpinFor(profile_.round_trip_micros / 2);
+  }
+  if (!st.ok()) return st;  // timeout already spun in MaybeFault
+  RoundTrip(payload_bytes);
+  return Status::OK();
+}
+
+Status NetworkSimulator::TryTransfer(uint64_t payload_bytes) {
+  OPDELTA_RETURN_IF_ERROR(MaybeFault());
+  Transfer(payload_bytes);
+  return Status::OK();
 }
 
 }  // namespace opdelta::transport

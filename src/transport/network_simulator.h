@@ -3,8 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
 
 namespace opdelta::transport {
 
@@ -38,28 +41,58 @@ class NetworkSimulator {
   /// No simulated cost (local).
   static Profile Loopback() { return Profile{0, 0.0, 0}; }
 
+  /// Seeded link-fault model for robustness tests: each round trip /
+  /// transfer independently drops (the send is lost mid-flight, IOError)
+  /// or times out (the peer stays silent for timeout_micros, Busy).
+  struct FaultProfile {
+    double drop_probability = 0.0;
+    double timeout_probability = 0.0;
+    Micros timeout_micros = 1000;
+    uint64_t seed = 1;
+  };
+
   explicit NetworkSimulator(const Profile& profile) : profile_(profile) {}
+
+  /// Arms (or, with a default-constructed profile, disarms) link faults.
+  void SetFaults(const FaultProfile& faults);
 
   /// Pays the connection-establishment cost.
   void Connect();
 
-  /// Pays one round trip carrying `payload_bytes`.
+  /// Pays one round trip carrying `payload_bytes`. Ignores link faults
+  /// (legacy cost-only callers).
   void RoundTrip(uint64_t payload_bytes);
 
   /// Pays transfer cost only (bulk ship of a file, no per-op round trip).
   void Transfer(uint64_t payload_bytes);
 
+  /// Like RoundTrip/Transfer but subject to the armed fault profile: a
+  /// drop pays the send cost and returns IOError; a timeout spins for
+  /// timeout_micros and returns Busy. The caller retries, as a real
+  /// shipper would.
+  Status TryRoundTrip(uint64_t payload_bytes);
+  Status TryTransfer(uint64_t payload_bytes);
+
   uint64_t round_trips() const { return round_trips_.load(); }
   uint64_t bytes_transferred() const { return bytes_.load(); }
   Micros simulated_micros() const { return simulated_micros_.load(); }
+  uint64_t drops() const { return drops_.load(); }
+  uint64_t timeouts() const { return timeouts_.load(); }
 
  private:
   void SpinFor(Micros duration);
+  /// Rolls the fault dice; OK when the message got through.
+  Status MaybeFault();
 
   Profile profile_;
+  std::mutex fault_mutex_;  // guards faults_ + fault_rng_
+  FaultProfile faults_;
+  Rng fault_rng_{1};
   std::atomic<uint64_t> round_trips_{0};
   std::atomic<uint64_t> bytes_{0};
   std::atomic<Micros> simulated_micros_{0};
+  std::atomic<uint64_t> drops_{0};
+  std::atomic<uint64_t> timeouts_{0};
 };
 
 }  // namespace opdelta::transport

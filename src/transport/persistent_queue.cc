@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/logging.h"
 
 namespace opdelta::transport {
 
@@ -18,8 +19,52 @@ Status PersistentQueue::Open(const std::string& dir) {
   dir_ = dir;
   Env* env = Env::Default();
   OPDELTA_RETURN_IF_ERROR(env->CreateDir(dir));
+  OPDELTA_RETURN_IF_ERROR(RecoverLog());
   OPDELTA_RETURN_IF_ERROR(env->NewAppendableFile(dir + kLogFile, &log_));
   return LoadCursor();
+}
+
+Status PersistentQueue::RecoverLog() {
+  // Mirror Wal::ReadAll's torn-tail policy: an incomplete frame at the very
+  // end is a crash artifact — truncate it away and continue appending after
+  // the last complete frame. A complete frame with a bad CRC is real
+  // corruption anywhere (each frame's CRC covers exactly the bytes its own
+  // append wrote, so a torn append can never form a complete bad frame).
+  Env* env = Env::Default();
+  const std::string path = dir_ + kLogFile;
+  if (!env->FileExists(path)) return Status::OK();
+
+  std::unique_ptr<RandomAccessFile> reader;
+  OPDELTA_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &reader));
+  const uint64_t size = reader->Size();
+  uint64_t offset = 0;
+  char header[8];
+  std::string body;
+  while (offset < size) {
+    if (size - offset < 8) break;  // torn header at the tail
+    Slice result;
+    OPDELTA_RETURN_IF_ERROR(reader->Read(offset, 8, &result, header));
+    if (result.size() != 8) break;
+    const uint32_t len = DecodeFixed32(result.data());
+    const uint32_t crc = DecodeFixed32(result.data() + 4);
+    if (size - offset - 8 < len) break;  // torn body at the tail
+    body.resize(len);
+    OPDELTA_RETURN_IF_ERROR(
+        reader->Read(offset + 8, len, &result, body.data()));
+    if (result.size() != len) break;
+    if (Crc32c(result.data(), result.size()) != crc) {
+      return Status::Corruption("queue message crc at offset " +
+                                std::to_string(offset) + " in " + path);
+    }
+    offset += 8 + len;
+  }
+  if (offset < size) {
+    OPDELTA_LOG(kWarn) << "queue " << path << ": dropping torn tail ("
+                       << (size - offset) << " bytes after offset " << offset
+                       << ")";
+    OPDELTA_RETURN_IF_ERROR(env->Truncate(path, offset));
+  }
+  return Status::OK();
 }
 
 Status PersistentQueue::Close() {
@@ -58,10 +103,33 @@ Status PersistentQueue::Enqueue(Slice message, bool durable) {
   PutFixed32(&frame, static_cast<uint32_t>(message.size()));
   PutFixed32(&frame, Crc32c(message.data(), message.size()));
   frame.append(message.data(), message.size());
-  OPDELTA_RETURN_IF_ERROR(log_->Append(Slice(frame)));
-  if (durable) OPDELTA_RETURN_IF_ERROR(log_->Sync());
+  const uint64_t frame_start = log_->Size();
+  Status st = log_->Append(Slice(frame));
+  if (st.ok() && durable) st = log_->Sync();
+  if (!st.ok()) {
+    // Heal the log in place: a short write may have left a torn prefix of
+    // this frame, and a retried append after it would make that prefix look
+    // like a complete-but-corrupt frame. Reopen at the pre-append length so
+    // the caller can simply retry Enqueue.
+    HealFailedAppend(frame_start);
+    return st;
+  }
   enqueued_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void PersistentQueue::HealFailedAppend(uint64_t frame_start) {
+  // Best effort: if healing itself fails (e.g. the disk is gone), the torn
+  // prefix stays behind and RecoverLog truncates it on the next Open.
+  Env* env = Env::Default();
+  if (log_ != nullptr) {
+    (void)log_->Close();
+    log_.reset();
+  }
+  const std::string path = dir_ + kLogFile;
+  if (!env->Truncate(path, frame_start).ok()) return;
+  std::unique_ptr<WritableFile> reopened;
+  if (env->NewAppendableFile(path, &reopened).ok()) log_ = std::move(reopened);
 }
 
 Status PersistentQueue::Peek(std::string* message) {

@@ -19,6 +19,12 @@ namespace opdelta::transport {
 ///
 /// On-disk layout: an append-only message log (framed, CRC-protected) plus
 /// a small cursor file updated on Ack.
+///
+/// Crash tolerance mirrors txn::Wal: an incomplete frame at the tail of the
+/// log (a torn append) is truncated away on Open and the queue continues; a
+/// complete frame whose CRC mismatches is hard Corruption. A failed append
+/// is healed in place — the log is truncated back to the pre-append length
+/// so a retry cannot interleave a garbage prefix with the retried frame.
 class PersistentQueue {
  public:
   PersistentQueue() = default;
@@ -50,6 +56,13 @@ class PersistentQueue {
   Result<uint64_t> Backlog();
 
  private:
+  /// Scans the log from offset 0, truncating a torn tail frame (crash
+  /// artifact) and rejecting complete frames with CRC mismatch. Runs on
+  /// Open before the log is reopened for append.
+  Status RecoverLog();
+  /// After a failed append: truncates the log back to `frame_start` and
+  /// reopens it so a retry starts from a clean frame boundary.
+  void HealFailedAppend(uint64_t frame_start);
   Status LoadCursor();
   Status SaveCursor();
 

@@ -291,7 +291,8 @@ TEST(PersistentQueueTest, CorruptMessageDetected) {
   OPDELTA_ASSERT_OK(q.Enqueue(Slice("important payload"), true));
   OPDELTA_ASSERT_OK(q.Close());
 
-  // Corrupt the log body.
+  // Corrupt the log body: a complete frame with a bad CRC is real damage,
+  // so recovery refuses the queue outright at Open.
   const std::string log = dir.Sub("q") + "/queue.log";
   std::string data;
   OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(log, &data));
@@ -299,9 +300,96 @@ TEST(PersistentQueueTest, CorruptMessageDetected) {
   OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(log, Slice(data)));
 
   PersistentQueue reopened;
-  OPDELTA_ASSERT_OK(reopened.Open(dir.Sub("q")));
+  Status st = reopened.Open(dir.Sub("q"));
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(PersistentQueueTest, TornTailTruncatedAndQueueContinues) {
+  TempDir dir;
+  PersistentQueue q;
+  OPDELTA_ASSERT_OK(q.Open(dir.Sub("q")));
+  OPDELTA_ASSERT_OK(q.Enqueue(Slice("alpha"), true));
+  OPDELTA_ASSERT_OK(q.Enqueue(Slice("beta"), true));
   std::string msg;
-  EXPECT_TRUE(reopened.Peek(&msg).IsCorruption());
+  OPDELTA_ASSERT_OK(q.Peek(&msg));
+  OPDELTA_ASSERT_OK(q.Ack());  // cursor advanced past "alpha"
+  OPDELTA_ASSERT_OK(q.Close());
+
+  // A crash mid-append leaves a torn frame at the tail: a header claiming
+  // more body bytes than exist. Recovery truncates it and continues.
+  const std::string log = dir.Sub("q") + "/queue.log";
+  std::string data;
+  OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(log, &data));
+  const uint64_t intact_size = data.size();
+  data.append("\x80\x00\x00\x00\xde\xad\xbe\xef", 8);  // len=128, no body
+  data.append("torn", 4);
+  OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(log, Slice(data)));
+
+  PersistentQueue reopened;
+  OPDELTA_ASSERT_OK(reopened.Open(dir.Sub("q")));
+  uint64_t size = 0;
+  OPDELTA_ASSERT_OK(Env::Default()->GetFileSize(log, &size));
+  EXPECT_EQ(size, intact_size);  // torn tail gone, intact frames kept
+
+  // The surviving backlog replays and the queue accepts new appends
+  // starting at a clean frame boundary.
+  OPDELTA_ASSERT_OK(reopened.Peek(&msg));
+  EXPECT_EQ(msg, "beta");
+  OPDELTA_ASSERT_OK(reopened.Ack());
+  OPDELTA_ASSERT_OK(reopened.Enqueue(Slice("gamma"), true));
+  OPDELTA_ASSERT_OK(reopened.Peek(&msg));
+  EXPECT_EQ(msg, "gamma");
+}
+
+// ----------------------------------------------------------- link faults
+
+TEST(NetworkSimulatorTest, DropFaultsReturnIOErrorAndCount) {
+  NetworkSimulator net(NetworkSimulator::Loopback());
+  NetworkSimulator::FaultProfile faults;
+  faults.drop_probability = 1.0;
+  net.SetFaults(faults);
+
+  Status st = net.TryRoundTrip(100);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(net.TryTransfer(100).IsIOError());
+  EXPECT_EQ(net.drops(), 2u);
+  EXPECT_EQ(net.round_trips(), 0u);  // nothing got through
+
+  // Disarming restores clean delivery.
+  net.SetFaults(NetworkSimulator::FaultProfile());
+  OPDELTA_ASSERT_OK(net.TryRoundTrip(100));
+  EXPECT_EQ(net.round_trips(), 1u);
+}
+
+TEST(NetworkSimulatorTest, TimeoutFaultsSpinAndReturnBusy) {
+  NetworkSimulator net(NetworkSimulator::Loopback());
+  NetworkSimulator::FaultProfile faults;
+  faults.timeout_probability = 1.0;
+  faults.timeout_micros = 2000;
+  net.SetFaults(faults);
+
+  Stopwatch sw;
+  Status st = net.TryRoundTrip(100);
+  EXPECT_EQ(st.code(), StatusCode::kBusy) << st.ToString();
+  EXPECT_GE(sw.ElapsedMicros(), 2000);  // we waited for the silent peer
+  EXPECT_EQ(net.timeouts(), 1u);
+}
+
+TEST(FileTransportTest, ShipPropagatesLinkFaults) {
+  TempDir dir;
+  const std::string src = dir.Sub("delta.csv");
+  OPDELTA_ASSERT_OK(
+      Env::Default()->WriteStringToFile(src, Slice("1,2,3\n")));
+  NetworkSimulator net(NetworkSimulator::Loopback());
+  NetworkSimulator::FaultProfile faults;
+  faults.drop_probability = 1.0;
+  net.SetFaults(faults);
+  FileTransport transport(&net);
+
+  const std::string dst = dir.Sub("shipped.csv");
+  EXPECT_TRUE(transport.Ship(src, dst).IsIOError());
+  EXPECT_FALSE(Env::Default()->FileExists(dst));  // the send was lost
+  EXPECT_EQ(transport.files_shipped(), 0u);
 }
 
 }  // namespace

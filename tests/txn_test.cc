@@ -271,6 +271,91 @@ TEST(WalTest, TruncationInOlderSegmentIsCorruption) {
   EXPECT_TRUE(st.IsCorruption());
 }
 
+TEST(WalTest, MidSegmentCrcFlipIsCorruption) {
+  // Corruption of an EARLY record in a multi-record segment must be a hard
+  // error even though plenty of valid frames follow it — only a torn frame
+  // at the very tail of the newest segment is forgivable.
+  TempDir dir;
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), WalOptions()));
+    for (int i = 0; i < 5; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kInsert;
+      rec.txn_id = i;
+      rec.after = "row-payload";
+      OPDELTA_ASSERT_OK(wal.Append(&rec));
+    }
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  std::vector<std::string> children;
+  OPDELTA_ASSERT_OK(Env::Default()->ListDir(dir.Sub("wal"), &children));
+  ASSERT_EQ(children.size(), 1u);
+  const std::string seg = dir.Sub("wal") + "/" + children[0];
+  std::string data;
+  OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(seg, &data));
+  data[12] ^= 0xFF;  // payload byte of the FIRST frame (header is 8 bytes)
+  OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(seg, Slice(data)));
+
+  Status st = Wal::ReadAll(dir.Sub("wal"), [](const LogRecord&) {
+    return true;
+  });
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(WalTest, FrameBoundaryTruncationInOlderSegmentIsCorruption) {
+  // Truncation that lands exactly on a frame boundary leaves a segment of
+  // perfectly valid frames — only the dense-LSN check can notice that the
+  // tail of the segment went missing.
+  TempDir dir;
+  WalOptions options;
+  options.segment_size = 512;  // force several segments
+  {
+    Wal wal;
+    OPDELTA_ASSERT_OK(wal.Open(dir.Sub("wal"), options));
+    for (int i = 0; i < 50; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kInsert;
+      rec.after = std::string(100, 'x');
+      OPDELTA_ASSERT_OK(wal.Append(&rec));
+    }
+    OPDELTA_ASSERT_OK(wal.Close());
+  }
+  std::vector<std::string> children;
+  OPDELTA_ASSERT_OK(Env::Default()->ListDir(dir.Sub("wal"), &children));
+  std::sort(children.begin(), children.end());
+  ASSERT_GT(children.size(), 2u);
+  const std::string seg = dir.Sub("wal") + "/" + children[0];
+  std::string data;
+  OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(seg, &data));
+  // Walk the [u32 len][u32 crc][payload] frames and count them, remembering
+  // where the last complete frame begins.
+  size_t offset = 0, frames = 0, last_frame_start = 0;
+  auto le32 = [&](size_t at) {
+    return static_cast<uint32_t>(static_cast<uint8_t>(data[at])) |
+           static_cast<uint32_t>(static_cast<uint8_t>(data[at + 1])) << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(data[at + 2])) << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(data[at + 3])) << 24;
+  };
+  while (offset + 8 <= data.size() && offset + 8 + le32(offset) <= data.size()) {
+    last_frame_start = offset;
+    offset += 8 + le32(offset);
+    ++frames;
+  }
+  ASSERT_GE(frames, 2u);  // need a surviving frame before the cut
+  // Cut EXACTLY at the final frame boundary: every remaining byte still
+  // parses and checksums, but one LSN has vanished.
+  data.resize(last_frame_start);
+  OPDELTA_ASSERT_OK(Env::Default()->WriteStringToFile(seg, Slice(data)));
+
+  Status st = Wal::ReadAll(dir.Sub("wal"), [](const LogRecord&) {
+    return true;
+  });
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find("lsn gap"), std::string::npos)
+      << st.ToString();
+}
+
 TEST(WalTest, BytesAppendedTracksVolume) {
   TempDir dir;
   Wal wal;

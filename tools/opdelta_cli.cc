@@ -311,6 +311,10 @@ int CmdHub(const std::string& wh_dir, const std::string& spec_path,
               static_cast<unsigned long long>(stats.transactions_applied),
               static_cast<long long>(stats.apply_micros_total),
               static_cast<long long>(stats.apply_micros_max));
+  if (stats.dead_letters > 0) {
+    std::printf("batches dead-lettered %10llu\n",
+                static_cast<unsigned long long>(stats.dead_letters));
+  }
   for (const hub::SourceStats& s : stats.sources) {
     std::printf("  %-16s -> %-16s %8llu extracted, %llu shipped, "
                 "%llu applied\n",
@@ -318,6 +322,20 @@ int CmdHub(const std::string& wh_dir, const std::string& spec_path,
                 static_cast<unsigned long long>(s.records_extracted),
                 static_cast<unsigned long long>(s.batches_shipped),
                 static_cast<unsigned long long>(s.batches_applied));
+    if (s.errors > 0 || s.retries > 0 || s.dead_letters > 0 ||
+        s.quarantined) {
+      std::string last_error;
+      if (!s.last_error.empty()) {
+        last_error = "; last error: " + s.last_error;
+      }
+      std::printf("  %-16s    %s%llu errors, %llu retries, %llu "
+                  "dead-lettered%s\n",
+                  "", s.quarantined ? "QUARANTINED, " : "",
+                  static_cast<unsigned long long>(s.errors),
+                  static_cast<unsigned long long>(s.retries),
+                  static_cast<unsigned long long>(s.dead_letters),
+                  last_error.c_str());
+    }
   }
   CLI_OK(stop);
   return 0;
