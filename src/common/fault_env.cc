@@ -22,6 +22,8 @@ const char* OpKindName(FaultInjectionEnv::OpKind kind) {
       return "rename";
     case FaultInjectionEnv::OpKind::kDelete:
       return "delete";
+    case FaultInjectionEnv::OpKind::kTruncate:
+      return "truncate";
   }
   return "?";
 }
@@ -301,8 +303,12 @@ Status FaultInjectionEnv::GetFileSize(const std::string& path,
 }
 
 Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
+  // Truncate gets its own fault site (it used to share kDelete): torn-tail
+  // repair and failed-append healing are themselves truncates, and sharing
+  // the delete dice made it impossible to exercise "the repair write also
+  // fails" without also breaking every file deletion.
   OPDELTA_RETURN_IF_ERROR(
-      MaybeFault(OpKind::kDelete, path, /*mutating=*/true));
+      MaybeFault(OpKind::kTruncate, path, /*mutating=*/true));
   OPDELTA_RETURN_IF_ERROR(base_->Truncate(path, size));
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = durable_size_.find(path);

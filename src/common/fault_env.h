@@ -38,9 +38,11 @@ class FaultInjectionEnv : public Env {
     kWrite,      // WritableFile::Append
     kSync,       // WritableFile::Sync
     kRename,     // RenameFile
-    kDelete,     // DeleteFile / Truncate
+    kDelete,     // DeleteFile
+    kTruncate,   // Truncate — torn-tail repair and append healing run
+                 // through here, so they too are exercised under faults
   };
-  static constexpr int kNumOpKinds = 6;
+  static constexpr int kNumOpKinds = 7;
 
   explicit FaultInjectionEnv(Env* base, uint64_t seed = 1);
   ~FaultInjectionEnv() override = default;

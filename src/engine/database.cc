@@ -247,7 +247,14 @@ Status Database::WithTransaction(
     Abort(txn.get());
     return st;
   }
-  return Commit(txn.get());
+  Status commit = Commit(txn.get());
+  if (!commit.ok()) {
+    // Commit marks the transaction committed only after the WAL records
+    // are durable, so a failed commit leaves it active: abort to roll back
+    // and release its locks instead of leaking them until timeout.
+    Abort(txn.get());
+  }
+  return commit;
 }
 
 void Database::StampTimestamp(const catalog::Schema& schema, Row* row,
@@ -309,6 +316,12 @@ Status Database::InsertImpl(Transaction* txn, const std::string& table_name,
   OPDELTA_RETURN_IF_ERROR(
       locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
 
+  // The undo entry must exist the moment the heap/index mutation does: if
+  // the WAL append below fails, the caller aborts, and the abort can only
+  // roll back what the undo log covers.
+  txn->undo_log().push_back(
+      UndoEntry{LogRecordType::kInsert, table->id(), rid, {}});
+
   LogRecord rec;
   rec.type = LogRecordType::kInsert;
   rec.txn_id = txn->id();
@@ -316,9 +329,6 @@ Status Database::InsertImpl(Transaction* txn, const std::string& table_name,
   rec.rid = rid;
   rec.after = encoded;
   OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
-
-  txn->undo_log().push_back(
-      UndoEntry{LogRecordType::kInsert, table->id(), rid, {}});
 
   if (rid_out != nullptr) *rid_out = rid;
   if (!fire_triggers) return Status::OK();
@@ -383,18 +393,19 @@ Result<size_t> Database::UpdateWhere(
       table->IndexInsert(after, new_rid);
     }
 
+    // Undo before WAL: a failed append must still be rollback-able.
+    txn->undo_log().push_back(UndoEntry{LogRecordType::kUpdate, table->id(),
+                                        new_rid, before_enc});
+
     LogRecord rec;
     rec.type = LogRecordType::kUpdate;
     rec.txn_id = txn->id();
     rec.table_id = table->id();
     rec.rid = rid;
     rec.rid2 = new_rid;
-    rec.before = before_enc;
+    rec.before = std::move(before_enc);
     rec.after = after_enc;
     OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
-
-    txn->undo_log().push_back(UndoEntry{LogRecordType::kUpdate, table->id(),
-                                        new_rid, std::move(before_enc)});
     fired.push_back(Fired{std::move(before), std::move(after)});
   }
 
@@ -430,16 +441,17 @@ Result<size_t> Database::DeleteWhere(Transaction* txn,
       OPDELTA_RETURN_IF_ERROR(table->heap()->Delete(rid));
     }
 
+    // Undo before WAL: a failed append must still be rollback-able.
+    txn->undo_log().push_back(UndoEntry{LogRecordType::kDelete, table->id(),
+                                        rid, before_enc});
+
     LogRecord rec;
     rec.type = LogRecordType::kDelete;
     rec.txn_id = txn->id();
     rec.table_id = table->id();
     rec.rid = rid;
-    rec.before = before_enc;
+    rec.before = std::move(before_enc);
     OPDELTA_RETURN_IF_ERROR(wal_.Append(&rec));
-
-    txn->undo_log().push_back(UndoEntry{LogRecordType::kDelete, table->id(),
-                                        rid, std::move(before_enc)});
   }
 
   for (const auto& [rid, before] : matches) {

@@ -21,6 +21,11 @@ const char* DeltaOpName(DeltaOp op) {
   return "?";
 }
 
+std::string BatchId::ToString() const {
+  if (!valid()) return "(unstamped)";
+  return source_id + "@" + std::to_string(epoch) + ":" + std::to_string(seq);
+}
+
 uint64_t DeltaBatch::SizeBytes() const {
   uint64_t total = 0;
   for (const DeltaRecord& r : records) {

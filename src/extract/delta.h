@@ -34,6 +34,30 @@ struct DeltaRecord {
   catalog::Row image;
 };
 
+/// Stable identity of one shipped delta batch, stamped at capture time and
+/// carried through the transport frame to the warehouse. The pair
+/// (epoch, seq) orders batches from one source: `seq` increments per
+/// shipped batch, `epoch` is minted when a source's capture state is
+/// (re)initialized, so a wiped work_dir restarts with a larger epoch and
+/// never reuses an already-applied identity. The warehouse ApplyLedger
+/// dedupes redelivered batches on this identity.
+struct BatchId {
+  std::string source_id;
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+
+  /// Identity-less batches (legacy frames, unstamped tooling) apply
+  /// without deduplication.
+  bool valid() const { return !source_id.empty() && epoch != 0 && seq != 0; }
+
+  /// "source@epoch:seq" — log/CLI display form.
+  std::string ToString() const;
+
+  bool operator==(const BatchId& o) const {
+    return source_id == o.source_id && epoch == o.epoch && seq == o.seq;
+  }
+};
+
 /// A batch of value deltas for one source table. This is the "differential
 /// file" that research and commercial products assume is "somehow made
 /// available".

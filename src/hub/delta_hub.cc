@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "extract/reconciler.h"
+#include "hub/dead_letter.h"
 
 namespace opdelta::hub {
 
@@ -84,6 +85,7 @@ struct DeltaHub::Group {
 struct DeltaHub::StagedBatch {
   Group* group = nullptr;
   std::string message;
+  extract::BatchId id;           // stamped identity (invalid if unframed)
   uint64_t bytes = 0;
   std::vector<Source*> acks;     // queues to advance after integration
   Status status;                 // written by the worker before `done`
@@ -152,6 +154,9 @@ Status DeltaHub::AddSource(const SourceSpec& spec) {
 
   pipeline::PipelineOptions leg_options;
   leg_options.method = spec.method;
+  // The spec name is the stable per-source identity the warehouse ledger
+  // dedupes on (unique within the hub, stable across restarts).
+  leg_options.source_id = spec.name;
   leg_options.source_table = spec.source_table;
   leg_options.warehouse_table = spec.warehouse_table;
   leg_options.timestamp_column = spec.timestamp_column;
@@ -211,6 +216,10 @@ Status DeltaHub::Setup() {
   if (sources_.empty()) return Status::InvalidArgument("no sources added");
   OPDELTA_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.work_dir));
   OPDELTA_RETURN_IF_ERROR(BuildGroups());
+
+  ledger_ = std::make_unique<warehouse::ApplyLedger>(warehouse_,
+                                                     options_.ledger_table);
+  OPDELTA_RETURN_IF_ERROR(ledger_->Setup());
 
   stats_.sources.clear();
   for (const auto& source : sources_) {
@@ -273,23 +282,40 @@ Status DeltaHub::ProduceRound(Group* group) {
     if (present.empty()) return Status::OK();
 
     std::string staged;
+    extract::BatchId staged_id;
     if (group->members.size() == 1) {
+      OPDELTA_RETURN_IF_ERROR(
+          pipeline::DecodeBatchHeader(Slice(messages[0]), &staged_id));
       staged = std::move(messages[0]);
     } else {
       // Replica group: merge this round's per-replica batches into one
-      // authoritative net-change stream (§2.2 / §4.1).
+      // authoritative net-change stream (§2.2 / §4.1). The merged batch
+      // inherits the first present member's identity (site priority), so
+      // a crash after a partial ack redelivers under the same identity
+      // and the ledger drops the re-merge as a duplicate.
       std::vector<extract::DeltaBatch> batches(messages.size());
       std::vector<const extract::DeltaBatch*> replica_order;
       for (size_t i = 0; i < messages.size(); ++i) {
+        extract::BatchId member_id;
+        std::string inner;
         OPDELTA_RETURN_IF_ERROR(
-            pipeline::DecodeValueDeltaMessage(messages[i], &batches[i]));
+            pipeline::DecodeBatchFrame(messages[i], &member_id, &inner));
+        if (i == 0) staged_id = member_id;
+        OPDELTA_RETURN_IF_ERROR(
+            pipeline::DecodeValueDeltaMessage(inner, &batches[i]));
         replica_order.push_back(&batches[i]);
       }
       extract::Reconciler::Stats rstats;
       OPDELTA_ASSIGN_OR_RETURN(
           extract::DeltaBatch merged,
           extract::Reconciler::Reconcile(replica_order, &rstats));
-      pipeline::EncodeValueDeltaMessage(merged, &staged);
+      std::string inner;
+      pipeline::EncodeValueDeltaMessage(merged, &inner);
+      if (staged_id.valid()) {
+        pipeline::EncodeBatchFrame(staged_id, inner, &staged);
+      } else {
+        staged = std::move(inner);
+      }
       std::lock_guard<std::mutex> lock(stats_mutex_);
       stats_.batches_reconciled += present.size();
       stats_.duplicates_dropped += rstats.duplicates_dropped;
@@ -297,8 +323,8 @@ Status DeltaHub::ProduceRound(Group* group) {
     }
 
     const uint64_t bytes = staged.size();
-    OPDELTA_RETURN_IF_ERROR(
-        StageAndApply(group, std::move(staged), bytes, std::move(present)));
+    OPDELTA_RETURN_IF_ERROR(StageAndApply(group, std::move(staged), staged_id,
+                                          bytes, std::move(present)));
   }
 }
 
@@ -385,10 +411,12 @@ Status DeltaHub::SuperviseRound(Group* group) {
 }
 
 Status DeltaHub::StageAndApply(Group* group, std::string message,
-                               uint64_t bytes, std::vector<Source*> acks) {
+                               const extract::BatchId& id, uint64_t bytes,
+                               std::vector<Source*> acks) {
   StagedBatch batch;
   batch.group = group;
   batch.message = std::move(message);
+  batch.id = id;
   batch.bytes = bytes;
   batch.acks = std::move(acks);
   CountDownLatch done(1);
@@ -436,10 +464,12 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
     warehouse::IntegrationStats istats;
     Status st;
     for (int attempt = 0;; ++attempt) {
+      istats = warehouse::IntegrationStats();  // Integrate accumulates
       st = batch->group->members.front()->leg->Integrate(
-          warehouse_, batch->message, &istats);
+          warehouse_, ledger_.get(), batch->message, &istats);
       // Retry only transient errors; a deterministic failure would replay
-      // the same poison message forever.
+      // the same poison message forever. A retried batch whose first
+      // attempt partially committed resumes via the ledger, never repeats.
       if (st.ok() || !IsRetryableApplyError(st) ||
           attempt + 1 >= std::max(1, options_.apply_attempts)) {
         break;
@@ -463,9 +493,14 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
         st = Status::OK();
       }
     }
-    if (st.ok() && !dead_lettered) {
-      // Acknowledge only after successful integration: a crash or error
-      // before this point leaves the batch in the queues for replay.
+    const bool applied = st.ok() && !dead_lettered;
+    if (applied) {
+      // Acknowledge strictly after the ledger-inclusive warehouse commit:
+      // a crash or error before this point leaves the batch in the queues,
+      // and its redelivery is recognized by the ledger — applied batches
+      // drop as duplicates, interrupted ones resume mid-batch. An ack
+      // failure therefore degrades to a harmless redelivery, never a
+      // double apply.
       for (Source* source : batch->acks) {
         Status ack = source->leg->AckShipped();
         if (st.ok() && !ack.ok()) st = ack;
@@ -475,18 +510,29 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
 
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
-      if (st.ok() && !dead_lettered) {
+      if (applied) {
         ++stats_.batches_applied;
         stats_.transactions_applied += istats.transactions;
+        stats_.duplicates_dropped += istats.duplicate_batches;
         stats_.apply_micros_total += elapsed;
         if (elapsed > stats_.apply_micros_max) {
           stats_.apply_micros_max = elapsed;
         }
         for (Source* source : batch->acks) {
-          ++stats_.sources[source->stats_index].batches_applied;
+          SourceStats& entry = stats_.sources[source->stats_index];
+          ++entry.batches_applied;
+          entry.duplicates_dropped += istats.duplicate_batches;
+          // The per-source applied watermark mirrors the ledger: the
+          // identity of the newest batch committed for this source.
+          if (batch->id.valid() &&
+              source->spec.name == batch->id.source_id) {
+            entry.applied_epoch = batch->id.epoch;
+            entry.applied_seq = batch->id.seq;
+          }
         }
       }
     }
+    if (applied && st.ok()) MaybeCompactLedger();
     {
       std::lock_guard<std::mutex> lock(staging_mutex_);
       staging_bytes_ -= batch->bytes;
@@ -499,23 +545,20 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
 }
 
 Status DeltaHub::DeadLetter(StagedBatch* batch, const Status& cause) {
-  // Persist the undeliverable batch (length-framed, appended to the
-  // table's dead-letter log under work_dir) for offline inspection, then
-  // acknowledge it so the queue advances past it.
-  Env* env = Env::Default();
-  const std::string dir = options_.work_dir + "/dead_letters";
-  OPDELTA_RETURN_IF_ERROR(env->CreateDir(dir));
-  const std::string path =
-      dir + "/" + batch->group->warehouse_table + ".log";
-  std::unique_ptr<WritableFile> file;
-  OPDELTA_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
-  std::string frame;
-  PutFixed32(&frame, static_cast<uint32_t>(batch->message.size()));
-  frame.append(batch->message);
-  OPDELTA_RETURN_IF_ERROR(file->Append(Slice(frame)));
-  OPDELTA_RETURN_IF_ERROR(file->Sync());
-  OPDELTA_RETURN_IF_ERROR(file->Close());
-  OPDELTA_LOG(kWarn) << "dead-lettered undeliverable batch for table "
+  // Record the skip in the ledger *first*: a hole row marks this identity
+  // as diverted-not-applied, so a later operator replay is admitted below
+  // the watermark instead of being mistaken for a duplicate. (A crash
+  // after the hole but before the log append leaves a harmless extra
+  // hole; the reverse order could silently strand the batch.)
+  OPDELTA_RETURN_IF_ERROR(ledger_->RecordSkip(batch->id));
+  // Persist the undeliverable batch — identity frame included, so manual
+  // replay flows through the same duplicate check — then acknowledge it
+  // so the queue advances past the poison message.
+  OPDELTA_RETURN_IF_ERROR(AppendDeadLetter(options_.work_dir,
+                                           batch->group->warehouse_table,
+                                           batch->message, cause));
+  OPDELTA_LOG(kWarn) << "dead-lettered undeliverable batch "
+                     << batch->id.ToString() << " for table "
                      << batch->group->warehouse_table << ": "
                      << cause.ToString();
 
@@ -534,6 +577,26 @@ Status DeltaHub::DeadLetter(StagedBatch* batch, const Status& cause) {
     }
   }
   return ack_status;
+}
+
+void DeltaHub::MaybeCompactLedger() {
+  if (options_.ledger_compact_every == 0) return;
+  if (applies_since_compact_.fetch_add(1, std::memory_order_relaxed) + 1 <
+      options_.ledger_compact_every) {
+    return;
+  }
+  // One compactor at a time; a concurrent worker just skips its turn.
+  std::unique_lock<std::mutex> lock(compact_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  applies_since_compact_.store(0, std::memory_order_relaxed);
+  uint64_t removed = 0;
+  Status st = ledger_->Compact(&removed);
+  if (!st.ok()) {
+    // Compaction is pure housekeeping: a failure (or a crash mid-way, which
+    // aborts the deletion transaction) leaves superseded rows behind but
+    // never loses a watermark. Log and move on.
+    OPDELTA_LOG(kWarn) << "apply-ledger compaction failed: " << st.ToString();
+  }
 }
 
 void DeltaHub::RetainDriverError(const Status& error) {

@@ -1,6 +1,7 @@
 #ifndef OPDELTA_HUB_DELTA_HUB_H_
 #define OPDELTA_HUB_DELTA_HUB_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -16,6 +17,7 @@
 #include "engine/database.h"
 #include "extract/op_delta.h"
 #include "pipeline/source_leg.h"
+#include "warehouse/apply_ledger.h"
 
 namespace opdelta::hub {
 
@@ -88,6 +90,16 @@ struct HubOptions {
   int apply_attempts = 3;
   /// Seed for the retry-jitter RNG (deterministic tests).
   uint64_t retry_seed = 1;
+
+  // --- Exactly-once apply (warehouse::ApplyLedger) ---
+
+  /// Warehouse table recording applied-batch watermarks (created by
+  /// Setup). Progress rows commit atomically with each applied batch, so
+  /// redelivered batches are recognized and dropped.
+  std::string ledger_table = warehouse::ApplyLedger::kDefaultTable;
+  /// Compact the ledger (prune superseded watermark rows) after this many
+  /// applied batches. 0 disables compaction.
+  uint64_t ledger_compact_every = 256;
 };
 
 /// Per-source counters inside a HubStats snapshot.
@@ -99,6 +111,11 @@ struct SourceStats {
   uint64_t batches_shipped = 0;
   uint64_t bytes_shipped = 0;
   uint64_t batches_applied = 0;    // shipped batches acknowledged
+
+  // Exactly-once apply.
+  uint64_t duplicates_dropped = 0; // redelivered batches the ledger dropped
+  uint64_t applied_epoch = 0;      // ledger watermark of the last applied
+  uint64_t applied_seq = 0;        //   batch from this source (0 = none yet)
 
   // Self-healing.
   uint64_t errors = 0;             // supervised rounds that failed
@@ -205,9 +222,12 @@ class DeltaHub {
   /// jittered exponential backoff, then quarantine with backoff probing.
   /// OK when the group succeeded or is quarantined-and-skipped.
   Status SuperviseRound(Group* group);
-  Status StageAndApply(Group* group, std::string message, uint64_t bytes,
+  Status StageAndApply(Group* group, std::string message,
+                       const extract::BatchId& id, uint64_t bytes,
                        std::vector<Source*> acks);
   void ApplyWorkerLoop(size_t worker_index);
+  /// Prunes superseded ledger rows every ledger_compact_every applies.
+  void MaybeCompactLedger();
   /// Diverts an undeliverable batch to the per-table dead-letter log and
   /// acknowledges it so the queue can advance past the poison message.
   Status DeadLetter(StagedBatch* batch, const Status& cause);
@@ -217,6 +237,14 @@ class DeltaHub {
 
   engine::Database* warehouse_;
   HubOptions options_;
+
+  /// Applied-batch ledger inside the warehouse: Ack happens strictly after
+  /// the ledger-inclusive warehouse commit, so a crash anywhere in the
+  /// apply path either rolls the batch back (replayed cleanly) or leaves
+  /// it recorded (redelivery dropped as a duplicate).
+  std::unique_ptr<warehouse::ApplyLedger> ledger_;
+  std::atomic<uint64_t> applies_since_compact_{0};
+  std::mutex compact_mutex_;  // one compaction at a time
 
   std::vector<std::unique_ptr<Source>> sources_;
   std::vector<std::unique_ptr<Group>> groups_;

@@ -32,6 +32,12 @@ struct PipelineOptions {
   std::string source_table;
   std::string warehouse_table;  // must have the exact source schema
 
+  /// Stable identity stamped into every shipped batch (extract::BatchId);
+  /// the warehouse ApplyLedger dedupes redeliveries per source_id, so it
+  /// must be unique among sources feeding one warehouse and stable across
+  /// restarts. Empty: defaults to source_table.
+  std::string source_id;
+
   /// kTimestamp: the auto-maintained timestamp column.
   std::string timestamp_column = "last_modified";
 

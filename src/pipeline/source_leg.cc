@@ -1,5 +1,6 @@
 #include "pipeline/source_leg.h"
 
+#include "common/clock.h"
 #include "common/coding.h"
 #include "common/env.h"
 #include "extract/log_extractor.h"
@@ -12,9 +13,11 @@ using extract::DeltaBatch;
 
 namespace {
 // Message framing: one byte discriminates value-delta batches from
-// serialized op-delta transaction logs.
+// serialized op-delta transaction logs. A 'B' frame wraps either with the
+// batch identity the warehouse ApplyLedger dedupes on.
 constexpr char kValueDeltaMessage = 'V';
 constexpr char kOpDeltaMessage = 'O';
+constexpr char kBatchFrame = 'B';
 }  // namespace
 
 const char* MethodName(Method method) {
@@ -64,6 +67,47 @@ void EncodeValueDeltaMessage(const DeltaBatch& batch, std::string* out) {
   batch.EncodeTo(out);
 }
 
+void EncodeBatchFrame(const extract::BatchId& id, const std::string& inner,
+                      std::string* out) {
+  out->clear();
+  out->push_back(kBatchFrame);
+  PutLengthPrefixed(out, Slice(id.source_id));
+  PutFixed64(out, id.epoch);
+  PutFixed64(out, id.seq);
+  out->append(inner);
+}
+
+Status DecodeBatchHeader(Slice message, extract::BatchId* id) {
+  *id = extract::BatchId();
+  if (message.empty() || message[0] != kBatchFrame) return Status::OK();
+  message.remove_prefix(1);
+  Slice source;
+  if (!GetLengthPrefixed(&message, &source) ||
+      !GetFixed64(&message, &id->epoch) || !GetFixed64(&message, &id->seq)) {
+    return Status::Corruption("batch identity frame");
+  }
+  id->source_id = source.ToString();
+  return Status::OK();
+}
+
+Status DecodeBatchFrame(const std::string& message, extract::BatchId* id,
+                        std::string* inner) {
+  *id = extract::BatchId();
+  if (message.empty() || message[0] != kBatchFrame) {
+    *inner = message;  // legacy / identity-less message
+    return Status::OK();
+  }
+  Slice input(message.data() + 1, message.size() - 1);
+  Slice source;
+  if (!GetLengthPrefixed(&input, &source) ||
+      !GetFixed64(&input, &id->epoch) || !GetFixed64(&input, &id->seq)) {
+    return Status::Corruption("batch identity frame");
+  }
+  id->source_id = source.ToString();
+  inner->assign(input.data(), input.size());
+  return Status::OK();
+}
+
 SourceLeg::SourceLeg(engine::Database* source, PipelineOptions options)
     : source_(source), options_(std::move(options)) {}
 
@@ -75,6 +119,7 @@ Result<std::unique_ptr<SourceLeg>> SourceLeg::Create(
   if (source->GetTable(options.source_table) == nullptr) {
     return Status::NotFound("source table " + options.source_table);
   }
+  if (options.source_id.empty()) options.source_id = options.source_table;
   return std::unique_ptr<SourceLeg>(
       new SourceLeg(source, std::move(options)));
 }
@@ -84,6 +129,33 @@ Status SourceLeg::Setup() {
   OPDELTA_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.work_dir));
   OPDELTA_RETURN_IF_ERROR(queue_.Open(options_.work_dir + "/queue"));
   OPDELTA_RETURN_IF_ERROR(LoadState());
+
+  // Reconcile the identity state against the durable queue: a crash after
+  // the enqueue but before the state save must not reuse the stamped seq
+  // for different data (fatal for destructive extraction methods, whose
+  // re-extraction yields *new* changes under the old number — the ledger
+  // would drop them as duplicates). The queue outlives the state file, so
+  // the stamps found in it are authoritative.
+  OPDELTA_RETURN_IF_ERROR(queue_.ForEachMessage([&](Slice message) {
+    extract::BatchId id;
+    if (!DecodeBatchHeader(message, &id).ok() || !id.valid()) return true;
+    if (id.epoch > epoch_ || (id.epoch == epoch_ && id.seq >= next_seq_)) {
+      epoch_ = id.epoch;
+      next_seq_ = id.seq + 1;
+    }
+    return true;
+  }));
+  // A fresh capture state (or a wiped state file with an empty queue)
+  // mints a new epoch, ordered after any previously applied one by the
+  // wall clock, so recycled sequence numbers can never collide with
+  // identities the warehouse ledger has already recorded. Persisting can
+  // wait for the first shipped batch: until then the epoch stamps nothing,
+  // and once a stamped batch is durably enqueued the queue scan above
+  // re-derives it even if the state save never lands.
+  if (epoch_ == 0) {
+    epoch_ = static_cast<uint64_t>(RealClock::Default()->NowMicros());
+    next_seq_ = 1;
+  }
 
   switch (options_.method) {
     case Method::kTrigger: {
@@ -127,6 +199,13 @@ Status SourceLeg::LoadState() {
   }
   ts_watermark_ = static_cast<Micros>(ts);
   lsn_watermark_ = lsn;
+  // Identity fields, absent from pre-ledger state files: those legacy legs
+  // mint a fresh epoch in Setup.
+  uint64_t epoch = 0, next_seq = 0;
+  if (GetFixed64(&input, &epoch) && GetFixed64(&input, &next_seq)) {
+    epoch_ = epoch;
+    next_seq_ = next_seq == 0 ? 1 : next_seq;
+  }
   return Status::OK();
 }
 
@@ -134,6 +213,8 @@ Status SourceLeg::SaveState() {
   std::string data;
   PutFixed64(&data, static_cast<uint64_t>(ts_watermark_));
   PutFixed64(&data, lsn_watermark_);
+  PutFixed64(&data, epoch_);
+  PutFixed64(&data, next_seq_);
   return WriteFileAtomic(Env::Default(), options_.work_dir + "/watermarks",
                          Slice(data));
 }
@@ -218,7 +299,15 @@ Status SourceLeg::ExtractAndShip(bool* shipped) {
     records = pending_records_;
     pending_records_ = 0;
   } else {
-    OPDELTA_RETURN_IF_ERROR(ExtractMessage(&message, &records));
+    std::string inner;
+    OPDELTA_RETURN_IF_ERROR(ExtractMessage(&inner, &records));
+    if (!inner.empty()) {
+      // Stamp the batch identity at capture: a ship retry (pending path)
+      // re-ships these exact bytes under this exact identity, so the
+      // warehouse sees one stable (source, epoch, seq) per batch of data.
+      extract::BatchId id{options_.source_id, epoch_, next_seq_};
+      EncodeBatchFrame(id, inner, &message);
+    }
   }
   // The watermark may advance even on an empty round (kLog skips
   // non-matching records); persist it regardless.
@@ -230,12 +319,14 @@ Status SourceLeg::ExtractAndShip(bool* shipped) {
     pending_records_ = records;
     return enqueue_status;
   }
+  next_seq_++;
   stats_.records_extracted += records;
   stats_.batches_shipped++;
   stats_.bytes_shipped += message.size();
   if (shipped != nullptr) *shipped = true;
   // Persisting after the durable enqueue makes the pair restart-safe: a
-  // crash here replays the staged batch, never re-extracts it.
+  // crash here replays the staged batch, never re-extracts it — and Setup
+  // re-derives next_seq_ from the queue if this save never lands.
   return SaveState();
 }
 
@@ -248,26 +339,34 @@ Status SourceLeg::AckShipped() { return queue_.Ack(); }
 Result<uint64_t> SourceLeg::Backlog() { return queue_.Backlog(); }
 
 Status SourceLeg::Integrate(engine::Database* warehouse,
+                            warehouse::ApplyLedger* ledger,
                             const std::string& message,
                             warehouse::IntegrationStats* stats) {
   if (message.empty()) return Status::Corruption("empty pipeline message");
-  const char tag = message[0];
-  const std::string body = message.substr(1);
+  extract::BatchId id;
+  std::string payload;
+  OPDELTA_RETURN_IF_ERROR(DecodeBatchFrame(message, &id, &payload));
+  if (payload.empty()) return Status::Corruption("empty pipeline message");
+  const char tag = payload[0];
+  const std::string body = payload.substr(1);
 
   if (tag == kValueDeltaMessage) {
     DeltaBatch batch;
     OPDELTA_RETURN_IF_ERROR(DeltaBatch::DecodeFrom(Slice(body), &batch));
-    // Net-change integration: idempotent under at-least-once delivery.
+    // Net-change integration: idempotent under at-least-once delivery, and
+    // exactly-once when a ledger dedupes the redeliveries outright.
     // ApplyNetChanges overwrites its stats; accumulate into the caller's.
     warehouse::IntegrationStats local;
     OPDELTA_RETURN_IF_ERROR(warehouse::ApplyNetChanges(
-        warehouse, options_.warehouse_table, batch, &local));
+        warehouse, options_.warehouse_table, batch, id, ledger, &local));
     if (stats != nullptr) {
       stats->statements_executed += local.statements_executed;
       stats->rows_affected += local.rows_affected;
       stats->transactions += local.transactions;
       stats->wall_micros += local.wall_micros;
       stats->outage_micros += local.outage_micros;
+      stats->duplicate_batches += local.duplicate_batches;
+      stats->duplicate_txns += local.duplicate_txns;
     }
     return Status::OK();
   }
@@ -282,7 +381,18 @@ Status SourceLeg::Integrate(engine::Database* warehouse,
           "op-delta pipeline requires matching table names");
     }
     warehouse::OpDeltaIntegrator integrator(warehouse);
-    return integrator.Apply(txns, stats);
+    warehouse::IntegrationStats local;
+    OPDELTA_RETURN_IF_ERROR(integrator.Apply(txns, id, ledger, &local));
+    if (stats != nullptr) {
+      stats->statements_executed += local.statements_executed;
+      stats->rows_affected += local.rows_affected;
+      stats->transactions += local.transactions;
+      stats->wall_micros += local.wall_micros;
+      stats->outage_micros += local.outage_micros;
+      stats->duplicate_batches += local.duplicate_batches;
+      stats->duplicate_txns += local.duplicate_txns;
+    }
+    return Status::OK();
   }
   return Status::Corruption("unknown pipeline message tag");
 }

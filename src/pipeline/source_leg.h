@@ -67,6 +67,14 @@ class SourceLeg {
   /// options().warehouse_table). Value-delta messages integrate as
   /// idempotent net changes; op-delta messages replay per-transaction.
   Status Integrate(engine::Database* warehouse, const std::string& message,
+                   warehouse::IntegrationStats* stats) {
+    return Integrate(warehouse, nullptr, message, stats);
+  }
+
+  /// Exactly-once form: the message's stamped BatchId is checked against
+  /// and advanced in `ledger` (may be nullptr) atomically with the apply.
+  Status Integrate(engine::Database* warehouse,
+                   warehouse::ApplyLedger* ledger, const std::string& message,
                    warehouse::IntegrationStats* stats);
 
   const PipelineOptions& options() const { return options_; }
@@ -91,6 +99,14 @@ class SourceLeg {
 
   Micros ts_watermark_ = 0;
   txn::Lsn lsn_watermark_ = 0;
+
+  // Batch-identity state (persisted with the watermarks): `epoch_` is
+  // minted once per capture-state lifetime, `next_seq_` stamps the next
+  // shipped batch. Setup reconciles next_seq_ with the stamps found in the
+  // durable queue, so a crash between the enqueue and the state save can
+  // never reuse a sequence number for different data.
+  uint64_t epoch_ = 0;
+  uint64_t next_seq_ = 1;
   LegStats stats_;
 
   // A batch that was extracted but failed to enqueue. Extraction is
@@ -103,13 +119,28 @@ class SourceLeg {
 
 /// Message framing helpers. A shipped message is a one-byte tag ('V' for a
 /// value-delta batch, 'O' for an op-delta transaction log) plus the encoded
-/// body. The hub uses these to reconcile value-delta messages from replica
-/// groups before integration.
+/// body, optionally wrapped in a 'B' identity frame that prepends the
+/// stamped extract::BatchId. The hub uses these to reconcile value-delta
+/// messages from replica groups before integration.
 bool IsValueDeltaMessage(const std::string& message);
 Status DecodeValueDeltaMessage(const std::string& message,
                                extract::DeltaBatch* out);
 void EncodeValueDeltaMessage(const extract::DeltaBatch& batch,
                              std::string* out);
+
+/// Wraps `inner` (a 'V'/'O' message) in a 'B' identity frame.
+void EncodeBatchFrame(const extract::BatchId& id, const std::string& inner,
+                      std::string* out);
+
+/// Splits a message into its identity and inner 'V'/'O' payload. Messages
+/// without a 'B' frame (legacy, hand-injected) yield an invalid id and the
+/// whole message as payload — they apply without deduplication.
+Status DecodeBatchFrame(const std::string& message, extract::BatchId* id,
+                        std::string* inner);
+
+/// Reads just the identity (invalid for unframed messages) without copying
+/// the payload.
+Status DecodeBatchHeader(Slice message, extract::BatchId* id);
 
 }  // namespace opdelta::pipeline
 

@@ -170,6 +170,31 @@ Status PersistentQueue::Ack() {
   return SaveCursor();
 }
 
+Status PersistentQueue::ForEachMessage(const std::function<bool(Slice)>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (log_ == nullptr) return Status::Internal("queue not open");
+  OPDELTA_RETURN_IF_ERROR(log_->Flush());
+  std::unique_ptr<RandomAccessFile> reader;
+  OPDELTA_RETURN_IF_ERROR(
+      Env::Default()->NewRandomAccessFile(dir_ + kLogFile, &reader));
+  uint64_t offset = 0;
+  char header[8];
+  std::string body;
+  while (offset < reader->Size()) {
+    Slice result;
+    OPDELTA_RETURN_IF_ERROR(reader->Read(offset, 8, &result, header));
+    if (result.size() != 8) break;
+    const uint32_t len = DecodeFixed32(result.data());
+    body.resize(len);
+    OPDELTA_RETURN_IF_ERROR(reader->Read(offset + 8, len, &result,
+                                         body.data()));
+    if (result.size() != len) break;
+    if (!fn(result)) break;
+    offset += 8 + len;
+  }
+  return Status::OK();
+}
+
 Result<uint64_t> PersistentQueue::Backlog() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (log_ == nullptr) return Status::Internal("queue not open");

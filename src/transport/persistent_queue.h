@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,6 +55,12 @@ class PersistentQueue {
   }
   /// Current backlog (messages after the cursor).
   Result<uint64_t> Backlog();
+
+  /// Visits every message currently in the log — acknowledged and pending
+  /// alike — in append order; `fn` returns false to stop early. Used by
+  /// producers recovering their stamped batch sequence after a crash that
+  /// lost the producer-side state file but not the durable queue.
+  Status ForEachMessage(const std::function<bool(Slice)>& fn);
 
  private:
   /// Scans the log from offset 0, truncating a torn tail frame (crash

@@ -11,7 +11,22 @@ using sql::InsertStmt;
 using sql::Statement;
 
 Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
+                                   const extract::BatchId& id,
+                                   ApplyLedger* ledger,
                                    IntegrationStats* stats) {
+  // A value-delta batch is one indivisible warehouse transaction, so its
+  // ledger granularity is all-or-nothing (total_txns = 1).
+  if (ledger != nullptr && id.valid()) {
+    OPDELTA_ASSIGN_OR_RETURN(ApplyLedger::Admission admission,
+                             ledger->Admit(id, 1));
+    if (admission.decision == ApplyLedger::Decision::kDuplicate) {
+      if (stats != nullptr) {
+        *stats = IntegrationStats();
+        stats->duplicate_batches = 1;
+      }
+      return Status::OK();
+    }
+  }
   engine::Table* t = db_->GetTable(table_);
   if (t == nullptr) return Status::NotFound("table " + table_);
   const int key_col = t->schema().KeyColumnIndex();
@@ -78,11 +93,22 @@ Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
       local.rows_affected += r.value();
     }
   }
+  // Record apply progress inside the same transaction: the watermark and
+  // the delta statements commit or roll back together under the WAL.
+  if (st.ok() && ledger != nullptr && id.valid()) {
+    st = ledger->Advance(txn.get(), id, /*txns_applied=*/1);
+  }
   if (!st.ok()) {
     db_->Abort(txn.get());
     return st;
   }
-  OPDELTA_RETURN_IF_ERROR(db_->Commit(txn.get()));
+  Status commit = db_->Commit(txn.get());
+  if (!commit.ok()) {
+    // A failed commit leaves the transaction active; abort it so its locks
+    // release and a retry does not deadlock against our own ghost.
+    db_->Abort(txn.get());
+    return commit;
+  }
   local.outage_micros = outage.ElapsedMicros();
   local.transactions = 1;
   local.wall_micros = wall.ElapsedMicros();
@@ -91,6 +117,8 @@ Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
 }
 
 Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
+                                   const extract::BatchId& id,
+                                   ApplyLedger* ledger, uint64_t txns_after,
                                    IntegrationStats* stats) {
   IntegrationStats local;
   Stopwatch wall;
@@ -111,7 +139,20 @@ Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
       return st;
     }
   }
-  OPDELTA_RETURN_IF_ERROR(db_->Commit(txn.get()));
+  // Watermark and statements commit atomically: a crash mid-transaction
+  // rolls both back, and redelivery resumes exactly at this transaction.
+  if (ledger != nullptr && id.valid()) {
+    Status st = ledger->Advance(txn.get(), id, txns_after);
+    if (!st.ok()) {
+      db_->Abort(txn.get());
+      return st;
+    }
+  }
+  Status commit = db_->Commit(txn.get());
+  if (!commit.ok()) {
+    db_->Abort(txn.get());  // failed commit leaves the txn active: unlock
+    return commit;
+  }
   local.transactions = 1;
   local.wall_micros = wall.ElapsedMicros();
   if (stats != nullptr) {
@@ -124,11 +165,30 @@ Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
 }
 
 Status OpDeltaIntegrator::Apply(const std::vector<extract::OpDeltaTxn>& txns,
+                                const extract::BatchId& id,
+                                ApplyLedger* ledger,
                                 IntegrationStats* stats) {
   IntegrationStats local;
   Stopwatch wall;
-  for (const extract::OpDeltaTxn& t : txns) {
-    OPDELTA_RETURN_IF_ERROR(ApplyOne(t, &local));
+  uint64_t skip = 0;
+  if (ledger != nullptr && id.valid()) {
+    OPDELTA_ASSIGN_OR_RETURN(ApplyLedger::Admission admission,
+                             ledger->Admit(id, txns.size()));
+    if (admission.decision == ApplyLedger::Decision::kDuplicate) {
+      local.duplicate_batches = 1;
+      local.wall_micros = wall.ElapsedMicros();
+      if (stats != nullptr) *stats = local;
+      return Status::OK();
+    }
+    if (admission.decision == ApplyLedger::Decision::kResume) {
+      skip = admission.skip_txns;
+      local.duplicate_txns = skip;
+    }
+  }
+  for (size_t i = 0; i < txns.size(); ++i) {
+    if (i < skip) continue;  // applied before the crash; never repeat
+    OPDELTA_RETURN_IF_ERROR(ApplyOne(txns[i], id, ledger,
+                                     /*txns_after=*/i + 1, &local));
   }
   local.wall_micros = wall.ElapsedMicros();
   if (stats != nullptr) *stats = local;
@@ -137,6 +197,14 @@ Status OpDeltaIntegrator::Apply(const std::vector<extract::OpDeltaTxn>& txns,
 
 Status ApplyNetChanges(engine::Database* warehouse, const std::string& table,
                        const extract::DeltaBatch& batch,
+                       IntegrationStats* stats) {
+  return ApplyNetChanges(warehouse, table, batch, extract::BatchId(), nullptr,
+                         stats);
+}
+
+Status ApplyNetChanges(engine::Database* warehouse, const std::string& table,
+                       const extract::DeltaBatch& batch,
+                       const extract::BatchId& id, ApplyLedger* ledger,
                        IntegrationStats* stats) {
   extract::NetChanges net;
   OPDELTA_RETURN_IF_ERROR(ComputeNetChanges(batch, &net));
@@ -156,7 +224,7 @@ Status ApplyNetChanges(engine::Database* warehouse, const std::string& table,
     }
   }
   ValueDeltaIntegrator integrator(warehouse, table);
-  return integrator.Apply(translated, stats);
+  return integrator.Apply(translated, id, ledger, stats);
 }
 
 }  // namespace opdelta::warehouse

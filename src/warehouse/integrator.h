@@ -10,6 +10,7 @@
 #include "extract/delta.h"
 #include "extract/op_delta.h"
 #include "sql/executor.h"
+#include "warehouse/apply_ledger.h"
 
 namespace opdelta::warehouse {
 
@@ -22,6 +23,10 @@ struct IntegrationStats {
   Micros wall_micros = 0;
   /// Time the warehouse table was held under an exclusive lock.
   Micros outage_micros = 0;
+
+  // Exactly-once accounting (ledger-aware apply paths only).
+  uint64_t duplicate_batches = 0;  // redelivered batches dropped whole
+  uint64_t duplicate_txns = 0;     // already-applied prefix skipped on resume
 };
 
 /// Value-delta integration (the incumbent the paper measures against).
@@ -43,7 +48,16 @@ class ValueDeltaIntegrator {
       : db_(warehouse), table_(std::move(table)), executor_(warehouse) {}
 
   /// Applies the whole batch as one exclusive-locked transaction.
-  Status Apply(const extract::DeltaBatch& batch, IntegrationStats* stats);
+  Status Apply(const extract::DeltaBatch& batch, IntegrationStats* stats) {
+    return Apply(batch, extract::BatchId(), nullptr, stats);
+  }
+
+  /// Exactly-once form: consults `ledger` (may be nullptr) before applying
+  /// and records the applied watermark for `id` inside the same warehouse
+  /// transaction as the delta statements. A redelivered batch is dropped
+  /// (stats->duplicate_batches) without touching the warehouse table.
+  Status Apply(const extract::DeltaBatch& batch, const extract::BatchId& id,
+               ApplyLedger* ledger, IntegrationStats* stats);
 
  private:
   engine::Database* db_;
@@ -65,10 +79,30 @@ class OpDeltaIntegrator {
   /// Applies each captured source transaction as its own warehouse
   /// transaction, preserving source boundaries and order.
   Status Apply(const std::vector<extract::OpDeltaTxn>& txns,
+               IntegrationStats* stats) {
+    return Apply(txns, extract::BatchId(), nullptr, stats);
+  }
+
+  /// Exactly-once form: each per-source-txn warehouse transaction also
+  /// advances `id`'s watermark in `ledger` (may be nullptr), so a batch
+  /// interrupted mid-way resumes from the first unapplied transaction on
+  /// redelivery — already-applied prefixes are skipped
+  /// (stats->duplicate_txns), fully-applied batches dropped whole
+  /// (stats->duplicate_batches).
+  Status Apply(const std::vector<extract::OpDeltaTxn>& txns,
+               const extract::BatchId& id, ApplyLedger* ledger,
                IntegrationStats* stats);
 
   /// Applies a single captured transaction.
-  Status ApplyOne(const extract::OpDeltaTxn& txn, IntegrationStats* stats);
+  Status ApplyOne(const extract::OpDeltaTxn& txn, IntegrationStats* stats) {
+    return ApplyOne(txn, extract::BatchId(), nullptr, 0, stats);
+  }
+
+  /// Exactly-once form: `txns_after` is the batch's applied-prefix count
+  /// once this transaction commits (i.e. its 1-based index in the batch).
+  Status ApplyOne(const extract::OpDeltaTxn& txn, const extract::BatchId& id,
+                  ApplyLedger* ledger, uint64_t txns_after,
+                  IntegrationStats* stats);
 
  private:
   engine::Database* db_;
@@ -82,6 +116,12 @@ class OpDeltaIntegrator {
 /// delete-by-key, applied as one exclusive-locked batch.
 Status ApplyNetChanges(engine::Database* warehouse, const std::string& table,
                        const extract::DeltaBatch& batch,
+                       IntegrationStats* stats);
+
+/// Exactly-once form of ApplyNetChanges (ledger may be nullptr).
+Status ApplyNetChanges(engine::Database* warehouse, const std::string& table,
+                       const extract::DeltaBatch& batch,
+                       const extract::BatchId& id, ApplyLedger* ledger,
                        IntegrationStats* stats);
 
 }  // namespace opdelta::warehouse

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,18 +31,16 @@ engine::DatabaseOptions NoTimestampOptions() {
   return options;
 }
 
-/// Installs `env` as the process default for the enclosing scope.
-class ScopedEnvOverride {
- public:
-  explicit ScopedEnvOverride(Env* env) : prev_(Env::SetDefault(env)) {}
-  ~ScopedEnvOverride() { Env::SetDefault(prev_); }
+using opdelta::testing::CountRows;
+using opdelta::testing::ScopedEnvOverride;
 
-  ScopedEnvOverride(const ScopedEnvOverride&) = delete;
-  ScopedEnvOverride& operator=(const ScopedEnvOverride&) = delete;
-
- private:
-  Env* prev_;
-};
+/// Randomized suites read their seed from OPDELTA_FAULT_SEED so CI can run
+/// the same tests under a seed matrix; unset, they use the fixed default.
+uint64_t FaultSeedFromEnv(uint64_t fallback) {
+  const char* text = std::getenv("OPDELTA_FAULT_SEED");
+  if (text == nullptr || *text == '\0') return fallback;
+  return std::strtoull(text, nullptr, 10);
+}
 
 uint64_t FileSize(const std::string& path) {
   uint64_t size = 0;
@@ -205,6 +204,56 @@ TEST(WriteFileAtomicTest, FailedRewriteLeavesOldContentsIntact) {
     OPDELTA_ASSERT_OK(Env::Default()->ReadFileToString(path, &data));
     EXPECT_EQ(data, "generation-1");
   }
+}
+
+// ----------------------------------------------------------- kTruncate site
+
+TEST(FaultInjectionEnvTest, TruncateFaultSurfacesDuringTornTailRepair) {
+  // Torn-tail repair at queue open is itself a Truncate; when the repair
+  // write fails too, the open must surface the error instead of serving a
+  // queue with a corrupt tail.
+  TempDir dir;
+  OPDELTA_ASSERT_OK(Env::Default()->CreateDir(dir.Sub("q")));
+  {
+    transport::PersistentQueue queue;
+    OPDELTA_ASSERT_OK(queue.Open(dir.Sub("q")));
+    OPDELTA_ASSERT_OK(queue.Enqueue(Slice("whole message"), /*durable=*/true));
+    OPDELTA_ASSERT_OK(queue.Close());
+  }
+  {  // Tear the tail, as a crash mid-append would.
+    std::unique_ptr<WritableFile> log;
+    OPDELTA_ASSERT_OK(
+        Env::Default()->NewAppendableFile(dir.Sub("q") + "/queue.log", &log));
+    const std::string torn("\x40\x00\x00\x00torn", 8);  // len=64, no payload
+    OPDELTA_ASSERT_OK(log->Append(Slice(torn)));
+    OPDELTA_ASSERT_OK(log->Close());
+  }
+
+  FaultInjectionEnv fenv(Env::Default());
+  fenv.SetErrorProbability(OpKind::kTruncate, 1.0);
+  ScopedEnvOverride guard(&fenv);
+  {
+    transport::PersistentQueue queue;
+    Status st = queue.Open(dir.Sub("q"));
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    EXPECT_NE(st.message().find("injected truncate fault"),
+              std::string::npos)
+        << st.ToString();
+  }
+
+  // Regression: Truncate used to roll the kDelete dice, so delete faults
+  // broke the repair path. They must not any more.
+  fenv.ClearFaults();
+  fenv.SetErrorProbability(OpKind::kDelete, 1.0);
+  transport::PersistentQueue queue;
+  OPDELTA_ASSERT_OK(queue.Open(dir.Sub("q")));
+  Result<uint64_t> backlog = queue.Backlog();
+  ASSERT_TRUE(backlog.ok());
+  EXPECT_EQ(*backlog, 1u);  // the whole frame survived the repair
+  std::string message;
+  OPDELTA_ASSERT_OK(queue.Peek(&message));
+  EXPECT_EQ(message, "whole message");
+  OPDELTA_ASSERT_OK(queue.Close());
 }
 
 // -------------------------------------------------------- hub self-healing
@@ -442,7 +491,7 @@ TEST(HubCrashPointTest, WarehouseConvergesAfterEveryCrashPoint) {
 
   // The hub's transport state (queue, cursor, watermarks) crashes; the
   // source and warehouse databases are different machines and survive.
-  FaultInjectionEnv fenv(Env::Default(), /*seed=*/1234);
+  FaultInjectionEnv fenv(Env::Default(), FaultSeedFromEnv(1234));
   fenv.SetScope(work_dir);
   ScopedEnvOverride guard(&fenv);
 
@@ -469,6 +518,7 @@ TEST(HubCrashPointTest, WarehouseConvergesAfterEveryCrashPoint) {
 
   constexpr int kCrashPoints = 50;
   int64_t key = 0;
+  uint64_t redeliveries_dropped = 0;
   for (int crash_point = 1; crash_point <= kCrashPoints; ++crash_point) {
     // Fresh order-sensitive traffic so every iteration has something to
     // lose: inserts plus an update over previously shipped keys.
@@ -507,11 +557,161 @@ TEST(HubCrashPointTest, WarehouseConvergesAfterEveryCrashPoint) {
         << "crash point " << crash_point << ": "
         << recovered.status().ToString();
     OPDELTA_ASSERT_OK((*recovered)->RunRound());
+    redeliveries_dropped +=
+        (*recovered)->Stats().sources[0].duplicates_dropped;
     OPDELTA_EXPECT_OK((*recovered)->Stop());
     ASSERT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"))
         << "diverged after crash point " << crash_point;
   }
   EXPECT_GT(fenv.faults_injected(), 0u);
+  // Some crash points land between the warehouse commit and the durable
+  // ack, so the sweep must have exercised the ledger's duplicate drop.
+  EXPECT_GT(redeliveries_dropped, 0u);
+}
+
+// ----------------------------------------------- warehouse-side crash points
+
+/// The other half of the crash model: the *warehouse's* disk dies
+/// mid-apply while the hub process stays up. Every interrupted warehouse
+/// transaction must roll back (with its ledger row), stay queued, and
+/// apply exactly once after the disk heals — including crash points inside
+/// the ledger's own writes and its compaction (compact_every=1 puts a
+/// compaction behind every applied batch). An op-delta source makes any
+/// double apply visible as extra physical rows.
+TEST(WarehouseApplyCrashTest, DeadDiskMidApplyRollsBackAndAppliesOnce) {
+  TempDir dir;
+  // Only the warehouse's own files fail; the hub's transport state and the
+  // source database live on healthy disks. The override is installed
+  // before the databases open so the warehouse's file handles route
+  // through the fault env.
+  FaultInjectionEnv fenv(Env::Default(), FaultSeedFromEnv(99));
+  fenv.SetScope(dir.Sub("warehouse"));
+  ScopedEnvOverride guard(&fenv);
+
+  auto src = OpenDb(dir, "src", NoTimestampOptions());
+  auto wh = OpenDb(dir, "warehouse", NoTimestampOptions());
+  workload::PartsWorkload wl;
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(wh.get(), "parts"));
+
+  hub::HubOptions options;
+  options.work_dir = dir.Sub("hubw");
+  options.extract_threads = 1;
+  options.apply_workers = 1;
+  options.produce_attempts = 1;
+  options.apply_attempts = 1;
+  options.quarantine_after = 0;
+  options.ledger_compact_every = 1;
+  Result<std::unique_ptr<hub::DeltaHub>> hub =
+      hub::DeltaHub::Create(wh.get(), options);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  hub::SourceSpec spec;
+  spec.name = "s1";
+  spec.source = src.get();
+  spec.method = pipeline::Method::kOpDelta;
+  spec.source_table = "parts";
+  spec.warehouse_table = "parts";
+  OPDELTA_ASSERT_OK((*hub)->AddSource(spec));
+  OPDELTA_ASSERT_OK((*hub)->Setup());
+  extract::OpDeltaCapture* capture = (*hub)->capture("s1");
+  ASSERT_NE(capture, nullptr);
+
+  constexpr int kCrashPoints = 30;
+  int64_t key = 0;
+  for (int crash_point = 1; crash_point <= kCrashPoints; ++crash_point) {
+    // Two source transactions per batch, so crash points can split a
+    // batch mid-way and force the ledger's partial-prefix resume.
+    OPDELTA_ASSERT_OK(
+        capture->RunTransaction({wl.MakeInsert("parts", key, 4)}).status());
+    OPDELTA_ASSERT_OK(
+        capture
+            ->RunTransaction({wl.MakeUpdate(
+                "parts", 0, key + 4, "c" + std::to_string(crash_point))})
+            .status());
+    key += 4;
+
+    fenv.ClearFaults();
+    fenv.FailAllOpsAfter(crash_point);
+    // The apply may die anywhere: staging the delta rows, writing the
+    // ledger row, committing, or compacting. The round's error (if any)
+    // is part of the scenario; the batch stays queued.
+    (void)(*hub)->RunRound();
+
+    // The disk heals; the retained batch replays and the warehouse
+    // converges without ever double-applying a transaction.
+    fenv.ClearFaults();
+    OPDELTA_ASSERT_OK((*hub)->RunRound());
+    ASSERT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"))
+        << "diverged after crash point " << crash_point;
+    ASSERT_EQ(CountRows(wh.get(), "parts"), CountRows(src.get(), "parts"))
+        << "duplicate rows after crash point " << crash_point;
+  }
+  EXPECT_GT(fenv.faults_injected(), 0u);
+  OPDELTA_EXPECT_OK((*hub)->Stop());
+}
+
+/// Deterministic ack-after-commit window: the warehouse commit lands but
+/// the queue cursor cannot be written, so the batch is redelivered. The
+/// ledger must drop it — one committed apply, zero extra rows.
+TEST(WarehouseApplyCrashTest, AckFailureAfterCommitDegradesToDroppedRedelivery) {
+  TempDir dir;
+  auto src = OpenDb(dir, "src", NoTimestampOptions());
+  auto wh = OpenDb(dir, "wh", NoTimestampOptions());
+  workload::PartsWorkload wl;
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(wh.get(), "parts"));
+
+  FaultInjectionEnv fenv(Env::Default());
+  ScopedEnvOverride guard(&fenv);
+
+  hub::HubOptions options;
+  options.work_dir = dir.Sub("hubw");
+  options.produce_attempts = 1;
+  options.apply_attempts = 1;
+  options.quarantine_after = 0;
+  hub::SourceSpec spec;
+  spec.name = "s1";
+  spec.source = src.get();
+  spec.method = pipeline::Method::kOpDelta;
+  spec.source_table = "parts";
+  spec.warehouse_table = "parts";
+  auto make_hub = [&]() -> Result<std::unique_ptr<hub::DeltaHub>> {
+    OPDELTA_ASSIGN_OR_RETURN(std::unique_ptr<hub::DeltaHub> hub,
+                             hub::DeltaHub::Create(wh.get(), options));
+    OPDELTA_RETURN_IF_ERROR(hub->AddSource(spec));
+    OPDELTA_RETURN_IF_ERROR(hub->Setup());
+    return hub;
+  };
+
+  {
+    Result<std::unique_ptr<hub::DeltaHub>> hub = make_hub();
+    ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+    extract::OpDeltaCapture* capture = (*hub)->capture("s1");
+    ASSERT_NE(capture, nullptr);
+    OPDELTA_ASSERT_OK(
+        capture->RunTransaction({wl.MakeInsert("parts", 0, 25)}).status());
+
+    // Fail exactly the consumer cursor: the apply commits, the ack cannot.
+    fenv.SetScope("queue.cursor");
+    fenv.SetErrorProbability(OpKind::kWrite, 1.0);
+    Status round = (*hub)->RunRound();
+    EXPECT_FALSE(round.ok()) << "ack failure must surface";
+    // The batch applied (commit preceded the failed ack)...
+    EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+    EXPECT_EQ((*hub)->Stats().sources[0].duplicates_dropped, 0u);
+    OPDELTA_EXPECT_OK((*hub)->Stop());
+  }
+
+  // ...and after a restart — the durable cursor never advanced — the
+  // redelivery on the healed disk is dropped by the ledger.
+  fenv.ClearFaults();
+  Result<std::unique_ptr<hub::DeltaHub>> hub = make_hub();
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  OPDELTA_ASSERT_OK((*hub)->RunRound());
+  EXPECT_EQ(CountRows(wh.get(), "parts"), 25u);  // no double-applied INSERTs
+  EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  EXPECT_EQ((*hub)->Stats().sources[0].duplicates_dropped, 1u);
+  OPDELTA_EXPECT_OK((*hub)->Stop());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault_env.h"
 #include "pipeline/cdc_pipeline.h"
 #include "pipeline/source_leg.h"
 #include "sql/executor.h"
@@ -16,8 +17,10 @@ namespace {
 
 using opdelta::testing::CountRows;
 using opdelta::testing::OpenDb;
+using opdelta::testing::ScopedEnvOverride;
 using opdelta::testing::TablesEqual;
 using opdelta::testing::TempDir;
+using OpKind = FaultInjectionEnv::OpKind;
 
 engine::DatabaseOptions NoTimestampOptions() {
   engine::DatabaseOptions options;
@@ -365,6 +368,194 @@ TEST(HubRestartTest, ShippedButUnappliedBatchesReplayWithoutLossOrDup) {
   stats = (*hub)->Stats();
   EXPECT_EQ(stats.sources[0].batches_shipped, 1u);  // phase-2 batch only
   EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  OPDELTA_EXPECT_OK((*hub)->Stop());
+}
+
+TEST(HubExactlyOnceTest, ForcedRedeliveryIsDroppedByTheLedger) {
+  // The queue is at-least-once: losing the consumer cursor (as a torn
+  // cursor write or a restored backup would) redelivers every batch it
+  // still holds. The apply ledger must recognize the redelivery and drop
+  // it — acked means committed, and committed means never applied twice.
+  TempDir dir;
+  auto src = OpenDb(dir, "src", NoTimestampOptions());
+  auto wh = OpenDb(dir, "wh", NoTimestampOptions());
+  workload::PartsWorkload wl;
+  OPDELTA_ASSERT_OK(wl.CreateTable(src.get(), "parts"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(wh.get(), "parts"));
+
+  HubOptions options;
+  options.work_dir = dir.Sub("hubw");
+  auto make_hub = [&]() -> Result<std::unique_ptr<DeltaHub>> {
+    OPDELTA_ASSIGN_OR_RETURN(std::unique_ptr<DeltaHub> hub,
+                             DeltaHub::Create(wh.get(), options));
+    SourceSpec spec;
+    spec.name = "s1";
+    spec.source = src.get();
+    spec.method = pipeline::Method::kOpDelta;
+    spec.source_table = "parts";
+    spec.warehouse_table = "parts";
+    OPDELTA_RETURN_IF_ERROR(hub->AddSource(spec));
+    OPDELTA_RETURN_IF_ERROR(hub->Setup());
+    return hub;
+  };
+
+  uint64_t epoch_before = 0;
+  {
+    Result<std::unique_ptr<DeltaHub>> hub = make_hub();
+    ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+    extract::OpDeltaCapture* capture = (*hub)->capture("s1");
+    ASSERT_NE(capture, nullptr);
+    OPDELTA_ASSERT_OK(
+        capture->RunTransaction({wl.MakeInsert("parts", 0, 20)}).status());
+    OPDELTA_ASSERT_OK(
+        capture->RunTransaction({wl.MakeUpdate("parts", 0, 10, "v1")})
+            .status());
+    OPDELTA_ASSERT_OK((*hub)->RunRound());
+    const HubStats stats = (*hub)->Stats();
+    ASSERT_EQ(stats.sources.size(), 1u);
+    EXPECT_EQ(stats.sources[0].duplicates_dropped, 0u);
+    EXPECT_NE(stats.sources[0].applied_epoch, 0u);
+    EXPECT_EQ(stats.sources[0].applied_seq, 1u);  // both txns in one batch
+    epoch_before = stats.sources[0].applied_epoch;
+    OPDELTA_EXPECT_OK((*hub)->Stop());
+  }
+  EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  const uint64_t rows_before = CountRows(wh.get(), "parts");
+
+  // Force redelivery: drop the cursor, so the already-acknowledged batch
+  // replays from offset zero on the next hub.
+  OPDELTA_ASSERT_OK(Env::Default()->DeleteFile(
+      dir.Sub("hubw") + "/s1/queue/queue.cursor"));
+
+  Result<std::unique_ptr<DeltaHub>> hub = make_hub();
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  OPDELTA_ASSERT_OK((*hub)->RunRound());
+
+  // The ledger dropped the redelivered batch: same rows, same contents —
+  // op-delta INSERTs applied twice would show as extra physical rows.
+  EXPECT_EQ(CountRows(wh.get(), "parts"), rows_before);
+  EXPECT_TRUE(TablesEqual(src.get(), "parts", wh.get(), "parts"));
+  const HubStats stats = (*hub)->Stats();
+  ASSERT_EQ(stats.sources.size(), 1u);
+  EXPECT_EQ(stats.sources[0].duplicates_dropped, 1u);
+  // The watermark is unchanged: the drop re-acked the same identity.
+  EXPECT_EQ(stats.sources[0].applied_epoch, epoch_before);
+  EXPECT_EQ(stats.sources[0].applied_seq, 1u);
+
+  // An idle round redelivers nothing further.
+  OPDELTA_ASSERT_OK((*hub)->RunRound());
+  EXPECT_EQ((*hub)->Stats().sources[0].duplicates_dropped, 1u);
+  EXPECT_EQ(CountRows(wh.get(), "parts"), rows_before);
+  OPDELTA_EXPECT_OK((*hub)->Stop());
+}
+
+TEST(HubExactlyOnceTest, QuarantinedSourceResumesFromPersistedWatermark) {
+  // A source whose hub-side files fail long enough to be quarantined must,
+  // once its probe succeeds, resume exactly where its durable watermark
+  // and queue left off: no extraction gap, no re-applied batch.
+  TempDir dir;
+  auto flaky_db = OpenDb(dir, "flaky", NoTimestampOptions());
+  auto steady_db = OpenDb(dir, "steady", NoTimestampOptions());
+  auto wh = OpenDb(dir, "wh", NoTimestampOptions());
+  workload::PartsWorkload wl;
+  // Op-delta integration requires matching table names on both sides.
+  OPDELTA_ASSERT_OK(wl.CreateTable(flaky_db.get(), "parts_flaky"));
+  OPDELTA_ASSERT_OK(wl.CreateTable(steady_db.get(), "parts_steady"));
+  OPDELTA_ASSERT_OK(
+      wh->CreateTable("parts_flaky", workload::PartsWorkload::Schema()));
+  OPDELTA_ASSERT_OK(
+      wh->CreateTable("parts_steady", workload::PartsWorkload::Schema()));
+
+  FaultInjectionEnv fenv(Env::Default());
+  ScopedEnvOverride guard(&fenv);
+
+  HubOptions options;
+  options.work_dir = dir.Sub("hubw");
+  options.produce_attempts = 2;
+  options.backoff_initial = std::chrono::milliseconds(1);
+  options.backoff_max = std::chrono::milliseconds(4);
+  options.quarantine_after = 2;
+  Result<std::unique_ptr<DeltaHub>> hub = DeltaHub::Create(wh.get(), options);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  SourceSpec flaky;
+  flaky.name = "flaky";
+  flaky.source = flaky_db.get();
+  flaky.method = pipeline::Method::kOpDelta;  // duplicate apply => extra rows
+  flaky.source_table = "parts_flaky";
+  flaky.warehouse_table = "parts_flaky";
+  OPDELTA_ASSERT_OK((*hub)->AddSource(flaky));
+  SourceSpec steady = flaky;
+  steady.name = "steady";
+  steady.source = steady_db.get();
+  steady.source_table = "parts_steady";
+  steady.warehouse_table = "parts_steady";
+  OPDELTA_ASSERT_OK((*hub)->AddSource(steady));
+  OPDELTA_ASSERT_OK((*hub)->Setup());
+
+  auto drive = [&](int round) {
+    for (const char* name : {"flaky", "steady"}) {
+      extract::OpDeltaCapture* capture = (*hub)->capture(name);
+      ASSERT_NE(capture, nullptr);
+      const std::string table = std::string("parts_") + name;
+      OPDELTA_ASSERT_OK(
+          capture->RunTransaction({wl.MakeInsert(table, round * 10, 10)})
+              .status());
+    }
+  };
+  auto stats_for = [&](const std::string& name) {
+    for (const SourceStats& s : (*hub)->Stats().sources) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "no stats for " << name;
+    return SourceStats();
+  };
+
+  // Round 1 is clean and establishes the flaky source's watermark.
+  drive(1);
+  OPDELTA_ASSERT_OK((*hub)->RunRound());
+  const SourceStats before = stats_for("flaky");
+  EXPECT_EQ(before.applied_seq, 1u);
+  ASSERT_NE(before.applied_epoch, 0u);
+
+  // The flaky source's hub files die; rounds keep coming until it is
+  // quarantined. The steady source must keep flowing throughout.
+  fenv.SetScope(dir.Sub("hubw") + "/flaky");
+  fenv.SetErrorProbability(OpKind::kWrite, 1.0);
+  for (int round = 2; round <= 5; ++round) {
+    drive(round);
+    (void)(*hub)->RunRound();
+  }
+  EXPECT_TRUE(stats_for("flaky").quarantined);
+  EXPECT_GT(stats_for("flaky").errors, 0u);
+  EXPECT_TRUE(
+      TablesEqual(steady_db.get(), "parts_steady", wh.get(), "parts_steady"));
+
+  // Heal the disk; the next successful probe lifts the quarantine and the
+  // backlog drains from where the watermark left off.
+  fenv.ClearFaults();
+  bool recovered = false;
+  for (int i = 0; i < 1000 && !recovered; ++i) {
+    (void)(*hub)->RunRound();
+    recovered = !stats_for("flaky").quarantined &&
+                TablesEqual(flaky_db.get(), "parts_flaky", wh.get(),
+                            "parts_flaky");
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(recovered);
+
+  // No gap: the warehouse converged. No duplicate: physical row counts
+  // match (TablesEqual alone would collapse duplicate keys) and the
+  // ledger never had to drop a redelivery — recovery resumed cleanly
+  // past the watermark instead of re-shipping applied data.
+  EXPECT_TRUE(TablesEqual(flaky_db.get(), "parts_flaky", wh.get(), "parts_flaky"));
+  EXPECT_EQ(CountRows(wh.get(), "parts_flaky"),
+            CountRows(flaky_db.get(), "parts_flaky"));
+  EXPECT_TRUE(
+      TablesEqual(steady_db.get(), "parts_steady", wh.get(), "parts_steady"));
+  const SourceStats after = stats_for("flaky");
+  EXPECT_EQ(after.duplicates_dropped, 0u);
+  EXPECT_EQ(after.applied_epoch, before.applied_epoch);  // same capture epoch
+  EXPECT_GT(after.applied_seq, before.applied_seq);      // watermark advanced
   OPDELTA_EXPECT_OK((*hub)->Stop());
 }
 

@@ -29,6 +29,19 @@ namespace opdelta::testing {
     EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();          \
   } while (0)
 
+/// Installs `env` as the process default for the enclosing scope.
+class ScopedEnvOverride {
+ public:
+  explicit ScopedEnvOverride(Env* env) : prev_(Env::SetDefault(env)) {}
+  ~ScopedEnvOverride() { Env::SetDefault(prev_); }
+
+  ScopedEnvOverride(const ScopedEnvOverride&) = delete;
+  ScopedEnvOverride& operator=(const ScopedEnvOverride&) = delete;
+
+ private:
+  Env* prev_;
+};
+
 /// Unique scratch directory, removed on destruction.
 class TempDir {
  public:

@@ -6,6 +6,7 @@
 
 #include "extract/op_delta.h"
 #include "extract/trigger_extractor.h"
+#include "warehouse/apply_ledger.h"
 #include "sql/executor.h"
 #include "warehouse/integrator.h"
 #include "warehouse/view.h"
@@ -496,6 +497,149 @@ TEST(ViewValidationTest, RejectsUnknownColumns) {
   EXPECT_FALSE(ViewMaintainer::CreateViewTable(
                    wh.get(), def, workload::PartsWorkload::Schema())
                    .ok());
+}
+
+// --------------------------------------------------------------- ApplyLedger
+
+extract::BatchId Bid(const std::string& source, uint64_t epoch, uint64_t seq) {
+  extract::BatchId id;
+  id.source_id = source;
+  id.epoch = epoch;
+  id.seq = seq;
+  return id;
+}
+
+class ApplyLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wh_ = OpenDb(dir_, "wh");
+    ledger_ = std::make_unique<ApplyLedger>(wh_.get());
+    OPDELTA_ASSERT_OK(ledger_->Setup());
+  }
+
+  /// Applies `id` through `txns` source transactions in one warehouse txn.
+  Status Apply(const extract::BatchId& id, uint64_t txns) {
+    return wh_->WithTransaction([&](txn::Transaction* txn) {
+      return ledger_->Advance(txn, id, txns);
+    });
+  }
+
+  ApplyLedger::Admission Admit(const extract::BatchId& id, uint64_t txns) {
+    Result<ApplyLedger::Admission> a = ledger_->Admit(id, txns);
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return a.ok() ? a.value() : ApplyLedger::Admission{};
+  }
+
+  TempDir dir_;
+  std::unique_ptr<engine::Database> wh_;
+  std::unique_ptr<ApplyLedger> ledger_;
+};
+
+using Decision = ApplyLedger::Decision;
+
+TEST_F(ApplyLedgerTest, SetupIsIdempotentAndUnknownSourceHasNoWatermark) {
+  OPDELTA_ASSERT_OK(ledger_->Setup());
+  OPDELTA_ASSERT_OK(ledger_->Setup());
+  Result<ApplyLedger::Watermark> w = ledger_->Get("never-seen");
+  OPDELTA_ASSERT_OK(w.status());
+  EXPECT_FALSE(w.value().exists);
+  EXPECT_EQ(Admit(Bid("never-seen", 1, 1), 3).decision, Decision::kFresh);
+}
+
+TEST_F(ApplyLedgerTest, FreshThenDuplicateThenResume) {
+  const extract::BatchId b1 = Bid("s1", 1, 1);
+  EXPECT_EQ(Admit(b1, 2).decision, Decision::kFresh);
+  OPDELTA_ASSERT_OK(Apply(b1, 2));
+
+  // Fully-applied batch redelivered: dropped.
+  EXPECT_EQ(Admit(b1, 2).decision, Decision::kDuplicate);
+
+  // Next batch applied only through txn 1 of 3 (crash mid-batch): the
+  // redelivery resumes past the applied prefix instead of repeating it.
+  const extract::BatchId b2 = Bid("s1", 1, 2);
+  OPDELTA_ASSERT_OK(Apply(b2, 1));
+  ApplyLedger::Admission a = Admit(b2, 3);
+  EXPECT_EQ(a.decision, Decision::kResume);
+  EXPECT_EQ(a.skip_txns, 1u);
+
+  // Anything at or below the watermark is a duplicate; above it is fresh.
+  EXPECT_EQ(Admit(b1, 2).decision, Decision::kDuplicate);
+  EXPECT_EQ(Admit(Bid("s1", 1, 3), 1).decision, Decision::kFresh);
+  EXPECT_EQ(Admit(Bid("s1", 2, 1), 1).decision, Decision::kFresh);
+  // Other sources are independent.
+  EXPECT_EQ(Admit(Bid("s2", 1, 1), 1).decision, Decision::kFresh);
+}
+
+TEST_F(ApplyLedgerTest, RolledBackAdvanceLeavesNoProgress) {
+  const extract::BatchId id = Bid("s1", 1, 1);
+  Status st = wh_->WithTransaction([&](txn::Transaction* txn) -> Status {
+    OPDELTA_RETURN_IF_ERROR(ledger_->Advance(txn, id, 5));
+    return Status::IOError("simulated apply failure after Advance");
+  });
+  EXPECT_FALSE(st.ok());
+  Result<ApplyLedger::Watermark> w = ledger_->Get("s1");
+  OPDELTA_ASSERT_OK(w.status());
+  EXPECT_FALSE(w.value().exists);
+  EXPECT_EQ(Admit(id, 5).decision, Decision::kFresh);
+}
+
+TEST_F(ApplyLedgerTest, HoleAdmitsOperatorReplayBelowWatermark) {
+  // Batch 2 is dead-lettered past after 1 of its 3 txns; batch 3 applies.
+  const extract::BatchId b2 = Bid("s1", 1, 2);
+  OPDELTA_ASSERT_OK(Apply(b2, 1));
+  OPDELTA_ASSERT_OK(ledger_->RecordSkip(b2));
+  OPDELTA_ASSERT_OK(Apply(Bid("s1", 1, 3), 2));
+
+  // An operator replay of b2 lands below the watermark but is admitted,
+  // resuming past the prefix captured in the hole.
+  ApplyLedger::Admission a = Admit(b2, 3);
+  EXPECT_EQ(a.decision, Decision::kResume);
+  EXPECT_EQ(a.skip_txns, 1u);
+
+  // Completing the replay clears the hole: a second replay is a duplicate.
+  OPDELTA_ASSERT_OK(Apply(b2, 3));
+  EXPECT_EQ(Admit(b2, 3).decision, Decision::kDuplicate);
+  // A batch never skipped stays a duplicate below the watermark.
+  EXPECT_EQ(Admit(Bid("s1", 1, 1), 1).decision, Decision::kDuplicate);
+}
+
+TEST_F(ApplyLedgerTest, CompactPrunesSupersededRowsOnly) {
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    OPDELTA_ASSERT_OK(Apply(Bid("s1", 1, seq), 1));
+  }
+  OPDELTA_ASSERT_OK(Apply(Bid("s2", 1, 1), 1));
+  const extract::BatchId skipped = Bid("s2", 1, 2);
+  OPDELTA_ASSERT_OK(ledger_->RecordSkip(skipped));
+  OPDELTA_ASSERT_OK(Apply(Bid("s2", 1, 3), 1));
+
+  uint64_t removed = 0;
+  OPDELTA_ASSERT_OK(ledger_->Compact(&removed));
+  // s1 had 4 superseded watermarks, s2 had 1; the hole is never compacted.
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(CountRows(wh_.get(), ledger_->table()), 3u);
+
+  Result<ApplyLedger::Watermark> w1 = ledger_->Get("s1");
+  OPDELTA_ASSERT_OK(w1.status());
+  EXPECT_TRUE(w1.value().exists);
+  EXPECT_EQ(w1.value().seq, 5u);
+  EXPECT_EQ(Admit(Bid("s1", 1, 5), 1).decision, Decision::kDuplicate);
+  // The s2 hole still admits its replay after compaction.
+  EXPECT_EQ(Admit(skipped, 1).decision, Decision::kResume);
+
+  // Compacting a compacted ledger removes nothing.
+  OPDELTA_ASSERT_OK(ledger_->Compact(&removed));
+  EXPECT_EQ(removed, 0u);
+}
+
+TEST_F(ApplyLedgerTest, InvalidIdentityBypassesDeduplication) {
+  extract::BatchId anon;  // legacy frame: no identity stamped
+  ASSERT_FALSE(anon.valid());
+  EXPECT_EQ(Admit(anon, 1).decision, Decision::kFresh);
+  OPDELTA_ASSERT_OK(Apply(anon, 1));
+  // No watermark row is written for identity-less batches...
+  EXPECT_EQ(CountRows(wh_.get(), ledger_->table()), 0u);
+  // ...so a redelivery is (by design) applied again.
+  EXPECT_EQ(Admit(anon, 1).decision, Decision::kFresh);
 }
 
 }  // namespace

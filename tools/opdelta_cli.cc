@@ -10,6 +10,8 @@
 //   opdelta_cli extract-log <dbdir> <table>     decode the archive log
 //   opdelta_cli oplog <file>                    pretty-print an op-delta log
 //   opdelta_cli hub <whdir> <spec> <rounds>     run a DeltaHub over N sources
+//   opdelta_cli dead-letters <whdir> [workdir] [--replay]
+//                                               list / replay diverted batches
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -22,7 +24,9 @@
 #include "extract/log_extractor.h"
 #include "extract/op_delta.h"
 #include "extract/snapshot_differential.h"
+#include "hub/dead_letter.h"
 #include "hub/delta_hub.h"
+#include "warehouse/apply_ledger.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "workload/workload.h"
@@ -341,6 +345,58 @@ int CmdHub(const std::string& wh_dir, const std::string& spec_path,
   return 0;
 }
 
+// Lists the hub's dead-letter logs under <workdir>/dead_letters (default
+// workdir: <whdir>/hub, matching CmdHub). With --replay, re-injects every
+// entry into the warehouse through the apply ledger's duplicate check, so
+// already-applied batches are dropped instead of double-applied.
+int CmdDeadLetters(const std::string& wh_dir, const std::string& work_dir,
+                   bool replay) {
+  std::vector<std::string> tables;
+  CLI_OK(hub::ListDeadLetterTables(work_dir, &tables));
+  if (tables.empty()) {
+    std::printf("no dead letters under %s\n",
+                hub::DeadLetterDir(work_dir).c_str());
+    return 0;
+  }
+
+  for (const std::string& table : tables) {
+    std::vector<hub::DeadLetterEntry> entries;
+    CLI_OK(hub::ReadDeadLetters(work_dir, table, &entries));
+    std::printf("%s: %zu entr%s\n", table.c_str(), entries.size(),
+                entries.size() == 1 ? "y" : "ies");
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const hub::DeadLetterEntry& e = entries[i];
+      std::printf("  [%zu] %-28s %8zu bytes   %s\n", i,
+                  e.id.ToString().c_str(), e.message.size(),
+                  e.cause.c_str());
+    }
+  }
+  if (!replay) return 0;
+
+  Result<std::unique_ptr<engine::Database>> wh = OpenExisting(wh_dir);
+  if (!wh.ok()) return Fail(wh.status());
+  warehouse::ApplyLedger ledger(wh->get());
+  CLI_OK(ledger.Setup());
+  hub::ReplayStats total;
+  Status worst = Status::OK();
+  for (const std::string& table : tables) {
+    hub::ReplayStats stats;
+    Status st = hub::ReplayDeadLetters(wh->get(), &ledger, work_dir, table,
+                                       &stats);
+    if (!st.ok() && worst.ok()) worst = st;
+    total.replayed += stats.replayed;
+    total.duplicates_dropped += stats.duplicates_dropped;
+    total.failed += stats.failed;
+  }
+  CLI_OK((*wh)->FlushAll());
+  std::printf("replayed %llu, dropped %llu duplicates, %llu still failing\n",
+              static_cast<unsigned long long>(total.replayed),
+              static_cast<unsigned long long>(total.duplicates_dropped),
+              static_cast<unsigned long long>(total.failed));
+  CLI_OK(worst);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -352,7 +408,8 @@ int Usage() {
                "  opdelta_cli diff <old.snap> <new.snap>\n"
                "  opdelta_cli extract-log <dbdir> <table>\n"
                "  opdelta_cli oplog <file>\n"
-               "  opdelta_cli hub <whdir> <spec_file> <rounds>\n");
+               "  opdelta_cli hub <whdir> <spec_file> <rounds>\n"
+               "  opdelta_cli dead-letters <whdir> [workdir] [--replay]\n");
   return 2;
 }
 
@@ -382,6 +439,21 @@ int Main(int argc, char** argv) {
       return 1;
     }
     return CmdHub(argv[2], argv[3], rounds);
+  }
+  if (cmd == "dead-letters" && argc >= 3 && argc <= 5) {
+    std::string work_dir;
+    bool replay = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--replay") == 0) {
+        replay = true;
+      } else if (work_dir.empty()) {
+        work_dir = argv[i];
+      } else {
+        return Usage();
+      }
+    }
+    if (work_dir.empty()) work_dir = std::string(argv[2]) + "/hub";
+    return CmdDeadLetters(argv[2], work_dir, replay);
   }
   return Usage();
 }
