@@ -28,7 +28,7 @@ using bench::TablePrinter;
 
 enum class Target { kLocal, kSameMachine, kLan };
 
-const char* TargetName(Target t) {
+[[maybe_unused]] const char* TargetName(Target t) {
   switch (t) {
     case Target::kLocal:
       return "local delta table";

@@ -44,10 +44,10 @@ class ScratchDir {
  public:
   explicit ScratchDir(const std::string& name) {
     path_ = "/tmp/opdelta_bench_" + name + "_" + std::to_string(::getpid());
-    Env::Default()->RemoveDirAll(path_);
+    (void)Env::Default()->RemoveDirAll(path_);
     BENCH_OK(Env::Default()->CreateDir(path_));
   }
-  ~ScratchDir() { Env::Default()->RemoveDirAll(path_); }
+  ~ScratchDir() { (void)Env::Default()->RemoveDirAll(path_); }
 
   const std::string& path() const { return path_; }
   std::string Sub(const std::string& name) const { return path_ + "/" + name; }

@@ -56,7 +56,7 @@ class CotsPartsService {
 
 int main() {
   const std::string root = "/tmp/opdelta_cots";
-  Env::Default()->RemoveDirAll(root);
+  (void)Env::Default()->RemoveDirAll(root);  // fresh demo dir; best effort
 
   engine::DatabaseOptions options;
   options.auto_timestamp = false;

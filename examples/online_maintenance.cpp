@@ -50,7 +50,7 @@ void OlapThread(engine::Database* wh, std::atomic<bool>* stop,
 
 int main() {
   const std::string root = "/tmp/opdelta_online";
-  Env::Default()->RemoveDirAll(root);
+  (void)Env::Default()->RemoveDirAll(root);  // fresh demo dir; best effort
 
   // Source: capture one change set both ways.
   std::unique_ptr<engine::Database> source;

@@ -34,7 +34,7 @@ using namespace opdelta;
 
 int main() {
   const std::string root = "/tmp/opdelta_parts_warehouse";
-  Env::Default()->RemoveDirAll(root);
+  (void)Env::Default()->RemoveDirAll(root);  // fresh demo dir; best effort
 
   std::unique_ptr<engine::Database> source;
   DIE_ON_ERROR(engine::Database::Open(root + "/source",

@@ -32,7 +32,7 @@ using namespace opdelta;  // examples favour brevity
 
 int main() {
   const std::string root = "/tmp/opdelta_quickstart";
-  Env::Default()->RemoveDirAll(root);
+  (void)Env::Default()->RemoveDirAll(root);  // fresh demo dir; best effort
 
   // --- 1. Source system -------------------------------------------------
   engine::DatabaseOptions options;
@@ -94,7 +94,7 @@ int main() {
   // --- 4. Verification ---------------------------------------------------
   auto contents = [](engine::Database* db) {
     std::map<int64_t, std::string> rows;
-    db->Scan(nullptr, "parts", engine::Predicate::True(),
+    (void)db->Scan(nullptr, "parts", engine::Predicate::True(),
              [&](const storage::Rid&, const catalog::Row& row) {
                rows[row[0].AsInt64()] = row[1].AsString();
                return true;

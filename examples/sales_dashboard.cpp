@@ -46,7 +46,7 @@ sql::Statement Sale(int64_t id, const char* region, int64_t amount) {
 
 int main() {
   const std::string root = "/tmp/opdelta_dashboard";
-  Env::Default()->RemoveDirAll(root);
+  (void)Env::Default()->RemoveDirAll(root);  // fresh demo dir; best effort
 
   engine::DatabaseOptions options;
   options.auto_timestamp = false;

@@ -1,7 +1,9 @@
 #include "catalog/value.h"
 
 #include <charconv>
-#include <cstdio>
+// snprintf is used for %.17g round-trip float text only; the dump format is
+// a contract and this TU opens no files.
+#include <cstdio>  // NOLINT(opdelta-R5: formatting only, no file I/O)
 #include <functional>
 
 namespace opdelta::catalog {

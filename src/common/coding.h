@@ -49,21 +49,21 @@ inline uint64_t DecodeFixed64(const char* p) {
   return v;
 }
 
-inline bool GetFixed16(Slice* input, uint16_t* v) {
+[[nodiscard]] inline bool GetFixed16(Slice* input, uint16_t* v) {
   if (input->size() < 2) return false;
   *v = DecodeFixed16(input->data());
   input->remove_prefix(2);
   return true;
 }
 
-inline bool GetFixed32(Slice* input, uint32_t* v) {
+[[nodiscard]] inline bool GetFixed32(Slice* input, uint32_t* v) {
   if (input->size() < 4) return false;
   *v = DecodeFixed32(input->data());
   input->remove_prefix(4);
   return true;
 }
 
-inline bool GetFixed64(Slice* input, uint64_t* v) {
+[[nodiscard]] inline bool GetFixed64(Slice* input, uint64_t* v) {
   if (input->size() < 8) return false;
   *v = DecodeFixed64(input->data());
   input->remove_prefix(8);
@@ -72,8 +72,8 @@ inline bool GetFixed64(Slice* input, uint64_t* v) {
 
 void PutVarint32(std::string* dst, uint32_t v);
 void PutVarint64(std::string* dst, uint64_t v);
-bool GetVarint32(Slice* input, uint32_t* v);
-bool GetVarint64(Slice* input, uint64_t* v);
+[[nodiscard]] bool GetVarint32(Slice* input, uint32_t* v);
+[[nodiscard]] bool GetVarint64(Slice* input, uint64_t* v);
 
 /// Length-prefixed byte string.
 inline void PutLengthPrefixed(std::string* dst, Slice value) {
@@ -81,7 +81,7 @@ inline void PutLengthPrefixed(std::string* dst, Slice value) {
   dst->append(value.data(), value.size());
 }
 
-inline bool GetLengthPrefixed(Slice* input, Slice* result) {
+[[nodiscard]] inline bool GetLengthPrefixed(Slice* input, Slice* result) {
   uint32_t len = 0;
   if (!GetVarint32(input, &len)) return false;
   if (input->size() < len) return false;
@@ -103,7 +103,7 @@ inline void PutVarint64Signed(std::string* dst, int64_t v) {
   PutVarint64(dst, ZigZagEncode(v));
 }
 
-inline bool GetVarint64Signed(Slice* input, int64_t* v) {
+[[nodiscard]] inline bool GetVarint64Signed(Slice* input, int64_t* v) {
   uint64_t u = 0;
   if (!GetVarint64(input, &u)) return false;
   *v = ZigZagDecode(u);

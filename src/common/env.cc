@@ -95,6 +95,65 @@ class PosixRandomAccessFile : public RandomAccessFile {
   uint64_t size_;
 };
 
+class PosixRandomRWFile : public RandomRWFile {
+ public:
+  PosixRandomRWFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  ~PosixRandomRWFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError("pread " + path_, errno);
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, Slice data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    uint64_t off = offset;
+    while (left > 0) {
+      ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(off));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pwrite " + path_, errno);
+      }
+      p += n;
+      off += static_cast<uint64_t>(n);
+      left -= static_cast<size_t>(n);
+    }
+    if (offset + data.size() > size_) size_ = offset + data.size();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return PosixError("fdatasync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0) {
+      if (::close(fd_) != 0) {
+        fd_ = -1;
+        return PosixError("close " + path_, errno);
+      }
+      fd_ = -1;
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
 class PosixEnv : public Env {
  public:
   Status NewWritableFile(const std::string& path,
@@ -131,6 +190,21 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      return PosixError("fstat " + path, err);
+    }
+    *out = std::make_unique<PosixRandomRWFile>(
+        path, fd, static_cast<uint64_t>(st.st_size));
+    return Status::OK();
+  }
+
   Status ReadFileToString(const std::string& path, std::string* out) override {
     std::unique_ptr<RandomAccessFile> file;
     OPDELTA_RETURN_IF_ERROR(NewRandomAccessFile(path, &file));
@@ -153,6 +227,11 @@ class PosixEnv : public Env {
 
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  bool DirExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
   }
 
   Status DeleteFile(const std::string& path) override {

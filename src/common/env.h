@@ -34,6 +34,25 @@ class RandomAccessFile {
   virtual uint64_t Size() const = 0;
 };
 
+/// Positional read/write handle for page files: fixed-size records updated
+/// in place. All heap-page I/O must go through this (never raw ::pread /
+/// ::pwrite) so FaultInjectionEnv can see — and kill — every page write.
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+  /// Reads up to n bytes at offset into scratch; *result points into
+  /// scratch and may be shorter than n at end-of-file.
+  [[nodiscard]] virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                                    char* scratch) const = 0;
+  /// Writes data at offset, extending the file as needed.
+  [[nodiscard]] virtual Status Write(uint64_t offset, Slice data) = 0;
+  /// Durably syncs written data to disk (fdatasync).
+  [[nodiscard]] virtual Status Sync() = 0;
+  [[nodiscard]] virtual Status Close() = 0;
+  /// Current size: max of the size at open and the highest byte written.
+  virtual uint64_t Size() const = 0;
+};
+
 /// Minimal filesystem abstraction (POSIX-backed). A single process-wide
 /// instance is enough; the interface exists so tests can inject fault
 /// injection wrappers.
@@ -57,12 +76,16 @@ class Env {
                                    std::unique_ptr<WritableFile>* out) = 0;
   virtual Status NewRandomAccessFile(
       const std::string& path, std::unique_ptr<RandomAccessFile>* out) = 0;
+  /// Opens for positional read/write, creating if missing (page files).
+  virtual Status NewRandomRWFile(const std::string& path,
+                                 std::unique_ptr<RandomRWFile>* out) = 0;
 
   virtual Status ReadFileToString(const std::string& path,
                                   std::string* out) = 0;
   virtual Status WriteStringToFile(const std::string& path, Slice data) = 0;
 
   virtual bool FileExists(const std::string& path) = 0;
+  virtual bool DirExists(const std::string& path) = 0;
   virtual Status DeleteFile(const std::string& path) = 0;
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;

@@ -30,23 +30,95 @@ const char* OpKindName(FaultInjectionEnv::OpKind kind) {
 
 }  // namespace
 
+/// The env's entire mutable core. Every FaultWritableFile /
+/// FaultRandomAccessFile / FaultRandomRWFile holds a shared_ptr to this,
+/// so a handle that outlives the env (a table file opened under a scoped
+/// override, flushed at teardown) still has live dice to roll.
+struct FaultInjectionEnv::State {
+  explicit State(uint64_t seed) : rng(seed) {}
+
+  bool InScope(const std::string& path) const {  // requires mutex held
+    return scope.empty() || path.find(scope) != std::string::npos;
+  }
+
+  /// Rolls the dice for one operation. Returns OK, or the injected error.
+  /// For kWrite faults, *short_write_bytes (when non-null) receives the
+  /// seeded number of payload bytes to persist before failing.
+  Status MaybeFault(OpKind kind, const std::string& path, bool mutating,
+                    uint64_t payload_size = 0,
+                    uint64_t* short_write_bytes = nullptr) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (short_write_bytes != nullptr) *short_write_bytes = 0;
+    if (!InScope(path)) return Status::OK();
+
+    bool fault = false;
+    bool may_tear = false;
+    if (mutating) {
+      ++mutations;
+      if (mutations > fail_after) {
+        fault = true;
+        // Only the operation that crosses the crash point can tear; the
+        // "disk" is dead afterwards and later ops have no effect at all.
+        may_tear = !crossed_crash_point;
+        crossed_crash_point = true;
+      }
+    }
+    if (!fault) {
+      const double p = probability[static_cast<int>(kind)];
+      if (p > 0.0 && rng.NextDouble() < p) {
+        fault = true;
+        may_tear = true;
+      }
+    }
+    if (!fault) return Status::OK();
+
+    ++faults;
+    if (kind == OpKind::kWrite && short_write_bytes != nullptr && may_tear &&
+        payload_size > 0 && rng.NextDouble() < short_write_probability) {
+      *short_write_bytes = rng.Uniform(payload_size);  // strict prefix
+    }
+    return Status::IOError(std::string("injected ") + OpKindName(kind) +
+                           " fault: " + path);
+  }
+
+  void MarkDurable(const std::string& path, uint64_t size) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (InScope(path)) durable_size[path] = size;
+  }
+
+  mutable std::mutex mutex;
+  Rng rng;
+  std::string scope;
+  double probability[kNumOpKinds] = {};
+  double short_write_probability = 0.0;
+  uint64_t fail_after = UINT64_MAX;
+  bool crossed_crash_point = false;
+  uint64_t mutations = 0;
+  uint64_t faults = 0;
+  /// Last synced byte count per tracked (in-scope, written) file.
+  std::unordered_map<std::string, uint64_t> durable_size;
+};
+
 /// WritableFile wrapper routing Append/Sync through the fault dice and
 /// reporting synced sizes back for crash simulation.
 class FaultWritableFile : public WritableFile {
  public:
-  FaultWritableFile(FaultInjectionEnv* env, std::string path,
-                    std::unique_ptr<WritableFile> inner)
-      : env_(env), path_(std::move(path)), inner_(std::move(inner)) {}
+  FaultWritableFile(std::shared_ptr<FaultInjectionEnv::State> state,
+                    std::string path, std::unique_ptr<WritableFile> inner)
+      : state_(std::move(state)),
+        path_(std::move(path)),
+        inner_(std::move(inner)) {}
 
   Status Append(Slice data) override {
     uint64_t short_bytes = 0;
-    Status fault = env_->MaybeFault(FaultInjectionEnv::OpKind::kWrite, path_,
+    Status fault = state_->MaybeFault(FaultInjectionEnv::OpKind::kWrite, path_,
                                     /*mutating=*/true, data.size(),
                                     &short_bytes);
     if (!fault.ok()) {
       if (short_bytes > 0) {
-        // Torn append: a prefix reached the disk before the failure.
-        inner_->Append(Slice(data.data(), short_bytes));
+        // Torn append: a prefix reached the disk before the failure. The
+        // injected fault is what the caller sees; the tear is best-effort.
+        (void)inner_->Append(Slice(data.data(), short_bytes));
       }
       return fault;
     }
@@ -56,10 +128,10 @@ class FaultWritableFile : public WritableFile {
   Status Flush() override { return inner_->Flush(); }
 
   Status Sync() override {
-    OPDELTA_RETURN_IF_ERROR(env_->MaybeFault(FaultInjectionEnv::OpKind::kSync,
+    OPDELTA_RETURN_IF_ERROR(state_->MaybeFault(FaultInjectionEnv::OpKind::kSync,
                                              path_, /*mutating=*/true));
     OPDELTA_RETURN_IF_ERROR(inner_->Sync());
-    env_->MarkDurable(path_, inner_->Size());
+    state_->MarkDurable(path_, inner_->Size());
     return Status::OK();
   }
 
@@ -68,7 +140,7 @@ class FaultWritableFile : public WritableFile {
   uint64_t Size() const override { return inner_->Size(); }
 
  private:
-  FaultInjectionEnv* env_;
+  std::shared_ptr<FaultInjectionEnv::State> state_;
   std::string path_;
   std::unique_ptr<WritableFile> inner_;
 };
@@ -76,13 +148,16 @@ class FaultWritableFile : public WritableFile {
 /// RandomAccessFile wrapper injecting read errors.
 class FaultRandomAccessFile : public RandomAccessFile {
  public:
-  FaultRandomAccessFile(FaultInjectionEnv* env, std::string path,
+  FaultRandomAccessFile(std::shared_ptr<FaultInjectionEnv::State> state,
+                        std::string path,
                         std::unique_ptr<RandomAccessFile> inner)
-      : env_(env), path_(std::move(path)), inner_(std::move(inner)) {}
+      : state_(std::move(state)),
+        path_(std::move(path)),
+        inner_(std::move(inner)) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    OPDELTA_RETURN_IF_ERROR(env_->MaybeFault(FaultInjectionEnv::OpKind::kRead,
+    OPDELTA_RETURN_IF_ERROR(state_->MaybeFault(FaultInjectionEnv::OpKind::kRead,
                                              path_, /*mutating=*/false));
     return inner_->Read(offset, n, result, scratch);
   }
@@ -90,109 +165,116 @@ class FaultRandomAccessFile : public RandomAccessFile {
   uint64_t Size() const override { return inner_->Size(); }
 
  private:
-  FaultInjectionEnv* env_;
+  std::shared_ptr<FaultInjectionEnv::State> state_;
   std::string path_;
   std::unique_ptr<RandomAccessFile> inner_;
 };
 
+/// RandomRWFile wrapper: the page-file path. Every page read, write, and
+/// sync rolls the fault dice, so dead-disk crash points kill heap-page I/O
+/// exactly like WAL appends.
+class FaultRandomRWFile : public RandomRWFile {
+ public:
+  FaultRandomRWFile(std::shared_ptr<FaultInjectionEnv::State> state,
+                    std::string path, std::unique_ptr<RandomRWFile> inner)
+      : state_(std::move(state)),
+        path_(std::move(path)),
+        inner_(std::move(inner)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    OPDELTA_RETURN_IF_ERROR(state_->MaybeFault(FaultInjectionEnv::OpKind::kRead,
+                                             path_, /*mutating=*/false));
+    return inner_->Read(offset, n, result, scratch);
+  }
+
+  Status Write(uint64_t offset, Slice data) override {
+    uint64_t short_bytes = 0;
+    Status fault = state_->MaybeFault(FaultInjectionEnv::OpKind::kWrite, path_,
+                                    /*mutating=*/true, data.size(),
+                                    &short_bytes);
+    if (!fault.ok()) {
+      if (short_bytes > 0) {
+        // Torn page write: a prefix hit the disk before the failure.
+        (void)inner_->Write(offset, Slice(data.data(), short_bytes));
+      }
+      return fault;
+    }
+    return inner_->Write(offset, data);
+  }
+
+  Status Sync() override {
+    OPDELTA_RETURN_IF_ERROR(state_->MaybeFault(FaultInjectionEnv::OpKind::kSync,
+                                             path_, /*mutating=*/true));
+    OPDELTA_RETURN_IF_ERROR(inner_->Sync());
+    state_->MarkDurable(path_, inner_->Size());
+    return Status::OK();
+  }
+
+  Status Close() override { return inner_->Close(); }
+
+  uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  std::shared_ptr<FaultInjectionEnv::State> state_;
+  std::string path_;
+  std::unique_ptr<RandomRWFile> inner_;
+};
+
 FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
-    : base_(base), rng_(seed) {}
+    : base_(base), state_(std::make_shared<State>(seed)) {}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
 
 void FaultInjectionEnv::SetScope(std::string substring) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  scope_ = std::move(substring);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->scope = std::move(substring);
 }
 
 void FaultInjectionEnv::SetErrorProbability(OpKind kind, double p) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  probability_[static_cast<int>(kind)] = p;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->probability[static_cast<int>(kind)] = p;
 }
 
 void FaultInjectionEnv::SetShortWriteProbability(double p) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  short_write_probability_ = p;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->short_write_probability = p;
 }
 
 void FaultInjectionEnv::FailAllOpsAfter(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  fail_after_ = n;
-  crossed_crash_point_ = false;
-  mutations_ = 0;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->fail_after = n;
+  state_->crossed_crash_point = false;
+  state_->mutations = 0;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (double& p : probability_) p = 0.0;
-  short_write_probability_ = 0.0;
-  fail_after_ = UINT64_MAX;
-  crossed_crash_point_ = false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (double& p : state_->probability) p = 0.0;
+  state_->short_write_probability = 0.0;
+  state_->fail_after = UINT64_MAX;
+  state_->crossed_crash_point = false;
 }
 
 uint64_t FaultInjectionEnv::mutations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return mutations_;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->mutations;
 }
 
 uint64_t FaultInjectionEnv::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return faults_;
-}
-
-bool FaultInjectionEnv::InScope(const std::string& path) const {
-  return scope_.empty() || path.find(scope_) != std::string::npos;
-}
-
-Status FaultInjectionEnv::MaybeFault(OpKind kind, const std::string& path,
-                                     bool mutating, uint64_t payload_size,
-                                     uint64_t* short_write_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (short_write_bytes != nullptr) *short_write_bytes = 0;
-  if (!InScope(path)) return Status::OK();
-
-  bool fault = false;
-  bool may_tear = false;
-  if (mutating) {
-    ++mutations_;
-    if (mutations_ > fail_after_) {
-      fault = true;
-      // Only the operation that crosses the crash point can tear; the
-      // "disk" is dead afterwards and later ops have no effect at all.
-      may_tear = !crossed_crash_point_;
-      crossed_crash_point_ = true;
-    }
-  }
-  if (!fault) {
-    const double p = probability_[static_cast<int>(kind)];
-    if (p > 0.0 && rng_.NextDouble() < p) {
-      fault = true;
-      may_tear = true;
-    }
-  }
-  if (!fault) return Status::OK();
-
-  ++faults_;
-  if (kind == OpKind::kWrite && short_write_bytes != nullptr && may_tear &&
-      payload_size > 0 && rng_.NextDouble() < short_write_probability_) {
-    *short_write_bytes = rng_.Uniform(payload_size);  // strict prefix
-  }
-  return Status::IOError(std::string("injected ") + OpKindName(kind) +
-                         " fault: " + path);
-}
-
-void FaultInjectionEnv::MarkDurable(const std::string& path, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (InScope(path)) durable_size_[path] = size;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->faults;
 }
 
 Status FaultInjectionEnv::CrashAndDropUnsynced(bool torn_tails) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [path, durable] : durable_size_) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (auto& [path, durable] : state_->durable_size) {
     if (!base_->FileExists(path)) continue;
     uint64_t size = 0;
     OPDELTA_RETURN_IF_ERROR(base_->GetFileSize(path, &size));
     if (size <= durable) continue;
     uint64_t keep = durable;
-    if (torn_tails) keep += rng_.Uniform(size - durable + 1);
+    if (torn_tails) keep += state_->rng.Uniform(size - durable + 1);
     if (keep < size) {
       OPDELTA_RETURN_IF_ERROR(base_->Truncate(path, keep));
       OPDELTA_LOG(kDebug) << "crash: dropped " << (size - keep)
@@ -206,42 +288,63 @@ Status FaultInjectionEnv::CrashAndDropUnsynced(bool torn_tails) {
 Status FaultInjectionEnv::NewWritableFile(const std::string& path,
                                           std::unique_ptr<WritableFile>* out) {
   OPDELTA_RETURN_IF_ERROR(
-      MaybeFault(OpKind::kOpen, path, /*mutating=*/true));
+      state_->MaybeFault(OpKind::kOpen, path, /*mutating=*/true));
   std::unique_ptr<WritableFile> inner;
   OPDELTA_RETURN_IF_ERROR(base_->NewWritableFile(path, &inner));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(state_->mutex);
     // Created/truncated: nothing durable yet.
-    if (InScope(path)) durable_size_[path] = 0;
+    if (state_->InScope(path)) state_->durable_size[path] = 0;
   }
-  *out = std::make_unique<FaultWritableFile>(this, path, std::move(inner));
+  *out = std::make_unique<FaultWritableFile>(state_, path, std::move(inner));
   return Status::OK();
 }
 
 Status FaultInjectionEnv::NewAppendableFile(
     const std::string& path, std::unique_ptr<WritableFile>* out) {
   OPDELTA_RETURN_IF_ERROR(
-      MaybeFault(OpKind::kOpen, path, /*mutating=*/true));
+      state_->MaybeFault(OpKind::kOpen, path, /*mutating=*/true));
   std::unique_ptr<WritableFile> inner;
   OPDELTA_RETURN_IF_ERROR(base_->NewAppendableFile(path, &inner));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(state_->mutex);
     // Pre-existing bytes (written before tracking began) count as durable.
-    if (InScope(path) && durable_size_.find(path) == durable_size_.end()) {
-      durable_size_[path] = inner->Size();
+    if (state_->InScope(path) &&
+        state_->durable_size.find(path) == state_->durable_size.end()) {
+      state_->durable_size[path] = inner->Size();
     }
   }
-  *out = std::make_unique<FaultWritableFile>(this, path, std::move(inner));
+  *out = std::make_unique<FaultWritableFile>(state_, path, std::move(inner));
   return Status::OK();
 }
 
 Status FaultInjectionEnv::NewRandomAccessFile(
     const std::string& path, std::unique_ptr<RandomAccessFile>* out) {
   OPDELTA_RETURN_IF_ERROR(
-      MaybeFault(OpKind::kOpen, path, /*mutating=*/false));
+      state_->MaybeFault(OpKind::kOpen, path, /*mutating=*/false));
   std::unique_ptr<RandomAccessFile> inner;
   OPDELTA_RETURN_IF_ERROR(base_->NewRandomAccessFile(path, &inner));
-  *out = std::make_unique<FaultRandomAccessFile>(this, path, std::move(inner));
+  *out =
+      std::make_unique<FaultRandomAccessFile>(state_, path, std::move(inner));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomRWFile(const std::string& path,
+                                          std::unique_ptr<RandomRWFile>* out) {
+  OPDELTA_RETURN_IF_ERROR(
+      state_->MaybeFault(OpKind::kOpen, path, /*mutating=*/true));
+  std::unique_ptr<RandomRWFile> inner;
+  OPDELTA_RETURN_IF_ERROR(base_->NewRandomRWFile(path, &inner));
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    // Pre-existing bytes count as durable; in-place overwrites within that
+    // range survive CrashAndDropUnsynced (only appended tails are dropped).
+    if (state_->InScope(path) &&
+        state_->durable_size.find(path) == state_->durable_size.end()) {
+      state_->durable_size[path] = inner->Size();
+    }
+  }
+  *out = std::make_unique<FaultRandomRWFile>(state_, path, std::move(inner));
   return Status::OK();
 }
 
@@ -271,13 +374,17 @@ bool FaultInjectionEnv::FileExists(const std::string& path) {
   return base_->FileExists(path);
 }
 
+bool FaultInjectionEnv::DirExists(const std::string& path) {
+  return base_->DirExists(path);
+}
+
 Status FaultInjectionEnv::DeleteFile(const std::string& path) {
   OPDELTA_RETURN_IF_ERROR(
-      MaybeFault(OpKind::kDelete, path, /*mutating=*/true));
+      state_->MaybeFault(OpKind::kDelete, path, /*mutating=*/true));
   Status st = base_->DeleteFile(path);
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    durable_size_.erase(path);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->durable_size.erase(path);
   }
   return st;
 }
@@ -285,14 +392,14 @@ Status FaultInjectionEnv::DeleteFile(const std::string& path) {
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   OPDELTA_RETURN_IF_ERROR(
-      MaybeFault(OpKind::kRename, from, /*mutating=*/true));
+      state_->MaybeFault(OpKind::kRename, from, /*mutating=*/true));
   OPDELTA_RETURN_IF_ERROR(base_->RenameFile(from, to));
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = durable_size_.find(from);
-  if (it != durable_size_.end()) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  auto it = state_->durable_size.find(from);
+  if (it != state_->durable_size.end()) {
     // The rename moves the file's durability along with its bytes.
-    durable_size_[to] = it->second;
-    durable_size_.erase(from);
+    state_->durable_size[to] = it->second;
+    state_->durable_size.erase(from);
   }
   return Status::OK();
 }
@@ -308,11 +415,11 @@ Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
   // the delete dice made it impossible to exercise "the repair write also
   // fails" without also breaking every file deletion.
   OPDELTA_RETURN_IF_ERROR(
-      MaybeFault(OpKind::kTruncate, path, /*mutating=*/true));
+      state_->MaybeFault(OpKind::kTruncate, path, /*mutating=*/true));
   OPDELTA_RETURN_IF_ERROR(base_->Truncate(path, size));
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = durable_size_.find(path);
-  if (it != durable_size_.end()) it->second = std::min(it->second, size);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  auto it = state_->durable_size.find(path);
+  if (it != state_->durable_size.end()) it->second = std::min(it->second, size);
   return Status::OK();
 }
 
@@ -323,10 +430,11 @@ Status FaultInjectionEnv::CreateDir(const std::string& path) {
 Status FaultInjectionEnv::RemoveDirAll(const std::string& path) {
   Status st = base_->RemoveDirAll(path);
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = durable_size_.begin(); it != durable_size_.end();) {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (auto it = state_->durable_size.begin();
+         it != state_->durable_size.end();) {
       if (it->first.rfind(path, 0) == 0) {
-        it = durable_size_.erase(it);
+        it = state_->durable_size.erase(it);
       } else {
         ++it;
       }

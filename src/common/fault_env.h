@@ -29,6 +29,12 @@ namespace opdelta {
 ///
 /// Install process-wide with Env::SetDefault(&fault_env); the caller owns
 /// both the wrapper and the wrapped base env. Thread-safe.
+///
+/// Lifetime: file handles opened through this env share ownership of the
+/// fault state, so they stay valid — and keep rolling the same fault dice —
+/// even if the env itself is destroyed first (e.g. a database table opened
+/// while a scoped override was installed, flushed at teardown after the
+/// override is gone).
 class FaultInjectionEnv : public Env {
  public:
   /// Fault site, for targeted probabilities.
@@ -45,7 +51,7 @@ class FaultInjectionEnv : public Env {
   static constexpr int kNumOpKinds = 7;
 
   explicit FaultInjectionEnv(Env* base, uint64_t seed = 1);
-  ~FaultInjectionEnv() override = default;
+  ~FaultInjectionEnv() override;  // out of line: State is incomplete here
 
   FaultInjectionEnv(const FaultInjectionEnv&) = delete;
   FaultInjectionEnv& operator=(const FaultInjectionEnv&) = delete;
@@ -90,9 +96,12 @@ class FaultInjectionEnv : public Env {
                            std::unique_ptr<WritableFile>* out) override;
   Status NewRandomAccessFile(const std::string& path,
                              std::unique_ptr<RandomAccessFile>* out) override;
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* out) override;
   Status ReadFileToString(const std::string& path, std::string* out) override;
   Status WriteStringToFile(const std::string& path, Slice data) override;
   bool FileExists(const std::string& path) override;
+  bool DirExists(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status GetFileSize(const std::string& path, uint64_t* size) override;
@@ -105,30 +114,16 @@ class FaultInjectionEnv : public Env {
  private:
   friend class FaultWritableFile;
   friend class FaultRandomAccessFile;
+  friend class FaultRandomRWFile;
 
-  bool InScope(const std::string& path) const;  // requires mutex_ held
-
-  /// Rolls the dice for one operation. Returns OK, or the injected error.
-  /// For kWrite faults, *short_write_bytes (when non-null) receives the
-  /// seeded number of payload bytes to persist before failing.
-  Status MaybeFault(OpKind kind, const std::string& path, bool mutating,
-                    uint64_t payload_size = 0,
-                    uint64_t* short_write_bytes = nullptr);
-
-  void MarkDurable(const std::string& path, uint64_t size);
+  /// All mutable fault state (dice, scope, durability tracking). Shared
+  /// with every file handle this env opens: handles that outlive the env
+  /// keep the state — and therefore the programmed faults — alive instead
+  /// of dangling.
+  struct State;
 
   Env* const base_;
-  mutable std::mutex mutex_;
-  Rng rng_;
-  std::string scope_;
-  double probability_[kNumOpKinds] = {};
-  double short_write_probability_ = 0.0;
-  uint64_t fail_after_ = UINT64_MAX;
-  bool crossed_crash_point_ = false;
-  uint64_t mutations_ = 0;
-  uint64_t faults_ = 0;
-  /// Last synced byte count per tracked (in-scope, written) file.
-  std::unordered_map<std::string, uint64_t> durable_size_;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace opdelta

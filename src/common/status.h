@@ -24,8 +24,11 @@ enum class StatusCode {
 };
 
 /// Arrow/RocksDB-style status object: cheap to copy when OK (no allocation),
-/// carries a code + message otherwise.
-class Status {
+/// carries a code + message otherwise. [[nodiscard]] on the class makes a
+/// silently dropped error a compile error under -Werror in every caller —
+/// opdelta-lint R4 checks the attribute stays, R1 catches what the compiler
+/// can't (e.g. discards via dependent expressions).
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -89,9 +92,10 @@ class Status {
   std::string message_;
 };
 
-/// Result<T> holds either a value or an error Status.
+/// Result<T> holds either a value or an error Status. [[nodiscard]] for the
+/// same reason as Status: dropping one drops an error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {}     // NOLINT
@@ -114,11 +118,13 @@ class Result {
   T value_{};
 };
 
-/// Propagates a non-OK Status from an expression to the caller.
-#define OPDELTA_RETURN_IF_ERROR(expr)            \
-  do {                                           \
-    ::opdelta::Status _st = (expr);              \
-    if (!_st.ok()) return _st;                   \
+/// Propagates a non-OK Status from an expression to the caller. The bound
+/// name is line-unique so nested/stacked uses survive -Wshadow.
+#define OPDELTA_RETURN_IF_ERROR(expr)                          \
+  do {                                                         \
+    ::opdelta::Status OPDELTA_CONCAT_(_st_, __LINE__) = (expr); \
+    if (!OPDELTA_CONCAT_(_st_, __LINE__).ok())                 \
+      return OPDELTA_CONCAT_(_st_, __LINE__);                  \
   } while (0)
 
 /// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.

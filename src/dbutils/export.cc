@@ -137,7 +137,7 @@ Status ImportUtil::Import(engine::Database* db, const std::string& table,
       Status st = catalog::RowCodec::Decode(t->schema(), rec, &row);
       if (st.ok()) st = db->InsertRaw(txn.get(), table, std::move(row));
       if (!st.ok()) {
-        db->Abort(txn.get());
+        (void)db->Abort(txn.get());  // surface the decode/insert error
         return st;
       }
     }
@@ -173,7 +173,7 @@ Status ImportUtil::Import(engine::Database* db, const std::string& table,
   OPDELTA_RETURN_IF_ERROR(read_status);
   OPDELTA_RETURN_IF_ERROR(inner);
   OPDELTA_RETURN_IF_ERROR(flush_staging());
-  env->DeleteFile(scratch);  // best effort
+  (void)env->DeleteFile(scratch);  // best effort
   if (stats != nullptr) *stats = local;
   return db->FlushAll();
 }

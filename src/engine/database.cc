@@ -24,7 +24,7 @@ Database::Database(std::string dir, DatabaseOptions options)
       locks_(std::chrono::duration_cast<std::chrono::milliseconds>(
           options.lock_timeout)) {}
 
-Database::~Database() { Close(); }
+Database::~Database() { (void)Close(); }  // best effort; Close() for errors
 
 Status Database::Open(const std::string& dir, const DatabaseOptions& options,
                       std::unique_ptr<Database>* out) {
@@ -81,7 +81,7 @@ Status Database::CreateTable(const std::string& name,
   const catalog::TableInfo* info = catalog_.GetTable(name);
   Status st = OpenTable(*info);
   if (!st.ok()) {
-    catalog_.DropTable(name);
+    (void)catalog_.DropTable(name);  // roll back the entry; best effort
     return st;
   }
   return SaveCatalog();
@@ -100,7 +100,7 @@ Status Database::DropTable(const std::string& name) {
     }
   }
   OPDELTA_RETURN_IF_ERROR(catalog_.DropTable(name));
-  Env::Default()->DeleteFile(TableFilePath(id));  // best effort
+  (void)Env::Default()->DeleteFile(TableFilePath(id));  // best effort
   return SaveCatalog();
 }
 
@@ -159,7 +159,9 @@ std::unique_ptr<Transaction> Database::Begin() {
   LogRecord rec;
   rec.type = LogRecordType::kBegin;
   rec.txn_id = txn->id();
-  wal_.Append(&rec);
+  // A failed begin append is not fatal here: commit is the durability
+  // point, and its append/sync failure aborts the transaction.
+  (void)wal_.Append(&rec);
   return txn;
 }
 
@@ -233,7 +235,9 @@ Status Database::Abort(Transaction* txn) {
   LogRecord rec;
   rec.type = LogRecordType::kAbort;
   rec.txn_id = txn->id();
-  wal_.Append(&rec);
+  // Best effort: replay treats a txn without a commit record as aborted,
+  // so a lost abort record changes nothing.
+  (void)wal_.Append(&rec);
   txn->MarkAborted();
   locks_.ReleaseAll(txn->id());
   return Status::OK();
@@ -244,7 +248,7 @@ Status Database::WithTransaction(
   std::unique_ptr<Transaction> txn = Begin();
   Status st = fn(txn.get());
   if (!st.ok()) {
-    Abort(txn.get());
+    (void)Abort(txn.get());  // the callback's error is the one to surface
     return st;
   }
   Status commit = Commit(txn.get());
@@ -252,7 +256,7 @@ Status Database::WithTransaction(
     // Commit marks the transaction committed only after the WAL records
     // are durable, so a failed commit leaves it active: abort to roll back
     // and release its locks instead of leaking them until timeout.
-    Abort(txn.get());
+    (void)Abort(txn.get());  // the commit failure is the one to surface
   }
   return commit;
 }
@@ -667,7 +671,9 @@ Status Database::Scan(
       inner = RowCodec::Decode(schema, Slice(record), &row);
       if (!inner.ok()) return false;
       if (!bound.Matches(row)) return true;
-      return fn(rid, row);
+      // Documented contract: scan callbacks run under the table read latch
+      // and must not re-enter mutating APIs (see database.h).
+      return fn(rid, row);  // NOLINT(opdelta-R3: scan callback contract)
     });
     return inner;
   }
@@ -679,7 +685,9 @@ Status Database::Scan(
         decode_status = RowCodec::Decode(schema, record, &row);
         if (!decode_status.ok()) return false;
         if (!bound.Matches(row)) return true;
-        return fn(rid, row);
+        // Documented contract: scan callbacks run under the table read latch
+        // and must not re-enter mutating APIs (see database.h).
+        return fn(rid, row);  // NOLINT(opdelta-R3: scan callback contract)
       }));
   return decode_status;
 }
@@ -708,7 +716,9 @@ Status Database::IndexScan(
     Row row;
     inner = RowCodec::Decode(table->schema(), Slice(record), &row);
     if (!inner.ok()) return false;
-    return fn(rid, row);
+    // Documented contract: scan callbacks run under the table read latch
+    // and must not re-enter mutating APIs (see database.h).
+    return fn(rid, row);  // NOLINT(opdelta-R3: scan callback contract)
   });
   return inner;
 }

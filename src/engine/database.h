@@ -121,12 +121,15 @@ class Database {
   // -- Queries ----------------------------------------------------------
   /// Full scan under an IS lock (read committed). `txn` may be nullptr for
   /// internal utility reads (no transactional locking, latch only).
+  /// The callback runs while the table read latch is held: it must not
+  /// call back into mutating Database APIs, or it will self-deadlock.
   Status Scan(txn::Transaction* txn, const std::string& table,
               const Predicate& pred,
               const std::function<bool(const storage::Rid&,
                                        const catalog::Row&)>& fn);
 
-  /// Range scan over a B+tree-indexed column, lo <= key <= hi.
+  /// Range scan over a B+tree-indexed column, lo <= key <= hi. The callback
+  /// contract matches Scan: no re-entry into mutating APIs.
   Status IndexScan(txn::Transaction* txn, const std::string& table,
                    const std::string& column, int64_t lo, int64_t hi,
                    const std::function<bool(const storage::Rid&,

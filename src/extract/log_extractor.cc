@@ -166,7 +166,7 @@ Status LogExtractor::ReplayInto(
       },
       stats);
   if (!apply_status.ok()) {
-    dest->Abort(txn.get());
+    (void)dest->Abort(txn.get());  // surface the apply error
     return apply_status;
   }
   return dest->Commit(txn.get());

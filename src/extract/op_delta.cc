@@ -150,7 +150,7 @@ Result<std::unique_ptr<txn::Transaction>> OpDeltaCapture::Begin() {
   if (!st.ok()) {
     // The engine transaction must not outlive this call still holding
     // locks: only Commit/Abort release them.
-    executor_->db()->Abort(txn.get());
+    (void)executor_->db()->Abort(txn.get());
     return st;
   }
   return txn;
@@ -198,7 +198,7 @@ Status OpDeltaCapture::Commit(txn::Transaction* txn) {
   // A failed sink write (e.g. a lock conflict on the capture table with a
   // concurrent drain) or a failed WAL commit leaves the transaction
   // active; abort it so its locks cannot leak.
-  if (!st.ok() && txn->active()) executor_->db()->Abort(txn);
+  if (!st.ok() && txn->active()) (void)executor_->db()->Abort(txn);
   return st;
 }
 
@@ -215,7 +215,7 @@ Result<size_t> OpDeltaCapture::RunTransaction(
   for (const Statement& stmt : stmts) {
     Result<size_t> r = Execute(txn.get(), stmt);
     if (!r.ok()) {
-      Abort(txn.get());
+      (void)Abort(txn.get());  // surface the execution error
       return r.status();
     }
     total += r.value();

@@ -95,7 +95,7 @@ struct DeltaHub::StagedBatch {
 DeltaHub::DeltaHub(engine::Database* warehouse, HubOptions options)
     : warehouse_(warehouse), options_(std::move(options)) {}
 
-DeltaHub::~DeltaHub() { Stop(); }
+DeltaHub::~DeltaHub() { (void)Stop(); }  // teardown; Stop() for errors
 
 Result<std::unique_ptr<DeltaHub>> DeltaHub::Create(
     engine::Database* warehouse, HubOptions options) {

@@ -157,7 +157,7 @@ Result<size_t> Executor::ExecuteSql(const std::string& text) {
     std::unique_ptr<txn::Transaction> txn = db_->Begin();
     Result<size_t> r = Execute(txn.get(), stmt);
     if (!r.ok()) {
-      db_->Abort(txn.get());
+      (void)db_->Abort(txn.get());  // surface the execution error
       return r.status();
     }
     OPDELTA_RETURN_IF_ERROR(db_->Commit(txn.get()));

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cstring>
+#include <memory>
 
 namespace opdelta::storage {
 
@@ -21,7 +22,7 @@ void PageGuard::Release() {
 BufferPool::BufferPool(FileManager* file, size_t capacity)
     : file_(file),
       capacity_(capacity),
-      memory_(new char[capacity * kPageSize]),
+      memory_(std::make_unique<char[]>(capacity * kPageSize)),
       frames_(capacity) {
   free_frames_.reserve(capacity);
   for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);

@@ -1,41 +1,35 @@
 #include "storage/file_manager.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
+
+#include "common/env.h"
 
 namespace opdelta::storage {
 
-namespace {
-Status PosixError(const std::string& context, int err) {
-  return Status::IOError(context + ": " + std::strerror(err));
-}
-}  // namespace
-
 FileManager::~FileManager() {
-  if (fd_ >= 0) ::close(fd_);
+  if (file_ != nullptr) {
+    // Destruction is not an error path; callers that care about close
+    // failures call Close() explicitly first.
+    (void)file_->Close();
+  }
 }
 
 Status FileManager::Open(const std::string& path) {
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd_ < 0) return PosixError("open " + path, errno);
+  // Captured once so every page touch of this file sees the same Env; a
+  // FaultInjectionEnv installed via Env::SetDefault before Open therefore
+  // observes (and can kill) the whole heap-page path.
+  env_ = Env::Default();
+  OPDELTA_RETURN_IF_ERROR(env_->NewRandomRWFile(path, &file_));
   path_ = path;
-  struct stat st;
-  if (::fstat(fd_, &st) != 0) return PosixError("fstat " + path, errno);
-  num_pages_ = static_cast<uint32_t>(st.st_size / kPageSize);
+  num_pages_ = static_cast<uint32_t>(file_->Size() / kPageSize);
   return Status::OK();
 }
 
 Status FileManager::Close() {
-  if (fd_ >= 0) {
-    if (::close(fd_) != 0) {
-      fd_ = -1;
-      return PosixError("close " + path_, errno);
-    }
-    fd_ = -1;
+  if (file_ != nullptr) {
+    Status st = file_->Close();
+    file_.reset();
+    return st;
   }
   return Status::OK();
 }
@@ -44,11 +38,9 @@ Status FileManager::AllocatePage(PageId* id) {
   std::lock_guard<std::mutex> lock(alloc_mutex_);
   const PageId new_id = num_pages_.load();
   static const char kZeros[kPageSize] = {};
-  ssize_t n = ::pwrite(fd_, kZeros, kPageSize,
-                       static_cast<off_t>(new_id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return PosixError("pwrite alloc " + path_, errno);
-  }
+  OPDELTA_RETURN_IF_ERROR(
+      file_->Write(static_cast<uint64_t>(new_id) * kPageSize,
+                   Slice(kZeros, kPageSize)));
   stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   num_pages_.fetch_add(1);
   *id = new_id;
@@ -59,11 +51,14 @@ Status FileManager::ReadPage(PageId id, char* buf) {
   if (id >= num_pages_.load()) {
     return Status::InvalidArgument("page id out of range");
   }
-  ssize_t n =
-      ::pread(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return PosixError("pread " + path_, errno);
+  Slice result;
+  OPDELTA_RETURN_IF_ERROR(
+      file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, &result,
+                  buf));
+  if (result.size() != kPageSize) {
+    return Status::IOError("short page read " + path_);
   }
+  if (result.data() != buf) std::memcpy(buf, result.data(), kPageSize);
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -72,18 +67,16 @@ Status FileManager::WritePage(PageId id, const char* buf) {
   if (id >= num_pages_.load()) {
     return Status::InvalidArgument("page id out of range");
   }
-  ssize_t n =
-      ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return PosixError("pwrite " + path_, errno);
-  }
+  OPDELTA_RETURN_IF_ERROR(
+      file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                   Slice(buf, kPageSize)));
   stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status FileManager::Sync() {
-  if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
-    return PosixError("fdatasync " + path_, errno);
+  if (file_ != nullptr) {
+    OPDELTA_RETURN_IF_ERROR(file_->Sync());
   }
   stats_.syncs.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

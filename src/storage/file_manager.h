@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -26,7 +28,8 @@ struct IoStats {
 };
 
 /// Owns one on-disk file of kPageSize pages and provides page-granular
-/// positional I/O. Thread-safe.
+/// positional I/O. Thread-safe. All I/O routes through common::Env so an
+/// installed FaultInjectionEnv sees every page read, write, and sync.
 class FileManager {
  public:
   FileManager() = default;
@@ -35,7 +38,8 @@ class FileManager {
   FileManager(const FileManager&) = delete;
   FileManager& operator=(const FileManager&) = delete;
 
-  /// Opens (creating if necessary) the backing file.
+  /// Opens (creating if necessary) the backing file via the Env that is
+  /// process-default at call time.
   Status Open(const std::string& path);
   Status Close();
 
@@ -54,7 +58,8 @@ class FileManager {
 
  private:
   std::string path_;
-  int fd_ = -1;
+  Env* env_ = nullptr;
+  std::unique_ptr<RandomRWFile> file_;
   std::atomic<uint32_t> num_pages_{0};
   std::mutex alloc_mutex_;
   IoStats stats_;

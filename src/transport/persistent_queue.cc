@@ -12,7 +12,9 @@ const char kCursorFile[] = "/queue.cursor";
 }  // namespace
 
 PersistentQueue::~PersistentQueue() {
-  if (log_ != nullptr) log_->Close();
+  // Destructor close is best-effort: enqueued data durability came from
+  // the per-append Sync.
+  if (log_ != nullptr) (void)log_->Close();
 }
 
 Status PersistentQueue::Open(const std::string& dir) {
@@ -189,7 +191,9 @@ Status PersistentQueue::ForEachMessage(const std::function<bool(Slice)>& fn) {
     OPDELTA_RETURN_IF_ERROR(reader->Read(offset + 8, len, &result,
                                          body.data()));
     if (result.size() != len) break;
-    if (!fn(result)) break;
+    // ForEachMessage documents that the visitor runs under the queue mutex
+    // for a consistent snapshot; it must not call back into this queue.
+    if (!fn(result)) break;  // NOLINT(opdelta-R3: documented visitor contract)
     offset += 8 + len;
   }
   return Status::OK();

@@ -59,7 +59,9 @@ class PersistentQueue {
   /// Visits every message currently in the log — acknowledged and pending
   /// alike — in append order; `fn` returns false to stop early. Used by
   /// producers recovering their stamped batch sequence after a crash that
-  /// lost the producer-side state file but not the durable queue.
+  /// lost the producer-side state file but not the durable queue. The
+  /// visitor runs under the queue mutex (that is what makes the snapshot
+  /// consistent) and therefore must not call back into this queue.
   Status ForEachMessage(const std::function<bool(Slice)>& fn);
 
  private:

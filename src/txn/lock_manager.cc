@@ -84,12 +84,11 @@ Status LockManager::LockTable(TxnId txn, catalog::TableId table,
   }
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (!TableGrantable(entry, txn, mode)) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return Status::Conflict("table lock timeout (" +
-                              std::string(LockModeName(mode)) + " on table " +
-                              std::to_string(table) + ")");
-    }
+  if (!cv_.wait_until(lock, deadline,
+                      [&] { return TableGrantable(entry, txn, mode); })) {
+    return Status::Conflict("table lock timeout (" +
+                            std::string(LockModeName(mode)) + " on table " +
+                            std::to_string(table) + ")");
   }
   LockMode prev = held_it != entry.holders.end() ? held_it->second : mode;
   entry.holders[txn] =
@@ -125,9 +124,15 @@ Status LockManager::LockRow(TxnId txn, catalog::TableId table,
       }
       return Status::OK();
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return Status::Conflict("row lock timeout");
-    }
+    // The predicate re-resolves the row on every wakeup for the same reason
+    // the loop does; when it turns true the outer loop takes the matching
+    // grant branch.
+    const bool ready = cv_.wait_until(lock, deadline, [&] {
+      RowLock& r = entry.rows[rid];
+      return r.exclusive_owner == txn || (!exclusive && r.sharers.count(txn)) ||
+             RowGrantable(r, txn, exclusive);
+    });
+    if (!ready) return Status::Conflict("row lock timeout");
   }
 }
 

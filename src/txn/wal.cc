@@ -1,22 +1,45 @@
 #include "txn/wal.h"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "common/coding.h"
 #include "common/crc32.h"
 
 namespace opdelta::txn {
 
+namespace {
+
+/// Accepts exactly the names WalSegmentName produces (any digit count, so
+/// indexes past 999999 still parse). Stricter than the old sscanf pattern:
+/// trailing junk like "wal-5.log.tmp" is rejected instead of matched.
+bool ParseWalSegmentName(const std::string& name, uint64_t* index) {
+  constexpr size_t kPrefixLen = 4;  // "wal-"
+  constexpr size_t kSuffixLen = 4;  // ".log"
+  if (name.size() <= kPrefixLen + kSuffixLen) return false;
+  if (name.compare(0, kPrefixLen, "wal-") != 0) return false;
+  if (name.compare(name.size() - kSuffixLen, kSuffixLen, ".log") != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefixLen; i < name.size() - kSuffixLen; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *index = value;
+  return true;
+}
+
+}  // namespace
+
 std::string WalSegmentName(uint64_t index) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
-                static_cast<unsigned long long>(index));
-  return buf;
+  std::string digits = std::to_string(index);
+  if (digits.size() < 6) digits.insert(0, 6 - digits.size(), '0');
+  return "wal-" + digits + ".log";
 }
 
 Wal::~Wal() {
-  if (active_ != nullptr) active_->Close();
+  // Destructor close is best-effort: commit durability came from Sync.
+  if (active_ != nullptr) (void)active_->Close();
 }
 
 Status Wal::Open(const std::string& dir, const WalOptions& options) {
@@ -31,10 +54,7 @@ Status Wal::Open(const std::string& dir, const WalOptions& options) {
   segment_indexes_.clear();
   for (const std::string& name : children) {
     uint64_t idx = 0;
-    if (std::sscanf(name.c_str(), "wal-%llu.log",
-                    reinterpret_cast<unsigned long long*>(&idx)) == 1) {
-      segment_indexes_.push_back(idx);
-    }
+    if (ParseWalSegmentName(name, &idx)) segment_indexes_.push_back(idx);
   }
   std::sort(segment_indexes_.begin(), segment_indexes_.end());
 
@@ -136,10 +156,7 @@ Status Wal::ReadAll(const std::string& dir,
   std::vector<uint64_t> indexes;
   for (const std::string& name : children) {
     uint64_t idx = 0;
-    if (std::sscanf(name.c_str(), "wal-%llu.log",
-                    reinterpret_cast<unsigned long long*>(&idx)) == 1) {
-      indexes.push_back(idx);
-    }
+    if (ParseWalSegmentName(name, &idx)) indexes.push_back(idx);
   }
   std::sort(indexes.begin(), indexes.end());
 

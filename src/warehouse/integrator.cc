@@ -99,14 +99,14 @@ Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
     st = ledger->Advance(txn.get(), id, /*txns_applied=*/1);
   }
   if (!st.ok()) {
-    db_->Abort(txn.get());
+    (void)db_->Abort(txn.get());  // surface the apply/ledger error
     return st;
   }
   Status commit = db_->Commit(txn.get());
   if (!commit.ok()) {
     // A failed commit leaves the transaction active; abort it so its locks
     // release and a retry does not deadlock against our own ghost.
-    db_->Abort(txn.get());
+    (void)db_->Abort(txn.get());
     return commit;
   }
   local.outage_micros = outage.ElapsedMicros();
@@ -135,7 +135,7 @@ Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
       }
     }
     if (!st.ok()) {
-      db_->Abort(txn.get());
+      (void)db_->Abort(txn.get());  // surface the statement error
       return st;
     }
   }
@@ -144,13 +144,14 @@ Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
   if (ledger != nullptr && id.valid()) {
     Status st = ledger->Advance(txn.get(), id, txns_after);
     if (!st.ok()) {
-      db_->Abort(txn.get());
+      (void)db_->Abort(txn.get());  // surface the ledger error
       return st;
     }
   }
   Status commit = db_->Commit(txn.get());
   if (!commit.ok()) {
-    db_->Abort(txn.get());  // failed commit leaves the txn active: unlock
+    // Failed commit leaves the txn active: abort to unlock.
+    (void)db_->Abort(txn.get());
     return commit;
   }
   local.transactions = 1;

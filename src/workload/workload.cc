@@ -95,7 +95,7 @@ Result<OlapQueryResult> RunOlapQuery(engine::Database* db,
   std::unique_ptr<txn::Transaction> txn = db->Begin();
   Status st = db->LockTableShared(txn.get(), table);
   if (!st.ok()) {
-    db->Abort(txn.get());
+    (void)db->Abort(txn.get());  // surface the original error
     return st;
   }
   st = db->Scan(txn.get(), table, Predicate::True(),
@@ -108,7 +108,7 @@ Result<OlapQueryResult> RunOlapQuery(engine::Database* db,
                   return true;
                 });
   if (!st.ok()) {
-    db->Abort(txn.get());
+    (void)db->Abort(txn.get());  // surface the original error
     return st;
   }
   OPDELTA_RETURN_IF_ERROR(db->Commit(txn.get()));

@@ -128,10 +128,10 @@ INSTANTIATE_TEST_SUITE_P(
                       ModelParams{102, true, 120},
                       ModelParams{103, false, 300},
                       ModelParams{104, true, 300}),
-    [](const ::testing::TestParamInfo<ModelParams>& info) {
-      return "seed" + std::to_string(info.param.seed) +
-             (info.param.with_index ? "_indexed" : "_scan") + "_" +
-             std::to_string(info.param.steps) + "steps";
+    [](const ::testing::TestParamInfo<ModelParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) +
+             (param_info.param.with_index ? "_indexed" : "_scan") + "_" +
+             std::to_string(param_info.param.steps) + "steps";
     });
 
 }  // namespace

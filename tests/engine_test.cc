@@ -173,7 +173,7 @@ TEST_F(DatabaseTest, InsertValidatesSchema) {
 TEST_F(DatabaseTest, UnknownTableErrors) {
   auto txn = db_->Begin();
   EXPECT_TRUE(db_->Insert(txn.get(), "ghost", PartsRow(1, "a")).IsNotFound());
-  db_->Abort(txn.get());
+  (void)db_->Abort(txn.get());
 }
 
 // ----------------------------------------------------------- Transactions
@@ -489,7 +489,7 @@ TEST(DatabasePersistenceTest, TxnIdsNeverRepeatAcrossReopens) {
   auto db = OpenDb(dir, "db");
   auto txn = db->Begin();
   EXPECT_GT(txn->id(), first_id);
-  db->Abort(txn.get());
+  (void)db->Abort(txn.get());
 }
 
 TEST(DatabasePersistenceTest, DropTableRemovesData) {
@@ -543,10 +543,10 @@ TEST_F(DatabaseTest, ExclusiveLockBlocksReaderTransaction) {
     auto txn = db_->Begin();
     Status st = db_->LockTableShared(txn.get(), "parts");
     if (st.ok()) {
-      db_->Commit(txn.get());
+      (void)db_->Commit(txn.get());
       reader_done = true;
     } else {
-      db_->Abort(txn.get());
+      (void)db_->Abort(txn.get());
     }
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(50));

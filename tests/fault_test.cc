@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +14,8 @@
 #include "hub/delta_hub.h"
 #include "pipeline/source_leg.h"
 #include "sql/executor.h"
+#include "storage/file_manager.h"
+#include "storage/page.h"
 #include "transport/persistent_queue.h"
 #include "workload/workload.h"
 #include "tests/test_util.h"
@@ -169,6 +172,76 @@ TEST(FaultInjectionEnvTest, CrashWithTornTailsKeepsPrefixOfUnsynced) {
   const uint64_t size = FileSize(dir.Sub("f"));
   EXPECT_GE(size, 100u);  // durable bytes always survive
   EXPECT_LE(size, 160u);  // plus at most the unsynced tail
+}
+
+// ------------------------------------------------- FileManager page I/O
+
+TEST(FileManagerFaultTest, PageIoRoutesThroughEnv) {
+  TempDir dir;
+  FaultInjectionEnv fenv(Env::Default());
+  ScopedEnvOverride scoped(&fenv);
+
+  storage::FileManager fm;
+  OPDELTA_ASSERT_OK(fm.Open(dir.Sub("pages.db")));
+  storage::PageId id = 0;
+  OPDELTA_ASSERT_OK(fm.AllocatePage(&id));
+  char page[storage::kPageSize];
+  std::memset(page, 'A', sizeof(page));
+  OPDELTA_ASSERT_OK(fm.WritePage(id, page));
+  OPDELTA_ASSERT_OK(fm.Sync());
+  EXPECT_GT(fenv.mutations(), 0u);  // the env saw the page traffic
+
+  fenv.SetErrorProbability(OpKind::kRead, 1.0);
+  char out[storage::kPageSize];
+  EXPECT_TRUE(fm.ReadPage(id, out).IsIOError());
+  fenv.ClearFaults();
+  OPDELTA_ASSERT_OK(fm.ReadPage(id, out));
+  EXPECT_EQ(out[0], 'A');
+  EXPECT_EQ(out[storage::kPageSize - 1], 'A');
+  OPDELTA_ASSERT_OK(fm.Close());
+}
+
+TEST(FileManagerFaultTest, DeadDiskMidPageWriteLeavesTornPage) {
+  TempDir dir;
+  FaultInjectionEnv fenv(Env::Default(), /*seed=*/FaultSeedFromEnv(23));
+  fenv.SetShortWriteProbability(1.0);
+  ScopedEnvOverride scoped(&fenv);
+
+  storage::FileManager fm;
+  OPDELTA_ASSERT_OK(fm.Open(dir.Sub("pages.db")));
+  storage::PageId id = 0;
+  OPDELTA_ASSERT_OK(fm.AllocatePage(&id));
+  char page[storage::kPageSize];
+  std::memset(page, 'A', sizeof(page));
+  OPDELTA_ASSERT_OK(fm.WritePage(id, page));
+  OPDELTA_ASSERT_OK(fm.Sync());
+
+  // The disk dies during the next page write: overwriting with 'B' tears
+  // mid-page, and every operation after the crash point fails outright.
+  fenv.FailAllOpsAfter(0);
+  std::memset(page, 'B', sizeof(page));
+  EXPECT_TRUE(fm.WritePage(id, page).IsIOError());
+  EXPECT_FALSE(fm.Sync().ok());
+  storage::PageId id2 = 0;
+  EXPECT_FALSE(fm.AllocatePage(&id2).ok());
+  OPDELTA_ASSERT_OK(fm.Close());
+
+  // Recovery sees the torn page: some prefix of 'B' bytes (possibly empty,
+  // never the whole page) followed by the old 'A' bytes — and no change in
+  // the page count, because the failed AllocatePage never extended the file.
+  fenv.ClearFaults();
+  storage::FileManager reopened;
+  OPDELTA_ASSERT_OK(reopened.Open(dir.Sub("pages.db")));
+  EXPECT_EQ(reopened.num_pages(), 1u);
+  char out[storage::kPageSize];
+  OPDELTA_ASSERT_OK(reopened.ReadPage(id, out));
+  size_t flip = 0;
+  while (flip < storage::kPageSize && out[flip] == 'B') ++flip;
+  EXPECT_LT(flip, storage::kPageSize);  // a torn write is a strict prefix
+  for (size_t i = flip; i < storage::kPageSize; ++i) {
+    ASSERT_EQ(out[i], 'A') << "mixed bytes after the torn prefix at " << i;
+  }
+  OPDELTA_ASSERT_OK(reopened.Close());
 }
 
 // -------------------------------------------------------- WriteFileAtomic

@@ -1,0 +1,448 @@
+#include "tools/lint/linter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/rules.h"
+
+namespace opdelta::lint {
+namespace {
+
+LintReport LintOne(const std::string& path, const std::string& code,
+                   const std::string& baseline = "") {
+  LintOptions options;
+  options.baseline = baseline;
+  return RunLint({{path, code}}, options);
+}
+
+std::vector<RuleId> RuleIds(const std::vector<Finding>& findings) {
+  std::vector<RuleId> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+/// Every rule's positive fixture must also be baselineable: feed the
+/// findings back as a baseline and the rerun reports clean.
+void ExpectBaselineable(const std::string& path, const std::string& code) {
+  LintReport first = LintOne(path, code);
+  ASSERT_FALSE(first.findings.empty()) << "fixture is not a positive case";
+  const std::string baseline = FormatBaseline(first.findings);
+  LintReport second = LintOne(path, code, baseline);
+  EXPECT_TRUE(second.clean());
+  EXPECT_EQ(second.baselined.size(), first.findings.size());
+  EXPECT_TRUE(second.stale_baseline_entries.empty());
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LintLexerTest, TokensCommentsAndIncludes) {
+  FileUnit unit = Lex("src/x.cc", R"(#include <vector>
+#include "common/env.h"
+// a line comment
+int main() { return 42; }  /* trailing */
+)");
+  ASSERT_EQ(unit.includes.size(), 2u);
+  EXPECT_EQ(unit.includes[0].header, "vector");
+  EXPECT_TRUE(unit.includes[0].angled);
+  EXPECT_EQ(unit.includes[1].header, "common/env.h");
+  EXPECT_FALSE(unit.includes[1].angled);
+
+  ASSERT_EQ(unit.comments.size(), 2u);
+  EXPECT_EQ(unit.comments[0].line, 3u);
+  EXPECT_NE(unit.comments[0].text.find("a line comment"), std::string::npos);
+
+  ASSERT_GE(unit.tokens.size(), 9u);
+  EXPECT_TRUE(unit.tokens[0].IsIdent("int"));
+  EXPECT_TRUE(unit.tokens[1].IsIdent("main"));
+  EXPECT_EQ(unit.tokens[0].line, 4u);
+}
+
+TEST(LintLexerTest, RawStringsAndContinuationsDoNotLeakTokens) {
+  FileUnit unit = Lex("src/x.cc", R"__(const char* s = R"(new delete ::open)";
+#define M(a) \
+  do_thing(a)
+)__");
+  for (const Token& t : unit.tokens) {
+    EXPECT_FALSE(t.IsIdent("new"));
+    EXPECT_FALSE(t.IsIdent("delete"));
+    EXPECT_FALSE(t.IsIdent("open"));
+    EXPECT_FALSE(t.IsIdent("do_thing"));  // preprocessor body is skipped
+  }
+}
+
+// --------------------------------------------------------------------- R1
+
+constexpr char kR1Positive[] = R"(
+Status DoThing();
+void Caller() {
+  DoThing();
+}
+)";
+
+TEST(LintR1Test, FlagsDiscardedStatusCall) {
+  LintReport report = LintOne("src/a.cc", kR1Positive);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR1DiscardedStatus);
+  EXPECT_NE(report.findings[0].message.find("DoThing"), std::string::npos);
+  EXPECT_EQ(report.findings[0].line, 4u);
+}
+
+TEST(LintR1Test, FlagsDiscardedMemberChainCall) {
+  LintReport report = LintOne("src/a.cc", R"(
+struct Db { Status Commit(); };
+void Caller(Db* db) {
+  db->Commit();
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("Commit"), std::string::npos);
+}
+
+TEST(LintR1Test, NegativeWhenHandledOrExplicitlyDiscarded) {
+  LintReport report = LintOne("src/a.cc", R"(
+Status DoThing();
+Status Caller() {
+  Status st = DoThing();
+  if (!st.ok()) return st;
+  (void)DoThing();
+  return DoThing();
+}
+)");
+  EXPECT_TRUE(report.clean()) << FormatFinding(report.findings[0]);
+}
+
+TEST(LintR1Test, AmbiguousNameIsNotFlagged) {
+  // Init returns Status in one class and void in another: a name-based
+  // matcher cannot tell the call sites apart, so it stays silent and
+  // leaves those to the [[nodiscard]] compile error.
+  LintReport report = LintOne("src/a.cc", R"(
+struct Parser { Status Init(); };
+struct Page { void Init(); };
+void Caller(Page* p) {
+  p->Init();
+}
+)");
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(LintR1Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller() {
+  DoThing();  // NOLINT(opdelta-R1: result intentionally unused in fixture)
+}
+)");
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].rule, RuleId::kR1DiscardedStatus);
+  ExpectBaselineable("src/a.cc", kR1Positive);
+}
+
+// --------------------------------------------------------------------- R2
+
+// The violation this rule exists for: file_manager.cc's page file once
+// opened its fd with a raw ::open, invisible to FaultInjectionEnv.
+constexpr char kR2Positive[] = R"(
+Status Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Status::IOError(path);
+  return Status::OK();
+}
+)";
+
+TEST(LintR2Test, FlagsRawSyscallOutsideEnv) {
+  LintReport report = LintOne("src/storage/file_manager.cc", kR2Positive);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR2RawFilesystem);
+  EXPECT_EQ(report.findings[0].line, 3u);
+}
+
+TEST(LintR2Test, FlagsStdioAndStreams) {
+  LintReport report = LintOne("src/a.cc", R"(
+void Save() {
+  FILE* f = fopen("x", "w");
+  std::ofstream out("y");
+}
+)");
+  EXPECT_EQ(RuleIds(report.findings),
+            (std::vector<RuleId>{RuleId::kR2RawFilesystem,
+                                 RuleId::kR2RawFilesystem}));
+}
+
+TEST(LintR2Test, NegativeInsideEnvLayerAndForMethods) {
+  EXPECT_TRUE(LintOne("src/common/env_posix.cc", kR2Positive).clean());
+  // Member functions that happen to share a syscall name are not syscalls.
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+void Use(File* f) {
+  f->close();
+  queue.remove(3);
+}
+)")
+                  .clean());
+}
+
+TEST(LintR2Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/storage/file_manager.cc", R"(
+Status Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);  // NOLINT(opdelta-R2: fixture)
+  return Status::OK();
+}
+)");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/storage/file_manager.cc", kR2Positive);
+}
+
+// --------------------------------------------------------------------- R3
+
+constexpr char kR3BareWait[] = R"(
+void WaitReady(std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lk) {
+  cv.wait(lk);
+}
+)";
+
+TEST(LintR3Test, FlagsBareCvWaitAndTimedVariants) {
+  LintReport report = LintOne("src/a.cc", kR3BareWait);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR3LockDiscipline);
+
+  report = LintOne("src/a.cc", R"(
+void WaitReady(std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lk, Deadline d) {
+  cv.wait_until(lk, d);
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+}
+
+TEST(LintR3Test, NegativeWithPredicate) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+void WaitReady(std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lk, Deadline d) {
+  cv.wait(lk, [&] { return ready; });
+  cv.wait_until(lk, d, [&] { return ready; });
+}
+)")
+                  .clean());
+}
+
+constexpr char kR3Callback[] = R"(
+class Notifier {
+ public:
+  void Fire() {
+    std::lock_guard<std::mutex> g(m_);
+    cb_();
+  }
+ private:
+  std::mutex m_;
+  std::function<void()> cb_;
+};
+)";
+
+TEST(LintR3Test, FlagsCallbackInvokedUnderLock) {
+  LintReport report = LintOne("src/a.cc", kR3Callback);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("cb_"), std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("'g'"), std::string::npos);
+}
+
+TEST(LintR3Test, NegativeWhenLockReleasedFirst) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+class Notifier {
+ public:
+  void Fire() {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      armed_ = false;
+    }
+    cb_();
+  }
+  void FireUnlocked() {
+    std::unique_lock<std::mutex> lk(m_);
+    lk.unlock();
+    cb_();
+  }
+ private:
+  std::mutex m_;
+  bool armed_ = true;
+  std::function<void()> cb_;
+};
+)")
+                  .clean());
+}
+
+TEST(LintR3Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/a.cc", R"(
+class Notifier {
+ public:
+  void Fire() {
+    std::lock_guard<std::mutex> g(m_);
+    cb_();  // NOLINT(opdelta-R3: documented contract in fixture)
+  }
+ private:
+  std::mutex m_;
+  std::function<void()> cb_;
+};
+)");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/a.cc", kR3BareWait);
+}
+
+// --------------------------------------------------------------------- R4
+
+constexpr char kR4Positive[] = R"(
+void Leaky() {
+  int* p = new int;
+  delete p;
+}
+)";
+
+TEST(LintR4Test, FlagsNakedNewAndDelete) {
+  LintReport report = LintOne("src/a.cc", kR4Positive);
+  EXPECT_EQ(RuleIds(report.findings),
+            (std::vector<RuleId>{RuleId::kR4OwnershipNodiscard,
+                                 RuleId::kR4OwnershipNodiscard}));
+}
+
+TEST(LintR4Test, NegativeForSmartPointerOwnershipIdioms) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+void Fine() {
+  auto a = std::make_unique<int>(1);
+  std::unique_ptr<Widget> b(new Widget());
+  std::unique_ptr<Widget> c = std::unique_ptr<Widget>(new Widget());
+  b.reset(new Widget());
+  static Registry* r = new Registry();
+}
+void operator delete(void* p) noexcept;
+)")
+                  .clean());
+}
+
+TEST(LintR4Test, FlagsStatusClassWithoutNodiscard) {
+  LintReport report = LintOne("src/common/status.h", R"(
+class Status {
+ public:
+  bool ok() const;
+};
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("nodiscard"), std::string::npos);
+
+  EXPECT_TRUE(LintOne("src/common/status.h", R"(
+class [[nodiscard]] Status {
+ public:
+  bool ok() const;
+};
+)")
+                  .clean());
+}
+
+TEST(LintR4Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/a.cc", R"(
+void ArenaFree(Node* n) {
+  delete n;  // NOLINT(opdelta-R4: arena reclamation fixture)
+}
+)");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/a.cc", kR4Positive);
+}
+
+// --------------------------------------------------------------------- R5
+
+constexpr char kR5Positive[] = R"(#include <cstdio>
+#include <fstream>
+)";
+
+TEST(LintR5Test, FlagsForbiddenIncludesOutsideEnv) {
+  LintReport report = LintOne("src/engine/database.cc", kR5Positive);
+  EXPECT_EQ(RuleIds(report.findings),
+            (std::vector<RuleId>{RuleId::kR5Hygiene, RuleId::kR5Hygiene}));
+  EXPECT_TRUE(LintOne("src/common/env_posix.cc", kR5Positive).clean());
+}
+
+TEST(LintR5Test, TodoMarkersNeedIssueTags) {
+  LintReport report = LintOne("src/a.cc", R"(
+// TODO: make this incremental
+int x;
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR5Hygiene);
+
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+// TODO(#42): make this incremental
+// Prose mentioning the TODO hygiene rule is not a marker.
+int x;
+)")
+                  .clean());
+}
+
+TEST(LintR5Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/a.cc",
+                              "#include <cstdio>  // NOLINT(opdelta-R5: x)\n");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/engine/database.cc", kR5Positive);
+}
+
+// ----------------------------------------------------------- suppressions
+
+TEST(LintSuppressionTest, NolintNextLineAndWrongRule) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller() {
+  // NOLINTNEXTLINE(opdelta-R1: fixture)
+  DoThing();
+}
+)")
+                  .clean());
+
+  // A NOLINT naming a different rule does not silence this finding.
+  LintReport report = LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller() {
+  DoThing();  // NOLINT(opdelta-R2: wrong rule on purpose)
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+// --------------------------------------------------------------- baseline
+
+TEST(LintBaselineTest, StaleEntriesAreReported) {
+  const std::string baseline =
+      "# comment line\n"
+      "opdelta-R1|src/gone.cc|Vanished();\n";
+  LintReport report = LintOne("src/a.cc", "int x;\n", baseline);
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(report.stale_baseline_entries.size(), 1u);
+  EXPECT_NE(report.stale_baseline_entries[0].find("Vanished"),
+            std::string::npos);
+}
+
+TEST(LintBaselineTest, EntriesSurviveReformatting) {
+  LintReport first = LintOne("src/a.cc", kR1Positive);
+  ASSERT_EQ(first.findings.size(), 1u);
+  const std::string baseline = FormatBaseline(first.findings);
+  // Reindenting must not invalidate the entry (leading whitespace is
+  // trimmed before snippets are compared).
+  LintReport second = LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller() {
+        DoThing();
+}
+)",
+                              baseline);
+  EXPECT_TRUE(second.clean());
+  EXPECT_EQ(second.baselined.size(), 1u);
+}
+
+}  // namespace
+}  // namespace opdelta::lint

@@ -117,8 +117,8 @@ INSTANTIATE_TEST_SUITE_P(Methods, PipelineTest,
                          ::testing::Values(Method::kTimestamp, Method::kLog,
                                            Method::kTrigger,
                                            Method::kOpDelta),
-                         [](const ::testing::TestParamInfo<Method>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Method>& param_info) {
+                           switch (param_info.param) {
                              case Method::kTimestamp:
                                return "Timestamp";
                              case Method::kLog:

@@ -205,7 +205,7 @@ TEST_P(ParserFuzzTest, MutatedValidStatementsNeverCrash) {
       }
       if (input.empty()) input = "x";
     }
-    Parser::Parse(input);  // outcome irrelevant; crash/hang is the failure
+    (void)Parser::Parse(input);  // outcome irrelevant; crash/hang is the failure
   }
 }
 
@@ -352,7 +352,7 @@ TEST_F(ExecutorTest, SelectErrors) {
   ASSERT_TRUE(stmt.ok());
   auto txn = db_->Begin();
   EXPECT_FALSE(executor_->Execute(txn.get(), *stmt).ok());
-  db_->Abort(txn.get());
+  (void)db_->Abort(txn.get());
   // And DML through the query entry point likewise.
   Result<Statement> dml = Parser::Parse("DELETE FROM parts");
   ASSERT_TRUE(dml.ok());

@@ -50,9 +50,9 @@ class TempDir {
     path_ = ::testing::TempDir() + "opdelta_test_" +
             std::to_string(::getpid()) + "_" +
             std::to_string(counter.fetch_add(1));
-    Env::Default()->CreateDir(path_);
+    (void)Env::Default()->CreateDir(path_);  // asserted by first use
   }
-  ~TempDir() { Env::Default()->RemoveDirAll(path_); }
+  ~TempDir() { (void)Env::Default()->RemoveDirAll(path_); }
 
   const std::string& path() const { return path_; }
   std::string Sub(const std::string& name) const { return path_ + "/" + name; }

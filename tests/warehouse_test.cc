@@ -107,10 +107,10 @@ TEST_F(WarehouseTest, OpDeltaAppliesPerSourceTransaction) {
   OPDELTA_ASSERT_OK(Preload(20));
   OpDeltaTxn t1{101, {}};
   t1.ops.push_back(extract::OpDeltaRecord{
-      101, 1, "UPDATE parts SET status = 'x' WHERE id < 5", {}});
+      101, 1, "UPDATE parts SET status = 'x' WHERE id < 5", false, {}});
   OpDeltaTxn t2{102, {}};
   t2.ops.push_back(
-      extract::OpDeltaRecord{102, 2, "DELETE FROM parts WHERE id >= 18", {}});
+      extract::OpDeltaRecord{102, 2, "DELETE FROM parts WHERE id >= 18", false, {}});
 
   OpDeltaIntegrator integrator(wh_.get());
   IntegrationStats stats;
@@ -128,8 +128,8 @@ TEST_F(WarehouseTest, OpDeltaAppliesPerSourceTransaction) {
 TEST_F(WarehouseTest, OpDeltaBadStatementAbortsItsTransactionOnly) {
   OPDELTA_ASSERT_OK(Preload(5));
   OpDeltaTxn good{1, {extract::OpDeltaRecord{
-                         1, 1, "UPDATE parts SET status = 'ok'", {}}}};
-  OpDeltaTxn bad{2, {extract::OpDeltaRecord{2, 2, "NOT SQL AT ALL", {}}}};
+                         1, 1, "UPDATE parts SET status = 'ok'", false, {}}}};
+  OpDeltaTxn bad{2, {extract::OpDeltaRecord{2, 2, "NOT SQL AT ALL", false, {}}}};
 
   OpDeltaIntegrator integrator(wh_.get());
   OPDELTA_ASSERT_OK(integrator.ApplyOne(good, nullptr));
@@ -179,8 +179,7 @@ TEST_F(WarehouseTest, ValueDeltaBlocksOlapQueriesOpDeltaDoesNot) {
   // Compare with the same query against Op-Delta integration.
   OpDeltaTxn op_txn{9, {extract::OpDeltaRecord{
                            9, 1,
-                           "UPDATE parts SET status = 'od' WHERE id < 400",
-                           {}}}};
+                           "UPDATE parts SET status = 'od' WHERE id < 400", false, {}}}};
   std::thread op_thread([&]() {
     OpDeltaIntegrator integrator(wh_.get());
     IntegrationStats stats;
@@ -224,7 +223,7 @@ TEST_F(WarehouseTest, OlapQueriesNeverSeeTornOpDeltaTransactions) {
     while (!done.load()) {
       auto txn = wh_->Begin();
       if (!wh_->LockTableShared(txn.get(), "parts").ok()) {
-        wh_->Abort(txn.get());
+        (void)wh_->Abort(txn.get());
         continue;
       }
       std::set<std::string> generations;
@@ -233,7 +232,7 @@ TEST_F(WarehouseTest, OlapQueriesNeverSeeTornOpDeltaTransactions) {
                               generations.insert(row[1].AsString());
                               return true;
                             });
-      wh_->Commit(txn.get());
+      (void)wh_->Commit(txn.get());
       if (st.ok()) {
         ++queries;
         if (generations.size() > 1) ++torn_reads;

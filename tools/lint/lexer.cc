@@ -1,0 +1,316 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace opdelta::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// String-literal prefixes that can precede a raw string.
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "u8R" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, const std::string& src) : src_(src) {
+    unit_.path = std::move(path);
+    SplitLines();
+  }
+
+  FileUnit Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentOrRawString();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      LexPunct();
+    }
+    Emit(TokenKind::kEof, "", line_);
+    return std::move(unit_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::string text, uint32_t line) {
+    unit_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void SplitLines() {
+    std::string cur;
+    for (char c : src_) {
+      if (c == '\n') {
+        unit_.lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) unit_.lines.push_back(cur);
+  }
+
+  void LexLineComment() {
+    const uint32_t start = line_;
+    size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    unit_.comments.push_back(Comment{start, src_.substr(begin, pos_ - begin)});
+  }
+
+  void LexBlockComment() {
+    const uint32_t start = line_;
+    size_t begin = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    unit_.comments.push_back(Comment{start, src_.substr(begin, pos_ - begin)});
+  }
+
+  /// Consumes one logical preprocessor line (with \-continuations). The
+  /// directive's tokens are NOT emitted; #include targets are recorded.
+  void LexPreprocessor() {
+    const uint32_t start = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {
+        ++line_;
+        pos_ += 2;
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;  // newline handled by the main loop
+      // A // comment ends the directive's meaningful text.
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    ParseIncludeDirective(start, text);
+  }
+
+  void ParseIncludeDirective(uint32_t line, const std::string& text) {
+    size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    };
+    if (i >= text.size() || text[i] != '#') return;
+    ++i;
+    skip_ws();
+    static constexpr char kInclude[] = "include";
+    if (text.compare(i, sizeof(kInclude) - 1, kInclude) != 0) return;
+    i += sizeof(kInclude) - 1;
+    skip_ws();
+    if (i >= text.size()) return;
+    const char open = text[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;
+    const size_t end = text.find(close, i + 1);
+    if (end == std::string::npos) return;
+    unit_.includes.push_back(
+        IncludeDirective{line, text.substr(i + 1, end - i - 1), open == '<'});
+  }
+
+  void LexIdentOrRawString() {
+    const uint32_t start = line_;
+    size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    std::string ident = src_.substr(begin, pos_ - begin);
+    if (IsRawStringPrefix(ident) && pos_ < src_.size() && src_[pos_] == '"') {
+      LexRawString(start);
+      return;
+    }
+    // Non-raw literal prefixes (u8"x", L'c'): fold into the literal token.
+    if ((ident == "u8" || ident == "u" || ident == "U" || ident == "L") &&
+        (Peek(0) == '"' || Peek(0) == '\'')) {
+      if (Peek(0) == '"') {
+        LexString();
+      } else {
+        LexChar();
+      }
+      return;
+    }
+    Emit(TokenKind::kIdent, std::move(ident), start);
+  }
+
+  void LexRawString(uint32_t start) {
+    // pos_ is at the opening quote of R"delim( ... )delim".
+    ++pos_;
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    size_t end = src_.find(closer, pos_);
+    if (end == std::string::npos) end = src_.size();
+    for (size_t i = pos_; i < end; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == src_.size() ? end : end + closer.size();
+    Emit(TokenKind::kString, "<raw-string>", start);
+  }
+
+  void LexString() {
+    const uint32_t start = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {  // unterminated; recover at EOL
+        break;
+      }
+      ++pos_;
+      if (c == '"') break;
+    }
+    Emit(TokenKind::kString, "<string>", start);
+  }
+
+  void LexChar() {
+    const uint32_t start = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') break;
+      ++pos_;
+      if (c == '\'') break;
+    }
+    Emit(TokenKind::kChar, "<char>", start);
+  }
+
+  void LexNumber() {
+    const uint32_t start = line_;
+    size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+        ++pos_;
+        continue;
+      }
+      // Digit separator: 1'000'000.
+      if (c == '\'' && IsIdentChar(Peek(1))) {
+        pos_ += 2;
+        continue;
+      }
+      // Exponent sign: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, src_.substr(begin, pos_ - begin), start);
+  }
+
+  void LexPunct() {
+    const uint32_t start = line_;
+    const char c = src_[pos_];
+    // Multi-char tokens the rules care about. '>' is never combined (so
+    // nested template closers stay matchable) and '<' stays single so
+    // angle-bracket matching is uniform.
+    if (c == ':' && Peek(1) == ':') {
+      pos_ += 2;
+      Emit(TokenKind::kPunct, "::", start);
+      return;
+    }
+    if (c == '-' && Peek(1) == '>') {
+      pos_ += 2;
+      Emit(TokenKind::kPunct, "->", start);
+      return;
+    }
+    ++pos_;
+    Emit(TokenKind::kPunct, std::string(1, c), start);
+  }
+
+  const std::string& src_;
+  FileUnit unit_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+FileUnit Lex(std::string path, const std::string& source) {
+  return Lexer(std::move(path), source).Run();
+}
+
+}  // namespace opdelta::lint

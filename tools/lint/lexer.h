@@ -1,0 +1,68 @@
+#ifndef OPDELTA_TOOLS_LINT_LEXER_H_
+#define OPDELTA_TOOLS_LINT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opdelta::lint {
+
+/// Token kinds produced by the lexer. Comments and preprocessor directives
+/// are not emitted as tokens; they are captured on the side (see FileUnit)
+/// because the rules need them for NOLINT suppressions, TODO hygiene, and
+/// include checks, but never for expression matching.
+enum class TokenKind : uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  uint32_t line = 0;
+
+  bool Is(TokenKind k, const char* t) const {
+    return kind == k && text == t;
+  }
+  bool IsIdent(const char* t) const { return Is(TokenKind::kIdent, t); }
+  bool IsPunct(const char* t) const { return Is(TokenKind::kPunct, t); }
+};
+
+/// One // or /* */ comment. `line` is the line the comment starts on; for
+/// block comments spanning lines, suppressions and TODO checks see the
+/// whole text attributed to that first line.
+struct Comment {
+  uint32_t line = 0;
+  std::string text;
+};
+
+/// One #include directive.
+struct IncludeDirective {
+  uint32_t line = 0;
+  std::string header;  // path between <> or ""
+  bool angled = false;
+};
+
+/// The lexed form of one translation unit (or header).
+struct FileUnit {
+  std::string path;
+  std::vector<Token> tokens;       // terminated by a kEof token
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+  std::vector<std::string> lines;  // raw source, for snippets and baselines
+};
+
+/// Lexes C++ source. Handles //, /* */, string/char literals with escapes,
+/// raw strings (R"delim(...)delim"), digit separators, line continuations,
+/// and preprocessor directives (skipped as tokens, #include captured).
+/// Never fails: unrecognized bytes are dropped, so the rule engine always
+/// gets a stream to work with.
+FileUnit Lex(std::string path, const std::string& source);
+
+}  // namespace opdelta::lint
+
+#endif  // OPDELTA_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,229 @@
+#include "tools/lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/env.h"
+
+namespace opdelta::lint {
+
+namespace {
+
+/// Collapses whitespace runs so baseline entries survive reformatting.
+std::string NormalizeSnippet(const std::string& s) {
+  std::string out;
+  bool in_ws = false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      in_ws = !out.empty();
+      continue;
+    }
+    if (in_ws) out.push_back(' ');
+    in_ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Parses the rules named in one NOLINT(...) argument list, e.g.
+/// "opdelta-R2: reason" or "opdelta-R1, opdelta-R5". Returns rule numbers.
+std::set<int> ParseSuppressedRules(const std::string& text, size_t from) {
+  std::set<int> rules;
+  size_t pos = from;
+  static constexpr char kPrefix[] = "opdelta-R";
+  while ((pos = text.find(kPrefix, pos)) != std::string::npos) {
+    pos += sizeof(kPrefix) - 1;
+    if (pos < text.size() && std::isdigit(static_cast<unsigned char>(
+                                 text[pos]))) {
+      rules.insert(text[pos] - '0');
+    }
+  }
+  return rules;
+}
+
+/// line -> rule numbers suppressed on that line.
+std::map<uint32_t, std::set<int>> CollectSuppressions(const FileUnit& unit) {
+  std::map<uint32_t, std::set<int>> by_line;
+  for (const Comment& c : unit.comments) {
+    size_t next = c.text.find("NOLINTNEXTLINE(");
+    if (next != std::string::npos) {
+      for (int r : ParseSuppressedRules(c.text, next)) {
+        by_line[c.line + 1].insert(r);
+      }
+      continue;
+    }
+    size_t same = c.text.find("NOLINT(");
+    if (same != std::string::npos) {
+      for (int r : ParseSuppressedRules(c.text, same)) {
+        by_line[c.line].insert(r);
+      }
+    }
+  }
+  return by_line;
+}
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::string snippet;  // normalized
+  std::string raw;      // original line, for stale reporting
+  bool used = false;
+};
+
+std::vector<BaselineEntry> ParseBaseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t p1 = line.find('|');
+    if (p1 == std::string::npos) continue;
+    const size_t p2 = line.find('|', p1 + 1);
+    if (p2 == std::string::npos) continue;
+    BaselineEntry e;
+    e.rule = line.substr(0, p1);
+    e.path = line.substr(p1 + 1, p2 - p1 - 1);
+    e.snippet = NormalizeSnippet(line.substr(p2 + 1));
+    e.raw = line;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+bool HasSourceSuffix(const std::string& name) {
+  auto ends_with = [&](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  return ends_with(".cc") || ends_with(".h");
+}
+
+bool SkippedDir(const std::string& name) {
+  return name == ".git" || name.rfind("build", 0) == 0 ||
+         name == "third_party";
+}
+
+Status WalkDir(Env* env, const std::string& root_dir, const std::string& rel,
+               std::vector<Source>* sources) {
+  const std::string abs = root_dir + "/" + rel;
+  std::vector<std::string> children;
+  OPDELTA_RETURN_IF_ERROR(env->ListDir(abs, &children));
+  std::sort(children.begin(), children.end());
+  for (const std::string& child : children) {
+    const std::string child_rel = rel + "/" + child;
+    const std::string child_abs = abs + "/" + child;
+    if (env->DirExists(child_abs)) {
+      if (!SkippedDir(child)) {
+        OPDELTA_RETURN_IF_ERROR(WalkDir(env, root_dir, child_rel, sources));
+      }
+      continue;
+    }
+    if (!HasSourceSuffix(child)) continue;
+    std::string content;
+    OPDELTA_RETURN_IF_ERROR(env->ReadFileToString(child_abs, &content));
+    sources->emplace_back(child_rel, std::move(content));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+LintReport RunLint(const std::vector<Source>& sources,
+                   const LintOptions& options) {
+  std::vector<FileUnit> units;
+  units.reserve(sources.size());
+  for (const Source& src : sources) units.push_back(Lex(src.first, src.second));
+
+  const SymbolIndex index = BuildSymbolIndex(units);
+
+  std::vector<Finding> all;
+  std::vector<std::map<uint32_t, std::set<int>>> suppressions;
+  suppressions.reserve(units.size());
+  for (const FileUnit& unit : units) {
+    suppressions.push_back(CollectSuppressions(unit));
+  }
+
+  LintReport report;
+  std::vector<BaselineEntry> baseline = ParseBaseline(options.baseline);
+  for (size_t u = 0; u < units.size(); ++u) {
+    std::vector<Finding> findings;
+    RunRules(units[u], index, &findings);
+    for (Finding& f : findings) {
+      const auto it = suppressions[u].find(f.line);
+      const int rule_num = static_cast<int>(f.rule);
+      if (it != suppressions[u].end() && it->second.count(rule_num) > 0) {
+        report.suppressed.push_back(std::move(f));
+        continue;
+      }
+      bool matched = false;
+      const std::string normalized = NormalizeSnippet(f.snippet);
+      for (BaselineEntry& e : baseline) {
+        if (e.rule == RuleName(f.rule) && e.path == f.path &&
+            e.snippet == normalized) {
+          e.used = true;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        report.baselined.push_back(std::move(f));
+      } else {
+        report.findings.push_back(std::move(f));
+      }
+    }
+  }
+  for (const BaselineEntry& e : baseline) {
+    if (!e.used) report.stale_baseline_entries.push_back(e.raw);
+  }
+  std::sort(report.findings.begin(), report.findings.end());
+  return report;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# opdelta-lint baseline. One `rule|path|normalized source line` per\n"
+      "# entry. Entries grandfather pre-existing findings; new code must be\n"
+      "# clean. Prune entries as the debt they track is paid down.\n";
+  for (const Finding& f : findings) {
+    out += RuleName(f.rule);
+    out += '|';
+    out += f.path;
+    out += '|';
+    out += NormalizeSnippet(f.snippet);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::string out = f.path + ":" + std::to_string(f.line) + ": [" +
+                    RuleName(f.rule) + "] " + f.message;
+  if (!f.snippet.empty()) out += "\n    " + f.snippet;
+  return out;
+}
+
+Status LoadTree(const std::string& root_dir,
+                const std::vector<std::string>& roots,
+                std::vector<Source>* sources) {
+  Env* env = Env::Default();
+  for (const std::string& rel : roots) {
+    const std::string abs = root_dir + "/" + rel;
+    if (env->DirExists(abs)) {
+      OPDELTA_RETURN_IF_ERROR(WalkDir(env, root_dir, rel, sources));
+      continue;
+    }
+    if (!env->FileExists(abs)) {
+      return Status::NotFound("lint root not found: " + abs);
+    }
+    std::string content;
+    OPDELTA_RETURN_IF_ERROR(env->ReadFileToString(abs, &content));
+    sources->emplace_back(rel, std::move(content));
+  }
+  return Status::OK();
+}
+
+}  // namespace opdelta::lint

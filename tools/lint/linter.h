@@ -1,0 +1,56 @@
+#ifndef OPDELTA_TOOLS_LINT_LINTER_H_
+#define OPDELTA_TOOLS_LINT_LINTER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tools/lint/rules.h"
+
+namespace opdelta::lint {
+
+/// One source to analyze: (path, content). Paths are matched against rule
+/// allowlists and baseline entries, so keep them repo-relative.
+using Source = std::pair<std::string, std::string>;
+
+struct LintOptions {
+  /// Baseline file contents (not a path; the caller reads the file). Empty
+  /// means no baseline.
+  std::string baseline;
+};
+
+struct LintReport {
+  /// Findings that fail the run: not NOLINT-suppressed, not baselined.
+  std::vector<Finding> findings;
+  /// Findings silenced by an inline NOLINT(opdelta-RN...) on their line.
+  std::vector<Finding> suppressed;
+  /// Findings matched by a baseline entry.
+  std::vector<Finding> baselined;
+  /// Baseline entries that matched nothing: stale debt, should be pruned.
+  std::vector<std::string> stale_baseline_entries;
+
+  bool clean() const { return findings.empty(); }
+};
+
+/// Lexes, indexes, and lints the given sources as one program. Pure: no
+/// filesystem access, so tests drive it with inline fixtures.
+LintReport RunLint(const std::vector<Source>& sources,
+                   const LintOptions& options);
+
+/// Serializes findings in baseline format (one `rule|path|snippet` line
+/// each, with a header comment), for --write-baseline.
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
+/// Renders one finding as a compiler-style diagnostic line.
+std::string FormatFinding(const Finding& finding);
+
+/// Loads every *.cc / *.h under `roots` (repo-relative, resolved against
+/// `root_dir`) into `sources`, skipping build and VCS directories.
+Status LoadTree(const std::string& root_dir,
+                const std::vector<std::string>& roots,
+                std::vector<Source>* sources);
+
+}  // namespace opdelta::lint
+
+#endif  // OPDELTA_TOOLS_LINT_LINTER_H_

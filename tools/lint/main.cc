@@ -1,0 +1,114 @@
+// opdelta-lint: enforces the project invariants that keep op-deltas
+// trustworthy (see DESIGN.md "Enforced invariants"). Exits nonzero on any
+// finding that is neither NOLINT-suppressed nor baselined.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "tools/lint/linter.h"
+
+namespace {
+
+void PrintUsage() {
+  std::cerr
+      << "usage: opdelta-lint [--root DIR] [--baseline FILE]\n"
+         "                    [--write-baseline] [--list-rules] [PATH...]\n"
+         "\n"
+         "Lints *.cc/*.h under each PATH (default: src tools tests),\n"
+         "resolved relative to --root (default: .).\n"
+         "  --baseline FILE   grandfather findings listed in FILE\n"
+         "  --write-baseline  print current findings in baseline format\n"
+         "  --list-rules      describe the enforced rules\n"
+         "Suppress inline with // NOLINT(opdelta-RN: reason) or\n"
+         "// NOLINTNEXTLINE(opdelta-RN: reason).\n";
+}
+
+void ListRules() {
+  using opdelta::lint::RuleId;
+  for (int i = 1; i <= 5; ++i) {
+    const RuleId id = static_cast<RuleId>(i);
+    std::cout << opdelta::lint::RuleName(id) << ": "
+              << opdelta::lint::RuleSummary(id) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool write_baseline = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      ListRules();
+      return 0;
+    }
+    if (arg == "--write-baseline") {
+      write_baseline = true;
+      continue;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "opdelta-lint: unknown flag '" << arg << "'\n";
+      PrintUsage();
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths = {"src", "tools", "tests"};
+
+  opdelta::lint::LintOptions options;
+  if (!baseline_path.empty()) {
+    opdelta::Status st = opdelta::Env::Default()->ReadFileToString(
+        root + "/" + baseline_path, &options.baseline);
+    if (!st.ok()) {
+      std::cerr << "opdelta-lint: cannot read baseline: " << st.ToString()
+                << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<opdelta::lint::Source> sources;
+  opdelta::Status st = opdelta::lint::LoadTree(root, paths, &sources);
+  if (!st.ok()) {
+    std::cerr << "opdelta-lint: " << st.ToString() << "\n";
+    return 2;
+  }
+
+  const opdelta::lint::LintReport report =
+      opdelta::lint::RunLint(sources, options);
+
+  if (write_baseline) {
+    std::cout << opdelta::lint::FormatBaseline(report.findings);
+    return 0;
+  }
+
+  for (const auto& f : report.findings) {
+    std::cout << opdelta::lint::FormatFinding(f) << "\n";
+  }
+  for (const std::string& stale : report.stale_baseline_entries) {
+    std::cout << "note: stale baseline entry (matched nothing): " << stale
+              << "\n";
+  }
+  std::cout << "opdelta-lint: " << sources.size() << " files, "
+            << report.findings.size() << " findings ("
+            << report.suppressed.size() << " suppressed, "
+            << report.baselined.size() << " baselined)\n";
+  return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,628 @@
+#include "tools/lint/rules.h"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+namespace opdelta::lint {
+
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+const char* kRuleNames[] = {
+    "", "opdelta-R1", "opdelta-R2", "opdelta-R3", "opdelta-R4", "opdelta-R5",
+};
+
+const char* kRuleSummaries[] = {
+    "",
+    "discarded Status/Result return value",
+    "raw filesystem access bypassing common::Env",
+    "lock discipline: bare cv wait / callback under lock",
+    "naked new/delete or missing [[nodiscard]]",
+    "hygiene: forbidden include or untagged TODO",
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string TrimmedLine(const FileUnit& unit, uint32_t line) {
+  if (line == 0 || line > unit.lines.size()) return "";
+  const std::string& raw = unit.lines[line - 1];
+  size_t b = raw.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = raw.find_last_not_of(" \t");
+  return raw.substr(b, e - b + 1);
+}
+
+void Report(const FileUnit& unit, RuleId rule, uint32_t line,
+            std::string message, std::vector<Finding>* findings) {
+  findings->push_back(Finding{rule, unit.path, line, std::move(message),
+                              TrimmedLine(unit, line)});
+}
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// Returns the index just past the token matching the opener at `i`
+/// (tokens[i] must be "(", "[" or "{"), or kNpos when unbalanced.
+size_t SkipBalanced(const std::vector<Token>& toks, size_t i) {
+  const std::string& open = toks[i].text;
+  const char* close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (; i < toks.size() && toks[i].kind != TokenKind::kEof; ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == open) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return kNpos;
+}
+
+/// Matches a template argument list starting at `<`; returns index past the
+/// closing `>`, or kNpos when this is not a plausible template (statement
+/// punctuation hit first).
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size() && toks[i].kind != TokenKind::kEof; ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    const std::string& t = toks[i].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t == ";" || t == "{" || t == "}") {
+      return kNpos;  // statement boundary: was a comparison, not a template
+    }
+  }
+  return kNpos;
+}
+
+bool IsStatementKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "if",     "while",  "for",      "switch", "case",
+      "goto",     "else",   "do",     "break",    "continue", "using",
+      "typedef",  "new",    "delete", "throw",    "co_return", "co_await",
+      "co_yield", "public", "private", "protected", "template", "class",
+      "struct",   "enum",   "namespace", "static", "const", "constexpr",
+      "auto",     "void",   "sizeof", "default",  "try",   "catch",
+  };
+  return kKeywords.count(s) > 0;
+}
+
+// --------------------------------------------------------------- pass 1
+
+/// Consumes `ident (:: ident)*` starting at i; returns index past the chain
+/// and the final identifier, or kNpos when i is not an identifier.
+size_t ConsumeQualifiedName(const std::vector<Token>& toks, size_t i,
+                            std::string* last) {
+  if (toks[i].kind != TokenKind::kIdent) return kNpos;
+  *last = toks[i].text;
+  ++i;
+  while (i + 1 < toks.size() && toks[i].IsPunct("::") &&
+         toks[i + 1].kind == TokenKind::kIdent) {
+    *last = toks[i + 1].text;
+    i += 2;
+  }
+  return i;
+}
+
+/// Statement-context keywords that cannot be the return type of a function
+/// declaration: `return Foo(x)` / `throw Foo(x)` must not make Foo look like
+/// a declared function in pass 1. Type-ish keywords (void, bool, auto, ...)
+/// are deliberately absent — `void Init(` IS a declaration.
+bool IsNonTypeKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return",  "if",       "while",     "for",       "switch",
+      "case",    "goto",     "else",      "do",        "break",
+      "continue", "using",   "typedef",   "new",       "delete",
+      "throw",   "co_return", "co_await", "co_yield",  "template",
+      "class",   "struct",   "enum",      "namespace", "public",
+      "private", "protected", "sizeof",   "operator",  "default",
+      "try",     "catch",    "friend",    "virtual",   "explicit",
+      "inline",  "static",   "const",     "constexpr", "typename",
+  };
+  return kKeywords.count(s) > 0;
+}
+
+void CollectFromUnit(const FileUnit& unit, SymbolIndex* index,
+                     std::set<std::string>* non_status_functions) {
+  const auto& toks = unit.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    // `Status Name(` / `Status Class::Name(` — declaration or definition of
+    // a Status-returning function.
+    if (toks[i].IsIdent("Status")) {
+      std::string name;
+      size_t j = ConsumeQualifiedName(toks, i + 1, &name);
+      if (j != kNpos && j < toks.size() && toks[j].IsPunct("(") &&
+          !IsStatementKeyword(name)) {
+        index->status_functions.insert(name);
+      }
+      continue;
+    }
+    // `Type Name(` with any other unqualified return type — records names
+    // that must NOT fire R1 even if the same name returns Status elsewhere.
+    if (toks[i].kind == TokenKind::kIdent && !IsNonTypeKeyword(toks[i].text) &&
+        !toks[i].IsIdent("Result") &&
+        !(i > 0 && (toks[i - 1].IsPunct("::") || toks[i - 1].IsPunct(".") ||
+                    toks[i - 1].IsPunct("->")))) {
+      std::string name;
+      size_t j = ConsumeQualifiedName(toks, i + 1, &name);
+      if (j != kNpos && j < toks.size() && toks[j].IsPunct("(") &&
+          !IsStatementKeyword(name) && !IsNonTypeKeyword(name)) {
+        non_status_functions->insert(name);
+      }
+      // No continue: toks[i+1] may itself start a `Status Name(` match.
+    }
+    // `Result<...> Name(`.
+    if (toks[i].IsIdent("Result") && toks[i + 1].IsPunct("<")) {
+      size_t j = SkipAngles(toks, i + 1);
+      if (j == kNpos) continue;
+      std::string name;
+      j = ConsumeQualifiedName(toks, j, &name);
+      if (j != kNpos && j < toks.size() && toks[j].IsPunct("(") &&
+          !IsStatementKeyword(name)) {
+        index->status_functions.insert(name);
+      }
+      continue;
+    }
+    // `std::function<...> [&] name` — a stored or passed callback.
+    if (toks[i].IsIdent("function") && i >= 2 && toks[i - 1].IsPunct("::") &&
+        toks[i - 2].IsIdent("std") && toks[i + 1].IsPunct("<")) {
+      size_t j = SkipAngles(toks, i + 1);
+      if (j == kNpos) continue;
+      while (j < toks.size() &&
+             (toks[j].IsPunct("&") || toks[j].IsPunct("*") ||
+              toks[j].IsIdent("const"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::kIdent &&
+          !IsStatementKeyword(toks[j].text)) {
+        index->function_objects.insert(toks[j].text);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- R1 engine
+
+/// True when `i` starts an expression statement. Conservative: positions
+/// after `; { } :` and after `)` (so `if (x) Foo();` is covered), plus
+/// after `else` / `do`.
+bool IsStatementStart(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) return true;
+  const Token& p = toks[i - 1];
+  if (p.kind == TokenKind::kPunct) {
+    const std::string& t = p.text;
+    return t == ";" || t == "{" || t == "}" || t == ":" || t == ")";
+  }
+  return p.IsIdent("else") || p.IsIdent("do");
+}
+
+/// Tries to parse, starting at `i`, a full-statement postfix call chain
+/// `a::b->c(...).d(...);` whose value is discarded. On success returns the
+/// name of the last function called and sets *line; otherwise returns "".
+std::string MatchDiscardedCall(const std::vector<Token>& toks, size_t i,
+                               uint32_t* line) {
+  size_t j = i;
+  if (toks[j].IsPunct("::")) ++j;
+  if (j >= toks.size() || toks[j].kind != TokenKind::kIdent ||
+      IsStatementKeyword(toks[j].text)) {
+    return "";
+  }
+  std::string pending = toks[j].text;  // identifier a `(` would call
+  std::string last_called;
+  uint32_t last_line = toks[j].line;
+  ++j;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (t.kind != TokenKind::kPunct) break;
+    if ((t.text == "::" || t.text == "." || t.text == "->") &&
+        j + 1 < toks.size() && toks[j + 1].kind == TokenKind::kIdent) {
+      pending = toks[j + 1].text;
+      last_line = toks[j + 1].line;
+      j += 2;
+      continue;
+    }
+    if (t.text == "(") {
+      size_t k = SkipBalanced(toks, j);
+      if (k == kNpos) return "";
+      last_called = pending;
+      pending.clear();
+      j = k;
+      continue;
+    }
+    if (t.text == "[") {
+      size_t k = SkipBalanced(toks, j);
+      if (k == kNpos) return "";
+      j = k;
+      continue;
+    }
+    break;
+  }
+  if (j < toks.size() && toks[j].IsPunct(";") && !last_called.empty()) {
+    *line = last_line;
+    return last_called;
+  }
+  return "";
+}
+
+void RunR1(const FileUnit& unit, const SymbolIndex& index,
+           std::vector<Finding>* findings) {
+  const auto& toks = unit.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdent && !toks[i].IsPunct("::")) continue;
+    if (!IsStatementStart(toks, i)) continue;
+    // `(void)Foo();` is the sanctioned explicit discard — never a finding.
+    if (i >= 3 && toks[i - 1].IsPunct(")") && toks[i - 2].IsIdent("void") &&
+        toks[i - 3].IsPunct("(")) {
+      continue;
+    }
+    uint32_t line = 0;
+    std::string called = MatchDiscardedCall(toks, i, &line);
+    if (!called.empty() && index.status_functions.count(called) > 0) {
+      Report(unit, RuleId::kR1DiscardedStatus, line,
+             "return value of Status-returning '" + called +
+                 "' is silently discarded; handle it, propagate it, or make "
+                 "the discard explicit with (void)",
+             findings);
+    }
+  }
+}
+
+// ----------------------------------------------------------- R2 engine
+
+void RunR2(const FileUnit& unit, std::vector<Finding>* findings) {
+  if (PathContains(unit.path, "src/common/env") ||
+      PathContains(unit.path, "src/common/fault_env")) {
+    return;  // the Env layer is where raw syscalls are supposed to live
+  }
+  static const std::set<std::string> kSyscalls = {
+      "open",   "openat",  "creat",    "close",    "read",     "write",
+      "pread",  "pwrite",  "lseek",    "fsync",    "fdatasync", "unlink",
+      "unlinkat", "rename", "renameat", "truncate", "ftruncate", "stat",
+      "fstat",  "lstat",   "access",   "mkdir",    "rmdir",    "opendir",
+      "readdir", "closedir", "flock",  "fallocate",
+  };
+  static const std::set<std::string> kStdioCalls = {
+      "fopen", "freopen", "fclose", "fread", "fwrite", "tmpfile", "remove",
+  };
+  static const std::set<std::string> kStreamTypes = {
+      "ofstream", "ifstream", "fstream", "filebuf",
+  };
+  const auto& toks = unit.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdent) continue;
+    const bool global_qualified = i > 0 && toks[i - 1].IsPunct("::") &&
+                                  (i == 1 || !(toks[i - 2].kind ==
+                                               TokenKind::kIdent));
+    const bool std_qualified = i >= 2 && toks[i - 1].IsPunct("::") &&
+                               toks[i - 2].IsIdent("std");
+    if (global_qualified && kSyscalls.count(t.text) > 0 &&
+        toks[i + 1].IsPunct("(")) {
+      Report(unit, RuleId::kR2RawFilesystem, t.line,
+             "raw ::" + t.text +
+                 "() bypasses common::Env — fault injection and crash tests "
+                 "cannot see this I/O; route it through Env",
+             findings);
+      continue;
+    }
+    if (!std_qualified && !global_qualified && kStdioCalls.count(t.text) > 0 &&
+        toks[i + 1].IsPunct("(") &&
+        (i == 0 || !(toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->") ||
+                     toks[i - 1].IsPunct("::")))) {
+      Report(unit, RuleId::kR2RawFilesystem, t.line,
+             "stdio file API '" + t.text +
+                 "()' bypasses common::Env; route file I/O through Env",
+             findings);
+      continue;
+    }
+    if ((std_qualified || global_qualified) && kStreamTypes.count(t.text) > 0) {
+      Report(unit, RuleId::kR2RawFilesystem, t.line,
+             "std::" + t.text +
+                 " bypasses common::Env; use Env file handles instead",
+             findings);
+    }
+  }
+}
+
+// ----------------------------------------------------------- R3 engine
+
+struct ActiveLock {
+  std::string var;
+  int depth;  // brace depth at declaration; popped when scope closes
+};
+
+bool IsLockClass(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+void RunR3(const FileUnit& unit, const SymbolIndex& index,
+           std::vector<Finding>* findings) {
+  const auto& toks = unit.tokens;
+  std::vector<ActiveLock> locks;
+  int depth = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.IsPunct("{")) {
+      ++depth;
+      continue;
+    }
+    if (t.IsPunct("}")) {
+      --depth;
+      while (!locks.empty() && locks.back().depth > depth) locks.pop_back();
+      continue;
+    }
+    if (t.kind != TokenKind::kIdent) continue;
+
+    // Lock declaration: std::lock_guard<...> name( / std::unique_lock name(.
+    if (IsLockClass(t.text) && i >= 2 && toks[i - 1].IsPunct("::") &&
+        toks[i - 2].IsIdent("std")) {
+      size_t j = i + 1;
+      if (j < toks.size() && toks[j].IsPunct("<")) {
+        j = SkipAngles(toks, j);
+        if (j == kNpos) continue;
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::kIdent &&
+          j + 1 < toks.size() &&
+          (toks[j + 1].IsPunct("(") || toks[j + 1].IsPunct("{"))) {
+        locks.push_back(ActiveLock{toks[j].text, depth});
+      }
+      continue;
+    }
+
+    // Manual release: `name.unlock()` deactivates that guard.
+    if (t.text == "unlock" && i >= 2 && toks[i - 1].IsPunct(".") &&
+        toks[i - 2].kind == TokenKind::kIdent) {
+      const std::string& var = toks[i - 2].text;
+      for (auto it = locks.begin(); it != locks.end(); ++it) {
+        if (it->var == var) {
+          locks.erase(it);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Bare condition_variable wait: `cv.wait(lk)` with no predicate, or
+    // `cv.wait_for/until(lk, dur)` without one. A predicate lambda makes
+    // the wait safe against spurious wakeups and lost notifies.
+    if ((t.text == "wait" || t.text == "wait_for" || t.text == "wait_until") &&
+        i >= 1 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) &&
+        i + 1 < toks.size() && toks[i + 1].IsPunct("(")) {
+      size_t end = SkipBalanced(toks, i + 1);
+      if (end == kNpos) continue;
+      int arg_depth = 0;
+      int argc = end - (i + 1) > 2 ? 1 : 0;  // any token between parens?
+      bool has_lambda = false;
+      for (size_t j = i + 2; j + 1 < end; ++j) {
+        if (toks[j].kind != TokenKind::kPunct) continue;
+        const std::string& p = toks[j].text;
+        if (p == "(" || p == "[" || p == "{") ++arg_depth;
+        if (p == ")" || p == "]" || p == "}") --arg_depth;
+        if (p == "[" && arg_depth == 1) has_lambda = true;
+        if (p == "," && arg_depth == 0) ++argc;
+      }
+      const bool bare = !has_lambda && ((t.text == "wait" && argc == 1) ||
+                                        (t.text != "wait" && argc == 2));
+      if (bare) {
+        Report(unit, RuleId::kR3LockDiscipline, t.line,
+               "condition_variable " + t.text +
+                   " without a predicate: spurious wakeups and lost "
+                   "notifies break it; pass a predicate lambda",
+               findings);
+      }
+      continue;
+    }
+
+    // Stored-callback invocation while a lock guard is live (the LockManager
+    // use-after-free class: user code re-enters while we hold the mutex).
+    if (!locks.empty() && index.function_objects.count(t.text) > 0 &&
+        i + 1 < toks.size() && toks[i + 1].IsPunct("(") &&
+        (i == 0 || (toks[i - 1].kind == TokenKind::kPunct &&
+                    toks[i - 1].text != ">" && toks[i - 1].text != "." &&
+                    toks[i - 1].text != "->" && toks[i - 1].text != "::") ||
+         toks[i - 1].IsIdent("return"))) {
+      Report(unit, RuleId::kR3LockDiscipline, t.line,
+             "callback '" + t.text + "' invoked while lock guard '" +
+                 locks.back().var +
+                 "' is held; release the lock before running user code",
+             findings);
+      continue;
+    }
+  }
+}
+
+// ----------------------------------------------------------- R4 engine
+
+void RunR4(const FileUnit& unit, std::vector<Finding>* findings) {
+  const auto& toks = unit.tokens;
+  bool stmt_is_static = false;
+  bool at_stmt_start = true;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      at_stmt_start = true;
+      stmt_is_static = false;
+      continue;
+    }
+    if (at_stmt_start && t.kind == TokenKind::kIdent) {
+      stmt_is_static = t.text == "static";
+      at_stmt_start = false;
+    }
+
+    if (t.kind != TokenKind::kIdent) continue;
+
+    if (t.text == "new" && !(i > 0 && toks[i - 1].IsIdent("operator"))) {
+      bool allowed = stmt_is_static;  // function-local singleton idiom
+      if (i > 0 && (toks[i - 1].IsPunct("(") || toks[i - 1].IsPunct("{"))) {
+        // new as a constructor/reset argument: allowed when the owner is a
+        // smart pointer — p.reset(new T), unique_ptr<T>(new T), and the
+        // declaration form unique_ptr<T> p(new T).
+        size_t before = i - 2;  // token ahead of the opening paren/brace
+        if (i >= 2) {
+          // Skip a declared variable name: `unique_ptr<T> p(new T)`.
+          if (toks[before].kind == TokenKind::kIdent && before >= 1 &&
+              toks[before - 1].IsPunct(">")) {
+            --before;
+          }
+          if (toks[before].IsIdent("reset") ||
+              toks[before].IsIdent("unique_ptr") ||
+              toks[before].IsIdent("shared_ptr")) {
+            allowed = true;  // reset(new T) or CTAD unique_ptr(new T)
+          } else if (toks[before].IsPunct(">")) {
+            // Scan back over the template args to the class name.
+            int adepth = 0;
+            for (size_t k = before; k > 0; --k) {
+              if (toks[k].IsPunct(">")) ++adepth;
+              if (toks[k].IsPunct("<")) {
+                if (--adepth == 0) {
+                  if (toks[k - 1].IsIdent("unique_ptr") ||
+                      toks[k - 1].IsIdent("shared_ptr")) {
+                    allowed = true;
+                  }
+                  break;
+                }
+              }
+            }
+          }
+        }
+      }
+      if (!allowed) {
+        Report(unit, RuleId::kR4OwnershipNodiscard, t.line,
+               "naked 'new': transfer the allocation to a smart pointer "
+               "(make_unique, unique_ptr(new ...), or reset) so ownership "
+               "is explicit",
+               findings);
+      }
+      continue;
+    }
+
+    if (t.text == "delete" && !(i > 0 && toks[i - 1].IsPunct("=")) &&
+        !(i > 0 && toks[i - 1].IsIdent("operator"))) {
+      Report(unit, RuleId::kR4OwnershipNodiscard, t.line,
+             "naked 'delete': prefer smart-pointer ownership; manual "
+             "deletes hide double-free and leak paths",
+             findings);
+      continue;
+    }
+
+    // class Status / class Result must carry [[nodiscard]] so every caller
+    // in the tree gets compiler enforcement of R1.
+    if (t.text == "class" && i + 1 < toks.size()) {
+      size_t j = i + 1;
+      bool has_nodiscard = false;
+      while (j + 1 < toks.size() && toks[j].IsPunct("[") &&
+             toks[j + 1].IsPunct("[")) {
+        size_t k = j + 2;
+        for (; k + 1 < toks.size(); ++k) {
+          if (toks[k].IsIdent("nodiscard")) has_nodiscard = true;
+          if (toks[k].IsPunct("]") && toks[k + 1].IsPunct("]")) break;
+        }
+        j = k + 2;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == TokenKind::kIdent &&
+          (toks[j].text == "Status" || toks[j].text == "Result") &&
+          (toks[j + 1].IsPunct("{") || toks[j + 1].IsPunct(":")) &&
+          !has_nodiscard) {
+        Report(unit, RuleId::kR4OwnershipNodiscard, toks[j].line,
+               "class " + toks[j].text +
+                   " must be declared [[nodiscard]] so dropped error "
+                   "returns fail the -Werror build",
+               findings);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- R5 engine
+
+void RunR5(const FileUnit& unit, std::vector<Finding>* findings) {
+  const bool io_layer = PathContains(unit.path, "src/common/env") ||
+                        PathContains(unit.path, "src/common/fault_env") ||
+                        PathContains(unit.path, "src/common/logging");
+  if (!io_layer) {
+    for (const IncludeDirective& inc : unit.includes) {
+      if (inc.header == "cstdio" || inc.header == "stdio.h" ||
+          inc.header == "fstream") {
+        Report(unit, RuleId::kR5Hygiene, inc.line,
+               "#include <" + inc.header +
+                   "> outside the Env layer invites Env-bypassing I/O; use "
+                   "common::Env (or std::to_string/charconv for formatting)",
+               findings);
+      }
+    }
+  }
+  for (const Comment& c : unit.comments) {
+    size_t pos = 0;
+    bool reported = false;
+    while (!reported &&
+           (pos = c.text.find("TODO", pos)) != std::string::npos) {
+      const size_t after = pos + 4;
+      // Word boundaries: "TODOS" or "fooTODO" are not markers.
+      const bool bounded =
+          (pos == 0 || !IsIdentChar(c.text[pos - 1])) &&
+          (after >= c.text.size() || !IsIdentChar(c.text[after]));
+      if (!bounded) {
+        pos = after;
+        continue;
+      }
+      // A marker is TODO followed by ':' or '('; prose that merely mentions
+      // the word ("the TODO hygiene rule") is not flagged. TODO with "(#"
+      // next is the tagged, accepted form.
+      const bool paren = after < c.text.size() && c.text[after] == '(';
+      const bool colon = after < c.text.size() && c.text[after] == ':';
+      const bool tagged = paren && after + 1 < c.text.size() &&
+                          c.text[after + 1] == '#';
+      if ((paren || colon) && !tagged) {
+        Report(unit, RuleId::kR5Hygiene, c.line,
+               "TODO without an issue tag; write TODO(#NNN) so the debt is "
+               "tracked",
+               findings);
+        reported = true;  // one finding per comment is enough
+      }
+      pos = after;
+    }
+  }
+}
+
+}  // namespace
+
+const char* RuleName(RuleId id) { return kRuleNames[static_cast<int>(id)]; }
+const char* RuleSummary(RuleId id) {
+  return kRuleSummaries[static_cast<int>(id)];
+}
+
+SymbolIndex BuildSymbolIndex(const std::vector<FileUnit>& units) {
+  SymbolIndex index;
+  std::set<std::string> non_status;
+  for (const FileUnit& unit : units) {
+    CollectFromUnit(unit, &index, &non_status);
+  }
+  // Drop ambiguous names (declared both Status- and non-Status-returning,
+  // e.g. Status Parser::Init vs void SlottedPage::Init): a name-based R1
+  // cannot tell the call sites apart, and [[nodiscard]] already makes the
+  // compiler catch the Status-returning ones.
+  for (const std::string& name : non_status) {
+    index.status_functions.erase(name);
+  }
+  return index;
+}
+
+void RunRules(const FileUnit& unit, const SymbolIndex& index,
+              std::vector<Finding>* findings) {
+  RunR1(unit, index, findings);
+  RunR2(unit, findings);
+  RunR3(unit, index, findings);
+  RunR4(unit, findings);
+  RunR5(unit, findings);
+}
+
+}  // namespace opdelta::lint

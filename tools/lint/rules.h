@@ -1,0 +1,64 @@
+#ifndef OPDELTA_TOOLS_LINT_RULES_H_
+#define OPDELTA_TOOLS_LINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace opdelta::lint {
+
+/// The enforced project invariants. Keep ids stable: they appear in NOLINT
+/// suppressions, baselines, and CI output.
+enum class RuleId : int {
+  kR1DiscardedStatus = 1,   // Status/Result return value silently dropped
+  kR2RawFilesystem = 2,     // filesystem syscall bypassing common::Env
+  kR3LockDiscipline = 3,    // bare cv wait / callback invoked under lock
+  kR4OwnershipNodiscard = 4,  // naked new/delete; Status not [[nodiscard]]
+  kR5Hygiene = 5,           // <cstdio>/<fstream> includes; untagged TODO
+};
+
+const char* RuleName(RuleId id);      // "opdelta-R2"
+const char* RuleSummary(RuleId id);   // one-line description
+
+struct Finding {
+  RuleId rule;
+  std::string path;
+  uint32_t line = 0;
+  std::string message;
+  std::string snippet;  // the offending source line, trimmed
+
+  bool operator<(const Finding& o) const {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    return static_cast<int>(rule) < static_cast<int>(o.rule);
+  }
+};
+
+/// Cross-file facts collected in pass 1. Token-stream heuristics, not a type
+/// system: names are matched globally, which is the right tradeoff for a
+/// codebase whose conventions this tool itself enforces.
+struct SymbolIndex {
+  /// Functions declared to return Status or Result<T> anywhere in the tree.
+  /// Names also declared with a non-Status return type somewhere (e.g. the
+  /// void SlottedPage::Init vs Status Parser::Init) are removed again by
+  /// BuildSymbolIndex: R1 only fires on unambiguous names, and the
+  /// [[nodiscard]] attribute (R4) makes the compiler the backstop for the
+  /// ambiguous rest.
+  std::set<std::string> status_functions;
+  /// Identifiers declared as std::function<...> (members, params, locals).
+  std::set<std::string> function_objects;
+};
+
+/// Pass 1: scans every unit for declarations the rules need.
+SymbolIndex BuildSymbolIndex(const std::vector<FileUnit>& units);
+
+/// Pass 2: runs every rule over one unit, appending findings. Suppressions
+/// and baselines are applied later by the linter driver.
+void RunRules(const FileUnit& unit, const SymbolIndex& index,
+              std::vector<Finding>* findings);
+
+}  // namespace opdelta::lint
+
+#endif  // OPDELTA_TOOLS_LINT_RULES_H_

@@ -12,7 +12,8 @@
 //   opdelta_cli hub <whdir> <spec> <rounds>     run a DeltaHub over N sources
 //   opdelta_cli dead-letters <whdir> [workdir] [--replay]
 //                                               list / replay diverted batches
-#include <cstdio>
+// printf goes to the terminal; all database I/O routes through common::Env.
+#include <cstdio>  // NOLINT(opdelta-R5: terminal output, no file I/O)
 #include <cstring>
 #include <sstream>
 #include <string>
