@@ -1,0 +1,151 @@
+#ifndef OPDELTA_BACKFILL_BACKFILLER_H_
+#define OPDELTA_BACKFILL_BACKFILLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backfill/chunk_ledger.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "pipeline/source_leg.h"
+
+namespace opdelta::backfill {
+
+struct BackfillOptions {
+  /// Rows per snapshot chunk (one Step ships one chunk).
+  uint64_t chunk_rows = 256;
+
+  /// Watermark-signal table, created in the source database by Setup. For
+  /// op-delta sources the signal inserts ride the captured stream, so the
+  /// warehouse needs the same table (EnsureSignalTable) to replay them.
+  std::string signal_table = kDefaultSignalTable;
+
+  /// ChunkLedger table in the source database.
+  std::string ledger_table = ChunkLedger::kDefaultTable;
+
+  /// Compact the chunk ledger every N chunks. 0 disables.
+  uint64_t ledger_compact_every = 32;
+
+  /// Bound on watermark-window drain/repair rounds per chunk under
+  /// sustained concurrent writes (see Backfiller class comment).
+  int max_window_drains = 8;
+
+  static constexpr char kDefaultSignalTable[] = "__backfill_signal";
+};
+
+struct BackfillStats {
+  uint64_t chunks_done = 0;
+  uint64_t chunks_total = 0;    // estimate; exact once done
+  uint64_t rows_backfilled = 0; // rows shipped in snapshot chunks
+  uint64_t rows_deduped = 0;    // chunk rows the in-window delta won over
+  bool done = false;
+};
+
+/// DBLog-style online backfill: bootstraps a warehouse table from a live
+/// source in primary-key-ordered chunks *while capture keeps running* — no
+/// table lock, no capture outage. Each Step() ships one chunk:
+///
+///   1. write a low-watermark row to the signal table;
+///   2. select the next chunk_rows committed row images above the cursor
+///      (dirty scan for candidates, then per-row committed reads under row
+///      S locks in one transaction — aborted on any mid-chunk error so the
+///      locks never leak);
+///   3. write a high-watermark row;
+///   4. close the window: drain capture through the leg until the high
+///      watermark ships (op-delta) or extraction runs dry (value-delta) —
+///      everything shipped here reaches the warehouse before the chunk;
+///   5. the delta wins: chunk rows touched by in-window events are re-read
+///      committed (the post-delta state ships) or dropped when the delta
+///      deleted them. Statement replay (op-delta) applies deltas against
+///      the warehouse state as-of capture, so a touched chunk row must
+///      carry the post-event image — dropping it, as image-based CDC can,
+///      would strand the key;
+///   6. ship the chunk as a snapshot-marked batch ('C' frame) through the
+///      leg's durable queue, stamped from the same (epoch, seq) sequence
+///      as live batches, applied idempotently as net-change upserts;
+///   7. advance the ChunkLedger cursor (MarkDone on the last chunk).
+///
+/// Crash anywhere re-runs the current chunk from the durable cursor; the
+/// warehouse absorbs the re-shipped chunk idempotently.
+///
+/// Threading: Step must be serialized with the leg's producer side (the
+/// hub runs it on the group's round task). Concurrent writers using the
+/// source — including the op-delta capture wrapper — need no coordination.
+class Backfiller {
+ public:
+  /// `leg` must outlive the backfiller and already be Created for the
+  /// table to backfill; the source table's key column (first column, by
+  /// convention) must be INT64.
+  static Result<std::unique_ptr<Backfiller>> Create(pipeline::SourceLeg* leg,
+                                                    BackfillOptions options);
+
+  /// (sig INT64, kind STRING, tbl STRING) — no timestamp column, so the
+  /// engine's auto-stamping never rewrites a signal row.
+  static catalog::Schema SignalTableSchema();
+
+  /// Creates the signal table if missing. Idempotent. Call on the
+  /// warehouse too when backfilling an op-delta source (the captured
+  /// signal inserts replay there).
+  static Status EnsureSignalTable(
+      engine::Database* db,
+      const std::string& table = BackfillOptions::kDefaultSignalTable);
+
+  /// Creates signal + ledger tables, loads the durable cursor. Call after
+  /// the leg's Setup. Idempotent.
+  Status Setup();
+
+  /// Ships the next chunk (steps 1-7 above). No-op once done. `*done`
+  /// reports completion. Safe to retry after an error: the chunk re-runs
+  /// from the durable cursor.
+  Status Step(bool* done = nullptr);
+
+  const BackfillStats& stats() const { return stats_; }
+  const BackfillOptions& options() const { return options_; }
+
+ private:
+  /// One selected row of the in-flight chunk.
+  struct ChunkRow {
+    int64_t key = 0;
+    catalog::Row image;
+    bool present = false;       // has a committed image to ship
+    bool needs_repair = false;  // in-window delta touched it; re-read
+    bool deduped = false;       // counted in rows_deduped already
+  };
+
+  Backfiller(pipeline::SourceLeg* leg, BackfillOptions options);
+
+  Status WriteSignal(uint64_t chunk, const char* kind);
+  Status ReadChunk(std::vector<ChunkRow>* rows, bool* more);
+  Status CloseWindow(uint64_t chunk, std::vector<ChunkRow>* rows);
+  /// Marks chunk rows touched by the shipped message's events; reports
+  /// whether the high-watermark signal for `chunk` was observed.
+  Status MarkTouched(const std::string& message, uint64_t chunk,
+                     std::vector<ChunkRow>* rows, bool* saw_high);
+  /// Re-reads every needs_repair row committed-by-key; absent rows drop.
+  Status RepairRows(std::vector<ChunkRow>* rows);
+  /// Committed state of `key` right now; found=false when no committed
+  /// row carries it. Locks stay with `txn`.
+  Status ReadCommittedByKey(txn::Transaction* txn, int64_t key,
+                            catalog::Row* row, bool* found);
+  /// Deletes this table's signal rows (captured for op-delta, so the
+  /// warehouse copy is cleaned by replay).
+  Status CleanupSignals();
+
+  pipeline::SourceLeg* leg_;
+  engine::Database* source_;
+  BackfillOptions options_;
+  std::string table_;       // source table being backfilled
+  catalog::Schema schema_;
+  int key_col_ = 0;
+  ChunkLedger ledger_;
+  bool setup_done_ = false;
+
+  bool have_cursor_ = false;
+  int64_t cursor_ = 0;      // last shipped key; next chunk selects above it
+  BackfillStats stats_;
+};
+
+}  // namespace opdelta::backfill
+
+#endif  // OPDELTA_BACKFILL_BACKFILLER_H_

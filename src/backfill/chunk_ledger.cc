@@ -1,0 +1,118 @@
+#include "backfill/chunk_ledger.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace opdelta::backfill {
+
+using catalog::Column;
+using catalog::Value;
+using catalog::ValueType;
+
+namespace {
+
+constexpr char kCursorKind[] = "C";
+constexpr char kDoneKind[] = "D";
+
+// Column order of TableSchema().
+enum LedgerCol { kTbl = 0, kKind = 1, kChunk = 2, kCursor = 3, kRows = 4 };
+
+}  // namespace
+
+constexpr char ChunkLedger::kDefaultTable[];
+
+catalog::Schema ChunkLedger::TableSchema() {
+  return catalog::Schema({Column{"tbl", ValueType::kString},
+                          Column{"kind", ValueType::kString},
+                          Column{"chunk", ValueType::kInt64},
+                          Column{"cursor", ValueType::kInt64},
+                          Column{"rows", ValueType::kInt64}});
+}
+
+Status ChunkLedger::Setup() {
+  if (db_->GetTable(table_) != nullptr) return Status::OK();
+  Status st = db_->CreateTable(table_, TableSchema());
+  if (st.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return st;
+}
+
+Result<ChunkLedger::Progress> ChunkLedger::Get(const std::string& table) {
+  Progress best;
+  engine::Predicate pred = engine::Predicate::Where(
+      "tbl", engine::CompareOp::kEq, Value::String(table));
+  OPDELTA_RETURN_IF_ERROR(db_->Scan(
+      nullptr, table_, pred,
+      [&](const storage::Rid&, const catalog::Row& row) {
+        const uint64_t chunk = static_cast<uint64_t>(row[kChunk].AsInt64());
+        if (row[kKind].AsString() == kDoneKind) best.done = true;
+        if (!best.exists || chunk > best.chunks_done) {
+          best.exists = true;
+          best.chunks_done = chunk;
+          best.cursor = row[kCursor].AsInt64();
+          best.rows_shipped = static_cast<uint64_t>(row[kRows].AsInt64());
+        }
+        return true;
+      }));
+  return best;
+}
+
+Status ChunkLedger::Append(const std::string& table, const char* kind,
+                          uint64_t chunk, int64_t cursor,
+                          uint64_t rows_shipped) {
+  return db_->WithTransaction([&](txn::Transaction* txn) {
+    catalog::Row row(5);
+    row[kTbl] = Value::String(table);
+    row[kKind] = Value::String(kind);
+    row[kChunk] = Value::Int64(static_cast<int64_t>(chunk));
+    row[kCursor] = Value::Int64(cursor);
+    row[kRows] = Value::Int64(static_cast<int64_t>(rows_shipped));
+    return db_->InsertRaw(txn, table_, std::move(row));
+  });
+}
+
+Status ChunkLedger::Advance(const std::string& table, uint64_t chunk,
+                            int64_t cursor, uint64_t rows_shipped) {
+  return Append(table, kCursorKind, chunk, cursor, rows_shipped);
+}
+
+Status ChunkLedger::MarkDone(const std::string& table, uint64_t chunk,
+                             uint64_t rows_shipped) {
+  return Append(table, kDoneKind, chunk, 0, rows_shipped);
+}
+
+Status ChunkLedger::Compact(uint64_t* rows_removed) {
+  if (rows_removed != nullptr) *rows_removed = 0;
+  uint64_t removed = 0;
+  Status st = db_->WithTransaction([&](txn::Transaction* txn) {
+    struct Best {
+      storage::Rid rid;
+      uint64_t chunk = 0;
+    };
+    std::map<std::string, Best> keep;
+    std::vector<std::pair<std::string, storage::Rid>> cursors;
+    OPDELTA_RETURN_IF_ERROR(db_->Scan(
+        txn, table_, engine::Predicate::True(),
+        [&](const storage::Rid& rid, const catalog::Row& row) {
+          if (row[kKind].AsString() != kCursorKind) return true;
+          const std::string& table = row[kTbl].AsString();
+          const uint64_t chunk = static_cast<uint64_t>(row[kChunk].AsInt64());
+          cursors.emplace_back(table, rid);
+          auto it = keep.find(table);
+          if (it == keep.end() || chunk > it->second.chunk) {
+            keep[table] = Best{rid, chunk};
+          }
+          return true;
+        }));
+    for (const auto& [table, rid] : cursors) {
+      if (keep[table].rid == rid) continue;
+      OPDELTA_RETURN_IF_ERROR(db_->DeleteAt(txn, table_, rid));
+      ++removed;
+    }
+    return Status::OK();
+  });
+  if (st.ok() && rows_removed != nullptr) *rows_removed = removed;
+  return st;
+}
+
+}  // namespace opdelta::backfill

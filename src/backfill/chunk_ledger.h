@@ -1,0 +1,75 @@
+#ifndef OPDELTA_BACKFILL_CHUNK_LEDGER_H_
+#define OPDELTA_BACKFILL_CHUNK_LEDGER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace opdelta::backfill {
+
+/// Durable record of backfill progress, stored *in the source database* so
+/// the cursor survives anything the transport's work_dir does not. Mirrors
+/// warehouse::ApplyLedger: an append-only table (default `__backfill_chunks`)
+/// of rows
+///   (tbl TEXT, kind TEXT, chunk INT, cursor INT, rows INT)
+/// with two row kinds:
+///   'C' — cursor: chunks [1, chunk] of `tbl` are durably shipped; the next
+///         chunk selects keys strictly above `cursor`. The effective cursor
+///         is the row with the largest chunk number; `rows` is the
+///         cumulative shipped-row count (stats only).
+///   'D' — done: the backfill of `tbl` completed after `chunk` chunks.
+///
+/// Appending (never updating in place) keeps every writer a plain insert,
+/// and makes the crash story trivial: the worst a crash can do is lose the
+/// latest cursor row, re-shipping one chunk — which the warehouse absorbs
+/// idempotently (snapshot chunks apply as net-change upserts under a
+/// ledger-deduped identity).
+class ChunkLedger {
+ public:
+  static constexpr char kDefaultTable[] = "__backfill_chunks";
+
+  explicit ChunkLedger(engine::Database* source,
+                       std::string table = kDefaultTable)
+      : db_(source), table_(std::move(table)) {}
+
+  static catalog::Schema TableSchema();
+
+  /// Creates the ledger table if missing. Idempotent.
+  Status Setup();
+
+  struct Progress {
+    bool exists = false;      // any row for the table
+    bool done = false;        // a 'D' row exists
+    uint64_t chunks_done = 0;
+    int64_t cursor = 0;       // last shipped key; meaningful when exists
+    uint64_t rows_shipped = 0;
+  };
+  Result<Progress> Get(const std::string& table);
+
+  /// Appends a cursor row in its own transaction: chunks [1, chunk] of
+  /// `table` are shipped through key `cursor`, `rows_shipped` rows total.
+  Status Advance(const std::string& table, uint64_t chunk, int64_t cursor,
+                 uint64_t rows_shipped);
+
+  /// Appends the terminal 'D' row.
+  Status MarkDone(const std::string& table, uint64_t chunk,
+                  uint64_t rows_shipped);
+
+  /// Deletes cursor rows superseded by a newer row of their table. Runs in
+  /// its own transaction; 'D' rows are never compacted away.
+  Status Compact(uint64_t* rows_removed = nullptr);
+
+  const std::string& table() const { return table_; }
+
+ private:
+  Status Append(const std::string& table, const char* kind, uint64_t chunk,
+                int64_t cursor, uint64_t rows_shipped);
+
+  engine::Database* db_;
+  std::string table_;
+};
+
+}  // namespace opdelta::backfill
+
+#endif  // OPDELTA_BACKFILL_CHUNK_LEDGER_H_

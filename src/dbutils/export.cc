@@ -141,7 +141,13 @@ Status ImportUtil::Import(engine::Database* db, const std::string& table,
         return st;
       }
     }
-    OPDELTA_RETURN_IF_ERROR(db->Commit(txn.get()));
+    Status commit = db->Commit(txn.get());
+    if (!commit.ok()) {
+      // A failed commit leaves the transaction active; abort to release
+      // its locks instead of leaking them until timeout.
+      (void)db->Abort(txn.get());
+      return commit;
+    }
     staging.Init();
     staged.clear();
     return Status::OK();

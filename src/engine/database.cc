@@ -140,6 +140,17 @@ Status Database::DropTrigger(const std::string& table,
   return Status::NotFound("trigger " + name);
 }
 
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(tables_mutex_);
+    names.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 Table* Database::GetTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(tables_mutex_);
   auto it = tables_.find(name);

@@ -69,6 +69,10 @@ class Database {
   // -- DDL ------------------------------------------------------------
   Status CreateTable(const std::string& name, const catalog::Schema& schema);
   Status DropTable(const std::string& name);
+
+  /// Names of every table, sorted. Snapshot — concurrent DDL may change
+  /// the catalog before the caller uses it.
+  std::vector<std::string> ListTables() const;
   Status CreateIndex(const std::string& table, const std::string& column);
 
   /// Registers a row-level trigger on `table`.

@@ -23,7 +23,10 @@ const char* DeltaOpName(DeltaOp op) {
 
 std::string BatchId::ToString() const {
   if (!valid()) return "(unstamped)";
-  return source_id + "@" + std::to_string(epoch) + ":" + std::to_string(seq);
+  std::string out =
+      source_id + "@" + std::to_string(epoch) + ":" + std::to_string(seq);
+  if (snapshot) out += "+snap";
+  return out;
 }
 
 uint64_t DeltaBatch::SizeBytes() const {

@@ -46,6 +46,13 @@ struct BatchId {
   uint64_t epoch = 0;
   uint64_t seq = 0;
 
+  /// True for a backfill snapshot chunk riding the delta stream: the batch
+  /// carries point-in-time row images selected by the backfiller, not
+  /// captured changes. Snapshot batches share the source's (epoch, seq)
+  /// sequence — the ledger dedupes them exactly like live batches — and
+  /// the marker travels in the transport frame ('C' instead of 'B').
+  bool snapshot = false;
+
   /// Identity-less batches (legacy frames, unstamped tooling) apply
   /// without deduplication.
   bool valid() const { return !source_id.empty() && epoch != 0 && seq != 0; }

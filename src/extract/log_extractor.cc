@@ -169,7 +169,13 @@ Status LogExtractor::ReplayInto(
     (void)dest->Abort(txn.get());  // surface the apply error
     return apply_status;
   }
-  return dest->Commit(txn.get());
+  Status commit = dest->Commit(txn.get());
+  if (!commit.ok()) {
+    // A failed commit leaves the transaction active; abort to release its
+    // locks instead of leaking them until timeout.
+    (void)dest->Abort(txn.get());
+  }
+  return commit;
 }
 
 }  // namespace opdelta::extract

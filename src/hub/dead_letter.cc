@@ -119,11 +119,18 @@ Status ApplyEntry(engine::Database* warehouse, warehouse::ApplyLedger* ledger,
                                       istats);
   }
   if (payload[0] == 'O') {
-    engine::Table* t = warehouse->GetTable(table);
-    if (t == nullptr) return Status::NotFound("warehouse table " + table);
+    if (warehouse->GetTable(table) == nullptr) {
+      return Status::NotFound("warehouse table " + table);
+    }
     // Hub invariant: op-delta sources use matching source/warehouse table
-    // names, so the statements parse against the warehouse schema.
-    extract::SchemaMap schemas{{table, t->schema()}};
+    // names, so the statements parse against the warehouse schemas. Map
+    // every table — captured statements can touch auxiliary tables (e.g.
+    // the backfill signal table) besides the one dead-lettered for.
+    extract::SchemaMap schemas;
+    for (const std::string& name : warehouse->ListTables()) {
+      engine::Table* t = warehouse->GetTable(name);
+      if (t != nullptr) schemas.emplace(name, t->schema());
+    }
     std::vector<extract::OpDeltaTxn> txns;
     OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(
         payload.substr(1), schemas, &txns));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "backfill/backfiller.h"
 #include "common/coding.h"
 #include "common/env.h"
 #include "common/logging.h"
@@ -61,6 +62,7 @@ constexpr size_t kMaxRetainedDriverErrors = 16;
 struct DeltaHub::Source {
   SourceSpec spec;
   std::unique_ptr<pipeline::SourceLeg> leg;
+  std::unique_ptr<backfill::Backfiller> backfiller;  // spec.backfill only
   size_t stats_index = 0;
 };
 
@@ -151,6 +153,12 @@ Status DeltaHub::AddSource(const SourceSpec& spec) {
     return Status::NotSupported(
         "op-delta sources cannot join a replica group: " + spec.name);
   }
+  if (spec.backfill && !spec.replica_group.empty()) {
+    // A snapshot chunk from one replica is not a net-change batch the
+    // reconciler can merge against its peers' live batches.
+    return Status::NotSupported(
+        "backfill is not supported on replica-group members: " + spec.name);
+  }
 
   pipeline::PipelineOptions leg_options;
   leg_options.method = spec.method;
@@ -229,6 +237,20 @@ Status DeltaHub::Setup() {
     entry.warehouse_table = source->spec.warehouse_table;
     stats_.sources.push_back(std::move(entry));
     OPDELTA_RETURN_IF_ERROR(source->leg->Setup());
+    if (source->spec.backfill) {
+      if (source->spec.method == pipeline::Method::kOpDelta) {
+        // Captured watermark-signal statements replay at the warehouse,
+        // so it needs the signal table too.
+        OPDELTA_RETURN_IF_ERROR(
+            backfill::Backfiller::EnsureSignalTable(warehouse_));
+      }
+      backfill::BackfillOptions bf_options;
+      bf_options.chunk_rows = source->spec.backfill_chunk_rows;
+      OPDELTA_ASSIGN_OR_RETURN(
+          source->backfiller,
+          backfill::Backfiller::Create(source->leg.get(), bf_options));
+      OPDELTA_RETURN_IF_ERROR(source->backfiller->Setup());
+    }
   }
 
   worker_queues_.resize(options_.apply_workers);
@@ -256,6 +278,14 @@ void DeltaHub::RefreshSourceStats(Source* source) {
   entry.records_extracted = leg_stats.records_extracted;
   entry.batches_shipped = leg_stats.batches_shipped;
   entry.bytes_shipped = leg_stats.bytes_shipped;
+  if (source->backfiller != nullptr) {
+    const backfill::BackfillStats& bf = source->backfiller->stats();
+    entry.chunks_done = bf.chunks_done;
+    entry.chunks_total = bf.chunks_total;
+    entry.rows_backfilled = bf.rows_backfilled;
+    entry.rows_deduped = bf.rows_deduped;
+    entry.backfill_done = bf.done;
+  }
 }
 
 Status DeltaHub::ProduceRound(Group* group) {
@@ -263,6 +293,20 @@ Status DeltaHub::ProduceRound(Group* group) {
   for (Source* source : group->members) {
     OPDELTA_RETURN_IF_ERROR(source->leg->ExtractAndShip());
     RefreshSourceStats(source);
+  }
+
+  // 1b. Online backfill: one snapshot chunk per round, interleaved with
+  //     live capture (the chunk's watermark window drains the leg itself).
+  //     The shipped chunk joins the backlog drained below, so it applies
+  //     this round. Errors flow into the same retry/quarantine policy as
+  //     live extraction.
+  for (Source* source : group->members) {
+    if (source->backfiller == nullptr || source->backfiller->stats().done) {
+      continue;
+    }
+    Status st = source->backfiller->Step();
+    RefreshSourceStats(source);
+    OPDELTA_RETURN_IF_ERROR(st);
   }
 
   // 2. Drain the group's shipped backlog — which replays anything staged

@@ -43,6 +43,15 @@ struct SourceSpec {
   std::string timestamp_column = "last_modified";
   /// Method::kOpDelta: the DB-sink log table (created by Setup).
   std::string op_log_table = "op_log";
+
+  /// Bootstrap the warehouse table online: snapshot the source in
+  /// PK-ordered chunks interleaved with live capture (one chunk per
+  /// round), resuming from a durable cursor across restarts. The source
+  /// table's key column must be INT64. Not supported on replica-group
+  /// members.
+  bool backfill = false;
+  /// Rows per backfill snapshot chunk.
+  uint64_t backfill_chunk_rows = 256;
 };
 
 struct HubOptions {
@@ -123,6 +132,13 @@ struct SourceStats {
   uint64_t dead_letters = 0;       // batches diverted to the dead-letter log
   bool quarantined = false;        // currently skipped, probed on backoff
   std::string last_error;          // most recent failure, retained
+
+  // Online backfill (SourceSpec::backfill only).
+  uint64_t chunks_done = 0;
+  uint64_t chunks_total = 0;       // estimate; exact once backfill_done
+  uint64_t rows_backfilled = 0;
+  uint64_t rows_deduped = 0;       // chunk rows the in-window delta won over
+  bool backfill_done = false;
 };
 
 /// Consistent point-in-time snapshot of the hub's operation.

@@ -14,10 +14,14 @@ using extract::DeltaBatch;
 namespace {
 // Message framing: one byte discriminates value-delta batches from
 // serialized op-delta transaction logs. A 'B' frame wraps either with the
-// batch identity the warehouse ApplyLedger dedupes on.
+// batch identity the warehouse ApplyLedger dedupes on; a 'C' frame is the
+// same layout but marks a backfill snapshot chunk (BatchId::snapshot).
 constexpr char kValueDeltaMessage = 'V';
 constexpr char kOpDeltaMessage = 'O';
 constexpr char kBatchFrame = 'B';
+constexpr char kSnapshotFrame = 'C';
+
+bool IsFramed(char tag) { return tag == kBatchFrame || tag == kSnapshotFrame; }
 }  // namespace
 
 const char* MethodName(Method method) {
@@ -53,6 +57,10 @@ bool IsValueDeltaMessage(const std::string& message) {
   return !message.empty() && message[0] == kValueDeltaMessage;
 }
 
+bool IsOpDeltaMessage(const std::string& message) {
+  return !message.empty() && message[0] == kOpDeltaMessage;
+}
+
 Status DecodeValueDeltaMessage(const std::string& message, DeltaBatch* out) {
   if (!IsValueDeltaMessage(message)) {
     return Status::InvalidArgument("not a value-delta message");
@@ -70,7 +78,7 @@ void EncodeValueDeltaMessage(const DeltaBatch& batch, std::string* out) {
 void EncodeBatchFrame(const extract::BatchId& id, const std::string& inner,
                       std::string* out) {
   out->clear();
-  out->push_back(kBatchFrame);
+  out->push_back(id.snapshot ? kSnapshotFrame : kBatchFrame);
   PutLengthPrefixed(out, Slice(id.source_id));
   PutFixed64(out, id.epoch);
   PutFixed64(out, id.seq);
@@ -79,7 +87,8 @@ void EncodeBatchFrame(const extract::BatchId& id, const std::string& inner,
 
 Status DecodeBatchHeader(Slice message, extract::BatchId* id) {
   *id = extract::BatchId();
-  if (message.empty() || message[0] != kBatchFrame) return Status::OK();
+  if (message.empty() || !IsFramed(message[0])) return Status::OK();
+  id->snapshot = message[0] == kSnapshotFrame;
   message.remove_prefix(1);
   Slice source;
   if (!GetLengthPrefixed(&message, &source) ||
@@ -93,10 +102,11 @@ Status DecodeBatchHeader(Slice message, extract::BatchId* id) {
 Status DecodeBatchFrame(const std::string& message, extract::BatchId* id,
                         std::string* inner) {
   *id = extract::BatchId();
-  if (message.empty() || message[0] != kBatchFrame) {
+  if (message.empty() || !IsFramed(message[0])) {
     *inner = message;  // legacy / identity-less message
     return Status::OK();
   }
+  id->snapshot = message[0] == kSnapshotFrame;
   Slice input(message.data() + 1, message.size() - 1);
   Slice source;
   if (!GetLengthPrefixed(&input, &source) ||
@@ -284,8 +294,10 @@ Status SourceLeg::ExtractMessage(std::string* message, uint64_t* records) {
   return Status::Internal("bad method");
 }
 
-Status SourceLeg::ExtractAndShip(bool* shipped) {
+Status SourceLeg::ExtractAndShip(bool* shipped,
+                                 std::string* shipped_message) {
   if (shipped != nullptr) *shipped = false;
+  if (shipped_message != nullptr) shipped_message->clear();
   if (!setup_done_) return Status::Internal("call Setup() first");
   stats_.rounds++;
 
@@ -324,9 +336,33 @@ Status SourceLeg::ExtractAndShip(bool* shipped) {
   stats_.batches_shipped++;
   stats_.bytes_shipped += message.size();
   if (shipped != nullptr) *shipped = true;
+  if (shipped_message != nullptr) *shipped_message = message;
   // Persisting after the durable enqueue makes the pair restart-safe: a
   // crash here replays the staged batch, never re-extracts it — and Setup
   // re-derives next_seq_ from the queue if this save never lands.
+  return SaveState();
+}
+
+Status SourceLeg::ShipSnapshot(const extract::DeltaBatch& chunk) {
+  if (!setup_done_) return Status::Internal("call Setup() first");
+  if (!pending_message_.empty()) {
+    // The pending live batch was already stamped with next_seq_; shipping
+    // a snapshot under the same number would make the ledger drop one of
+    // the two. Retry the live ship first (ExtractAndShip drains it).
+    return Status::Busy("live batch pending; retry its ship first");
+  }
+  std::string inner;
+  EncodeValueDeltaMessage(chunk, &inner);
+  extract::BatchId id{options_.source_id, epoch_, next_seq_,
+                      /*snapshot=*/true};
+  std::string message;
+  EncodeBatchFrame(id, inner, &message);
+  OPDELTA_RETURN_IF_ERROR(queue_.Enqueue(Slice(message), /*durable=*/true));
+  next_seq_++;
+  stats_.batches_shipped++;
+  stats_.bytes_shipped += message.size();
+  // A crash before this save re-derives next_seq_ from the queue scan in
+  // Setup, exactly as the live path does.
   return SaveState();
 }
 
@@ -371,8 +407,14 @@ Status SourceLeg::Integrate(engine::Database* warehouse,
     return Status::OK();
   }
   if (tag == kOpDeltaMessage) {
-    engine::Table* src = source_->GetTable(options_.source_table);
-    extract::SchemaMap schemas{{options_.source_table, src->schema()}};
+    // Captured statements can touch auxiliary tables besides the source
+    // table (e.g. the backfill signal table), and hybrid-mode before
+    // images need each touched table's schema to parse — map them all.
+    extract::SchemaMap schemas;
+    for (const std::string& name : source_->ListTables()) {
+      engine::Table* t = source_->GetTable(name);
+      if (t != nullptr) schemas.emplace(name, t->schema());
+    }
     std::vector<extract::OpDeltaTxn> txns;
     OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(body, schemas, &txns));
     // Rewrite table names when source and warehouse tables differ.

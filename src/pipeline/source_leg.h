@@ -51,7 +51,18 @@ class SourceLeg {
 
   /// Extracts changes since the watermark, ships them durably, persists
   /// the advanced watermark. `*shipped` reports whether a batch went out.
-  Status ExtractAndShip(bool* shipped = nullptr);
+  /// When `shipped_message` is non-null it receives a copy of the framed
+  /// message that went out (empty if nothing shipped) — the backfiller
+  /// inspects it for events concurrent with a chunk select.
+  Status ExtractAndShip(bool* shipped = nullptr,
+                        std::string* shipped_message = nullptr);
+
+  /// Ships a backfill snapshot chunk through the same durable queue,
+  /// stamped with the leg's next (epoch, seq) and the snapshot marker, so
+  /// the warehouse integrates and dedupes it exactly like a live batch.
+  /// Rejected with Busy while an extracted-but-unshipped live batch is
+  /// pending (its identity is already stamped with the next seq).
+  Status ShipSnapshot(const extract::DeltaBatch& chunk);
 
   /// Consumer side: the oldest shipped-but-unacknowledged message.
   /// NotFound when the backlog is empty.
@@ -123,6 +134,7 @@ class SourceLeg {
 /// stamped extract::BatchId. The hub uses these to reconcile value-delta
 /// messages from replica groups before integration.
 bool IsValueDeltaMessage(const std::string& message);
+bool IsOpDeltaMessage(const std::string& message);
 Status DecodeValueDeltaMessage(const std::string& message,
                                extract::DeltaBatch* out);
 void EncodeValueDeltaMessage(const extract::DeltaBatch& batch,

@@ -160,7 +160,13 @@ Result<size_t> Executor::ExecuteSql(const std::string& text) {
       (void)db_->Abort(txn.get());  // surface the execution error
       return r.status();
     }
-    OPDELTA_RETURN_IF_ERROR(db_->Commit(txn.get()));
+    Status commit = db_->Commit(txn.get());
+    if (!commit.ok()) {
+      // A failed commit leaves the transaction active; abort to release
+      // its locks instead of leaking them until timeout.
+      (void)db_->Abort(txn.get());
+      return commit;
+    }
     total += r.value();
   }
   return total;

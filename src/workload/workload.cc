@@ -111,7 +111,13 @@ Result<OlapQueryResult> RunOlapQuery(engine::Database* db,
     (void)db->Abort(txn.get());  // surface the original error
     return st;
   }
-  OPDELTA_RETURN_IF_ERROR(db->Commit(txn.get()));
+  st = db->Commit(txn.get());
+  if (!st.ok()) {
+    // A failed commit leaves the transaction active; abort to release its
+    // locks instead of leaking them until timeout.
+    (void)db->Abort(txn.get());
+    return st;
+  }
   result.latency_micros = sw.ElapsedMicros();
   return result;
 }

@@ -9,8 +9,12 @@
 //   opdelta_cli diff <old.snap> <new.snap>      summarize a snapshot diff
 //   opdelta_cli extract-log <dbdir> <table>     decode the archive log
 //   opdelta_cli oplog <file>                    pretty-print an op-delta log
-//   opdelta_cli hub <whdir> <spec> <rounds>     run a DeltaHub over N sources
-//   opdelta_cli dead-letters <whdir> [workdir] [--replay]
+//   opdelta_cli hub <whdir> <spec> <rounds> [--json]
+//                                               run a DeltaHub over N sources
+//   opdelta_cli backfill <whdir> <srcdir> <table> [chunk_rows]
+//                                               online-bootstrap a warehouse
+//                                               table from a live source
+//   opdelta_cli dead-letters <whdir> [workdir] [--replay] [--json]
 //                                               list / replay diverted batches
 // printf goes to the terminal; all database I/O routes through common::Env.
 #include <cstdio>  // NOLINT(opdelta-R5: terminal output, no file I/O)
@@ -45,6 +49,30 @@ int Fail(const Status& st) {
     ::opdelta::Status _st = (expr);           \
     if (!_st.ok()) return Fail(_st);          \
   } while (0)
+
+/// Escapes a string for inclusion in a JSON double-quoted literal.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 Result<std::unique_ptr<engine::Database>> OpenExisting(
     const std::string& dir) {
@@ -231,12 +259,133 @@ int CmdOplog(const std::string& path) {
   return 0;
 }
 
+void PrintHubStatsJson(const hub::HubStats& stats) {
+  std::printf("{\n");
+  std::printf("  \"rounds\": %llu,\n",
+              static_cast<unsigned long long>(stats.rounds));
+  std::printf("  \"batches_staged\": %llu,\n",
+              static_cast<unsigned long long>(stats.batches_staged));
+  std::printf("  \"staging_peak_bytes\": %llu,\n",
+              static_cast<unsigned long long>(stats.staging_peak_bytes));
+  std::printf("  \"producer_stalls\": %llu,\n",
+              static_cast<unsigned long long>(stats.producer_stalls));
+  std::printf("  \"batches_reconciled\": %llu,\n",
+              static_cast<unsigned long long>(stats.batches_reconciled));
+  std::printf("  \"duplicates_dropped\": %llu,\n",
+              static_cast<unsigned long long>(stats.duplicates_dropped));
+  std::printf("  \"conflicts\": %llu,\n",
+              static_cast<unsigned long long>(stats.conflicts));
+  std::printf("  \"batches_applied\": %llu,\n",
+              static_cast<unsigned long long>(stats.batches_applied));
+  std::printf("  \"transactions_applied\": %llu,\n",
+              static_cast<unsigned long long>(stats.transactions_applied));
+  std::printf("  \"apply_micros_total\": %lld,\n",
+              static_cast<long long>(stats.apply_micros_total));
+  std::printf("  \"apply_micros_max\": %lld,\n",
+              static_cast<long long>(stats.apply_micros_max));
+  std::printf("  \"dead_letters\": %llu,\n",
+              static_cast<unsigned long long>(stats.dead_letters));
+  std::printf("  \"sources\": [");
+  for (size_t i = 0; i < stats.sources.size(); ++i) {
+    const hub::SourceStats& s = stats.sources[i];
+    std::printf("%s\n    {\"name\": \"%s\", \"warehouse_table\": \"%s\", ",
+                i == 0 ? "" : ",", JsonEscape(s.name).c_str(),
+                JsonEscape(s.warehouse_table).c_str());
+    std::printf("\"rounds\": %llu, \"records_extracted\": %llu, "
+                "\"batches_shipped\": %llu, \"bytes_shipped\": %llu, "
+                "\"batches_applied\": %llu, ",
+                static_cast<unsigned long long>(s.rounds),
+                static_cast<unsigned long long>(s.records_extracted),
+                static_cast<unsigned long long>(s.batches_shipped),
+                static_cast<unsigned long long>(s.bytes_shipped),
+                static_cast<unsigned long long>(s.batches_applied));
+    std::printf("\"duplicates_dropped\": %llu, \"applied_epoch\": %llu, "
+                "\"applied_seq\": %llu, ",
+                static_cast<unsigned long long>(s.duplicates_dropped),
+                static_cast<unsigned long long>(s.applied_epoch),
+                static_cast<unsigned long long>(s.applied_seq));
+    std::printf("\"errors\": %llu, \"retries\": %llu, "
+                "\"dead_letters\": %llu, \"quarantined\": %s, "
+                "\"last_error\": \"%s\", ",
+                static_cast<unsigned long long>(s.errors),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.dead_letters),
+                s.quarantined ? "true" : "false",
+                JsonEscape(s.last_error).c_str());
+    std::printf("\"chunks_done\": %llu, \"chunks_total\": %llu, "
+                "\"rows_backfilled\": %llu, \"rows_deduped\": %llu, "
+                "\"backfill_done\": %s}",
+                static_cast<unsigned long long>(s.chunks_done),
+                static_cast<unsigned long long>(s.chunks_total),
+                static_cast<unsigned long long>(s.rows_backfilled),
+                static_cast<unsigned long long>(s.rows_deduped),
+                s.backfill_done ? "true" : "false");
+  }
+  std::printf("%s]\n}\n", stats.sources.empty() ? "" : "\n  ");
+}
+
+void PrintHubStatsText(const hub::HubStats& stats) {
+  std::printf("rounds                %10llu\n",
+              static_cast<unsigned long long>(stats.rounds));
+  std::printf("batches staged        %10llu  (peak %llu bytes, %llu "
+              "producer stalls)\n",
+              static_cast<unsigned long long>(stats.batches_staged),
+              static_cast<unsigned long long>(stats.staging_peak_bytes),
+              static_cast<unsigned long long>(stats.producer_stalls));
+  std::printf("batches reconciled    %10llu  (%llu duplicates dropped, "
+              "%llu conflicts)\n",
+              static_cast<unsigned long long>(stats.batches_reconciled),
+              static_cast<unsigned long long>(stats.duplicates_dropped),
+              static_cast<unsigned long long>(stats.conflicts));
+  std::printf("batches applied       %10llu  (%llu txns, %lld us total, "
+              "%lld us max)\n",
+              static_cast<unsigned long long>(stats.batches_applied),
+              static_cast<unsigned long long>(stats.transactions_applied),
+              static_cast<long long>(stats.apply_micros_total),
+              static_cast<long long>(stats.apply_micros_max));
+  if (stats.dead_letters > 0) {
+    std::printf("batches dead-lettered %10llu\n",
+                static_cast<unsigned long long>(stats.dead_letters));
+  }
+  for (const hub::SourceStats& s : stats.sources) {
+    std::printf("  %-16s -> %-16s %8llu extracted, %llu shipped, "
+                "%llu applied\n",
+                s.name.c_str(), s.warehouse_table.c_str(),
+                static_cast<unsigned long long>(s.records_extracted),
+                static_cast<unsigned long long>(s.batches_shipped),
+                static_cast<unsigned long long>(s.batches_applied));
+    if (s.chunks_total > 0 || s.backfill_done) {
+      std::printf("  %-16s    backfill %llu/%llu chunks, %llu rows, "
+                  "%llu deduped%s\n",
+                  "", static_cast<unsigned long long>(s.chunks_done),
+                  static_cast<unsigned long long>(s.chunks_total),
+                  static_cast<unsigned long long>(s.rows_backfilled),
+                  static_cast<unsigned long long>(s.rows_deduped),
+                  s.backfill_done ? " (done)" : "");
+    }
+    if (s.errors > 0 || s.retries > 0 || s.dead_letters > 0 ||
+        s.quarantined) {
+      std::string last_error;
+      if (!s.last_error.empty()) {
+        last_error = "; last error: " + s.last_error;
+      }
+      std::printf("  %-16s    %s%llu errors, %llu retries, %llu "
+                  "dead-lettered%s\n",
+                  "", s.quarantined ? "QUARANTINED, " : "",
+                  static_cast<unsigned long long>(s.errors),
+                  static_cast<unsigned long long>(s.retries),
+                  static_cast<unsigned long long>(s.dead_letters),
+                  last_error.c_str());
+    }
+  }
+}
+
 // Spec file: one source per line,
 //   <name> <dbdir> <method> <source_table> <warehouse_table> [replica_group]
 // '#' starts a comment. Missing warehouse tables are created from the
 // source table's schema. The hub's state lives under <whdir>/hub.
 int CmdHub(const std::string& wh_dir, const std::string& spec_path,
-           int64_t rounds) {
+           int64_t rounds, bool json) {
   Result<std::unique_ptr<engine::Database>> wh = OpenExisting(wh_dir);
   if (!wh.ok()) return Fail(wh.status());
 
@@ -286,8 +435,10 @@ int CmdHub(const std::string& wh_dir, const std::string& spec_path,
                                      db_dir));
       }
       CLI_OK((*wh)->CreateTable(spec.warehouse_table, t->schema()));
-      std::printf("created warehouse table %s\n",
-                  spec.warehouse_table.c_str());
+      if (!json) {
+        std::printf("created warehouse table %s\n",
+                    spec.warehouse_table.c_str());
+      }
     }
     CLI_OK((*hub)->AddSource(spec));
   }
@@ -298,50 +449,75 @@ int CmdHub(const std::string& wh_dir, const std::string& spec_path,
   CLI_OK((*wh)->FlushAll());
 
   const hub::HubStats stats = (*hub)->Stats();
-  std::printf("rounds                %10llu\n",
-              static_cast<unsigned long long>(stats.rounds));
-  std::printf("batches staged        %10llu  (peak %llu bytes, %llu "
-              "producer stalls)\n",
-              static_cast<unsigned long long>(stats.batches_staged),
-              static_cast<unsigned long long>(stats.staging_peak_bytes),
-              static_cast<unsigned long long>(stats.producer_stalls));
-  std::printf("batches reconciled    %10llu  (%llu duplicates dropped, "
-              "%llu conflicts)\n",
-              static_cast<unsigned long long>(stats.batches_reconciled),
-              static_cast<unsigned long long>(stats.duplicates_dropped),
-              static_cast<unsigned long long>(stats.conflicts));
-  std::printf("batches applied       %10llu  (%llu txns, %lld us total, "
-              "%lld us max)\n",
-              static_cast<unsigned long long>(stats.batches_applied),
-              static_cast<unsigned long long>(stats.transactions_applied),
-              static_cast<long long>(stats.apply_micros_total),
-              static_cast<long long>(stats.apply_micros_max));
-  if (stats.dead_letters > 0) {
-    std::printf("batches dead-lettered %10llu\n",
-                static_cast<unsigned long long>(stats.dead_letters));
+  if (json) {
+    PrintHubStatsJson(stats);
+  } else {
+    PrintHubStatsText(stats);
   }
-  for (const hub::SourceStats& s : stats.sources) {
-    std::printf("  %-16s -> %-16s %8llu extracted, %llu shipped, "
-                "%llu applied\n",
-                s.name.c_str(), s.warehouse_table.c_str(),
-                static_cast<unsigned long long>(s.records_extracted),
-                static_cast<unsigned long long>(s.batches_shipped),
-                static_cast<unsigned long long>(s.batches_applied));
-    if (s.errors > 0 || s.retries > 0 || s.dead_letters > 0 ||
-        s.quarantined) {
-      std::string last_error;
-      if (!s.last_error.empty()) {
-        last_error = "; last error: " + s.last_error;
-      }
-      std::printf("  %-16s    %s%llu errors, %llu retries, %llu "
-                  "dead-lettered%s\n",
-                  "", s.quarantined ? "QUARANTINED, " : "",
-                  static_cast<unsigned long long>(s.errors),
-                  static_cast<unsigned long long>(s.retries),
-                  static_cast<unsigned long long>(s.dead_letters),
-                  last_error.c_str());
-    }
+  CLI_OK(stop);
+  return 0;
+}
+
+// Online-bootstraps warehouse table <table> from the live source at
+// <src_dir>: a single-source op-delta hub with backfill enabled, driven
+// until every chunk has shipped and applied. Resumes from the chunk
+// ledger's durable cursor if interrupted. The warehouse table is created
+// from the source schema when missing; hub state lives under <whdir>/hub.
+int CmdBackfill(const std::string& wh_dir, const std::string& src_dir,
+                const std::string& table, uint64_t chunk_rows) {
+  // Bootstrap command: a missing warehouse is the expected starting
+  // point, so create it instead of failing like the inspection commands.
+  std::unique_ptr<engine::Database> wh_db;
+  CLI_OK(engine::Database::Open(wh_dir, engine::DatabaseOptions(), &wh_db));
+  Result<std::unique_ptr<engine::Database>> wh(std::move(wh_db));
+  Result<std::unique_ptr<engine::Database>> src = OpenExisting(src_dir);
+  if (!src.ok()) return Fail(src.status());
+
+  const engine::Table* t = (*src)->GetTable(table);
+  if (t == nullptr) {
+    return Fail(Status::NotFound("table " + table + " in " + src_dir));
   }
+  if ((*wh)->GetTable(table) == nullptr) {
+    CLI_OK((*wh)->CreateTable(table, t->schema()));
+    std::printf("created warehouse table %s\n", table.c_str());
+  }
+
+  hub::HubOptions options;
+  options.work_dir = wh_dir + "/hub";
+  Result<std::unique_ptr<hub::DeltaHub>> hub =
+      hub::DeltaHub::Create(wh->get(), options);
+  if (!hub.ok()) return Fail(hub.status());
+
+  hub::SourceSpec spec;
+  spec.name = table;  // stable across restarts => resumable
+  spec.source = src->get();
+  spec.method = pipeline::Method::kOpDelta;
+  spec.source_table = table;
+  spec.warehouse_table = table;
+  spec.backfill = true;
+  spec.backfill_chunk_rows = chunk_rows;
+  CLI_OK((*hub)->AddSource(spec));
+  CLI_OK((*hub)->Setup());
+
+  // One chunk per round; drive until the backfiller reports done.
+  while (true) {
+    CLI_OK((*hub)->RunRound());
+    const hub::HubStats stats = (*hub)->Stats();
+    const hub::SourceStats& s = stats.sources.front();
+    std::printf("chunk %llu/%llu: %llu rows backfilled, %llu deduped\n",
+                static_cast<unsigned long long>(s.chunks_done),
+                static_cast<unsigned long long>(s.chunks_total),
+                static_cast<unsigned long long>(s.rows_backfilled),
+                static_cast<unsigned long long>(s.rows_deduped));
+    if (s.backfill_done) break;
+  }
+  Status stop = (*hub)->Stop();
+  CLI_OK((*wh)->FlushAll());
+
+  Result<uint64_t> wh_rows = (*wh)->CountRows(table);
+  if (!wh_rows.ok()) return Fail(wh_rows.status());
+  std::printf("backfill complete: %s has %llu rows\n", table.c_str(),
+              static_cast<unsigned long long>(*wh_rows));
   CLI_OK(stop);
   return 0;
 }
@@ -351,18 +527,33 @@ int CmdHub(const std::string& wh_dir, const std::string& spec_path,
 // entry into the warehouse through the apply ledger's duplicate check, so
 // already-applied batches are dropped instead of double-applied.
 int CmdDeadLetters(const std::string& wh_dir, const std::string& work_dir,
-                   bool replay) {
+                   bool replay, bool json) {
   std::vector<std::string> tables;
   CLI_OK(hub::ListDeadLetterTables(work_dir, &tables));
-  if (tables.empty()) {
+  if (tables.empty() && !json) {
     std::printf("no dead letters under %s\n",
                 hub::DeadLetterDir(work_dir).c_str());
     return 0;
   }
 
-  for (const std::string& table : tables) {
+  if (json) std::printf("{\n  \"tables\": [");
+  for (size_t ti = 0; ti < tables.size(); ++ti) {
+    const std::string& table = tables[ti];
     std::vector<hub::DeadLetterEntry> entries;
     CLI_OK(hub::ReadDeadLetters(work_dir, table, &entries));
+    if (json) {
+      std::printf("%s\n    {\"table\": \"%s\", \"entries\": [",
+                  ti == 0 ? "" : ",", JsonEscape(table).c_str());
+      for (size_t i = 0; i < entries.size(); ++i) {
+        const hub::DeadLetterEntry& e = entries[i];
+        std::printf("%s\n      {\"id\": \"%s\", \"bytes\": %zu, "
+                    "\"cause\": \"%s\"}",
+                    i == 0 ? "" : ",", JsonEscape(e.id.ToString()).c_str(),
+                    e.message.size(), JsonEscape(e.cause).c_str());
+      }
+      std::printf("%s]}", entries.empty() ? "" : "\n    ");
+      continue;
+    }
     std::printf("%s: %zu entr%s\n", table.c_str(), entries.size(),
                 entries.size() == 1 ? "y" : "ies");
     for (size_t i = 0; i < entries.size(); ++i) {
@@ -371,6 +562,10 @@ int CmdDeadLetters(const std::string& wh_dir, const std::string& work_dir,
                   e.id.ToString().c_str(), e.message.size(),
                   e.cause.c_str());
     }
+  }
+  if (json && !replay) {
+    std::printf("%s]\n}\n", tables.empty() ? "" : "\n  ");
+    return 0;
   }
   if (!replay) return 0;
 
@@ -390,10 +585,20 @@ int CmdDeadLetters(const std::string& wh_dir, const std::string& work_dir,
     total.failed += stats.failed;
   }
   CLI_OK((*wh)->FlushAll());
-  std::printf("replayed %llu, dropped %llu duplicates, %llu still failing\n",
-              static_cast<unsigned long long>(total.replayed),
-              static_cast<unsigned long long>(total.duplicates_dropped),
-              static_cast<unsigned long long>(total.failed));
+  if (json) {
+    std::printf("%s],\n  \"replayed\": %llu,\n  \"duplicates_dropped\": "
+                "%llu,\n  \"failed\": %llu\n}\n",
+                tables.empty() ? "" : "\n  ",
+                static_cast<unsigned long long>(total.replayed),
+                static_cast<unsigned long long>(total.duplicates_dropped),
+                static_cast<unsigned long long>(total.failed));
+  } else {
+    std::printf(
+        "replayed %llu, dropped %llu duplicates, %llu still failing\n",
+        static_cast<unsigned long long>(total.replayed),
+        static_cast<unsigned long long>(total.duplicates_dropped),
+        static_cast<unsigned long long>(total.failed));
+  }
   CLI_OK(worst);
   return 0;
 }
@@ -409,8 +614,11 @@ int Usage() {
                "  opdelta_cli diff <old.snap> <new.snap>\n"
                "  opdelta_cli extract-log <dbdir> <table>\n"
                "  opdelta_cli oplog <file>\n"
-               "  opdelta_cli hub <whdir> <spec_file> <rounds>\n"
-               "  opdelta_cli dead-letters <whdir> [workdir] [--replay]\n");
+               "  opdelta_cli hub <whdir> <spec_file> <rounds> [--json]\n"
+               "  opdelta_cli backfill <whdir> <srcdir> <table> "
+               "[chunk_rows]\n"
+               "  opdelta_cli dead-letters <whdir> [workdir] [--replay] "
+               "[--json]\n");
   return 2;
 }
 
@@ -431,7 +639,12 @@ int Main(int argc, char** argv) {
     return CmdExtractLog(argv[2], argv[3]);
   }
   if (cmd == "oplog" && argc == 3) return CmdOplog(argv[2]);
-  if (cmd == "hub" && argc == 5) {
+  if (cmd == "hub" && (argc == 5 || argc == 6)) {
+    bool json = false;
+    if (argc == 6) {
+      if (std::strcmp(argv[5], "--json") != 0) return Usage();
+      json = true;
+    }
     char* end = nullptr;
     int64_t rounds = std::strtoll(argv[4], &end, 10);
     if (end == argv[4] || *end != '\0' || rounds < 1) {
@@ -439,14 +652,33 @@ int Main(int argc, char** argv) {
                    argv[4]);
       return 1;
     }
-    return CmdHub(argv[2], argv[3], rounds);
+    return CmdHub(argv[2], argv[3], rounds, json);
   }
-  if (cmd == "dead-letters" && argc >= 3 && argc <= 5) {
+  if (cmd == "backfill" && (argc == 5 || argc == 6)) {
+    uint64_t chunk_rows = 256;
+    if (argc == 6) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(argv[5], &end, 10);
+      if (end == argv[5] || *end != '\0' || parsed < 1) {
+        std::fprintf(stderr,
+                     "error: chunk_rows must be a positive integer, got "
+                     "'%s'\n",
+                     argv[5]);
+        return 1;
+      }
+      chunk_rows = static_cast<uint64_t>(parsed);
+    }
+    return CmdBackfill(argv[2], argv[3], argv[4], chunk_rows);
+  }
+  if (cmd == "dead-letters" && argc >= 3 && argc <= 6) {
     std::string work_dir;
     bool replay = false;
+    bool json = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--replay") == 0) {
         replay = true;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
       } else if (work_dir.empty()) {
         work_dir = argv[i];
       } else {
@@ -454,7 +686,7 @@ int Main(int argc, char** argv) {
       }
     }
     if (work_dir.empty()) work_dir = std::string(argv[2]) + "/hub";
-    return CmdDeadLetters(argv[2], work_dir, replay);
+    return CmdDeadLetters(argv[2], work_dir, replay, json);
   }
   return Usage();
 }
