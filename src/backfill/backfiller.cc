@@ -1,39 +1,22 @@
 #include "backfill/backfiller.h"
 
-#include <algorithm>
-#include <map>
-#include <set>
 #include <utility>
 
 #include "common/logging.h"
-#include "sql/parser.h"
 
 namespace opdelta::backfill {
 
-using catalog::Value;
 using catalog::ValueType;
-
-namespace {
-
-constexpr char kLowSignal[] = "low";
-constexpr char kHighSignal[] = "high";
-
-}  // namespace
 
 constexpr char BackfillOptions::kDefaultSignalTable[];
 
 catalog::Schema Backfiller::SignalTableSchema() {
-  return catalog::Schema({catalog::Column{"sig", ValueType::kInt64},
-                          catalog::Column{"kind", ValueType::kString},
-                          catalog::Column{"tbl", ValueType::kString}});
+  return ChunkWindow::SignalTableSchema();
 }
 
 Status Backfiller::EnsureSignalTable(engine::Database* db,
                                      const std::string& table) {
-  if (db->GetTable(table) != nullptr) return Status::OK();
-  Status st = db->CreateTable(table, SignalTableSchema());
-  if (st.code() == StatusCode::kAlreadyExists) return Status::OK();
-  return st;
+  return ChunkWindow::EnsureSignalTable(db, table);
 }
 
 Backfiller::Backfiller(pipeline::SourceLeg* leg, BackfillOptions options)
@@ -41,11 +24,10 @@ Backfiller::Backfiller(pipeline::SourceLeg* leg, BackfillOptions options)
       source_(leg->source()),
       options_(std::move(options)),
       table_(leg->options().source_table),
-      ledger_(leg->source(), options_.ledger_table) {
-  engine::Table* table = source_->GetTable(table_);
-  schema_ = table->schema();
-  key_col_ = schema_.KeyColumnIndex();
-}
+      window_(leg,
+              ChunkWindow::Options{options_.signal_table, "low", "high",
+                                   options_.max_window_drains}),
+      ledger_(leg->source(), options_.ledger_table) {}
 
 Result<std::unique_ptr<Backfiller>> Backfiller::Create(
     pipeline::SourceLeg* leg, BackfillOptions options) {
@@ -93,329 +75,29 @@ Status Backfiller::Setup() {
   return Status::OK();
 }
 
-Status Backfiller::WriteSignal(uint64_t chunk, const char* kind) {
-  catalog::Row row(3);
-  row[0] = Value::Int64(static_cast<int64_t>(chunk));
-  row[1] = Value::String(kind);
-  row[2] = Value::String(table_);
-  if (leg_->capture() != nullptr) {
-    // Op-delta: the signal insert rides the captured stream, so its
-    // position in the op log *is* the watermark.
-    sql::InsertStmt ins;
-    ins.table = options_.signal_table;
-    ins.rows.push_back(std::move(row));
-    return leg_->capture()
-        ->RunTransaction({sql::Statement(std::move(ins))})
-        .status();
-  }
-  // Value-delta methods watermark implicitly (anything committed before
-  // the window-closing drain is captured); the row is kept for operators
-  // debugging a backfill, not for correctness.
-  return source_->WithTransaction([&](txn::Transaction* txn) {
-    return source_->InsertRaw(txn, options_.signal_table, std::move(row));
-  });
-}
-
-Status Backfiller::ReadChunk(std::vector<ChunkRow>* rows, bool* more) {
-  rows->clear();
-  *more = false;
-
-  // Pass 1 — candidates: the chunk_rows+1 smallest keys above the cursor,
-  // from a latch-only scan (dirty reads possible; resolved in pass 2).
-  engine::Predicate pred =
-      have_cursor_ ? engine::Predicate::Where(
-                         schema_.column(static_cast<size_t>(key_col_)).name,
-                         engine::CompareOp::kGt, Value::Int64(cursor_))
-                   : engine::Predicate::True();
-  std::map<int64_t, storage::Rid> candidates;
-  bool truncated = false;
-  const size_t cap = static_cast<size_t>(options_.chunk_rows) + 1;
-  OPDELTA_RETURN_IF_ERROR(source_->Scan(
-      nullptr, table_, pred,
-      [&](const storage::Rid& rid, const catalog::Row& row) {
-        if (static_cast<size_t>(key_col_) >= row.size() ||
-            row[static_cast<size_t>(key_col_)].type() != ValueType::kInt64) {
-          return true;  // unkeyable row; nothing to backfill
-        }
-        const int64_t key = row[static_cast<size_t>(key_col_)].AsInt64();
-        candidates[key] = rid;
-        if (candidates.size() > cap) {
-          candidates.erase(std::prev(candidates.end()));
-          truncated = true;
-        }
-        return true;
-      }));
-  if (candidates.empty()) return Status::OK();
-
-  // Pass 2 — committed images: one transaction, a row S lock per read.
-  // Any mid-chunk error aborts the transaction (releasing every lock
-  // taken so far) before surfacing; a dangling un-aborted transaction
-  // would pin its row locks until process death.
-  std::unique_ptr<txn::Transaction> txn = source_->Begin();
-  Status st;
-  for (const auto& [key, rid] : candidates) {
-    catalog::Row image;
-    Status read = source_->ReadAt(txn.get(), table_, rid, &image);
-    if (read.IsNotFound()) {
-      // The row vanished between the scans (delete, or an update that
-      // relocated it). Its committed state is re-resolved by key after
-      // the window closes — it may still exist elsewhere, and skipping
-      // it here while advancing the cursor past its key would lose it.
-      rows->push_back(ChunkRow{key, {}, false, true, false});
-      continue;
-    }
-    if (!read.ok()) {
-      st = read;
-      break;
-    }
-    if (static_cast<size_t>(key_col_) >= image.size() ||
-        image[static_cast<size_t>(key_col_)].type() != ValueType::kInt64 ||
-        image[static_cast<size_t>(key_col_)].AsInt64() != key) {
-      rows->push_back(ChunkRow{key, {}, false, true, false});  // relocated
-      continue;
-    }
-    rows->push_back(ChunkRow{key, std::move(image), true, false, false});
-  }
-  if (st.ok()) st = source_->Commit(txn.get());
-  if (!st.ok()) {
-    if (txn->active()) (void)source_->Abort(txn.get());
-    rows->clear();
-    return st;
-  }
-
-  if (truncated || rows->size() > options_.chunk_rows) *more = true;
-  while (rows->size() > options_.chunk_rows) rows->pop_back();
-  return Status::OK();
-}
-
-Status Backfiller::MarkTouched(const std::string& message, uint64_t chunk,
-                               std::vector<ChunkRow>* rows, bool* saw_high) {
-  extract::BatchId id;
-  std::string payload;
-  OPDELTA_RETURN_IF_ERROR(pipeline::DecodeBatchFrame(message, &id, &payload));
-  if (payload.empty()) return Status::Corruption("empty shipped message");
-
-  const auto mark_keys = [&](const std::set<int64_t>& keys) {
-    for (ChunkRow& r : *rows) {
-      if (keys.count(r.key) != 0) r.needs_repair = true;
-    }
-  };
-
-  if (pipeline::IsValueDeltaMessage(payload)) {
-    extract::DeltaBatch batch;
-    OPDELTA_RETURN_IF_ERROR(
-        pipeline::DecodeValueDeltaMessage(payload, &batch));
-    if (batch.table != table_) return Status::OK();
-    std::set<int64_t> keys;
-    for (const extract::DeltaRecord& rec : batch.records) {
-      if (static_cast<size_t>(key_col_) < rec.image.size() &&
-          rec.image[static_cast<size_t>(key_col_)].type() ==
-              ValueType::kInt64) {
-        keys.insert(rec.image[static_cast<size_t>(key_col_)].AsInt64());
-      }
-    }
-    mark_keys(keys);
-    return Status::OK();
-  }
-  if (!pipeline::IsOpDeltaMessage(payload)) {
-    return Status::Corruption("unknown pipeline message tag");
-  }
-
-  const std::string body = payload.substr(1);
-  // Other tables can share this leg's capture wrapper; hybrid-mode before
-  // images need every touched table's schema to parse.
-  extract::SchemaMap schemas;
-  for (const std::string& name : source_->ListTables()) {
-    engine::Table* t = source_->GetTable(name);
-    if (t != nullptr) schemas.emplace(name, t->schema());
-  }
-  std::vector<extract::OpDeltaTxn> txns;
-  OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(body, schemas, &txns));
-  for (const extract::OpDeltaTxn& t : txns) {
-    for (const extract::OpDeltaRecord& op : t.ops) {
-      OPDELTA_ASSIGN_OR_RETURN(sql::Statement stmt,
-                               sql::Parser::Parse(op.sql));
-      if (stmt.is_insert()) {
-        const sql::InsertStmt& ins = stmt.insert();
-        if (ins.table == options_.signal_table) {
-          for (const catalog::Row& row : ins.rows) {
-            if (row.size() >= 3 && row[0].type() == ValueType::kInt64 &&
-                static_cast<uint64_t>(row[0].AsInt64()) == chunk &&
-                row[1].type() == ValueType::kString &&
-                row[1].AsString() == kHighSignal &&
-                row[2].type() == ValueType::kString &&
-                row[2].AsString() == table_) {
-              *saw_high = true;
-            }
-          }
-          continue;
-        }
-        if (ins.table != table_) continue;
-        std::set<int64_t> keys;
-        for (const catalog::Row& row : ins.rows) {
-          if (static_cast<size_t>(key_col_) < row.size() &&
-              row[static_cast<size_t>(key_col_)].type() ==
-                  ValueType::kInt64) {
-            keys.insert(row[static_cast<size_t>(key_col_)].AsInt64());
-          }
-        }
-        mark_keys(keys);
-        continue;
-      }
-      if (!stmt.is_update() && !stmt.is_delete()) continue;
-      if (stmt.table() != table_) continue;
-      // The first in-window statement touching a chunk row evaluated its
-      // WHERE clause against exactly the state the chunk captured, so
-      // matching chunk images catches every first touch; later touches
-      // of the same row are then covered by its repair read.
-      engine::Predicate pred =
-          stmt.is_update() ? stmt.update().where : stmt.delete_stmt().where;
-      OPDELTA_RETURN_IF_ERROR(pred.Bind(schema_));
-      for (ChunkRow& r : *rows) {
-        if (r.needs_repair || !r.present) continue;
-        if (pred.is_true() || pred.Matches(r.image)) r.needs_repair = true;
-      }
-    }
-  }
-  return Status::OK();
-}
-
-Status Backfiller::ReadCommittedByKey(txn::Transaction* txn, int64_t key,
-                                      catalog::Row* row, bool* found) {
-  *found = false;
-  const std::string& key_name =
-      schema_.column(static_cast<size_t>(key_col_)).name;
-  // Two attempts: the latch-only rid lookup can race an update relocating
-  // the row; the committed read blocks on the writer's lock, and the
-  // second lookup then sees the row's post-commit location.
-  for (int attempt = 0; attempt < 2 && !*found; ++attempt) {
-    std::vector<storage::Rid> rids;
-    OPDELTA_RETURN_IF_ERROR(source_->Scan(
-        nullptr, table_,
-        engine::Predicate::Where(key_name, engine::CompareOp::kEq,
-                                 Value::Int64(key)),
-        [&](const storage::Rid& rid, const catalog::Row&) {
-          rids.push_back(rid);
-          return true;
-        }));
-    for (const storage::Rid& rid : rids) {
-      catalog::Row image;
-      Status st = source_->ReadAt(txn, table_, rid, &image);
-      if (st.IsNotFound()) continue;  // freed slot
-      OPDELTA_RETURN_IF_ERROR(st);
-      if (static_cast<size_t>(key_col_) < image.size() &&
-          image[static_cast<size_t>(key_col_)].type() == ValueType::kInt64 &&
-          image[static_cast<size_t>(key_col_)].AsInt64() == key) {
-        *row = std::move(image);
-        *found = true;
-        break;
-      }
-    }
-  }
-  return Status::OK();
-}
-
-Status Backfiller::RepairRows(std::vector<ChunkRow>* rows) {
-  bool any = false;
-  for (const ChunkRow& r : *rows) any = any || r.needs_repair;
-  if (!any) return Status::OK();
-
-  // One transaction for all repair reads, aborted on any error — the same
-  // lock-release discipline as ReadChunk's pass 2.
-  std::unique_ptr<txn::Transaction> txn = source_->Begin();
-  Status st;
-  for (ChunkRow& r : *rows) {
-    if (!r.needs_repair) continue;
-    catalog::Row image;
-    bool found = false;
-    st = ReadCommittedByKey(txn.get(), r.key, &image, &found);
-    if (!st.ok()) break;
-    r.needs_repair = false;
-    r.present = found;
-    if (found) r.image = std::move(image);
-    if (!r.deduped) {
-      r.deduped = true;
-      ++stats_.rows_deduped;
-    }
-  }
-  if (st.ok()) st = source_->Commit(txn.get());
-  if (!st.ok() && txn->active()) (void)source_->Abort(txn.get());
-  return st;
-}
-
-Status Backfiller::CloseWindow(uint64_t chunk, std::vector<ChunkRow>* rows) {
-  const bool op_delta = leg_->capture() != nullptr;
-  bool saw_high = false;
-  const int max_drains = std::max(1, options_.max_window_drains);
-  for (int drain = 0; drain < max_drains; ++drain) {
-    bool shipped = false;
-    std::string message;
-    OPDELTA_RETURN_IF_ERROR(leg_->ExtractAndShip(&shipped, &message));
-    if (shipped) {
-      OPDELTA_RETURN_IF_ERROR(MarkTouched(message, chunk, rows, &saw_high));
-    }
-    // Op-delta: the high watermark is itself a committed captured insert,
-    // so the window stays open until a drained batch carries it.
-    // Value-delta: signals don't ride the stream; the window closes when
-    // extraction runs dry.
-    const bool closed = op_delta ? saw_high : !shipped;
-    if (!closed) {
-      if (op_delta && !shipped) {
-        // The high signal is durably committed in the op log; an empty
-        // drain without it means the capture path dropped it.
-        return Status::Internal("backfill window marker never shipped");
-      }
-      continue;
-    }
-    bool any_repair = false;
-    for (const ChunkRow& r : *rows) any_repair = any_repair || r.needs_repair;
-    if (!any_repair) return Status::OK();
-    // The delta wins: re-read the touched rows committed, then drain once
-    // more — anything captured while repairing still ships ahead of the
-    // chunk, so its effect on chunk keys must be re-read as well.
-    OPDELTA_RETURN_IF_ERROR(RepairRows(rows));
-  }
-  // Sustained writes touched the chunk through every drain round. Repair
-  // once more and ship: events still in flight ship after the chunk, and
-  // replaying a literal-assignment statement over the repaired image it
-  // already reflects is idempotent.
-  return RepairRows(rows);
-}
-
-Status Backfiller::CleanupSignals() {
-  engine::Predicate pred = engine::Predicate::Where(
-      "tbl", engine::CompareOp::kEq, Value::String(table_));
-  if (leg_->capture() != nullptr) {
-    // Captured: the delete replays at the warehouse, cleaning its copy.
-    sql::DeleteStmt del;
-    del.table = options_.signal_table;
-    del.where = std::move(pred);
-    return leg_->capture()
-        ->RunTransaction({sql::Statement(std::move(del))})
-        .status();
-  }
-  return source_->WithTransaction([&](txn::Transaction* txn) {
-    return source_->DeleteWhere(txn, options_.signal_table, pred).status();
-  });
-}
-
 Status Backfiller::Step(bool* done) {
   if (done != nullptr) *done = stats_.done;
   if (!setup_done_) return Status::Internal("call Setup() first");
   if (stats_.done) return Status::OK();
 
   const uint64_t chunk_no = stats_.chunks_done + 1;
-  OPDELTA_RETURN_IF_ERROR(WriteSignal(chunk_no, kLowSignal));
-  std::vector<ChunkRow> rows;
+  OPDELTA_RETURN_IF_ERROR(window_.Open(chunk_no));
+  std::vector<WindowRow> rows;
   bool more = false;
-  OPDELTA_RETURN_IF_ERROR(ReadChunk(&rows, &more));
-  OPDELTA_RETURN_IF_ERROR(WriteSignal(chunk_no, kHighSignal));
-  OPDELTA_RETURN_IF_ERROR(CloseWindow(chunk_no, &rows));
+  OPDELTA_RETURN_IF_ERROR(window_.ReadRange(
+      have_cursor_ ? std::optional<int64_t>(cursor_) : std::nullopt,
+      std::nullopt, options_.chunk_rows, &rows, &more));
+  ChunkWindow::CloseOutcome outcome;
+  OPDELTA_RETURN_IF_ERROR(window_.Close(chunk_no,
+                                        ChunkWindow::CloseMode::kRepair,
+                                        /*collect=*/false, std::nullopt,
+                                        std::nullopt, &rows, &outcome));
+  stats_.rows_deduped += outcome.rows_deduped;
 
   extract::DeltaBatch chunk;
   chunk.table = table_;
-  chunk.schema = schema_;
-  for (ChunkRow& r : rows) {
+  chunk.schema = window_.schema();
+  for (WindowRow& r : rows) {
     if (!r.present) continue;
     extract::DeltaRecord rec;
     rec.op = extract::DeltaOp::kUpsert;
@@ -459,7 +141,7 @@ Status Backfiller::Step(bool* done) {
   stats_.chunks_total = stats_.chunks_done;
   if (done != nullptr) *done = true;
   // Housekeeping only: leftover watermark rows are inert.
-  Status st = CleanupSignals();
+  Status st = window_.CleanupSignals();
   if (!st.ok()) {
     OPDELTA_LOG(kWarn) << "backfill signal cleanup failed: " << st.ToString();
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "backfill/chunk_ledger.h"
+#include "backfill/chunk_window.h"
 #include "common/status.h"
 #include "engine/database.h"
 #include "pipeline/source_leg.h"
@@ -44,27 +45,19 @@ struct BackfillStats {
 
 /// DBLog-style online backfill: bootstraps a warehouse table from a live
 /// source in primary-key-ordered chunks *while capture keeps running* — no
-/// table lock, no capture outage. Each Step() ships one chunk:
+/// table lock, no capture outage. Each Step() ships one chunk through a
+/// watermark-bracketed window (see ChunkWindow, the shared primitive):
 ///
-///   1. write a low-watermark row to the signal table;
-///   2. select the next chunk_rows committed row images above the cursor
-///      (dirty scan for candidates, then per-row committed reads under row
-///      S locks in one transaction — aborted on any mid-chunk error so the
-///      locks never leak);
-///   3. write a high-watermark row;
-///   4. close the window: drain capture through the leg until the high
-///      watermark ships (op-delta) or extraction runs dry (value-delta) —
-///      everything shipped here reaches the warehouse before the chunk;
-///   5. the delta wins: chunk rows touched by in-window events are re-read
-///      committed (the post-delta state ships) or dropped when the delta
-///      deleted them. Statement replay (op-delta) applies deltas against
-///      the warehouse state as-of capture, so a touched chunk row must
-///      carry the post-event image — dropping it, as image-based CDC can,
-///      would strand the key;
-///   6. ship the chunk as a snapshot-marked batch ('C' frame) through the
+///   1. open the window (low-watermark signal row);
+///   2. select the next chunk_rows committed row images above the cursor;
+///   3. close the window in repair mode: drain capture through the leg
+///      until the high watermark ships — everything shipped here reaches
+///      the warehouse before the chunk — and re-read rows the in-window
+///      delta touched ("the delta wins");
+///   4. ship the chunk as a snapshot-marked batch ('C' frame) through the
 ///      leg's durable queue, stamped from the same (epoch, seq) sequence
 ///      as live batches, applied idempotently as net-change upserts;
-///   7. advance the ChunkLedger cursor (MarkDone on the last chunk).
+///   5. advance the ChunkLedger cursor (MarkDone on the last chunk).
 ///
 /// Crash anywhere re-runs the current chunk from the durable cursor; the
 /// warehouse absorbs the re-shipped chunk idempotently.
@@ -95,7 +88,7 @@ class Backfiller {
   /// the leg's Setup. Idempotent.
   Status Setup();
 
-  /// Ships the next chunk (steps 1-7 above). No-op once done. `*done`
+  /// Ships the next chunk (steps 1-5 above). No-op once done. `*done`
   /// reports completion. Safe to retry after an error: the chunk re-runs
   /// from the durable cursor.
   Status Step(bool* done = nullptr);
@@ -104,40 +97,13 @@ class Backfiller {
   const BackfillOptions& options() const { return options_; }
 
  private:
-  /// One selected row of the in-flight chunk.
-  struct ChunkRow {
-    int64_t key = 0;
-    catalog::Row image;
-    bool present = false;       // has a committed image to ship
-    bool needs_repair = false;  // in-window delta touched it; re-read
-    bool deduped = false;       // counted in rows_deduped already
-  };
-
   Backfiller(pipeline::SourceLeg* leg, BackfillOptions options);
-
-  Status WriteSignal(uint64_t chunk, const char* kind);
-  Status ReadChunk(std::vector<ChunkRow>* rows, bool* more);
-  Status CloseWindow(uint64_t chunk, std::vector<ChunkRow>* rows);
-  /// Marks chunk rows touched by the shipped message's events; reports
-  /// whether the high-watermark signal for `chunk` was observed.
-  Status MarkTouched(const std::string& message, uint64_t chunk,
-                     std::vector<ChunkRow>* rows, bool* saw_high);
-  /// Re-reads every needs_repair row committed-by-key; absent rows drop.
-  Status RepairRows(std::vector<ChunkRow>* rows);
-  /// Committed state of `key` right now; found=false when no committed
-  /// row carries it. Locks stay with `txn`.
-  Status ReadCommittedByKey(txn::Transaction* txn, int64_t key,
-                            catalog::Row* row, bool* found);
-  /// Deletes this table's signal rows (captured for op-delta, so the
-  /// warehouse copy is cleaned by replay).
-  Status CleanupSignals();
 
   pipeline::SourceLeg* leg_;
   engine::Database* source_;
   BackfillOptions options_;
   std::string table_;       // source table being backfilled
-  catalog::Schema schema_;
-  int key_col_ = 0;
+  ChunkWindow window_;
   ChunkLedger ledger_;
   bool setup_done_ = false;
 

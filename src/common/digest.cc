@@ -1,0 +1,45 @@
+#include "common/digest.h"
+
+namespace opdelta {
+
+uint64_t HashBytes64(const char* data, size_t n) {
+  // FNV-1a 64.
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  // Finalizing avalanche (splitmix64): FNV alone mixes low bits weakly,
+  // and the commutative combiners in SetDigest amplify that weakness.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+void SetDigest::Add(const char* data, size_t n) {
+  const uint64_t h = HashBytes64(data, n);
+  sum += h;
+  xr ^= h;
+  ++count;
+}
+
+namespace {
+std::string Hex64(uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+}  // namespace
+
+std::string SetDigest::ToString() const {
+  return std::to_string(count) + ":" + Hex64(sum) + "^" + Hex64(xr);
+}
+
+}  // namespace opdelta

@@ -1,0 +1,42 @@
+#ifndef OPDELTA_COMMON_DIGEST_H_
+#define OPDELTA_COMMON_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace opdelta {
+
+/// 64-bit hash of a byte string (FNV-1a with a finalizing avalanche).
+/// Stable across platforms and process runs — digests computed on the
+/// source side are compared against digests computed at the warehouse,
+/// possibly by another process after a restart.
+uint64_t HashBytes64(const char* data, size_t n);
+
+/// Order-insensitive digest of a multiset of byte strings. Each element
+/// contributes its 64-bit hash through two commutative combiners (modular
+/// sum and xor) plus a count, so two row sets digest equal iff they carry
+/// the same encoded rows regardless of scan order — a PK-ordered source
+/// scan and a heap-ordered warehouse scan compare directly. Collisions
+/// require simultaneous sum, xor and count matches over 64-bit hashes,
+/// which is vanishingly unlikely for table-sized sets.
+struct SetDigest {
+  uint64_t sum = 0;
+  uint64_t xr = 0;
+  uint64_t count = 0;
+
+  void Add(const char* data, size_t n);
+  void Add(const std::string& bytes) { Add(bytes.data(), bytes.size()); }
+
+  bool operator==(const SetDigest& other) const {
+    return sum == other.sum && xr == other.xr && count == other.count;
+  }
+  bool operator!=(const SetDigest& other) const { return !(*this == other); }
+
+  /// "count:sum^xor" in hex, for logs and mismatch reports.
+  std::string ToString() const;
+};
+
+}  // namespace opdelta
+
+#endif  // OPDELTA_COMMON_DIGEST_H_

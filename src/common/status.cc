@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kAborted,        // transaction aborted
   kAlreadyExists,
   kOutOfRange,
+  kResourceExhausted,  // a bounded resource (queue, budget) is full
   kInternal,
 };
 
@@ -63,6 +64,9 @@ class [[nodiscard]] Status {
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -73,6 +77,9 @@ class [[nodiscard]] Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -703,6 +703,47 @@ Status Database::Scan(
   return decode_status;
 }
 
+Status Database::ScanCommitted(
+    const std::string& table_name, const Predicate& pred,
+    const std::function<bool(const catalog::Row&)>& fn) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  Predicate bound = pred;
+  OPDELTA_RETURN_IF_ERROR(bound.Bind(table->schema()));
+
+  // Pass 1 — candidates: rids only, from a latch-only scan. Dirty rows
+  // are possible here; pass 2 resolves each against its committed image.
+  std::vector<Rid> candidates;
+  OPDELTA_RETURN_IF_ERROR(
+      Scan(nullptr, table_name, Predicate::True(),
+           [&](const Rid& rid, const Row&) {
+             candidates.push_back(rid);
+             return true;
+           }));
+
+  // Pass 2 — committed images under row S locks in one transaction,
+  // aborted on any error so the locks never leak. A vanished rid (the row
+  // was deleted, or an update relocated it) simply drops out — its
+  // committed state, if any, lives at another rid the candidate pass may
+  // or may not have seen; watermark-bracketing callers handle that window.
+  std::unique_ptr<txn::Transaction> txn = Begin();
+  Status st;
+  for (const Rid& rid : candidates) {
+    Row row;
+    Status read = ReadAt(txn.get(), table_name, rid, &row);
+    if (read.IsNotFound()) continue;
+    if (!read.ok()) {
+      st = read;
+      break;
+    }
+    if (!bound.Matches(row)) continue;
+    if (!fn(row)) break;
+  }
+  if (st.ok()) st = Commit(txn.get());
+  if (!st.ok() && txn->active()) (void)Abort(txn.get());
+  return st;
+}
+
 Status Database::IndexScan(
     Transaction* txn, const std::string& table_name, const std::string& column,
     int64_t lo, int64_t hi,

@@ -139,6 +139,17 @@ class Database {
                    const std::function<bool(const storage::Rid&,
                                             const catalog::Row&)>& fn);
 
+  /// Committed-read scan: a latch-only candidate pass collects rids, then
+  /// one internal transaction re-reads each candidate under a row S lock
+  /// (committed image; blocks on in-flight writers) and re-checks `pred`
+  /// against it. The transaction is committed — or aborted on any error —
+  /// before returning, so no lock outlives the call. Unlike Scan, `fn`
+  /// runs *without* the table latch held. Rows inserted or relocated after
+  /// the candidate pass are not revisited; callers needing stronger
+  /// guarantees bracket the scan with watermarks (see backfill/scrub).
+  Status ScanCommitted(const std::string& table, const Predicate& pred,
+                       const std::function<bool(const catalog::Row&)>& fn);
+
   Result<uint64_t> CountRows(const std::string& table);
 
   // -- Integration helpers ----------------------------------------------

@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "extract/reconciler.h"
 #include "hub/dead_letter.h"
+#include "scrub/scrubber.h"
 
 namespace opdelta::hub {
 
@@ -51,6 +52,8 @@ Status JoinErrors(const std::vector<Status>& errors) {
     case StatusCode::kAborted: return Status::Aborted(joined);
     case StatusCode::kAlreadyExists: return Status::AlreadyExists(joined);
     case StatusCode::kOutOfRange: return Status::OutOfRange(joined);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(joined);
     default: return Status::Internal(joined);
   }
 }
@@ -63,6 +66,7 @@ struct DeltaHub::Source {
   SourceSpec spec;
   std::unique_ptr<pipeline::SourceLeg> leg;
   std::unique_ptr<backfill::Backfiller> backfiller;  // spec.backfill only
+  std::unique_ptr<scrub::Scrubber> scrubber;         // spec.scrub only
   size_t stats_index = 0;
 };
 
@@ -159,6 +163,23 @@ Status DeltaHub::AddSource(const SourceSpec& spec) {
     return Status::NotSupported(
         "backfill is not supported on replica-group members: " + spec.name);
   }
+  if (spec.scrub && !spec.replica_group.empty()) {
+    // Same reason as backfill — and worse: a repair's deletes would treat
+    // the peers' reconciled rows as warehouse corruption.
+    return Status::NotSupported(
+        "scrub is not supported on replica-group members: " + spec.name);
+  }
+  // A scrub repair deletes warehouse keys its own source does not carry;
+  // with a co-feeding source those keys are peer data, not corruption. So
+  // a scrubbed warehouse table belongs to exactly one source.
+  for (const auto& existing : sources_) {
+    if ((spec.scrub || existing->spec.scrub) &&
+        existing->spec.warehouse_table == spec.warehouse_table) {
+      return Status::NotSupported(
+          "scrub requires exclusive ownership of warehouse table " +
+          spec.warehouse_table);
+    }
+  }
 
   pipeline::PipelineOptions leg_options;
   leg_options.method = spec.method;
@@ -251,6 +272,31 @@ Status DeltaHub::Setup() {
           backfill::Backfiller::Create(source->leg.get(), bf_options));
       OPDELTA_RETURN_IF_ERROR(source->backfiller->Setup());
     }
+    if (source->spec.scrub) {
+      if (source->spec.method == pipeline::Method::kOpDelta) {
+        // Captured scrub-watermark statements replay at the warehouse,
+        // so it needs the signal table (shared with backfill's).
+        OPDELTA_RETURN_IF_ERROR(
+            backfill::Backfiller::EnsureSignalTable(warehouse_));
+      }
+      Group* group = nullptr;
+      for (const auto& g : groups_) {
+        if (std::find(g->members.begin(), g->members.end(), source.get()) !=
+            g->members.end()) {
+          group = g.get();
+          break;
+        }
+      }
+      scrub::ScrubOptions sc_options;
+      sc_options.chunk_rows = source->spec.scrub_chunk_rows;
+      sc_options.repair = source->spec.scrub_repair;
+      OPDELTA_ASSIGN_OR_RETURN(
+          source->scrubber,
+          scrub::Scrubber::Create(
+              source->leg.get(), warehouse_,
+              [this, group] { return DrainBacklog(group); }, sc_options));
+      OPDELTA_RETURN_IF_ERROR(source->scrubber->Setup());
+    }
   }
 
   worker_queues_.resize(options_.apply_workers);
@@ -286,6 +332,14 @@ void DeltaHub::RefreshSourceStats(Source* source) {
     entry.rows_deduped = bf.rows_deduped;
     entry.backfill_done = bf.done;
   }
+  if (source->scrubber != nullptr) {
+    const scrub::ScrubStats& sc = source->scrubber->stats();
+    entry.chunks_scrubbed = sc.chunks_scrubbed;
+    entry.chunks_mismatched = sc.chunks_mismatched;
+    entry.chunks_repaired = sc.chunks_repaired;
+    entry.chunks_inconclusive = sc.chunks_inconclusive;
+    entry.last_scrub_pass = sc.passes;
+  }
 }
 
 Status DeltaHub::ProduceRound(Group* group) {
@@ -310,8 +364,30 @@ Status DeltaHub::ProduceRound(Group* group) {
   }
 
   // 2. Drain the group's shipped backlog — which replays anything staged
-  //    before a restart first, in FIFO order — one batch in flight at a
-  //    time so per-source apply order matches ship order.
+  //    before a restart first, in FIFO order.
+  OPDELTA_RETURN_IF_ERROR(DrainBacklog(group));
+
+  // 3. Anti-entropy scrub: one chunk verified (and repaired if needed)
+  //    per round, under the same retry/quarantine policy as extraction.
+  //    Deferred until backfill completes — a half-bootstrapped mirror
+  //    diverges by definition.
+  for (Source* source : group->members) {
+    if (source->scrubber == nullptr) continue;
+    if (source->backfiller != nullptr && !source->backfiller->stats().done) {
+      continue;
+    }
+    Status st = source->scrubber->Step();
+    RefreshSourceStats(source);
+    OPDELTA_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+Status DeltaHub::DrainBacklog(Group* group) {
+  // One batch in flight at a time so per-source apply order matches ship
+  // order. Apply-only: nothing is extracted here, so after this returns
+  // the warehouse holds exactly what was shipped — the watermark pin the
+  // scrubber's digest comparison needs.
   while (true) {
     std::vector<Source*> present;
     std::vector<std::string> messages;

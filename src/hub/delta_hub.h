@@ -52,6 +52,17 @@ struct SourceSpec {
   bool backfill = false;
   /// Rows per backfill snapshot chunk.
   uint64_t backfill_chunk_rows = 256;
+
+  /// Continuously verify this mirror online: one watermark-consistent
+  /// chunk digest per round (after any backfill completes), repairing
+  /// confirmed divergence by re-shipping the chunk (scrub::Scrubber).
+  /// Requires an INT64 key column; not supported on replica-group members
+  /// or when another source feeds the same warehouse table.
+  bool scrub = false;
+  /// Rows per scrub chunk.
+  uint64_t scrub_chunk_rows = 256;
+  /// false: report mismatches in stats but do not repair them.
+  bool scrub_repair = true;
 };
 
 struct HubOptions {
@@ -139,6 +150,13 @@ struct SourceStats {
   uint64_t rows_backfilled = 0;
   uint64_t rows_deduped = 0;       // chunk rows the in-window delta won over
   bool backfill_done = false;
+
+  // Anti-entropy scrub (SourceSpec::scrub only).
+  uint64_t chunks_scrubbed = 0;      // chunks that verified clean
+  uint64_t chunks_mismatched = 0;    // confirmed digest mismatches
+  uint64_t chunks_repaired = 0;      // mismatched chunks re-shipped
+  uint64_t chunks_inconclusive = 0;  // live-delta-touched windows, retried
+  uint64_t last_scrub_pass = 0;      // completed full-table passes
 };
 
 /// Consistent point-in-time snapshot of the hub's operation.
@@ -234,6 +252,10 @@ class DeltaHub {
 
   Status BuildGroups();
   Status ProduceRound(Group* group);
+  /// Stages and applies the group's already-shipped backlog (FIFO, one
+  /// batch in flight) until its queues are empty. Extracts nothing — the
+  /// scrubber relies on that to pin the warehouse at a watermark.
+  Status DrainBacklog(Group* group);
   /// ProduceRound wrapped in the self-healing policy: bounded retries with
   /// jittered exponential backoff, then quarantine with backoff probing.
   /// OK when the group succeeded or is quarantined-and-skipped.

@@ -46,6 +46,13 @@ struct PipelineOptions {
 
   /// Directory for the shipping queue and the watermark state file.
   std::string work_dir;
+
+  /// Bound on the shipping queue's unacknowledged backlog, in bytes. A
+  /// ship into a full queue fails with kResourceExhausted and the leg
+  /// retains the extracted batch for the next round (backpressure, not
+  /// drop) — a slow warehouse stalls extraction instead of growing the
+  /// queue without limit. 0 = unbounded.
+  uint64_t queue_max_bytes = 0;
 };
 
 struct PipelineStats {

@@ -1,0 +1,73 @@
+#ifndef OPDELTA_SCRUB_SCRUB_LEDGER_H_
+#define OPDELTA_SCRUB_SCRUB_LEDGER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace opdelta::scrub {
+
+/// Durable record of scrub progress, stored *in the source database* like
+/// backfill::ChunkLedger: an append-only table (default `__scrub_cursor`)
+/// of rows
+///   (tbl TEXT, kind TEXT, pass INT, cursor INT, chunks INT)
+/// with two row kinds:
+///   'C' — cursor: `chunks` chunks of pass `pass` over `tbl` are verified;
+///         the next chunk selects keys strictly above `cursor`. The
+///         effective cursor of a pass is its row with the largest chunk
+///         count (cursors are keys and may be negative, so the chunk count
+///         is the recency order).
+///   'P' — pass complete: pass `pass` covered the whole key space in
+///         `chunks` chunks. The next pass restarts from the smallest key.
+///
+/// Append-only for the same reason as the other ledgers: every writer is a
+/// plain insert, and the worst a crash can do is lose the newest row —
+/// re-verifying one chunk, which is idempotent by construction.
+class ScrubLedger {
+ public:
+  static constexpr char kDefaultTable[] = "__scrub_cursor";
+
+  explicit ScrubLedger(engine::Database* source,
+                       std::string table = kDefaultTable)
+      : db_(source), table_(std::move(table)) {}
+
+  static catalog::Schema TableSchema();
+
+  /// Creates the ledger table if missing. Idempotent.
+  Status Setup();
+
+  struct Progress {
+    uint64_t passes_complete = 0;  // newest 'P' pass number (0 = none)
+    uint64_t pass = 1;             // pass to run (or resume) next
+    bool have_cursor = false;      // resume mid-pass above `cursor`
+    int64_t cursor = 0;
+    uint64_t chunks = 0;           // chunks verified in the resumed pass
+  };
+  Result<Progress> Get(const std::string& table);
+
+  /// Appends a cursor row in its own transaction: `chunks` chunks of
+  /// `pass` are verified through key `cursor`.
+  Status Advance(const std::string& table, uint64_t pass, int64_t cursor,
+                 uint64_t chunks);
+
+  /// Appends the pass-complete 'P' row for `pass`.
+  Status MarkPass(const std::string& table, uint64_t pass, uint64_t chunks);
+
+  /// Deletes rows superseded by a newer row of their table: every 'C' but
+  /// the effective cursor, every 'P' but the newest.
+  Status Compact(uint64_t* rows_removed = nullptr);
+
+  const std::string& table() const { return table_; }
+
+ private:
+  Status Append(const std::string& table, const char* kind, uint64_t pass,
+                int64_t cursor, uint64_t chunks);
+
+  engine::Database* db_;
+  std::string table_;
+};
+
+}  // namespace opdelta::scrub
+
+#endif  // OPDELTA_SCRUB_SCRUB_LEDGER_H_

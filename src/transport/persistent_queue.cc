@@ -17,8 +17,10 @@ PersistentQueue::~PersistentQueue() {
   if (log_ != nullptr) (void)log_->Close();
 }
 
-Status PersistentQueue::Open(const std::string& dir) {
+Status PersistentQueue::Open(const std::string& dir,
+                             uint64_t max_backlog_bytes) {
   dir_ = dir;
+  max_backlog_bytes_ = max_backlog_bytes;
   Env* env = Env::Default();
   OPDELTA_RETURN_IF_ERROR(env->CreateDir(dir));
   OPDELTA_RETURN_IF_ERROR(RecoverLog());
@@ -101,6 +103,19 @@ Status PersistentQueue::SaveCursor() {
 Status PersistentQueue::Enqueue(Slice message, bool durable) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (log_ == nullptr) return Status::Internal("queue not open");
+  if (max_backlog_bytes_ != 0) {
+    // Backpressure on the *unacknowledged* backlog (acknowledged frames
+    // stay in the log but cost the consumer nothing). Mirrors the hub's
+    // staging budget: an empty backlog always admits, so one oversized
+    // message cannot wedge the queue forever.
+    const uint64_t size = log_->Size();
+    const uint64_t backlog = size > read_offset_ ? size - read_offset_ : 0;
+    if (backlog > 0 && backlog + message.size() + 8 > max_backlog_bytes_) {
+      return Status::ResourceExhausted(
+          "queue backlog at " + std::to_string(backlog) + " bytes (bound " +
+          std::to_string(max_backlog_bytes_) + "); retry after a drain");
+    }
+  }
   std::string frame;
   PutFixed32(&frame, static_cast<uint32_t>(message.size()));
   PutFixed32(&frame, Crc32c(message.data(), message.size()));

@@ -34,11 +34,17 @@ class PersistentQueue {
   PersistentQueue(const PersistentQueue&) = delete;
   PersistentQueue& operator=(const PersistentQueue&) = delete;
 
-  /// Opens (creating if needed) a queue rooted at `dir`.
-  Status Open(const std::string& dir);
+  /// Opens (creating if needed) a queue rooted at `dir`. A non-zero
+  /// `max_backlog_bytes` bounds the unacknowledged backlog: Enqueue
+  /// returns kResourceExhausted (backpressure, not data loss — the caller
+  /// retains the message and retries) once the pending bytes would exceed
+  /// the bound. A message into an *empty* backlog is always admitted, so
+  /// one oversized message can never wedge the queue.
+  Status Open(const std::string& dir, uint64_t max_backlog_bytes = 0);
   Status Close();
 
-  /// Appends a message durably (fsync when `durable`).
+  /// Appends a message durably (fsync when `durable`). kResourceExhausted
+  /// when a backlog bound is configured and this message would exceed it.
   Status Enqueue(Slice message, bool durable = false);
 
   /// Reads the message at the cursor without consuming it. Returns
@@ -76,6 +82,7 @@ class PersistentQueue {
   Status SaveCursor();
 
   std::string dir_;
+  uint64_t max_backlog_bytes_ = 0;  // 0 = unbounded
   std::unique_ptr<WritableFile> log_;
   std::mutex mutex_;
   uint64_t read_offset_ = 0;   // byte offset of the cursor in the log

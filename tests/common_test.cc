@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <iterator>
 #include <set>
 #include <thread>
 
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/digest.h"
 #include "common/env.h"
 #include "common/random.h"
 #include "common/slice.h"
@@ -411,6 +413,54 @@ TEST(ThreadPoolTest, WaitIdleObservesRunningTasks) {
   }
   pool.WaitIdle();
   EXPECT_EQ(done.load(), 16);
+}
+
+// ----------------------------------------------------------------- digest
+
+TEST(DigestTest, HashBytesIsStableAndSpreads) {
+  const std::string a = "delta";
+  const std::string b = "delta!";
+  EXPECT_EQ(HashBytes64(a.data(), a.size()), HashBytes64(a.data(), a.size()));
+  EXPECT_NE(HashBytes64(a.data(), a.size()), HashBytes64(b.data(), b.size()));
+  // Single-bit input changes must not produce nearby hashes (the set
+  // digest sums hashes, so clustered values would cancel easily).
+  const std::string c = "deltb";
+  const uint64_t ha = HashBytes64(a.data(), a.size());
+  const uint64_t hc = HashBytes64(c.data(), c.size());
+  EXPECT_GT(ha > hc ? ha - hc : hc - ha, 1u << 20);
+}
+
+TEST(DigestTest, SetDigestIsOrderInsensitive) {
+  SetDigest forward, backward;
+  const std::string rows[] = {"row-a", "row-b", "row-c", "row-d"};
+  for (const std::string& r : rows) forward.Add(r);
+  for (auto it = std::rbegin(rows); it != std::rend(rows); ++it) {
+    backward.Add(*it);
+  }
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward.count, 4u);
+}
+
+TEST(DigestTest, SetDigestSeesElementAndMultiplicityChanges) {
+  SetDigest base;
+  base.Add(std::string("row-a"));
+  base.Add(std::string("row-b"));
+
+  SetDigest changed;
+  changed.Add(std::string("row-a"));
+  changed.Add(std::string("row-B"));
+  EXPECT_NE(base, changed);
+
+  // Same element twice vs. two distinct elements: the count tells the
+  // multiset apart even when xor would cancel.
+  SetDigest doubled;
+  doubled.Add(std::string("row-a"));
+  doubled.Add(std::string("row-a"));
+  EXPECT_NE(base, doubled);
+  EXPECT_EQ(doubled.count, 2u);
+
+  EXPECT_EQ(SetDigest{}, SetDigest{});
+  EXPECT_FALSE(base.ToString().empty());
 }
 
 TEST(CountDownLatchTest, WaitReleasesAtZero) {

@@ -14,6 +14,9 @@
 //   opdelta_cli backfill <whdir> <srcdir> <table> [chunk_rows]
 //                                               online-bootstrap a warehouse
 //                                               table from a live source
+//   opdelta_cli scrub <whdir> <srcdir> <table> [chunk_rows] [--once]
+//               [--repair] [--json]             verify (and optionally
+//                                               repair) a mirrored table
 //   opdelta_cli dead-letters <whdir> [workdir] [--replay] [--json]
 //                                               list / replay diverted batches
 // printf goes to the terminal; all database I/O routes through common::Env.
@@ -314,12 +317,20 @@ void PrintHubStatsJson(const hub::HubStats& stats) {
                 JsonEscape(s.last_error).c_str());
     std::printf("\"chunks_done\": %llu, \"chunks_total\": %llu, "
                 "\"rows_backfilled\": %llu, \"rows_deduped\": %llu, "
-                "\"backfill_done\": %s}",
+                "\"backfill_done\": %s, ",
                 static_cast<unsigned long long>(s.chunks_done),
                 static_cast<unsigned long long>(s.chunks_total),
                 static_cast<unsigned long long>(s.rows_backfilled),
                 static_cast<unsigned long long>(s.rows_deduped),
                 s.backfill_done ? "true" : "false");
+    std::printf("\"chunks_scrubbed\": %llu, \"chunks_mismatched\": %llu, "
+                "\"chunks_repaired\": %llu, \"chunks_inconclusive\": %llu, "
+                "\"last_scrub_pass\": %llu}",
+                static_cast<unsigned long long>(s.chunks_scrubbed),
+                static_cast<unsigned long long>(s.chunks_mismatched),
+                static_cast<unsigned long long>(s.chunks_repaired),
+                static_cast<unsigned long long>(s.chunks_inconclusive),
+                static_cast<unsigned long long>(s.last_scrub_pass));
   }
   std::printf("%s]\n}\n", stats.sources.empty() ? "" : "\n  ");
 }
@@ -362,6 +373,17 @@ void PrintHubStatsText(const hub::HubStats& stats) {
                   static_cast<unsigned long long>(s.rows_backfilled),
                   static_cast<unsigned long long>(s.rows_deduped),
                   s.backfill_done ? " (done)" : "");
+    }
+    if (s.chunks_scrubbed + s.chunks_mismatched + s.chunks_repaired +
+            s.chunks_inconclusive + s.last_scrub_pass >
+        0) {
+      std::printf("  %-16s    scrub pass %llu: %llu clean, %llu mismatched, "
+                  "%llu repaired, %llu inconclusive\n",
+                  "", static_cast<unsigned long long>(s.last_scrub_pass),
+                  static_cast<unsigned long long>(s.chunks_scrubbed),
+                  static_cast<unsigned long long>(s.chunks_mismatched),
+                  static_cast<unsigned long long>(s.chunks_repaired),
+                  static_cast<unsigned long long>(s.chunks_inconclusive));
     }
     if (s.errors > 0 || s.retries > 0 || s.dead_letters > 0 ||
         s.quarantined) {
@@ -455,6 +477,16 @@ int CmdHub(const std::string& wh_dir, const std::string& spec_path,
     PrintHubStatsText(stats);
   }
   CLI_OK(stop);
+  // A source that ends quarantined or with diverted batches means the
+  // warehouse is NOT a faithful mirror; surface that to scripts/CI.
+  for (const hub::SourceStats& s : stats.sources) {
+    if (s.quarantined || s.dead_letters > 0) {
+      std::fprintf(stderr, "error: source %s ended %s%llu dead-letter(s)\n",
+                   s.name.c_str(), s.quarantined ? "quarantined with " : "with ",
+                   static_cast<unsigned long long>(s.dead_letters));
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -519,6 +551,92 @@ int CmdBackfill(const std::string& wh_dir, const std::string& src_dir,
   std::printf("backfill complete: %s has %llu rows\n", table.c_str(),
               static_cast<unsigned long long>(*wh_rows));
   CLI_OK(stop);
+  return 0;
+}
+
+// Anti-entropy scrub of warehouse table <table> against the live source
+// at <src_dir>: a single-source op-delta hub with scrubbing enabled,
+// driven until one full PK-ordered pass over the table completes (or one
+// chunk with --once). Report-only by default; --repair re-ships divergent
+// chunks as snapshot frames and re-verifies with a second pass. Exits
+// nonzero when the final pass still saw mismatched chunks.
+int CmdScrub(const std::string& wh_dir, const std::string& src_dir,
+             const std::string& table, uint64_t chunk_rows, bool once,
+             bool repair, bool json) {
+  Result<std::unique_ptr<engine::Database>> wh = OpenExisting(wh_dir);
+  if (!wh.ok()) return Fail(wh.status());
+  Result<std::unique_ptr<engine::Database>> src = OpenExisting(src_dir);
+  if (!src.ok()) return Fail(src.status());
+
+  if ((*wh)->GetTable(table) == nullptr) {
+    return Fail(Status::NotFound("table " + table + " in " + wh_dir));
+  }
+
+  hub::HubOptions options;
+  options.work_dir = wh_dir + "/hub";
+  Result<std::unique_ptr<hub::DeltaHub>> hub =
+      hub::DeltaHub::Create(wh->get(), options);
+  if (!hub.ok()) return Fail(hub.status());
+
+  hub::SourceSpec spec;
+  spec.name = table;  // stable across restarts => resumable
+  spec.source = src->get();
+  spec.method = pipeline::Method::kOpDelta;
+  spec.source_table = table;
+  spec.warehouse_table = table;
+  spec.scrub = true;
+  spec.scrub_chunk_rows = chunk_rows;
+  spec.scrub_repair = repair;
+  CLI_OK((*hub)->AddSource(spec));
+  CLI_OK((*hub)->Setup());
+
+  const uint64_t start_pass = (*hub)->Stats().sources.front().last_scrub_pass;
+  // One chunk per round. Repair mode runs a second pass after any pass
+  // that repaired chunks, so convergence is re-verified end to end.
+  const uint64_t max_passes = repair ? 3 : 1;
+  uint64_t prev_pass = start_pass;
+  uint64_t prev_mismatched = 0;
+  uint64_t pass_mismatched = 0;
+  while (true) {
+    CLI_OK((*hub)->RunRound());
+    const hub::HubStats stats = (*hub)->Stats();
+    const hub::SourceStats& s = stats.sources.front();
+    if (once) break;
+    if (s.last_scrub_pass > prev_pass) {
+      prev_pass = s.last_scrub_pass;
+      pass_mismatched = s.chunks_mismatched - prev_mismatched;
+      const uint64_t passes = s.last_scrub_pass - start_pass;
+      if (!json) {
+        std::printf("pass %llu: %llu clean, %llu mismatched, %llu repaired, "
+                    "%llu inconclusive\n",
+                    static_cast<unsigned long long>(s.last_scrub_pass),
+                    static_cast<unsigned long long>(s.chunks_scrubbed),
+                    static_cast<unsigned long long>(pass_mismatched),
+                    static_cast<unsigned long long>(s.chunks_repaired),
+                    static_cast<unsigned long long>(s.chunks_inconclusive));
+      }
+      if (pass_mismatched == 0 || passes >= max_passes) break;
+      prev_mismatched = s.chunks_mismatched;
+    }
+  }
+  Status stop = (*hub)->Stop();
+  CLI_OK((*wh)->FlushAll());
+
+  const hub::HubStats stats = (*hub)->Stats();
+  const hub::SourceStats& s = stats.sources.front();
+  if (json) {
+    PrintHubStatsJson(stats);
+  } else {
+    PrintHubStatsText(stats);
+  }
+  CLI_OK(stop);
+  const uint64_t unresolved = once ? s.chunks_mismatched : pass_mismatched;
+  if (unresolved > 0) {
+    std::fprintf(stderr, "error: %llu chunk(s) still mismatched%s\n",
+                 static_cast<unsigned long long>(unresolved),
+                 repair ? " after repair" : " (re-run with --repair)");
+    return 1;
+  }
   return 0;
 }
 
@@ -617,6 +735,8 @@ int Usage() {
                "  opdelta_cli hub <whdir> <spec_file> <rounds> [--json]\n"
                "  opdelta_cli backfill <whdir> <srcdir> <table> "
                "[chunk_rows]\n"
+               "  opdelta_cli scrub <whdir> <srcdir> <table> [chunk_rows] "
+               "[--once] [--repair] [--json]\n"
                "  opdelta_cli dead-letters <whdir> [workdir] [--replay] "
                "[--json]\n");
   return 2;
@@ -669,6 +789,34 @@ int Main(int argc, char** argv) {
       chunk_rows = static_cast<uint64_t>(parsed);
     }
     return CmdBackfill(argv[2], argv[3], argv[4], chunk_rows);
+  }
+  if (cmd == "scrub" && argc >= 5 && argc <= 9) {
+    uint64_t chunk_rows = 256;
+    bool once = false;
+    bool repair = false;
+    bool json = false;
+    for (int i = 5; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--once") == 0) {
+        once = true;
+      } else if (std::strcmp(argv[i], "--repair") == 0) {
+        repair = true;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else {
+        char* end = nullptr;
+        const long long parsed = std::strtoll(argv[i], &end, 10);
+        if (end == argv[i] || *end != '\0' || parsed < 1) {
+          std::fprintf(stderr,
+                       "error: chunk_rows must be a positive integer, got "
+                       "'%s'\n",
+                       argv[i]);
+          return 1;
+        }
+        chunk_rows = static_cast<uint64_t>(parsed);
+      }
+    }
+    return CmdScrub(argv[2], argv[3], argv[4], chunk_rows, once, repair,
+                    json);
   }
   if (cmd == "dead-letters" && argc >= 3 && argc <= 6) {
     std::string work_dir;
