@@ -81,6 +81,7 @@ Status Backfiller::Step(bool* done) {
   if (stats_.done) return Status::OK();
 
   const uint64_t chunk_no = stats_.chunks_done + 1;
+  const uint64_t ddl_epoch_at_open = source_->ddl_epoch();
   OPDELTA_RETURN_IF_ERROR(window_.Open(chunk_no));
   std::vector<WindowRow> rows;
   bool more = false;
@@ -93,6 +94,16 @@ Status Backfiller::Step(bool* done) {
                                         /*collect=*/false, std::nullopt,
                                         std::nullopt, &rows, &outcome));
   stats_.rows_deduped += outcome.rows_deduped;
+  if (source_->ddl_epoch() != ddl_epoch_at_open) {
+    // Concurrent DDL straddled the window: selected and repair-read images
+    // mix column arities, so the chunk cannot ship as one batch. Leave the
+    // cursor where it is and re-run the chunk next round under the settled
+    // schema — the same inconclusive-and-retry discipline the scrubber
+    // uses.
+    OPDELTA_LOG(kInfo) << "backfill chunk " << chunk_no << " of " << table_
+                       << " straddled a schema change; retrying";
+    return Status::OK();
+  }
 
   extract::DeltaBatch chunk;
   chunk.table = table_;
@@ -145,6 +156,21 @@ Status Backfiller::Step(bool* done) {
   if (!st.ok()) {
     OPDELTA_LOG(kWarn) << "backfill signal cleanup failed: " << st.ToString();
   }
+  return Status::OK();
+}
+
+Status Backfiller::Restart() {
+  if (!setup_done_) return Status::Internal("call Setup() first");
+  OPDELTA_RETURN_IF_ERROR(ledger_.Reset(table_));
+  have_cursor_ = false;
+  cursor_ = 0;
+  stats_ = BackfillStats();
+  OPDELTA_ASSIGN_OR_RETURN(uint64_t count, source_->CountRows(table_));
+  stats_.chunks_total =
+      (count + options_.chunk_rows - 1) / options_.chunk_rows;
+  OPDELTA_LOG(kInfo) << "backfill of " << table_
+                     << " restarted after schema migration ("
+                     << stats_.chunks_total << " chunks estimated)";
   return Status::OK();
 }
 

@@ -93,6 +93,15 @@ class Backfiller {
   /// from the durable cursor.
   Status Step(bool* done = nullptr);
 
+  /// Restarts the backfill from the beginning: resets the durable ledger
+  /// and the in-memory cursor so the table re-ships chunk by chunk. The hub
+  /// calls this after applying a source schema migration to the warehouse —
+  /// added columns hold their defaults there until the re-shipped snapshot
+  /// chunks carry the live values over. Idempotent with respect to crashes:
+  /// the ledger reset is one transaction, and a re-run before any new
+  /// cursor row simply starts from scratch again.
+  Status Restart();
+
   const BackfillStats& stats() const { return stats_; }
   const BackfillOptions& options() const { return options_; }
 

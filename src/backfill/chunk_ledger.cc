@@ -81,6 +81,24 @@ Status ChunkLedger::MarkDone(const std::string& table, uint64_t chunk,
   return Append(table, kDoneKind, chunk, 0, rows_shipped);
 }
 
+Status ChunkLedger::Reset(const std::string& table) {
+  return db_->WithTransaction([&](txn::Transaction* txn) {
+    std::vector<storage::Rid> doomed;
+    engine::Predicate pred = engine::Predicate::Where(
+        "tbl", engine::CompareOp::kEq, Value::String(table));
+    OPDELTA_RETURN_IF_ERROR(db_->Scan(
+        txn, table_, pred,
+        [&](const storage::Rid& rid, const catalog::Row&) {
+          doomed.push_back(rid);
+          return true;
+        }));
+    for (const storage::Rid& rid : doomed) {
+      OPDELTA_RETURN_IF_ERROR(db_->DeleteAt(txn, table_, rid));
+    }
+    return Status::OK();
+  });
+}
+
 Status ChunkLedger::Compact(uint64_t* rows_removed) {
   if (rows_removed != nullptr) *rows_removed = 0;
   uint64_t removed = 0;

@@ -60,6 +60,12 @@ class ChunkLedger {
   /// its own transaction; 'D' rows are never compacted away.
   Status Compact(uint64_t* rows_removed = nullptr);
 
+  /// Deletes every row of `table` (cursor and done alike) in one
+  /// transaction, so the next Get() reports a fresh start. Used when a
+  /// warehouse schema migration restarts the backfill to populate added
+  /// columns.
+  Status Reset(const std::string& table);
+
   const std::string& table() const { return table_; }
 
  private:

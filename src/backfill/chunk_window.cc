@@ -60,6 +60,13 @@ Status ChunkWindow::WriteSignal(uint64_t id, const std::string& kind) {
 }
 
 Status ChunkWindow::Open(uint64_t id) {
+  // Re-resolve the table schema per window: source DDL between windows
+  // changes row arity, and a chunk selected under a stale schema would
+  // ship (backfill) or compare (scrub) the wrong shape.
+  engine::Table* table = source_->GetTable(table_);
+  if (table == nullptr) return Status::NotFound("table " + table_);
+  schema_ = table->schema();
+  key_col_ = schema_.KeyColumnIndex();
   return WriteSignal(id, options_.low_kind);
 }
 
@@ -207,16 +214,23 @@ Status ChunkWindow::InspectShipped(const std::string& message, uint64_t id,
 
   const std::string body = payload.substr(1);
   // Other tables can share this leg's capture wrapper; hybrid-mode before
-  // images need every touched table's schema to parse.
-  extract::SchemaMap schemas;
-  for (const std::string& name : source_->ListTables()) {
-    engine::Table* t = source_->GetTable(name);
-    if (t != nullptr) schemas.emplace(name, t->schema());
-  }
+  // images need every touched table's schema to parse — decode against
+  // the cached all-tables map of the epoch the frame was encoded under.
+  OPDELTA_ASSIGN_OR_RETURN(
+      std::shared_ptr<const catalog::SchemaMap> schemas,
+      source_->SchemaMapAt(batch_id.schema_epoch));
   std::vector<extract::OpDeltaTxn> txns;
-  OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(body, schemas, &txns));
+  OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(body, *schemas, &txns));
   for (const extract::OpDeltaTxn& t : txns) {
     for (const extract::OpDeltaRecord& op : t.ops) {
+      if (op.is_schema_event()) {
+        // DDL on this table mid-window changes the row shape under the
+        // chunk: conservatively report the window touched so detect-mode
+        // callers (scrub) go inconclusive-and-retry instead of comparing
+        // mixed-epoch images.
+        if (op.schema_event->table == table_) *touched = true;
+        continue;
+      }
       OPDELTA_ASSIGN_OR_RETURN(sql::Statement stmt,
                                sql::Parser::Parse(op.sql));
       if (stmt.is_insert()) {

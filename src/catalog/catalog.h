@@ -15,15 +15,34 @@ namespace opdelta::catalog {
 using TableId = uint32_t;
 inline constexpr TableId kInvalidTableId = 0xFFFFFFFFu;
 
-/// Metadata for one table.
+/// Metadata for one table. `schema_epoch` is the database-wide DDL epoch at
+/// which this table's schema last changed; `file_gen` names the heap file
+/// generation (ALTER TABLE rewrites the heap into generation N+1 and the
+/// catalog's atomic save is the commit point of the migration).
 struct TableInfo {
   TableId id = kInvalidTableId;
   std::string name;
   Schema schema;
+  uint64_t schema_epoch = 1;
+  uint32_t file_gen = 0;
 };
 
 /// Registry of table metadata for one database instance. Persisted as a
 /// single file so a Database can be reopened.
+///
+/// Schema evolution: the catalog carries a monotone `ddl_epoch` (starts at
+/// 1, bumped by every AlterTable) and a SchemaHistory — the full
+/// table-name -> Schema map of every prior epoch. Op-delta transport
+/// frames are stamped with the epoch their statements were encoded under;
+/// the history is what lets a reader decode them against the
+/// epoch-correct schemas after the source has moved on. Dropped columns
+/// survive as tombstones inside the prior-epoch snapshots.
+///
+/// Pointer-stability contract: GetTable pointers stay valid until
+/// DropTable (map nodes are stable), but AlterTable rewrites the pointee's
+/// schema in place — concurrent readers must hold schemas via
+/// engine::Table::schema() (copy-on-write, epoch-retained) or via the
+/// SchemaMap snapshots returned here, never through a raw TableInfo*.
 class Catalog {
  public:
   Catalog() = default;
@@ -34,11 +53,42 @@ class Catalog {
 
   Status DropTable(const std::string& name);
 
-  /// nullptr when absent. The pointer stays valid until DropTable.
+  /// nullptr when absent. The pointer stays valid until DropTable; see the
+  /// class comment for what AlterTable does to the pointee.
   const TableInfo* GetTable(const std::string& name) const;
   const TableInfo* GetTable(TableId id) const;
 
   std::vector<std::string> TableNames() const;
+
+  /// Everything AlterTable changed, so a failed catalog save can be rolled
+  /// back without leaving the in-memory registry ahead of the file.
+  struct AlterUndo {
+    TableInfo prev_info;
+    uint64_t prev_epoch = 0;
+    bool history_added = false;
+  };
+
+  /// Applies `spec` to `name` in memory: snapshots the current epoch's
+  /// schemas into the history, bumps ddl_epoch, installs the post-ALTER
+  /// schema and the next heap-file generation. The caller persists with
+  /// SaveToFile (the migration's commit point) and calls UndoAlter if that
+  /// save fails. `new_info` receives the updated metadata.
+  Status AlterTable(const std::string& name, const AlterTableSpec& spec,
+                    TableInfo* new_info, AlterUndo* undo);
+
+  /// Reverts the in-memory effect of the matching AlterTable.
+  void UndoAlter(const AlterUndo& undo);
+
+  /// Current DDL epoch (1 until the first ALTER TABLE).
+  uint64_t ddl_epoch() const;
+
+  /// All table schemas at the current epoch.
+  SchemaMap CurrentSchemas() const;
+
+  /// All table schemas as of `epoch`. Unknown or future epochs fail with
+  /// kSchemaMismatch — decoding against a guessed schema is how silent
+  /// corruption happens, so the caller must quarantine instead.
+  Result<SchemaMap> SchemasAt(uint64_t epoch) const;
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, Catalog* out);
@@ -47,9 +97,16 @@ class Catalog {
   Status LoadFromFile(const std::string& path);
 
  private:
+  SchemaMap CurrentSchemasLocked() const;
+
   mutable std::mutex mutex_;
   std::map<std::string, TableInfo> tables_;
   TableId next_id_ = 1;
+  uint64_t ddl_epoch_ = 1;
+  /// epoch -> that epoch's full schema map, for every epoch < ddl_epoch_
+  /// since the database was created (AlterTable snapshots the outgoing
+  /// epoch). DDL is rare, so the history stays small.
+  std::map<uint64_t, SchemaMap> history_;
 };
 
 }  // namespace opdelta::catalog

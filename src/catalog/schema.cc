@@ -1,8 +1,84 @@
 #include "catalog/schema.h"
 
+#include <bit>
+
 #include "common/coding.h"
 
 namespace opdelta::catalog {
+
+namespace {
+
+// Per-column flags byte of the v2 encoding. Unknown bits fail decode loud:
+// a reader that does not understand a flag cannot guess what payload
+// follows it.
+constexpr uint8_t kColHasDefault = 0x01;
+constexpr uint8_t kKnownColFlags = kColHasDefault;
+
+void PutValue(std::string* dst, const Value& v) {
+  dst->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutVarint64Signed(dst, v.AsInt64());
+      break;
+    case ValueType::kTimestamp:
+      PutVarint64Signed(dst, v.AsTimestamp());
+      break;
+    case ValueType::kDouble:
+      PutFixed64(dst, std::bit_cast<uint64_t>(v.AsDouble()));
+      break;
+    case ValueType::kString:
+      PutLengthPrefixed(dst, Slice(v.AsString()));
+      break;
+  }
+}
+
+Status GetValue(Slice* input, Value* out) {
+  if (input->empty()) return Status::Corruption("value: type byte");
+  const ValueType type = static_cast<ValueType>((*input)[0]);
+  input->remove_prefix(1);
+  switch (type) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      if (!GetVarint64Signed(input, &v)) {
+        return Status::Corruption("value: int64 payload");
+      }
+      *out = Value::Int64(v);
+      return Status::OK();
+    }
+    case ValueType::kTimestamp: {
+      int64_t v = 0;
+      if (!GetVarint64Signed(input, &v)) {
+        return Status::Corruption("value: timestamp payload");
+      }
+      *out = Value::Timestamp(v);
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      if (!GetFixed64(input, &bits)) {
+        return Status::Corruption("value: double payload");
+      }
+      *out = Value::Double(std::bit_cast<double>(bits));
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      Slice s;
+      if (!GetLengthPrefixed(input, &s)) {
+        return Status::Corruption("value: string payload");
+      }
+      *out = Value::String(s.ToString());
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("value: bad type byte");
+}
+
+}  // namespace
 
 int Schema::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -42,7 +118,169 @@ Status Schema::DecodeFrom(Slice* input, Schema* out) {
     if (type > ValueType::kTimestamp) {
       return Status::Corruption("schema: bad type byte");
     }
-    cols.push_back(Column{name.ToString(), type});
+    cols.push_back(Column{name.ToString(), type, Value::Null()});
+  }
+  *out = Schema(std::move(cols));
+  return Status::OK();
+}
+
+void Schema::EncodeToV2(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    PutLengthPrefixed(dst, Slice(c.name));
+    dst->push_back(static_cast<char>(c.type));
+    const uint8_t flags = c.has_default() ? kColHasDefault : 0;
+    dst->push_back(static_cast<char>(flags));
+    if (c.has_default()) PutValue(dst, c.default_value);
+  }
+}
+
+Status Schema::DecodeFromV2(Slice* input, Schema* out) {
+  uint32_t n = 0;
+  if (!GetVarint32(input, &n)) return Status::Corruption("schema v2: count");
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice name;
+    if (!GetLengthPrefixed(input, &name)) {
+      return Status::Corruption("schema v2: column name");
+    }
+    if (input->size() < 2) return Status::Corruption("schema v2: column tail");
+    const ValueType type = static_cast<ValueType>((*input)[0]);
+    const uint8_t flags = static_cast<uint8_t>((*input)[1]);
+    input->remove_prefix(2);
+    if (type > ValueType::kTimestamp) {
+      return Status::Corruption("schema v2: bad type byte");
+    }
+    if ((flags & ~kKnownColFlags) != 0) {
+      return Status::SchemaMismatch(
+          "schema v2: unknown column flag bits 0x" +
+          std::to_string(flags & ~kKnownColFlags) + " on column " +
+          name.ToString() + "; written by a newer version");
+    }
+    Column col{name.ToString(), type, Value::Null()};
+    if ((flags & kColHasDefault) != 0) {
+      OPDELTA_RETURN_IF_ERROR(GetValue(input, &col.default_value));
+    }
+    cols.push_back(std::move(col));
+  }
+  *out = Schema(std::move(cols));
+  return Status::OK();
+}
+
+std::string AlterTableSpec::ToString() const {
+  switch (kind) {
+    case Kind::kAddColumn: {
+      std::string out = "ADD COLUMN " + column.name + " " +
+                        ValueTypeName(column.type);
+      if (column.has_default()) {
+        out += " DEFAULT " + column.default_value.ToSqlLiteral();
+      }
+      return out;
+    }
+    case Kind::kDropColumn:
+      return "DROP COLUMN " + column.name;
+    case Kind::kAlterType:
+      return "ALTER COLUMN " + column.name + " " +
+             ValueTypeName(column.type);
+  }
+  return "?";
+}
+
+void AlterTableSpec::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(kind));
+  PutLengthPrefixed(dst, Slice(column.name));
+  dst->push_back(static_cast<char>(column.type));
+  const uint8_t flags = column.has_default() ? kColHasDefault : 0;
+  dst->push_back(static_cast<char>(flags));
+  if (column.has_default()) PutValue(dst, column.default_value);
+}
+
+Status AlterTableSpec::DecodeFrom(Slice* input, AlterTableSpec* out) {
+  if (input->empty()) return Status::Corruption("alter spec: kind byte");
+  const uint8_t kind_byte = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (kind_byte > static_cast<uint8_t>(Kind::kAlterType)) {
+    return Status::SchemaMismatch("alter spec: unknown change kind " +
+                                  std::to_string(kind_byte) +
+                                  "; written by a newer version");
+  }
+  out->kind = static_cast<Kind>(kind_byte);
+  Slice name;
+  if (!GetLengthPrefixed(input, &name)) {
+    return Status::Corruption("alter spec: column name");
+  }
+  if (input->size() < 2) return Status::Corruption("alter spec: column tail");
+  const ValueType type = static_cast<ValueType>((*input)[0]);
+  const uint8_t flags = static_cast<uint8_t>((*input)[1]);
+  input->remove_prefix(2);
+  if (type > ValueType::kTimestamp) {
+    return Status::Corruption("alter spec: bad type byte");
+  }
+  if ((flags & ~kKnownColFlags) != 0) {
+    return Status::SchemaMismatch("alter spec: unknown column flag bits");
+  }
+  out->column = Column{name.ToString(), type, Value::Null()};
+  if ((flags & kColHasDefault) != 0) {
+    OPDELTA_RETURN_IF_ERROR(GetValue(input, &out->column.default_value));
+  }
+  return Status::OK();
+}
+
+Status ApplyAlter(const Schema& schema, const AlterTableSpec& spec,
+                  Schema* out) {
+  std::vector<Column> cols = schema.columns();
+  switch (spec.kind) {
+    case AlterTableSpec::Kind::kAddColumn: {
+      if (spec.column.name.empty()) {
+        return Status::InvalidArgument("ADD COLUMN: empty column name");
+      }
+      if (spec.column.type == ValueType::kNull) {
+        return Status::InvalidArgument("ADD COLUMN " + spec.column.name +
+                                       ": a column needs a concrete type");
+      }
+      if (schema.ColumnIndex(spec.column.name) >= 0) {
+        return Status::AlreadyExists("ADD COLUMN: column " +
+                                     spec.column.name + " already exists");
+      }
+      if (spec.column.has_default() &&
+          spec.column.default_value.type() != spec.column.type) {
+        return Status::InvalidArgument(
+            "ADD COLUMN " + spec.column.name + ": default literal type " +
+            ValueTypeName(spec.column.default_value.type()) +
+            " does not match column type " +
+            ValueTypeName(spec.column.type));
+      }
+      cols.push_back(spec.column);
+      break;
+    }
+    case AlterTableSpec::Kind::kDropColumn: {
+      const int idx = schema.ColumnIndex(spec.column.name);
+      if (idx < 0) {
+        return Status::NotFound("DROP COLUMN: no column " + spec.column.name);
+      }
+      if (idx == schema.KeyColumnIndex()) {
+        return Status::NotSupported(
+            "DROP COLUMN " + spec.column.name +
+            ": dropping the key column is a table rebuild, not an ALTER");
+      }
+      cols.erase(cols.begin() + idx);
+      break;
+    }
+    case AlterTableSpec::Kind::kAlterType: {
+      const int idx = schema.ColumnIndex(spec.column.name);
+      if (idx < 0) {
+        return Status::NotFound("ALTER COLUMN: no column " +
+                                spec.column.name);
+      }
+      if (spec.column.type == ValueType::kNull) {
+        return Status::InvalidArgument("ALTER COLUMN " + spec.column.name +
+                                       ": a column needs a concrete type");
+      }
+      cols[static_cast<size_t>(idx)].type = spec.column.type;
+      cols[static_cast<size_t>(idx)].default_value = Value::Null();
+      break;
+    }
   }
   *out = Schema(std::move(cols));
   return Status::OK();

@@ -2,6 +2,7 @@
 #define OPDELTA_CATALOG_SCHEMA_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,11 +12,19 @@
 
 namespace opdelta::catalog {
 
-/// A column definition.
+/// A column definition. `default_value` (kNull = none) is what ALTER TABLE
+/// ADD COLUMN backfills into existing rows; it is persisted by the v2
+/// schema encoding only — the legacy encoding predates defaults.
 struct Column {
   std::string name;
   ValueType type = ValueType::kNull;
+  Value default_value = Value::Null();  // kNull means "no default"
 
+  bool has_default() const { return !default_value.is_null(); }
+
+  /// Identity is name + type: two schemas that differ only in defaults
+  /// describe the same physical rows, and every schema-equality check in
+  /// the pipeline (source vs warehouse, scrub) wants that notion.
   bool operator==(const Column& o) const {
     return name == o.name && type == o.type;
   }
@@ -48,8 +57,16 @@ class Schema {
   bool operator==(const Schema& o) const { return columns_ == o.columns_; }
 
   /// Binary (de)serialization for export files and the catalog file.
+  /// The legacy encoding (EncodeTo) has no room for per-column defaults;
+  /// it stays byte-identical so every pre-existing file keeps decoding.
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice* input, Schema* out);
+
+  /// V2 encoding: a per-column flags byte follows the type byte, carrying
+  /// the column default when present. Used by the versioned catalog file
+  /// and schema events; unknown future flag bits fail loud.
+  void EncodeToV2(std::string* dst) const;
+  static Status DecodeFromV2(Slice* input, Schema* out);
 
   /// "name TYPE, name TYPE, ..." — for error messages and docs.
   std::string ToString() const;
@@ -57,6 +74,38 @@ class Schema {
  private:
   std::vector<Column> columns_;
 };
+
+/// All table schemas of a database, keyed by table name — the unit the
+/// op-delta parser decodes against and the unit SchemaHistory snapshots
+/// per DDL epoch.
+using SchemaMap = std::map<std::string, Schema>;
+
+/// One ALTER TABLE change. `column` carries the full definition for
+/// kAddColumn (including any default), just the name for kDropColumn, and
+/// the name plus the *new* type for kAlterType.
+struct AlterTableSpec {
+  enum class Kind : uint8_t {
+    kAddColumn = 0,
+    kDropColumn = 1,
+    kAlterType = 2,  // incompatible downstream: warehouses quarantine it
+  };
+
+  Kind kind = Kind::kAddColumn;
+  Column column;
+
+  /// "ADD COLUMN name TYPE [DEFAULT lit]" / "DROP COLUMN name" /
+  /// "ALTER COLUMN name TYPE" — the tail of the canonical ALTER statement.
+  std::string ToString() const;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, AlterTableSpec* out);
+};
+
+/// Applies `spec` to `schema`, producing the post-DDL schema. Rejects
+/// duplicate adds, drops of missing columns, and drops of the key column
+/// (first column, by convention) — a key change is a rebuild, not an ALTER.
+Status ApplyAlter(const Schema& schema, const AlterTableSpec& spec,
+                  Schema* out);
 
 /// Validates that a row structurally matches a schema (arity + cell types;
 /// nulls allowed anywhere).

@@ -32,6 +32,8 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kSchemaMismatch:
+      return "SchemaMismatch";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,  // a bounded resource (queue, budget) is full
   kInternal,
+  kSchemaMismatch,  // schema-epoch drift: decoder has no schema for the data
 };
 
 /// Arrow/RocksDB-style status object: cheap to copy when OK (no allocation),
@@ -70,6 +71,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status SchemaMismatch(std::string msg) {
+    return Status(StatusCode::kSchemaMismatch, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -79,6 +83,9 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsSchemaMismatch() const {
+    return code_ == StatusCode::kSchemaMismatch;
   }
 
   StatusCode code() const { return code_; }

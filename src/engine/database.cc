@@ -58,8 +58,11 @@ Status Database::Close() {
   return wal_.Close();
 }
 
-std::string Database::TableFilePath(catalog::TableId id) const {
-  return dir_ + "/t_" + std::to_string(id) + ".db";
+std::string Database::TableFilePath(catalog::TableId id,
+                                    uint32_t gen) const {
+  if (gen == 0) return dir_ + "/t_" + std::to_string(id) + ".db";
+  return dir_ + "/t_" + std::to_string(id) + ".g" + std::to_string(gen) +
+         ".db";
 }
 
 Status Database::SaveCatalog() {
@@ -68,7 +71,7 @@ Status Database::SaveCatalog() {
 
 Status Database::OpenTable(const catalog::TableInfo& info) {
   auto table = std::make_unique<Table>(info, options_.buffer_pool_pages);
-  OPDELTA_RETURN_IF_ERROR(table->Open(TableFilePath(info.id)));
+  OPDELTA_RETURN_IF_ERROR(table->Open(TableFilePath(info.id, info.file_gen)));
   std::lock_guard<std::mutex> lock(tables_mutex_);
   tables_[info.name] = std::move(table);
   return Status::OK();
@@ -84,6 +87,7 @@ Status Database::CreateTable(const std::string& name,
     (void)catalog_.DropTable(name);  // roll back the entry; best effort
     return st;
   }
+  InvalidateSchemaCache();
   return SaveCatalog();
 }
 
@@ -91,6 +95,7 @@ Status Database::DropTable(const std::string& name) {
   const catalog::TableInfo* info = catalog_.GetTable(name);
   if (info == nullptr) return Status::NotFound("table " + name);
   const catalog::TableId id = info->id;
+  const uint32_t gen = info->file_gen;
   {
     std::lock_guard<std::mutex> lock(tables_mutex_);
     auto it = tables_.find(name);
@@ -100,7 +105,8 @@ Status Database::DropTable(const std::string& name) {
     }
   }
   OPDELTA_RETURN_IF_ERROR(catalog_.DropTable(name));
-  (void)Env::Default()->DeleteFile(TableFilePath(id));  // best effort
+  (void)Env::Default()->DeleteFile(TableFilePath(id, gen));  // best effort
+  InvalidateSchemaCache();
   return SaveCatalog();
 }
 
@@ -110,6 +116,160 @@ Status Database::CreateIndex(const std::string& table,
   if (t == nullptr) return Status::NotFound("table " + table);
   std::unique_lock<std::shared_mutex> latch(t->latch);
   return t->CreateIndex(column);
+}
+
+namespace {
+
+/// ALTER COLUMN type coercion for existing cells. Numeric-family casts
+/// (int64/double/timestamp) plus rendering to string; a string cell cannot
+/// be coerced back into anything else.
+Result<catalog::Value> CoerceValue(const catalog::Value& v,
+                                   catalog::ValueType to) {
+  using catalog::Value;
+  using catalog::ValueType;
+  if (v.is_null()) return Value::Null();
+  if (v.type() == to) return v;
+  switch (to) {
+    case ValueType::kInt64:
+      if (v.type() == ValueType::kDouble) {
+        return Value::Int64(static_cast<int64_t>(v.AsDouble()));
+      }
+      if (v.type() == ValueType::kTimestamp) {
+        return Value::Int64(v.AsTimestamp());
+      }
+      break;
+    case ValueType::kDouble:
+      if (v.type() == ValueType::kInt64) {
+        return Value::Double(static_cast<double>(v.AsInt64()));
+      }
+      break;
+    case ValueType::kTimestamp:
+      if (v.type() == ValueType::kInt64) return Value::Timestamp(v.AsInt64());
+      break;
+    case ValueType::kString:
+      return Value::String(v.ToSqlLiteral());
+    case ValueType::kNull:
+      break;
+  }
+  return Status::NotSupported(std::string("cannot coerce ") +
+                              catalog::ValueTypeName(v.type()) + " to " +
+                              catalog::ValueTypeName(to));
+}
+
+}  // namespace
+
+Status Database::AlterTable(const std::string& name,
+                            const catalog::AlterTableSpec& spec) {
+  if (name.rfind("__", 0) == 0) {
+    return Status::NotSupported("ALTER TABLE on internal table " + name);
+  }
+  Table* table = GetTable(name);
+  if (table == nullptr) return Status::NotFound("table " + name);
+
+  return WithTransaction([&](Transaction* txn) -> Status {
+    // Table-X lock drains concurrent DML; the exclusive latch then blocks
+    // latch-only readers for the duration of the swap.
+    OPDELTA_RETURN_IF_ERROR(
+        locks_.LockTable(txn->id(), table->id(), LockMode::kX));
+    std::unique_lock<std::shared_mutex> latch(table->latch);
+
+    const catalog::TableInfo old_info = table->info();
+    const catalog::Schema& old_schema = table->schema();
+    catalog::Schema new_schema;
+    OPDELTA_RETURN_IF_ERROR(
+        catalog::ApplyAlter(old_schema, spec, &new_schema));
+
+    // Resolve the per-row transform up front.
+    const int change_idx =
+        spec.kind == catalog::AlterTableSpec::Kind::kAddColumn
+            ? -1
+            : old_schema.ColumnIndex(spec.column.name);
+
+    // Shadow rewrite: decode every row against the old schema, transform,
+    // encode against the new schema into a fresh heap at the next file
+    // generation. The old generation is never touched.
+    Env* env = Env::Default();
+    const std::string new_path =
+        TableFilePath(old_info.id, old_info.file_gen + 1);
+    (void)env->DeleteFile(new_path);  // leftover of a crashed migration
+    auto new_file = std::make_unique<storage::FileManager>();
+    OPDELTA_RETURN_IF_ERROR(new_file->Open(new_path));
+    auto new_pool = std::make_unique<storage::BufferPool>(
+        new_file.get(), options_.buffer_pool_pages);
+    auto new_heap = std::make_unique<storage::HeapFile>(new_pool.get());
+
+    Status st = new_heap->Open();
+    if (st.ok()) {
+      Status inner;
+      st = table->heap()->ForEach([&](const Rid&, Slice record) {
+        Row row;
+        inner = RowCodec::Decode(old_schema, record, &row);
+        if (!inner.ok()) return false;
+        switch (spec.kind) {
+          case catalog::AlterTableSpec::Kind::kAddColumn:
+            row.push_back(spec.column.default_value);
+            break;
+          case catalog::AlterTableSpec::Kind::kDropColumn:
+            row.erase(row.begin() + change_idx);
+            break;
+          case catalog::AlterTableSpec::Kind::kAlterType: {
+            Result<catalog::Value> coerced =
+                CoerceValue(row[static_cast<size_t>(change_idx)],
+                            spec.column.type);
+            inner = coerced.status();
+            if (!inner.ok()) return false;
+            row[static_cast<size_t>(change_idx)] = coerced.value();
+            break;
+          }
+        }
+        Rid ignored;
+        inner = new_heap->Insert(
+            Slice(RowCodec::Encode(new_schema, row)), &ignored);
+        return inner.ok();
+      });
+      if (st.ok()) st = inner;
+    }
+    // The new heap must be durable before the catalog can point at it.
+    if (st.ok()) st = new_pool->FlushAll(/*sync=*/true);
+    if (!st.ok()) {
+      (void)new_file->Close();
+      (void)env->DeleteFile(new_path);
+      return st;
+    }
+
+    // Commit point: bump the catalog in memory, then save it atomically.
+    // Crash before the save -> reopen sees the old generation everywhere;
+    // after it -> the new one. A failed save rolls the memory state back.
+    catalog::TableInfo new_info;
+    catalog::Catalog::AlterUndo undo;
+    st = catalog_.AlterTable(name, spec, &new_info, &undo);
+    if (st.ok()) {
+      st = SaveCatalog();
+      if (!st.ok()) catalog_.UndoAlter(undo);
+    }
+    if (!st.ok()) {
+      (void)new_file->Close();
+      (void)env->DeleteFile(new_path);
+      return st;
+    }
+
+    // Durable. Install the new storage chain; rebuild indexes on columns
+    // that survived and are still indexable; drop the old generation.
+    const std::vector<std::string> indexed = table->IndexedColumns();
+    std::unique_ptr<storage::FileManager> old_file;
+    table->SwapStorage(new_info, std::move(new_file), std::move(new_pool),
+                       std::move(new_heap), &old_file);
+    table->DropAllIndexes();
+    for (const std::string& col : indexed) {
+      if (new_schema.ColumnIndex(col) < 0) continue;  // column dropped
+      Status idx = table->CreateIndex(col);
+      if (!idx.ok() && idx.code() != StatusCode::kNotSupported) return idx;
+    }
+    (void)old_file->Close();
+    (void)env->DeleteFile(TableFilePath(old_info.id, old_info.file_gen));
+    InvalidateSchemaCache();
+    return Status::OK();
+  });
 }
 
 Status Database::CreateTrigger(const std::string& table, TriggerDef trigger) {
@@ -163,6 +323,33 @@ Table* Database::GetTableById(catalog::TableId id) {
     if (table->id() == id) return table.get();
   }
   return nullptr;
+}
+
+void Database::InvalidateSchemaCache() {
+  schema_cache_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::shared_ptr<const catalog::SchemaMap> Database::CurrentSchemaMap() {
+  const uint64_t version =
+      schema_cache_version_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(schema_cache_mutex_);
+  if (schema_cache_ == nullptr || schema_cache_built_at_ != version) {
+    schema_cache_ = std::make_shared<const catalog::SchemaMap>(
+        catalog_.CurrentSchemas());
+    schema_cache_built_at_ = version;
+  }
+  return schema_cache_;
+}
+
+Result<std::shared_ptr<const catalog::SchemaMap>> Database::SchemaMapAt(
+    uint64_t epoch) {
+  // Epoch 0 marks frames from before epoch stamping existed: decode them
+  // against the current schemas, exactly as the pre-DDL code did.
+  if (epoch == 0 || epoch == catalog_.ddl_epoch()) return CurrentSchemaMap();
+  Result<catalog::SchemaMap> schemas = catalog_.SchemasAt(epoch);
+  OPDELTA_RETURN_IF_ERROR(schemas.status());
+  return std::shared_ptr<const catalog::SchemaMap>(
+      std::make_shared<const catalog::SchemaMap>(std::move(schemas.value())));
 }
 
 std::unique_ptr<Transaction> Database::Begin() {
@@ -272,6 +459,25 @@ Status Database::WithTransaction(
   return commit;
 }
 
+namespace {
+
+/// ALTER TABLE swaps a table's schema snapshot and rewritten heap
+/// atomically under its table-X lock. A statement that bound the schema
+/// *before* blocking on the table lock (or latch) must not touch the heap
+/// with the stale snapshot — it would encode or decode rows against the
+/// wrong layout and surface as row-codec corruption. Snapshot identity is
+/// the address: the COW swap installs a new object, never mutates one.
+/// Returns a retryable Conflict so clients re-bind and re-run.
+Status CheckSchemaUnchanged(const Table* table,
+                            const catalog::Schema& bound) {
+  if (&table->schema() == &bound) return Status::OK();
+  return Status::Conflict("table " + table->info().name +
+                          ": schema changed by concurrent ALTER while the "
+                          "statement waited; retry");
+}
+
+}  // namespace
+
 void Database::StampTimestamp(const catalog::Schema& schema, Row* row,
                               int explicit_col) {
   if (!options_.auto_timestamp) return;
@@ -320,6 +526,7 @@ Status Database::InsertImpl(Transaction* txn, const std::string& table_name,
   OPDELTA_RETURN_IF_ERROR(catalog::ValidateRow(schema, row));
   OPDELTA_RETURN_IF_ERROR(
       locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+  OPDELTA_RETURN_IF_ERROR(CheckSchemaUnchanged(table, schema));
 
   std::string encoded = RowCodec::Encode(schema, row);
   Rid rid;
@@ -377,6 +584,7 @@ Result<size_t> Database::UpdateWhere(
 
   OPDELTA_RETURN_IF_ERROR(
       locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+  OPDELTA_RETURN_IF_ERROR(CheckSchemaUnchanged(table, schema));
 
   // Phase 1: collect matches via the chosen access path (two-phase also
   // avoids the Halloween problem of re-visiting rows the update relocates).
@@ -442,6 +650,7 @@ Result<size_t> Database::DeleteWhere(Transaction* txn,
   OPDELTA_RETURN_IF_ERROR(bound.Bind(schema));
   OPDELTA_RETURN_IF_ERROR(
       locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+  OPDELTA_RETURN_IF_ERROR(CheckSchemaUnchanged(table, schema));
 
   std::vector<std::pair<Rid, Row>> matches;
   OPDELTA_RETURN_IF_ERROR(CollectMatches(table, bound, &matches));
@@ -528,8 +737,8 @@ bool Database::PickIndexPath(Table* table, const Predicate& pred,
 Status Database::CollectMatches(
     Table* table, const Predicate& bound,
     std::vector<std::pair<Rid, Row>>* out) {
-  const catalog::Schema& schema = table->schema();
   std::shared_lock<std::shared_mutex> latch(table->latch);
+  const catalog::Schema& schema = table->schema();
 
   std::string index_column;
   int64_t lo, hi;
@@ -586,6 +795,7 @@ Status Database::UpdateAt(Transaction* txn, const std::string& table_name,
   OPDELTA_RETURN_IF_ERROR(catalog::ValidateRow(schema, row));
   OPDELTA_RETURN_IF_ERROR(
       locks_.LockTable(txn->id(), table->id(), LockMode::kIX));
+  OPDELTA_RETURN_IF_ERROR(CheckSchemaUnchanged(table, schema));
   OPDELTA_RETURN_IF_ERROR(
       locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
 
@@ -666,6 +876,7 @@ Status Database::Scan(
   }
 
   std::shared_lock<std::shared_mutex> latch(table->latch);
+  OPDELTA_RETURN_IF_ERROR(CheckSchemaUnchanged(table, schema));
 
   // Access-path selection: stream through an index range when one covers a
   // conjunct, else full heap scan.

@@ -70,6 +70,17 @@ class Database {
   Status CreateTable(const std::string& name, const catalog::Schema& schema);
   Status DropTable(const std::string& name);
 
+  /// ALTER TABLE via an online shadow rewrite. Takes a table-X lock (so
+  /// concurrent DML drains first), rewrites every row into a fresh heap
+  /// file at the next generation, syncs it, and commits by atomically
+  /// saving the catalog — a crash before the save leaves the old
+  /// generation fully intact; after it, reopen finds the new one. Indexes
+  /// on surviving (still-indexable) columns are rebuilt; the old
+  /// generation's file is deleted last. Internal (`__`-prefixed) tables
+  /// refuse DDL. Bumps the database-wide DDL epoch (see ddl_epoch()).
+  Status AlterTable(const std::string& name,
+                    const catalog::AlterTableSpec& spec);
+
   /// Names of every table, sorted. Snapshot — concurrent DDL may change
   /// the catalog before the caller uses it.
   std::vector<std::string> ListTables() const;
@@ -165,6 +176,21 @@ class Database {
   Table* GetTable(const std::string& name);
   Table* GetTableById(catalog::TableId id);
   const catalog::Catalog& catalog() const { return catalog_; }
+
+  /// Current DDL epoch (1 until the first ALTER TABLE).
+  uint64_t ddl_epoch() const { return catalog_.ddl_epoch(); }
+
+  /// All current table schemas as one shared snapshot. Cached — rebuilt
+  /// only after DDL invalidates it — so hot parse/drain paths stop paying
+  /// a ListTables + per-table copy on every call. The returned map is
+  /// immutable; holders keep a consistent pre-DDL view.
+  std::shared_ptr<const catalog::SchemaMap> CurrentSchemaMap();
+
+  /// Schemas as of `epoch`, for decoding epoch-stamped frames. Epoch 0
+  /// (legacy frames predating epoch stamping) means "current". Unknown or
+  /// future epochs fail with kSchemaMismatch rather than guessing.
+  Result<std::shared_ptr<const catalog::SchemaMap>> SchemaMapAt(
+      uint64_t epoch);
   txn::Wal* wal() { return &wal_; }
   txn::LockManager* locks() { return &locks_; }
   Clock* clock() { return clock_; }
@@ -178,8 +204,12 @@ class Database {
   Database(std::string dir, DatabaseOptions options);
 
   Status OpenTable(const catalog::TableInfo& info);
-  std::string TableFilePath(catalog::TableId id) const;
+
+  /// Heap file for generation `gen` of table `id`. Generation 0 keeps the
+  /// legacy `t_<id>.db` name so pre-DDL databases reopen unchanged.
+  std::string TableFilePath(catalog::TableId id, uint32_t gen) const;
   Status SaveCatalog();
+  void InvalidateSchemaCache();
 
   /// Stamps the timestamp column; `explicitly_set` suppresses stamping for
   /// columns assigned by the user statement.
@@ -219,6 +249,14 @@ class Database {
   std::atomic<txn::TxnId> next_txn_id_{1};
   mutable std::mutex tables_mutex_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+
+  /// CurrentSchemaMap cache. `schema_cache_version_` bumps on every DDL
+  /// (create/drop/alter); the cached map is rebuilt when the version it
+  /// was built at no longer matches.
+  std::atomic<uint64_t> schema_cache_version_{1};
+  mutable std::mutex schema_cache_mutex_;
+  std::shared_ptr<const catalog::SchemaMap> schema_cache_;
+  uint64_t schema_cache_built_at_ = 0;
 };
 
 }  // namespace opdelta::engine

@@ -3,7 +3,39 @@
 namespace opdelta::engine {
 
 Table::Table(catalog::TableInfo info, size_t buffer_pool_pages)
-    : info_(std::move(info)), buffer_pool_pages_(buffer_pool_pages) {}
+    : info_(std::move(info)), buffer_pool_pages_(buffer_pool_pages) {
+  retained_schemas_.push_back(
+      std::make_unique<const catalog::Schema>(info_.schema));
+  current_schema_.store(retained_schemas_.back().get(),
+                        std::memory_order_release);
+}
+
+void Table::SwapStorage(const catalog::TableInfo& new_info,
+                        std::unique_ptr<storage::FileManager> file,
+                        std::unique_ptr<storage::BufferPool> pool,
+                        std::unique_ptr<storage::HeapFile> heap,
+                        std::unique_ptr<storage::FileManager>* old_file) {
+  // Order matters: the storage chain tears down pool-before-file, so hand
+  // the old pool/heap their destruction before releasing the old file to
+  // the caller.
+  heap_ = std::move(heap);
+  pool_.swap(pool);
+  pool.reset();  // flushes nothing: the migration already synced old pages
+  file_.swap(file);
+  *old_file = std::move(file);
+  info_ = new_info;
+  retained_schemas_.push_back(
+      std::make_unique<const catalog::Schema>(info_.schema));
+  current_schema_.store(retained_schemas_.back().get(),
+                        std::memory_order_release);
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  std::vector<std::string> cols;
+  cols.reserve(indexes_.size());
+  for (const auto& [col, entry] : indexes_) cols.push_back(col);
+  return cols;
+}
 
 Status Table::Open(const std::string& file_path) {
   file_ = std::make_unique<storage::FileManager>();

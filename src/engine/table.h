@@ -1,6 +1,7 @@
 #ifndef OPDELTA_ENGINE_TABLE_H_
 #define OPDELTA_ENGINE_TABLE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -32,8 +33,34 @@ class Table {
   Status Close();
 
   const catalog::TableInfo& info() const { return info_; }
-  const catalog::Schema& schema() const { return info_.schema; }
+
+  /// The current schema, via a copy-on-write snapshot: references returned
+  /// here stay valid for the table's lifetime even across ALTER TABLE
+  /// (prior snapshots are retained, never freed), so scan/drain paths that
+  /// bound a schema reference before a concurrent DDL keep decoding
+  /// against the schema they started with instead of dangling.
+  const catalog::Schema& schema() const {
+    return *current_schema_.load(std::memory_order_acquire);
+  }
   catalog::TableId id() const { return info_.id; }
+
+  /// ALTER TABLE commit (storage swap): installs the rewritten heap and
+  /// the post-DDL schema in one shot. Caller holds `latch` exclusively and
+  /// has already closed-or-abandoned nothing — the old storage chain is
+  /// returned so the caller can delete the old generation's file after the
+  /// swap. Old schema() references stay valid (see schema()).
+  void SwapStorage(const catalog::TableInfo& new_info,
+                   std::unique_ptr<storage::FileManager> file,
+                   std::unique_ptr<storage::BufferPool> pool,
+                   std::unique_ptr<storage::HeapFile> heap,
+                   std::unique_ptr<storage::FileManager>* old_file);
+
+  /// Columns currently carrying an index (for rebuild after a migration).
+  std::vector<std::string> IndexedColumns() const;
+
+  /// Drops every index (rids change when the heap is rewritten, so a
+  /// migration rebuilds indexes from scratch). Caller holds `latch`.
+  void DropAllIndexes() { indexes_.clear(); }
 
   storage::HeapFile* heap() { return heap_.get(); }
   storage::FileManager* file() { return file_.get(); }
@@ -58,6 +85,11 @@ class Table {
  private:
   catalog::TableInfo info_;
   size_t buffer_pool_pages_;
+  /// Every schema this table has ever had, newest last; current_schema_
+  /// points at the live one. Mutated only under an exclusive latch; read
+  /// lock-free via the atomic. Bounded by the number of DDLs applied.
+  std::vector<std::unique_ptr<const catalog::Schema>> retained_schemas_;
+  std::atomic<const catalog::Schema*> current_schema_{nullptr};
   std::unique_ptr<storage::FileManager> file_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::HeapFile> heap_;

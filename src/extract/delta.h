@@ -53,6 +53,12 @@ struct BatchId {
   /// the marker travels in the transport frame ('C' instead of 'B').
   bool snapshot = false;
 
+  /// Source DDL epoch the batch's payload was encoded under. 0 = legacy
+  /// frame predating epoch stamping (decode against current schemas, the
+  /// pre-DDL behaviour). Readers with no schema for a non-zero epoch fail
+  /// with kSchemaMismatch instead of guessing.
+  uint64_t schema_epoch = 0;
+
   /// Identity-less batches (legacy frames, unstamped tooling) apply
   /// without deduplication.
   bool valid() const { return !source_id.empty() && epoch != 0 && seq != 0; }

@@ -78,6 +78,18 @@ Status OpDeltaDbSink::OnStatement(engine::Database* db,
   return Status::OK();
 }
 
+Status OpDeltaDbSink::OnSchemaEvent(engine::Database* db,
+                                    txn::Transaction* txn,
+                                    const SchemaEvent& event) {
+  std::string bin;
+  event.EncodeTo(&bin);
+  const std::string hex = HexEncode(bin);
+  if (hex.size() > kMaxDbSinkPayload) {
+    return Status::Internal("schema event too large for the db sink");
+  }
+  return Append(db, txn, "D", next_seq_.fetch_add(1), hex);
+}
+
 Status OpDeltaDbSink::OnCommit(engine::Database* db, txn::Transaction* txn) {
   return Append(db, txn, "C", next_seq_.fetch_add(1), "");
 }
@@ -121,6 +133,17 @@ Status OpDeltaFileSink::OnStatement(engine::Database* /*db*/,
     OPDELTA_RETURN_IF_ERROR(file_->Append(Slice(vline)));
   }
   return Status::OK();
+}
+
+Status OpDeltaFileSink::OnSchemaEvent(engine::Database* /*db*/,
+                                      txn::Transaction* txn,
+                                      const SchemaEvent& event) {
+  std::string bin;
+  event.EncodeTo(&bin);
+  const std::string line = "D " + std::to_string(txn->id()) + " " +
+                           std::to_string(next_seq_.fetch_add(1)) + " " +
+                           HexEncode(bin) + "\n";
+  return file_->Append(Slice(line));
 }
 
 Status OpDeltaFileSink::OnCommit(engine::Database* /*db*/,
@@ -208,6 +231,33 @@ Status OpDeltaCapture::Abort(txn::Transaction* txn) {
   return sink_st.ok() ? st : sink_st;
 }
 
+Result<uint64_t> OpDeltaCapture::ExecuteDdl(const sql::AlterStmt& stmt) {
+  engine::Database* db = executor_->db();
+  engine::Table* table = db->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+
+  SchemaEvent ev;
+  ev.table = stmt.table;
+  ev.spec = stmt.spec;
+  ev.old_schema = table->schema();
+  ev.ddl_sql = Statement(stmt).ToSql();
+
+  // Engine first: the migration is the authority, the event its
+  // announcement (see the header for the crash-window contract).
+  OPDELTA_RETURN_IF_ERROR(db->AlterTable(stmt.table, stmt.spec));
+  ev.ddl_epoch = db->ddl_epoch();
+  ev.new_schema = table->schema();
+
+  OPDELTA_ASSIGN_OR_RETURN(std::unique_ptr<txn::Transaction> txn, Begin());
+  Status st = sink_->OnSchemaEvent(db, txn.get(), ev);
+  if (!st.ok()) {
+    (void)Abort(txn.get());  // the sink failure is the one to surface
+    return st;
+  }
+  OPDELTA_RETURN_IF_ERROR(Commit(txn.get()));
+  return ev.ddl_epoch;
+}
+
 Result<size_t> OpDeltaCapture::RunTransaction(
     const std::vector<Statement>& stmts) {
   OPDELTA_ASSIGN_OR_RETURN(std::unique_ptr<txn::Transaction> txn, Begin());
@@ -284,6 +334,29 @@ class TxnAssembler {
       it->second.ops.back().sql += payload;
       return Status::OK();
     }
+    if (kind == "D") {
+      auto it = open_.find(txn_id);
+      if (it == open_.end()) {
+        return Status::Corruption("schema event for unopened txn " +
+                                  std::to_string(txn_id));
+      }
+      std::string bin;
+      OPDELTA_RETURN_IF_ERROR(HexDecode(payload, &bin));
+      Slice in(bin);
+      auto ev = std::make_shared<SchemaEvent>();
+      OPDELTA_RETURN_IF_ERROR(SchemaEvent::DecodeFrom(&in, ev.get()));
+      OpDeltaRecord rec;
+      rec.source_txn = txn_id;
+      rec.seq = seq;
+      rec.sql = ev->ddl_sql;
+      // Later before images of this table in the same buffer were captured
+      // post-DDL: decode them against the event's new schema, not the
+      // caller's (pre-DDL) map.
+      overlay_[ev->table] = ev->new_schema;
+      rec.schema_event = std::move(ev);
+      it->second.ops.push_back(std::move(rec));
+      return Status::OK();
+    }
     if (kind == "V") {
       auto it = open_.find(txn_id);
       if (it == open_.end() || it->second.ops.empty()) {
@@ -291,6 +364,14 @@ class TxnAssembler {
       }
       OpDeltaRecord& op = it->second.ops.back();
       const std::string table = TableOfSql(op.sql);
+      auto overlay_it = overlay_.find(table);
+      if (overlay_it != overlay_.end()) {
+        Row img;
+        OPDELTA_RETURN_IF_ERROR(catalog::CsvCodec::DecodeLine(
+            overlay_it->second, Slice(payload), &img));
+        op.before_images.push_back(std::move(img));
+        return Status::OK();
+      }
       auto schema_it = schemas_.find(table);
       const catalog::Schema* schema =
           schema_it != schemas_.end() ? &schema_it->second : fallback_;
@@ -326,6 +407,8 @@ class TxnAssembler {
  private:
   const SchemaMap& schemas_;
   const catalog::Schema* fallback_;
+  /// Post-DDL schemas for tables whose 'D' event this buffer contains.
+  SchemaMap overlay_;
   std::map<txn::TxnId, OpDeltaTxn> open_;
   std::vector<OpDeltaTxn> committed_;
 };
@@ -459,6 +542,13 @@ std::string SerializeOpDeltaTxns(const std::vector<OpDeltaTxn>& txns) {
   for (const OpDeltaTxn& t : txns) {
     out += "B " + std::to_string(t.id) + "\n";
     for (const OpDeltaRecord& op : t.ops) {
+      if (op.is_schema_event()) {
+        std::string bin;
+        op.schema_event->EncodeTo(&bin);
+        out += "D " + std::to_string(t.id) + " " + std::to_string(op.seq) +
+               " " + HexEncode(bin) + "\n";
+        continue;
+      }
       out += std::string(op.captured_before_images ? "T " : "S ") +
              std::to_string(t.id) + " " + std::to_string(op.seq) + " " +
              op.sql + "\n";

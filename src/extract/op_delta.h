@@ -10,6 +10,7 @@
 #include "common/env.h"
 #include "common/status.h"
 #include "catalog/schema.h"
+#include "extract/schema_event.h"
 #include "sql/executor.h"
 #include "sql/statement.h"
 
@@ -29,6 +30,13 @@ struct OpDeltaRecord {
   /// matched at the source).
   bool captured_before_images = false;
   std::vector<catalog::Row> before_images;  // hybrid mode only
+
+  /// Set when this record is a captured DDL change ('D' line) rather than
+  /// a DML statement. `sql` then carries the canonical ALTER text for
+  /// display; the event holds the full before/after schemas the warehouse
+  /// migrates with. shared_ptr keeps records cheap to copy.
+  std::shared_ptr<const SchemaEvent> schema_event = nullptr;
+  bool is_schema_event() const { return schema_event != nullptr; }
 
   /// Transport volume of this record.
   uint64_t SizeBytes(const catalog::Schema& schema) const;
@@ -51,6 +59,10 @@ class OpDeltaSink {
   virtual Status OnStatement(engine::Database* db, txn::Transaction* txn,
                              const OpDeltaRecord& record,
                              const catalog::Schema& schema) = 0;
+  /// Records a captured DDL change as a transactional 'D' event in the
+  /// stream (see OpDeltaCapture::ExecuteDdl for the ordering contract).
+  virtual Status OnSchemaEvent(engine::Database* db, txn::Transaction* txn,
+                               const SchemaEvent& event) = 0;
   /// Called inside the transaction, immediately before the engine commit.
   virtual Status OnCommit(engine::Database* db, txn::Transaction* txn) = 0;
   virtual Status OnAbort(engine::Database* db, txn::Transaction* txn) = 0;
@@ -58,7 +70,8 @@ class OpDeltaSink {
 
 /// Schema of the Op-Delta DB log table: (seq, txn, kind, payload).
 /// kind: "B" begin, "S" statement (payload = SQL), "V" before image
-/// (payload = CSV row), "C" commit.
+/// (payload = CSV row), "D" schema event (payload = hex-encoded
+/// SchemaEvent), "C" commit.
 catalog::Schema OpDeltaLogTableSchema();
 
 /// Sink storing captured operations "transactionally into a database
@@ -74,6 +87,8 @@ class OpDeltaDbSink : public OpDeltaSink {
   Status OnStatement(engine::Database* db, txn::Transaction* txn,
                      const OpDeltaRecord& record,
                      const catalog::Schema& schema) override;
+  Status OnSchemaEvent(engine::Database* db, txn::Transaction* txn,
+                       const SchemaEvent& event) override;
   Status OnCommit(engine::Database* db, txn::Transaction* txn) override;
   Status OnAbort(engine::Database* db, txn::Transaction* txn) override;
 
@@ -101,6 +116,8 @@ class OpDeltaFileSink : public OpDeltaSink {
   Status OnStatement(engine::Database* db, txn::Transaction* txn,
                      const OpDeltaRecord& record,
                      const catalog::Schema& schema) override;
+  Status OnSchemaEvent(engine::Database* db, txn::Transaction* txn,
+                       const SchemaEvent& event) override;
   Status OnCommit(engine::Database* db, txn::Transaction* txn) override;
   Status OnAbort(engine::Database* db, txn::Transaction* txn) override;
 
@@ -144,6 +161,15 @@ class OpDeltaCapture {
 
   /// Convenience: runs the statements as one captured transaction.
   Result<size_t> RunTransaction(const std::vector<sql::Statement>& stmts);
+
+  /// Captured ALTER TABLE: migrates the source (Database::AlterTable, its
+  /// own internal transaction), then records the schema event in the
+  /// stream as a one-event capture transaction. Returns the post-change
+  /// DDL epoch. Ordering is engine-first: the migration is the authority,
+  /// the event its announcement. A crash between the two loses the
+  /// announcement only — downstream then sees frames stamped with an
+  /// epoch it has no event for and quarantines (fail loud, never guess).
+  Result<uint64_t> ExecuteDdl(const sql::AlterStmt& stmt);
 
  private:
   sql::Executor* executor_;

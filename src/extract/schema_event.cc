@@ -1,0 +1,88 @@
+#include "extract/schema_event.h"
+
+#include "common/coding.h"
+
+namespace opdelta::extract {
+
+namespace {
+constexpr uint8_t kSchemaEventVersion = 1;
+constexpr char kHexDigits[] = "0123456789abcdef";
+}  // namespace
+
+void SchemaEvent::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(kSchemaEventVersion));
+  PutVarint64(dst, ddl_epoch);
+  PutLengthPrefixed(dst, Slice(table));
+  spec.EncodeTo(dst);
+  old_schema.EncodeToV2(dst);
+  new_schema.EncodeToV2(dst);
+  PutLengthPrefixed(dst, Slice(ddl_sql));
+}
+
+Status SchemaEvent::DecodeFrom(Slice* input, SchemaEvent* out) {
+  if (input->empty()) return Status::Corruption("schema event: version");
+  const uint8_t version = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (version != kSchemaEventVersion) {
+    return Status::SchemaMismatch(
+        "schema event version " + std::to_string(version) +
+        " is not supported by this build (max " +
+        std::to_string(kSchemaEventVersion) + ")");
+  }
+  Slice table, sql;
+  if (!GetVarint64(input, &out->ddl_epoch) ||
+      !GetLengthPrefixed(input, &table)) {
+    return Status::Corruption("schema event: header");
+  }
+  out->table = table.ToString();
+  OPDELTA_RETURN_IF_ERROR(
+      catalog::AlterTableSpec::DecodeFrom(input, &out->spec));
+  OPDELTA_RETURN_IF_ERROR(
+      catalog::Schema::DecodeFromV2(input, &out->old_schema));
+  OPDELTA_RETURN_IF_ERROR(
+      catalog::Schema::DecodeFromV2(input, &out->new_schema));
+  if (!GetLengthPrefixed(input, &sql)) {
+    return Status::Corruption("schema event: ddl text");
+  }
+  out->ddl_sql = sql.ToString();
+  return Status::OK();
+}
+
+std::string HexEncode(const std::string& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const char c : data) {
+    const uint8_t b = static_cast<uint8_t>(c);
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+namespace {
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Status HexDecode(const std::string& hex, std::string* out) {
+  if (hex.size() % 2 != 0) {
+    return Status::Corruption("hex payload has odd length");
+  }
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexNibble(hex[i]);
+    const int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::Corruption("bad hex digit in payload");
+    }
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return Status::OK();
+}
+
+}  // namespace opdelta::extract

@@ -1,0 +1,42 @@
+#ifndef OPDELTA_EXTRACT_SCHEMA_EVENT_H_
+#define OPDELTA_EXTRACT_SCHEMA_EVENT_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "catalog/schema.h"
+
+namespace opdelta::extract {
+
+/// A source DDL change captured in the op-delta stream. Shipped as a
+/// transactional event between ordinary DML transactions, it tells every
+/// downstream consumer (a) exactly where in the stream the schema epoch
+/// advanced and (b) the full before/after schemas, so the warehouse can
+/// migrate itself and the decoder can validate rather than guess.
+///
+/// `ddl_epoch` is the epoch AFTER the change: every frame encoded at an
+/// epoch >= ddl_epoch uses `new_schema` for the event's table.
+struct SchemaEvent {
+  std::string table;
+  uint64_t ddl_epoch = 0;
+  catalog::AlterTableSpec spec;
+  catalog::Schema old_schema;
+  catalog::Schema new_schema;
+  /// Canonical "ALTER TABLE ..." text, for logs and the op-delta line.
+  std::string ddl_sql;
+
+  /// Versioned binary encoding (leading version byte; unknown versions
+  /// decode to kSchemaMismatch, never a guess).
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, SchemaEvent* out);
+};
+
+/// Lowercase-hex transport of a binary payload, used to carry the encoded
+/// event inside the newline-delimited op-delta log line format.
+std::string HexEncode(const std::string& data);
+Status HexDecode(const std::string& hex, std::string* out);
+
+}  // namespace opdelta::extract
+
+#endif  // OPDELTA_EXTRACT_SCHEMA_EVENT_H_

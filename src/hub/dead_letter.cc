@@ -123,17 +123,15 @@ Status ApplyEntry(engine::Database* warehouse, warehouse::ApplyLedger* ledger,
       return Status::NotFound("warehouse table " + table);
     }
     // Hub invariant: op-delta sources use matching source/warehouse table
-    // names, so the statements parse against the warehouse schemas. Map
-    // every table — captured statements can touch auxiliary tables (e.g.
-    // the backfill signal table) besides the one dead-lettered for.
-    extract::SchemaMap schemas;
-    for (const std::string& name : warehouse->ListTables()) {
-      engine::Table* t = warehouse->GetTable(name);
-      if (t != nullptr) schemas.emplace(name, t->schema());
-    }
+    // names, so the statements parse against the warehouse schemas — the
+    // shared cached snapshot covers every table, because captured
+    // statements can touch auxiliary tables (e.g. the backfill signal
+    // table) besides the one dead-lettered for.
+    std::shared_ptr<const catalog::SchemaMap> schemas =
+        warehouse->CurrentSchemaMap();
     std::vector<extract::OpDeltaTxn> txns;
     OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(
-        payload.substr(1), schemas, &txns));
+        payload.substr(1), *schemas, &txns));
     warehouse::OpDeltaIntegrator integrator(warehouse);
     return integrator.Apply(txns, id, ledger, istats);
   }

@@ -54,6 +54,7 @@ Status JoinErrors(const std::vector<Status>& errors) {
     case StatusCode::kOutOfRange: return Status::OutOfRange(joined);
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(joined);
+    case StatusCode::kSchemaMismatch: return Status::SchemaMismatch(joined);
     default: return Status::Internal(joined);
   }
 }
@@ -142,8 +143,27 @@ Status DeltaHub::AddSource(const SourceSpec& spec) {
     return Status::NotFound("source table " + spec.source_table);
   }
   if (!(src->schema() == dst->schema())) {
-    return Status::InvalidArgument(
-        "source and warehouse table schemas must match for " + spec.name);
+    // An op-delta warehouse may lag the source by one or more captured
+    // ALTERs when the hub restarts between DDL capture and its apply: the
+    // migration events are still queued, so a warehouse matching any
+    // *earlier* source epoch catches up by replay. Anything else is drift.
+    bool lags_by_captured_ddl = false;
+    if (spec.method == pipeline::Method::kOpDelta) {
+      for (uint64_t e = spec.source->ddl_epoch(); e >= 1; --e) {
+        Result<std::shared_ptr<const catalog::SchemaMap>> at =
+            spec.source->SchemaMapAt(e);
+        if (!at.ok()) break;
+        auto it = (*at)->find(spec.source_table);
+        if (it != (*at)->end() && it->second == dst->schema()) {
+          lags_by_captured_ddl = true;
+          break;
+        }
+      }
+    }
+    if (!lags_by_captured_ddl) {
+      return Status::InvalidArgument(
+          "source and warehouse table schemas must match for " + spec.name);
+    }
   }
   if (spec.method == pipeline::Method::kOpDelta &&
       spec.warehouse_table != spec.source_table) {
@@ -321,6 +341,7 @@ void DeltaHub::RefreshSourceStats(Source* source) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   SourceStats& entry = stats_.sources[source->stats_index];
   entry.rounds = leg_stats.rounds;
+  entry.source_schema_epoch = source->leg->source()->ddl_epoch();
   entry.records_extracted = leg_stats.records_extracted;
   entry.batches_shipped = leg_stats.batches_shipped;
   entry.bytes_shipped = leg_stats.bytes_shipped;
@@ -604,7 +625,14 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
     }
 
     bool dead_lettered = false;
-    if (!st.ok() && !IsRetryableApplyError(st)) {
+    if (!st.ok() && !IsRetryableApplyError(st) &&
+        st.code() != StatusCode::kSchemaMismatch) {
+      // SchemaMismatch is deliberately excluded from both retry and
+      // dead-letter: the batch is well-formed, the *warehouse* cannot
+      // decode or migrate to it (future epoch, incompatible DDL, drift).
+      // Dead-lettering would silently advance past a consistency boundary;
+      // instead the batch stays queued, the round fails, and SuperviseRound
+      // quarantines the group with the reason surfaced in last_error.
       // Divert the poison batch so the queue (and the group) can advance;
       // if the diversion itself fails, keep the original error and let the
       // batch replay.
@@ -649,7 +677,28 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
             entry.applied_epoch = batch->id.epoch;
             entry.applied_seq = batch->id.seq;
           }
+          if (istats.schema_epoch > entry.applied_schema_epoch) {
+            entry.applied_schema_epoch = istats.schema_epoch;
+          }
         }
+      }
+    }
+    if (applied && istats.schema_migrations > 0) {
+      // A source DDL just migrated the warehouse: added columns hold their
+      // defaults until re-shipped snapshot chunks carry the live source
+      // values over, so restart the backfill from chunk one. Safe here
+      // despite running off the group's round thread: the group's producer
+      // is blocked on this batch's latch until CountDown below, so no
+      // Backfiller::Step races with the restart.
+      for (Source* source : batch->acks) {
+        if (source->backfiller == nullptr) continue;
+        Status restart = source->backfiller->Restart();
+        if (!restart.ok()) {
+          OPDELTA_LOG(kWarn)
+              << "backfill restart after schema migration failed for "
+              << source->spec.name << ": " << restart.ToString();
+        }
+        RefreshSourceStats(source);
       }
     }
     if (applied && st.ok()) MaybeCompactLedger();

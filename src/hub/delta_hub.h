@@ -137,6 +137,10 @@ struct SourceStats {
   uint64_t applied_epoch = 0;      // ledger watermark of the last applied
   uint64_t applied_seq = 0;        //   batch from this source (0 = none yet)
 
+  // Schema evolution.
+  uint64_t source_schema_epoch = 0;  // the source catalog's live DDL epoch
+  uint64_t applied_schema_epoch = 0; // highest frame schema epoch applied
+
   // Self-healing.
   uint64_t errors = 0;             // supervised rounds that failed
   uint64_t retries = 0;            // backoff retries (produce + apply)

@@ -14,15 +14,83 @@ using extract::DeltaBatch;
 
 namespace {
 // Message framing: one byte discriminates value-delta batches from
-// serialized op-delta transaction logs. A 'B' frame wraps either with the
-// batch identity the warehouse ApplyLedger dedupes on; a 'C' frame is the
-// same layout but marks a backfill snapshot chunk (BatchId::snapshot).
+// serialized op-delta transaction logs. An identity frame wraps either
+// with the batch identity the warehouse ApplyLedger dedupes on. Two frame
+// generations coexist:
+//   'B' / 'C' — legacy: tag, source, epoch, seq, crc, payload. 'C' marks
+//               a backfill snapshot chunk (BatchId::snapshot). No schema
+//               epoch; decoders stamp 0 ("current schemas", the pre-DDL
+//               behaviour).
+//   'F'       — versioned: 'F', version byte, fixed32 feature bits, kind
+//               byte ('B' live / 'C' snapshot), then source, epoch, seq,
+//               schema_epoch, crc, payload. Unknown versions, feature
+//               bits, or kinds are a reader/writer skew — they fail with
+//               kSchemaMismatch naming the offender, never a guess.
 constexpr char kValueDeltaMessage = 'V';
 constexpr char kOpDeltaMessage = 'O';
 constexpr char kBatchFrame = 'B';
 constexpr char kSnapshotFrame = 'C';
+constexpr char kVersionedFrame = 'F';
+constexpr uint8_t kFrameVersion = 1;
+// Feature bits reserved for additive frame extensions. None are defined
+// yet, so any set bit comes from a newer writer this build cannot decode.
+constexpr uint32_t kKnownFeatureBits = 0;
 
-bool IsFramed(char tag) { return tag == kBatchFrame || tag == kSnapshotFrame; }
+bool IsFramed(char tag) {
+  return tag == kBatchFrame || tag == kSnapshotFrame || tag == kVersionedFrame;
+}
+
+// Decodes the fields after the frame preamble (shared by both
+// generations; `versioned` adds the schema_epoch field).
+Status DecodeFrameFields(Slice* input, bool versioned, extract::BatchId* id,
+                         uint32_t* crc) {
+  Slice source;
+  if (!GetLengthPrefixed(input, &source) ||
+      !GetFixed64(input, &id->epoch) || !GetFixed64(input, &id->seq) ||
+      (versioned && !GetFixed64(input, &id->schema_epoch)) ||
+      !GetFixed32(input, crc)) {
+    return Status::Corruption("batch identity frame");
+  }
+  id->source_id = source.ToString();
+  return Status::OK();
+}
+
+// Consumes a versioned-frame preamble (version, feature bits, kind),
+// rejecting anything this build does not understand.
+Status DecodeVersionedPreamble(Slice* input, extract::BatchId* id) {
+  if (input->empty()) return Status::Corruption("batch frame preamble");
+  const uint8_t version = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (version != kFrameVersion) {
+    return Status::SchemaMismatch(
+        "batch frame version " + std::to_string(version) +
+        " is not supported by this build (max " +
+        std::to_string(kFrameVersion) + ")");
+  }
+  uint32_t features = 0;
+  if (!GetFixed32(input, &features)) {
+    return Status::Corruption("batch frame preamble");
+  }
+  if ((features & ~kKnownFeatureBits) != 0) {
+    uint32_t unknown = features & ~kKnownFeatureBits;
+    std::string hex = "0x";
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      hex.push_back("0123456789abcdef"[(unknown >> shift) & 0xf]);
+    }
+    return Status::SchemaMismatch("batch frame carries unknown feature bits " +
+                                  hex + "; a newer writer produced it");
+  }
+  if (input->empty()) return Status::Corruption("batch frame kind");
+  const char kind = (*input)[0];
+  input->remove_prefix(1);
+  if (kind != kBatchFrame && kind != kSnapshotFrame) {
+    return Status::SchemaMismatch(
+        std::string("batch frame has unknown kind tag '") + kind +
+        "'; a newer writer produced it");
+  }
+  id->snapshot = kind == kSnapshotFrame;
+  return Status::OK();
+}
 }  // namespace
 
 const char* MethodName(Method method) {
@@ -79,10 +147,14 @@ void EncodeValueDeltaMessage(const DeltaBatch& batch, std::string* out) {
 void EncodeBatchFrame(const extract::BatchId& id, const std::string& inner,
                       std::string* out) {
   out->clear();
+  out->push_back(kVersionedFrame);
+  out->push_back(static_cast<char>(kFrameVersion));
+  PutFixed32(out, kKnownFeatureBits);
   out->push_back(id.snapshot ? kSnapshotFrame : kBatchFrame);
   PutLengthPrefixed(out, Slice(id.source_id));
   PutFixed64(out, id.epoch);
   PutFixed64(out, id.seq);
+  PutFixed64(out, id.schema_epoch);
   // End-to-end payload checksum, stamped once at capture and carried with
   // the batch through every hop (queue, staging memory, dead-letter files,
   // any transport). The queue's own per-frame CRC only covers its log;
@@ -95,19 +167,18 @@ void EncodeBatchFrame(const extract::BatchId& id, const std::string& inner,
 Status DecodeBatchHeader(Slice message, extract::BatchId* id) {
   *id = extract::BatchId();
   if (message.empty() || !IsFramed(message[0])) return Status::OK();
-  id->snapshot = message[0] == kSnapshotFrame;
+  const char tag = message[0];
   message.remove_prefix(1);
-  Slice source;
-  uint32_t crc = 0;
-  if (!GetLengthPrefixed(&message, &source) ||
-      !GetFixed64(&message, &id->epoch) || !GetFixed64(&message, &id->seq) ||
-      !GetFixed32(&message, &crc)) {
-    return Status::Corruption("batch identity frame");
+  const bool versioned = tag == kVersionedFrame;
+  if (versioned) {
+    OPDELTA_RETURN_IF_ERROR(DecodeVersionedPreamble(&message, id));
+  } else {
+    id->snapshot = tag == kSnapshotFrame;
   }
   // Header-only read: the payload CRC is verified by DecodeBatchFrame on
   // the apply path, not here.
-  id->source_id = source.ToString();
-  return Status::OK();
+  uint32_t crc = 0;
+  return DecodeFrameFields(&message, versioned, id, &crc);
 }
 
 Status DecodeBatchFrame(const std::string& message, extract::BatchId* id,
@@ -117,16 +188,16 @@ Status DecodeBatchFrame(const std::string& message, extract::BatchId* id,
     *inner = message;  // legacy / identity-less message
     return Status::OK();
   }
-  id->snapshot = message[0] == kSnapshotFrame;
+  const char tag = message[0];
   Slice input(message.data() + 1, message.size() - 1);
-  Slice source;
-  uint32_t crc = 0;
-  if (!GetLengthPrefixed(&input, &source) ||
-      !GetFixed64(&input, &id->epoch) || !GetFixed64(&input, &id->seq) ||
-      !GetFixed32(&input, &crc)) {
-    return Status::Corruption("batch identity frame");
+  const bool versioned = tag == kVersionedFrame;
+  if (versioned) {
+    OPDELTA_RETURN_IF_ERROR(DecodeVersionedPreamble(&input, id));
+  } else {
+    id->snapshot = tag == kSnapshotFrame;
   }
-  id->source_id = source.ToString();
+  uint32_t crc = 0;
+  OPDELTA_RETURN_IF_ERROR(DecodeFrameFields(&input, versioned, id, &crc));
   if (Crc32c(input.data(), input.size()) != crc) {
     // Deterministic Corruption: the hub's apply path diverts the batch to
     // the dead-letter log instead of retrying a damaged payload forever.
@@ -186,6 +257,10 @@ Status SourceLeg::Setup() {
     epoch_ = static_cast<uint64_t>(RealClock::Default()->NowMicros());
     next_seq_ = 1;
   }
+  // Legacy state files predate the drained DDL epoch. Seeding from the
+  // source's current epoch is exact for legs that never saw DDL (the only
+  // legs such a file can belong to).
+  if (drained_epoch_ == 0) drained_epoch_ = source_->ddl_epoch();
 
   switch (options_.method) {
     case Method::kTrigger: {
@@ -236,6 +311,10 @@ Status SourceLeg::LoadState() {
     epoch_ = epoch;
     next_seq_ = next_seq == 0 ? 1 : next_seq;
   }
+  // Drained DDL epoch, absent from pre-schema-evolution state files: Setup
+  // seeds those from the source's current epoch.
+  uint64_t drained = 0;
+  if (GetFixed64(&input, &drained)) drained_epoch_ = drained;
   return Status::OK();
 }
 
@@ -245,14 +324,29 @@ Status SourceLeg::SaveState() {
   PutFixed64(&data, lsn_watermark_);
   PutFixed64(&data, epoch_);
   PutFixed64(&data, next_seq_);
+  PutFixed64(&data, drained_epoch_);
   return WriteFileAtomic(Env::Default(), options_.work_dir + "/watermarks",
                          Slice(data));
 }
 
-Status SourceLeg::ExtractMessage(std::string* message, uint64_t* records) {
-  message->clear();
-  *records = 0;
+Status SourceLeg::ExtractPending() {
   engine::Table* src = source_->GetTable(options_.source_table);
+
+  // Frames the inner message under the identity stamped at capture: a
+  // ship retry re-ships these exact bytes under this exact identity, so
+  // the warehouse sees one stable (source, epoch, seq) per batch of data.
+  // Consecutive pending frames get consecutive seqs.
+  auto stage = [&](const std::string& inner, uint64_t records,
+                   uint64_t schema_epoch) {
+    extract::BatchId id{options_.source_id, epoch_,
+                        next_seq_ + pending_.size()};
+    id.schema_epoch = schema_epoch;
+    PendingFrame pf;
+    pf.records = records;
+    pf.seq = id.seq;
+    EncodeBatchFrame(id, inner, &pf.frame);
+    pending_.push_back(std::move(pf));
+  };
 
   switch (options_.method) {
     case Method::kTimestamp: {
@@ -270,8 +364,9 @@ Status SourceLeg::ExtractMessage(std::string* message, uint64_t* records) {
           ts_watermark_ = r.image[ts_col].AsTimestamp();
         }
       }
-      *records = batch.records.size();
-      EncodeValueDeltaMessage(batch, message);
+      std::string inner;
+      EncodeValueDeltaMessage(batch, &inner);
+      stage(inner, batch.records.size(), source_->ddl_epoch());
       return Status::OK();
     }
 
@@ -285,8 +380,9 @@ Status SourceLeg::ExtractMessage(std::string* message, uint64_t* records) {
                                  &new_watermark));
       lsn_watermark_ = new_watermark;
       if (batch.records.empty()) return Status::OK();
-      *records = batch.records.size();
-      EncodeValueDeltaMessage(batch, message);
+      std::string inner;
+      EncodeValueDeltaMessage(batch, &inner);
+      stage(inner, batch.records.size(), source_->ddl_epoch());
       return Status::OK();
     }
 
@@ -295,19 +391,56 @@ Status SourceLeg::ExtractMessage(std::string* message, uint64_t* records) {
           DeltaBatch batch,
           extract::TriggerExtractor::Drain(source_, options_.source_table));
       if (batch.records.empty()) return Status::OK();
-      *records = batch.records.size();
-      EncodeValueDeltaMessage(batch, message);
+      std::string inner;
+      EncodeValueDeltaMessage(batch, &inner);
+      stage(inner, batch.records.size(), source_->ddl_epoch());
       return Status::OK();
     }
 
     case Method::kOpDelta: {
+      // Drained before images decode against the schemas of the epoch the
+      // log rows were *written* under — the source catalog may already be
+      // past it. The assembler's own overlay then tracks any schema
+      // events found mid-log.
+      OPDELTA_ASSIGN_OR_RETURN(
+          std::shared_ptr<const catalog::SchemaMap> schemas,
+          source_->SchemaMapAt(drained_epoch_));
       std::vector<extract::OpDeltaTxn> txns;
       OPDELTA_RETURN_IF_ERROR(extract::OpDeltaLogReader::DrainDbTable(
-          source_, options_.op_log_table, src->schema(), &txns));
+          source_, options_.op_log_table, *schemas, &txns));
       if (txns.empty()) return Status::OK();
-      for (const extract::OpDeltaTxn& t : txns) *records += t.ops.size();
-      message->push_back(kOpDeltaMessage);
-      message->append(extract::SerializeOpDeltaTxns(txns));
+
+      // Split the drain at schema events: a frame carries exactly one
+      // schema-epoch stamp, but before images on the two sides of a DDL
+      // encode under different schemas. Each segment ships under the
+      // epoch its rows were written in and ends with the event that
+      // closes that epoch; the next segment opens under the event's
+      // post-change epoch.
+      std::vector<extract::OpDeltaTxn> segment;
+      uint64_t seg_records = 0;
+      auto flush_segment = [&]() {
+        if (segment.empty()) return;
+        std::string inner(1, kOpDeltaMessage);
+        inner.append(extract::SerializeOpDeltaTxns(segment));
+        stage(inner, seg_records, drained_epoch_);
+        segment.clear();
+        seg_records = 0;
+      };
+      for (extract::OpDeltaTxn& t : txns) {
+        uint64_t post_ddl_epoch = 0;
+        for (const extract::OpDeltaRecord& op : t.ops) {
+          if (op.is_schema_event()) {
+            post_ddl_epoch = op.schema_event->ddl_epoch;
+          }
+        }
+        seg_records += t.ops.size();
+        segment.push_back(std::move(t));
+        if (post_ddl_epoch != 0) {
+          flush_segment();
+          drained_epoch_ = post_ddl_epoch;
+        }
+      }
+      flush_segment();
       return Status::OK();
     }
   }
@@ -321,42 +454,26 @@ Status SourceLeg::ExtractAndShip(bool* shipped,
   if (!setup_done_) return Status::Internal("call Setup() first");
   stats_.rounds++;
 
-  std::string message;
-  uint64_t records = 0;
-  if (!pending_message_.empty()) {
-    // A previous round extracted this batch but failed to ship it. The
-    // extraction was destructive (drained capture state / advanced
-    // watermarks), so retry the ship instead of extracting anew.
-    message.swap(pending_message_);
-    records = pending_records_;
-    pending_records_ = 0;
-  } else {
-    std::string inner;
-    OPDELTA_RETURN_IF_ERROR(ExtractMessage(&inner, &records));
-    if (!inner.empty()) {
-      // Stamp the batch identity at capture: a ship retry (pending path)
-      // re-ships these exact bytes under this exact identity, so the
-      // warehouse sees one stable (source, epoch, seq) per batch of data.
-      extract::BatchId id{options_.source_id, epoch_, next_seq_};
-      EncodeBatchFrame(id, inner, &message);
-    }
+  if (pending_.empty()) {
+    // Nothing staged from a failed ship or a DDL-split drain: extract.
+    // Extraction is destructive (drained capture state / advanced
+    // watermarks), so anything it stages must ship or stay pending.
+    OPDELTA_RETURN_IF_ERROR(ExtractPending());
   }
   // The watermark may advance even on an empty round (kLog skips
   // non-matching records); persist it regardless.
-  if (message.empty()) return SaveState();
+  if (pending_.empty()) return SaveState();
 
-  Status enqueue_status = queue_.Enqueue(Slice(message), /*durable=*/true);
-  if (!enqueue_status.ok()) {
-    pending_message_.swap(message);
-    pending_records_ = records;
-    return enqueue_status;
-  }
-  next_seq_++;
-  stats_.records_extracted += records;
+  PendingFrame& front = pending_.front();
+  OPDELTA_RETURN_IF_ERROR(queue_.Enqueue(Slice(front.frame),
+                                         /*durable=*/true));
+  next_seq_ = front.seq + 1;
+  stats_.records_extracted += front.records;
   stats_.batches_shipped++;
-  stats_.bytes_shipped += message.size();
+  stats_.bytes_shipped += front.frame.size();
   if (shipped != nullptr) *shipped = true;
-  if (shipped_message != nullptr) *shipped_message = message;
+  if (shipped_message != nullptr) *shipped_message = front.frame;
+  pending_.pop_front();
   // Persisting after the durable enqueue makes the pair restart-safe: a
   // crash here replays the staged batch, never re-extracts it — and Setup
   // re-derives next_seq_ from the queue if this save never lands.
@@ -365,16 +482,18 @@ Status SourceLeg::ExtractAndShip(bool* shipped,
 
 Status SourceLeg::ShipSnapshot(const extract::DeltaBatch& chunk) {
   if (!setup_done_) return Status::Internal("call Setup() first");
-  if (!pending_message_.empty()) {
-    // The pending live batch was already stamped with next_seq_; shipping
-    // a snapshot under the same number would make the ledger drop one of
-    // the two. Retry the live ship first (ExtractAndShip drains it).
+  if (!pending_.empty()) {
+    // Pending live batches were already stamped from next_seq_ on;
+    // shipping a snapshot under the same numbers would make the ledger
+    // drop one of the two. Retry the live ship first (ExtractAndShip
+    // drains them).
     return Status::Busy("live batch pending; retry its ship first");
   }
   std::string inner;
   EncodeValueDeltaMessage(chunk, &inner);
   extract::BatchId id{options_.source_id, epoch_, next_seq_,
                       /*snapshot=*/true};
+  id.schema_epoch = source_->ddl_epoch();
   std::string message;
   EncodeBatchFrame(id, inner, &message);
   OPDELTA_RETURN_IF_ERROR(queue_.Enqueue(Slice(message), /*durable=*/true));
@@ -423,20 +542,24 @@ Status SourceLeg::Integrate(engine::Database* warehouse,
       stats->outage_micros += local.outage_micros;
       stats->duplicate_batches += local.duplicate_batches;
       stats->duplicate_txns += local.duplicate_txns;
+      if (id.schema_epoch > stats->schema_epoch) {
+        stats->schema_epoch = id.schema_epoch;
+      }
     }
     return Status::OK();
   }
   if (tag == kOpDeltaMessage) {
     // Captured statements can touch auxiliary tables besides the source
     // table (e.g. the backfill signal table), and hybrid-mode before
-    // images need each touched table's schema to parse — map them all.
-    extract::SchemaMap schemas;
-    for (const std::string& name : source_->ListTables()) {
-      engine::Table* t = source_->GetTable(name);
-      if (t != nullptr) schemas.emplace(name, t->schema());
-    }
+    // images need each touched table's schema to parse — decode against
+    // the all-tables map of the epoch the frame was *encoded* under. A
+    // frame from an epoch this source no longer knows (or does not know
+    // yet) fails with kSchemaMismatch instead of a guessed decode.
+    OPDELTA_ASSIGN_OR_RETURN(
+        std::shared_ptr<const catalog::SchemaMap> schemas,
+        source_->SchemaMapAt(id.schema_epoch));
     std::vector<extract::OpDeltaTxn> txns;
-    OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(body, schemas, &txns));
+    OPDELTA_RETURN_IF_ERROR(extract::ParseOpDeltaLog(body, *schemas, &txns));
     // Rewrite table names when source and warehouse tables differ.
     if (options_.warehouse_table != options_.source_table) {
       return Status::NotSupported(
@@ -453,6 +576,10 @@ Status SourceLeg::Integrate(engine::Database* warehouse,
       stats->outage_micros += local.outage_micros;
       stats->duplicate_batches += local.duplicate_batches;
       stats->duplicate_txns += local.duplicate_txns;
+      stats->schema_migrations += local.schema_migrations;
+      if (id.schema_epoch > stats->schema_epoch) {
+        stats->schema_epoch = id.schema_epoch;
+      }
     }
     return Status::OK();
   }

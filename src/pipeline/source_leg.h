@@ -1,6 +1,7 @@
 #ifndef OPDELTA_PIPELINE_SOURCE_LEG_H_
 #define OPDELTA_PIPELINE_SOURCE_LEG_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 
@@ -54,6 +55,12 @@ class SourceLeg {
   /// When `shipped_message` is non-null it receives a copy of the framed
   /// message that went out (empty if nothing shipped) — the backfiller
   /// inspects it for events concurrent with a chunk select.
+  ///
+  /// At most one frame ships per call. An op-delta drain that crosses a
+  /// captured DDL event is split into per-schema-epoch frames (one epoch
+  /// stamp per frame); the extras stay pending in memory and ship, in
+  /// order, on the following calls — callers that loop until `!*shipped`
+  /// (or until a marker arrives) drain them naturally.
   Status ExtractAndShip(bool* shipped = nullptr,
                         std::string* shipped_message = nullptr);
 
@@ -98,8 +105,10 @@ class SourceLeg {
   Status LoadState();
   Status SaveState();
 
-  /// Extracts pending changes into a framed queue message; empty = none.
-  Status ExtractMessage(std::string* message, uint64_t* records);
+  /// Extracts pending changes into one or more framed queue messages
+  /// appended to `pending_` (none = nothing to ship). Op-delta drains
+  /// split at schema events; every other method yields at most one frame.
+  Status ExtractPending();
 
   engine::Database* source_;
   PipelineOptions options_;
@@ -118,21 +127,41 @@ class SourceLeg {
   // never reuse a sequence number for different data.
   uint64_t epoch_ = 0;
   uint64_t next_seq_ = 1;
+
+  // Source DDL epoch through which the op log has been drained (persisted
+  // with the watermarks). The source catalog may already be several DDL
+  // changes ahead of rows still sitting in the log; drained before images
+  // must decode against the schemas of *this* epoch, not the current one.
+  // 0 = not yet initialized (legacy state file); Setup seeds it from the
+  // source's current epoch, which is exact for legs that never saw DDL.
+  uint64_t drained_epoch_ = 0;
   LegStats stats_;
 
-  // A batch that was extracted but failed to enqueue. Extraction is
+  // Batches that were extracted but not yet durably enqueued, in ship
+  // order, each already framed under its stamped identity. Extraction is
   // destructive for kTrigger/kOpDelta (the capture table is drained) and
-  // advances in-memory watermarks for the others, so the batch must be
-  // retained and retried — dropping it on a ship failure would lose data.
-  std::string pending_message_;
-  uint64_t pending_records_ = 0;
+  // advances in-memory watermarks for the others, so the frames must be
+  // retained and retried — dropping them on a ship failure would lose
+  // data. More than one entry pends only when an op-delta drain was split
+  // at schema events into per-epoch frames.
+  struct PendingFrame {
+    std::string frame;
+    uint64_t records = 0;
+    uint64_t seq = 0;  // the identity stamped into `frame`
+  };
+  std::deque<PendingFrame> pending_;
 };
 
 /// Message framing helpers. A shipped message is a one-byte tag ('V' for a
 /// value-delta batch, 'O' for an op-delta transaction log) plus the encoded
-/// body, optionally wrapped in a 'B' identity frame that prepends the
-/// stamped extract::BatchId. The hub uses these to reconcile value-delta
-/// messages from replica groups before integration.
+/// body, wrapped in an identity frame that prepends the stamped
+/// extract::BatchId. New frames are versioned ('F' + version + feature
+/// bits + kind) and carry the payload's schema epoch; the legacy 'B'/'C'
+/// frames (no version, no epoch) still decode, stamped schema_epoch 0.
+/// Unknown frame versions, feature bits, or kinds fail with
+/// kSchemaMismatch naming the offender — never a guessed decode. The hub
+/// uses these to reconcile value-delta messages from replica groups before
+/// integration.
 bool IsValueDeltaMessage(const std::string& message);
 bool IsOpDeltaMessage(const std::string& message);
 Status DecodeValueDeltaMessage(const std::string& message,
@@ -140,12 +169,12 @@ Status DecodeValueDeltaMessage(const std::string& message,
 void EncodeValueDeltaMessage(const extract::DeltaBatch& batch,
                              std::string* out);
 
-/// Wraps `inner` (a 'V'/'O' message) in a 'B' identity frame.
+/// Wraps `inner` (a 'V'/'O' message) in a versioned 'F' identity frame.
 void EncodeBatchFrame(const extract::BatchId& id, const std::string& inner,
                       std::string* out);
 
 /// Splits a message into its identity and inner 'V'/'O' payload. Messages
-/// without a 'B' frame (legacy, hand-injected) yield an invalid id and the
+/// without a frame (legacy, hand-injected) yield an invalid id and the
 /// whole message as payload — they apply without deduplication.
 Status DecodeBatchFrame(const std::string& message, extract::BatchId* id,
                         std::string* inner);

@@ -78,8 +78,27 @@ Result<std::unique_ptr<Scrubber>> Scrubber::Create(pipeline::SourceLeg* leg,
                             leg->options().warehouse_table);
   }
   if (!(dst->schema() == schema)) {
-    return Status::InvalidArgument(
-        "source and warehouse schemas must match to scrub " + source_table);
+    // An op-delta warehouse restarting between a captured ALTER and its
+    // apply lags the source by queued migration events; the first Step's
+    // drain catches it up, and the per-chunk schema guard keeps any
+    // residual lag inconclusive. Any other mismatch is drift.
+    bool lags_by_captured_ddl = false;
+    if (leg->options().method == pipeline::Method::kOpDelta) {
+      for (uint64_t e = leg->source()->ddl_epoch(); e >= 1; --e) {
+        Result<std::shared_ptr<const catalog::SchemaMap>> at =
+            leg->source()->SchemaMapAt(e);
+        if (!at.ok()) break;
+        auto it = (*at)->find(source_table);
+        if (it != (*at)->end() && it->second == dst->schema()) {
+          lags_by_captured_ddl = true;
+          break;
+        }
+      }
+    }
+    if (!lags_by_captured_ddl) {
+      return Status::InvalidArgument(
+          "source and warehouse schemas must match to scrub " + source_table);
+    }
   }
   return std::unique_ptr<Scrubber>(
       new Scrubber(leg, warehouse, std::move(drain), std::move(options)));
@@ -261,6 +280,17 @@ Status Scrubber::Step() {
   if (!setup_done_) return Status::Internal("call Setup() first");
   pass_just_completed_ = false;
 
+  // Source DDL between steps changes the row shape under the digest:
+  // re-resolve the schema every chunk, and remember the epoch so a
+  // migration landing *during* the chunk makes it inconclusive below
+  // instead of a false verdict.
+  engine::Table* table = source_->GetTable(table_);
+  if (table == nullptr) return Status::NotFound("source table " + table_);
+  schema_ = table->schema();
+  key_col_ = schema_.KeyColumnIndex();
+  ts_col_ = schema_.TimestampColumnIndex();
+  const uint64_t ddl_epoch_at_open = source_->ddl_epoch();
+
   // 1. Bracket the chunk read in a watermark window.
   const uint64_t window_id = NextWindowId();
   OPDELTA_RETURN_IF_ERROR(window_.Open(window_id));
@@ -296,6 +326,22 @@ Status Scrubber::Step() {
     // The drain could not deliver everything (e.g. transient apply
     // errors); comparing against a lagging warehouse would be a false
     // verdict.
+    ++stats_.chunks_inconclusive;
+    return Status::OK();
+  }
+  if (source_->ddl_epoch() != ddl_epoch_at_open) {
+    // A schema migration straddled the chunk: the rows above were read
+    // under the pre-DDL shape while the warehouse may already be migrated
+    // past it. Mixed-epoch digests are never a verdict — retry the chunk
+    // under the settled schema.
+    ++stats_.chunks_inconclusive;
+    return Status::OK();
+  }
+  engine::Table* wh_table = warehouse_->GetTable(wh_table_);
+  if (wh_table == nullptr || !(wh_table->schema() == schema_)) {
+    // The warehouse has not migrated to this chunk's schema yet (e.g. the
+    // hub restarted with the migration event still queued). Digesting
+    // different row shapes is never a verdict.
     ++stats_.chunks_inconclusive;
     return Status::OK();
   }

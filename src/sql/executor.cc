@@ -96,6 +96,15 @@ Result<size_t> Executor::Execute(txn::Transaction* txn,
     case StatementType::kSelect:
       return Status::InvalidArgument(
           "SELECT returns rows; use ExecuteQuery");
+    case StatementType::kAlterTable: {
+      // DDL runs in its own internal transaction (the migration takes a
+      // table-X lock); `txn` must not already hold locks on this table or
+      // the two transactions deadlock. Capture-integrated DDL goes through
+      // OpDeltaCapture::ExecuteDdl instead.
+      const AlterStmt& s = stmt.alter();
+      OPDELTA_RETURN_IF_ERROR(db_->AlterTable(s.table, s.spec));
+      return size_t{0};
+    }
   }
   return Status::Internal("bad statement type");
 }

@@ -190,6 +190,7 @@ class ParserImpl {
     if (kw == "UPDATE") return ParseUpdate();
     if (kw == "DELETE") return ParseDelete();
     if (kw == "SELECT") return ParseSelect();
+    if (kw == "ALTER") return ParseAlter();
     return Status::InvalidArgument("unsupported statement: " + kw);
   }
 
@@ -391,6 +392,71 @@ class ParserImpl {
     OPDELTA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.table));
     OPDELTA_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return Statement(std::move(stmt));
+  }
+
+  Result<catalog::ValueType> ParseValueType() {
+    if (cur_.type != TokType::kIdent) {
+      return Status::InvalidArgument("expected a column type");
+    }
+    const std::string kw = Upper(cur_.text);
+    catalog::ValueType type;
+    if (kw == "INT64") {
+      type = catalog::ValueType::kInt64;
+    } else if (kw == "DOUBLE") {
+      type = catalog::ValueType::kDouble;
+    } else if (kw == "STRING") {
+      type = catalog::ValueType::kString;
+    } else if (kw == "TIMESTAMP") {
+      type = catalog::ValueType::kTimestamp;
+    } else {
+      return Status::InvalidArgument("unknown column type " + cur_.text);
+    }
+    OPDELTA_RETURN_IF_ERROR(Advance());
+    return type;
+  }
+
+  Result<Statement> ParseAlter() {
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("ALTER"));
+    OPDELTA_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    AlterStmt stmt;
+    OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.table));
+    using Kind = catalog::AlterTableSpec::Kind;
+    if (IsKeyword("ADD")) {
+      OPDELTA_RETURN_IF_ERROR(Advance());
+      OPDELTA_RETURN_IF_ERROR(ExpectKeyword("COLUMN"));
+      stmt.spec.kind = Kind::kAddColumn;
+      OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.spec.column.name));
+      OPDELTA_ASSIGN_OR_RETURN(stmt.spec.column.type, ParseValueType());
+      if (IsKeyword("DEFAULT")) {
+        OPDELTA_RETURN_IF_ERROR(Advance());
+        OPDELTA_ASSIGN_OR_RETURN(Value lit, ParseLiteral());
+        // Integer literals may target timestamp/double columns (same
+        // coercion the executor applies to DML literals).
+        if (lit.type() == catalog::ValueType::kInt64 &&
+            stmt.spec.column.type == catalog::ValueType::kTimestamp) {
+          lit = Value::Timestamp(lit.AsInt64());
+        } else if (lit.type() == catalog::ValueType::kInt64 &&
+                   stmt.spec.column.type == catalog::ValueType::kDouble) {
+          lit = Value::Double(static_cast<double>(lit.AsInt64()));
+        }
+        stmt.spec.column.default_value = std::move(lit);
+      }
+    } else if (IsKeyword("DROP")) {
+      OPDELTA_RETURN_IF_ERROR(Advance());
+      OPDELTA_RETURN_IF_ERROR(ExpectKeyword("COLUMN"));
+      stmt.spec.kind = Kind::kDropColumn;
+      OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.spec.column.name));
+    } else if (IsKeyword("ALTER")) {
+      OPDELTA_RETURN_IF_ERROR(Advance());
+      OPDELTA_RETURN_IF_ERROR(ExpectKeyword("COLUMN"));
+      stmt.spec.kind = Kind::kAlterType;
+      OPDELTA_RETURN_IF_ERROR(ParseIdent(&stmt.spec.column.name));
+      OPDELTA_ASSIGN_OR_RETURN(stmt.spec.column.type, ParseValueType());
+    } else {
+      return Status::InvalidArgument(
+          "expected ADD COLUMN, DROP COLUMN or ALTER COLUMN");
+    }
     return Statement(std::move(stmt));
   }
 

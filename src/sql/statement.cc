@@ -12,6 +12,8 @@ const std::string& Statement::table() const {
       return delete_stmt().table;
     case StatementType::kSelect:
       return select().table;
+    case StatementType::kAlterTable:
+      return alter().table;
   }
   return insert().table;  // unreachable
 }
@@ -63,6 +65,11 @@ std::string Statement::ToSql() const {
       }
       out += " FROM " + s.table;
       if (!s.where.is_true()) out += " WHERE " + s.where.ToSql();
+      break;
+    }
+    case StatementType::kAlterTable: {
+      const AlterStmt& s = alter();
+      out = "ALTER TABLE " + s.table + " " + s.spec.ToString();
       break;
     }
   }

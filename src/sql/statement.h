@@ -12,7 +12,13 @@
 
 namespace opdelta::sql {
 
-enum class StatementType : uint8_t { kInsert, kUpdate, kDelete, kSelect };
+enum class StatementType : uint8_t {
+  kInsert,
+  kUpdate,
+  kDelete,
+  kSelect,
+  kAlterTable,
+};
 
 /// INSERT INTO <table> VALUES (...), (...). Positional values.
 struct InsertStmt {
@@ -42,6 +48,14 @@ struct SelectStmt {
   engine::Predicate where;
 };
 
+/// ALTER TABLE <table> ADD COLUMN <name> <type> [DEFAULT <lit>]
+///                   | DROP COLUMN <name>
+///                   | ALTER COLUMN <name> <type>.
+struct AlterStmt {
+  std::string table;
+  catalog::AlterTableSpec spec;
+};
+
 /// A DML operation. Its SQL text *is* the Op-Delta (paper §4.1: "the SQL
 /// statement itself is already an Op-Delta in the size of about 70 bytes").
 class Statement {
@@ -51,6 +65,7 @@ class Statement {
   explicit Statement(UpdateStmt s) : stmt_(std::move(s)) {}
   explicit Statement(DeleteStmt s) : stmt_(std::move(s)) {}
   explicit Statement(SelectStmt s) : stmt_(std::move(s)) {}
+  explicit Statement(AlterStmt s) : stmt_(std::move(s)) {}
 
   StatementType type() const {
     return static_cast<StatementType>(stmt_.index());
@@ -62,22 +77,26 @@ class Statement {
   bool is_update() const { return type() == StatementType::kUpdate; }
   bool is_delete() const { return type() == StatementType::kDelete; }
   bool is_select() const { return type() == StatementType::kSelect; }
+  bool is_alter() const { return type() == StatementType::kAlterTable; }
 
   const InsertStmt& insert() const { return std::get<InsertStmt>(stmt_); }
   const UpdateStmt& update() const { return std::get<UpdateStmt>(stmt_); }
   const DeleteStmt& delete_stmt() const { return std::get<DeleteStmt>(stmt_); }
   const SelectStmt& select() const { return std::get<SelectStmt>(stmt_); }
+  const AlterStmt& alter() const { return std::get<AlterStmt>(stmt_); }
 
   InsertStmt& mutable_insert() { return std::get<InsertStmt>(stmt_); }
   UpdateStmt& mutable_update() { return std::get<UpdateStmt>(stmt_); }
   DeleteStmt& mutable_delete() { return std::get<DeleteStmt>(stmt_); }
   SelectStmt& mutable_select() { return std::get<SelectStmt>(stmt_); }
+  AlterStmt& mutable_alter() { return std::get<AlterStmt>(stmt_); }
 
   /// Renders canonical SQL text (no trailing semicolon).
   std::string ToSql() const;
 
  private:
-  std::variant<InsertStmt, UpdateStmt, DeleteStmt, SelectStmt> stmt_;
+  std::variant<InsertStmt, UpdateStmt, DeleteStmt, SelectStmt, AlterStmt>
+      stmt_;
 };
 
 }  // namespace opdelta::sql

@@ -162,6 +162,11 @@ Status AggViewMaintainer::ApplyStatement(
     }
     case sql::StatementType::kSelect:
       return Status::OK();  // reads have no view effect
+
+    case sql::StatementType::kAlterTable:
+      return Status::NotSupported(
+          "aggregate view: source DDL must be applied through the "
+          "schema-event path, not statement replay");
   }
   return Status::Internal("bad statement type");
 }

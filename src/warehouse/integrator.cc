@@ -29,6 +29,19 @@ Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
   }
   engine::Table* t = db_->GetTable(table_);
   if (t == nullptr) return Status::NotFound("table " + table_);
+  if (batch.schema.num_columns() != 0 &&
+      batch.schema.num_columns() != t->schema().num_columns()) {
+    // A batch captured under a different column count than the warehouse
+    // table now has would integrate garbage positionally. Value-delta
+    // streams carry no migration events, so this is a quarantine, not a
+    // retry.
+    return Status::SchemaMismatch(
+        "value-delta batch for table " + table_ + " was captured with " +
+        std::to_string(batch.schema.num_columns()) +
+        " columns but the warehouse table has " +
+        std::to_string(t->schema().num_columns()) +
+        "; re-snapshot the warehouse");
+  }
   const int key_col = t->schema().KeyColumnIndex();
   if (key_col < 0) return Status::InvalidArgument("table has no key column");
   const std::string& key_name = t->schema().column(key_col).name;
@@ -116,12 +129,79 @@ Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
   return Status::OK();
 }
 
+Status OpDeltaIntegrator::ApplySchemaEvent(const extract::SchemaEvent& ev,
+                                           IntegrationStats* stats) {
+  if (ev.spec.kind == catalog::AlterTableSpec::Kind::kAlterType) {
+    // A type change rewrites the meaning of every existing cell; applying
+    // it online under concurrent reads cannot be made safe, and coercing
+    // silently is exactly the corruption this path exists to prevent.
+    return Status::SchemaMismatch(
+        "incompatible schema change for table " + ev.table + " (" +
+        ev.ddl_sql + "): column type changes cannot be applied online; "
+        "resync the warehouse from a fresh snapshot");
+  }
+  engine::Table* t = db_->GetTable(ev.table);
+  if (t == nullptr) return Status::NotFound("table " + ev.table);
+  const catalog::Schema warehouse_schema = t->schema();
+  if (warehouse_schema == ev.new_schema) {
+    // Redelivery after a crash between the migration and its ledger
+    // advance: the warehouse is already at the new schema.
+    return Status::OK();
+  }
+  if (!(warehouse_schema == ev.old_schema)) {
+    return Status::SchemaMismatch(
+        "warehouse schema for table " + ev.table + " (" +
+        warehouse_schema.ToString() + ") matches neither side of captured "
+        "DDL \"" + ev.ddl_sql + "\"; the warehouse has drifted from the "
+        "source stream");
+  }
+  OPDELTA_RETURN_IF_ERROR(db_->AlterTable(ev.table, ev.spec));
+  if (stats != nullptr) stats->schema_migrations++;
+  return Status::OK();
+}
+
 Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
                                    const extract::BatchId& id,
                                    ApplyLedger* ledger, uint64_t txns_after,
                                    IntegrationStats* stats) {
   IntegrationStats local;
   Stopwatch wall;
+  // A captured DDL transaction holds exactly one schema event (the source
+  // capture writes it in a dedicated transaction). The migration runs its
+  // own internal engine transaction (table-X lock), so it cannot ride the
+  // apply transaction — migrate first, then advance the ledger. The
+  // migration is idempotent, which is what makes the split crash-safe: a
+  // redelivery that crashed between the two finds the warehouse already
+  // at the new schema and only advances the ledger.
+  bool has_event = false;
+  for (const extract::OpDeltaRecord& op : source_txn.ops) {
+    has_event = has_event || op.is_schema_event();
+  }
+  if (has_event) {
+    if (source_txn.ops.size() != 1) {
+      return Status::Corruption(
+          "captured schema event shares a transaction with other ops");
+    }
+    OPDELTA_RETURN_IF_ERROR(
+        ApplySchemaEvent(*source_txn.ops[0].schema_event, &local));
+    if (ledger != nullptr && id.valid()) {
+      std::unique_ptr<txn::Transaction> txn = db_->Begin();
+      Status st = ledger->Advance(txn.get(), id, txns_after);
+      if (st.ok()) st = db_->Commit(txn.get());
+      if (!st.ok()) {
+        (void)db_->Abort(txn.get());
+        return st;
+      }
+    }
+    local.transactions = 1;
+    local.wall_micros = wall.ElapsedMicros();
+    if (stats != nullptr) {
+      stats->transactions += local.transactions;
+      stats->wall_micros += local.wall_micros;
+      stats->schema_migrations += local.schema_migrations;
+    }
+    return Status::OK();
+  }
   std::unique_ptr<txn::Transaction> txn = db_->Begin();
   for (const extract::OpDeltaRecord& op : source_txn.ops) {
     Result<Statement> parsed = sql::Parser::Parse(op.sql);

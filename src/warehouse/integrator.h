@@ -27,6 +27,10 @@ struct IntegrationStats {
   // Exactly-once accounting (ledger-aware apply paths only).
   uint64_t duplicate_batches = 0;  // redelivered batches dropped whole
   uint64_t duplicate_txns = 0;     // already-applied prefix skipped on resume
+
+  // Schema evolution accounting.
+  uint64_t schema_migrations = 0;  // warehouse ALTERs applied from events
+  uint64_t schema_epoch = 0;       // highest frame schema epoch applied
 };
 
 /// Value-delta integration (the incumbent the paper measures against).
@@ -105,6 +109,14 @@ class OpDeltaIntegrator {
                   IntegrationStats* stats);
 
  private:
+  /// Migrates the warehouse for one captured DDL event. Idempotent: a
+  /// warehouse already at the event's new schema is a redelivery no-op.
+  /// A warehouse matching neither side of the event has drifted, and an
+  /// online type change is not applicable at all — both fail with
+  /// kSchemaMismatch (the hub's quarantine trigger), naming the reason.
+  Status ApplySchemaEvent(const extract::SchemaEvent& event,
+                          IntegrationStats* stats);
+
   engine::Database* db_;
   sql::Executor executor_;
 };

@@ -285,6 +285,11 @@ Status JoinViewMaintainer::ApplyFactStatement(
     }
     case sql::StatementType::kSelect:
       return Status::OK();  // reads have no view effect
+
+    case sql::StatementType::kAlterTable:
+      return Status::NotSupported(
+          "join view: source DDL must be applied through the schema-event "
+          "path, not statement replay");
   }
   return Status::Internal("bad statement type");
 }
@@ -392,6 +397,11 @@ Status JoinViewMaintainer::ApplyDimStatement(txn::Transaction* wtxn,
     }
     case sql::StatementType::kSelect:
       return Status::OK();  // reads have no view effect
+
+    case sql::StatementType::kAlterTable:
+      return Status::NotSupported(
+          "join view: source DDL must be applied through the schema-event "
+          "path, not statement replay");
   }
   return Status::Internal("bad statement type");
 }

@@ -180,6 +180,11 @@ Maintainability ViewMaintainer::Analyze(const Statement& stmt) const {
 
     case sql::StatementType::kSelect:
       return Maintainability::kOpOnly;  // reads never touch the view
+
+    case sql::StatementType::kAlterTable:
+      // Source DDL restructures the base table, not its rows; the view's
+      // projection is maintained by the schema-event path, not here.
+      return Maintainability::kNotSelfMaintainable;
   }
   return Maintainability::kNotSelfMaintainable;
 }
@@ -277,6 +282,12 @@ Status ViewMaintainer::ApplyStatement(
     }
     case sql::StatementType::kSelect:
       return Status::OK();  // reads have no view effect
+
+    case sql::StatementType::kAlterTable:
+      return Status::NotSupported(
+          "view " + def_.view_table +
+          ": source DDL must be applied through the schema-event path, "
+          "not statement replay");
   }
   return Status::Internal("bad statement type");
 }

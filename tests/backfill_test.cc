@@ -77,7 +77,9 @@ TEST(SnapshotFrameTest, RoundTripsSnapshotMarker) {
   std::string message;
   pipeline::EncodeBatchFrame(id, inner, &message);
   ASSERT_FALSE(message.empty());
-  EXPECT_EQ(message[0], 'C');  // snapshot identity frame
+  // Versioned frame; the snapshot identity ('C') travels as the kind byte
+  // behind the version/feature preamble.
+  EXPECT_EQ(message[0], 'F');
   EXPECT_EQ(id.ToString(), "s1@7:42+snap");
 
   extract::BatchId decoded;
@@ -98,7 +100,7 @@ TEST(SnapshotFrameTest, RoundTripsSnapshotMarker) {
   extract::BatchId live{"s1", 7, 43, /*snapshot=*/false};
   std::string live_message;
   pipeline::EncodeBatchFrame(live, inner, &live_message);
-  EXPECT_EQ(live_message[0], 'B');
+  EXPECT_EQ(live_message[0], 'F');
   OPDELTA_ASSERT_OK(
       pipeline::DecodeBatchFrame(live_message, &decoded, &payload));
   EXPECT_FALSE(decoded.snapshot);

@@ -27,7 +27,7 @@ void PrintUsage() {
 
 void ListRules() {
   using opdelta::lint::RuleId;
-  for (int i = 1; i <= 5; ++i) {
+  for (int i = 1; i <= 6; ++i) {
     const RuleId id = static_cast<RuleId>(i);
     std::cout << opdelta::lint::RuleName(id) << ": "
               << opdelta::lint::RuleSummary(id) << "\n";

@@ -12,6 +12,7 @@ constexpr size_t kNpos = static_cast<size_t>(-1);
 
 const char* kRuleNames[] = {
     "", "opdelta-R1", "opdelta-R2", "opdelta-R3", "opdelta-R4", "opdelta-R5",
+    "opdelta-R6",
 };
 
 const char* kRuleSummaries[] = {
@@ -21,6 +22,7 @@ const char* kRuleSummaries[] = {
     "lock discipline: bare cv wait / callback under lock",
     "naked new/delete or missing [[nodiscard]]",
     "hygiene: forbidden include or untagged TODO",
+    "ad-hoc SchemaMap at a decode call site; use the cached epoch accessors",
 };
 
 bool IsIdentChar(char c) {
@@ -593,6 +595,60 @@ void RunR5(const FileUnit& unit, std::vector<Finding>* findings) {
   }
 }
 
+// ----------------------------------------------------------- R6 engine
+
+/// Production code decoding op-delta streams must decode against the
+/// database's shared schema snapshots — Database::CurrentSchemaMap() for
+/// live data, SchemaMapAt(epoch) for epoch-stamped frames — not against a
+/// map hand-built from ListTables/GetTable. An ad-hoc map silently decodes
+/// old frames with the *current* schema (wrong after DDL) and re-copies
+/// every schema per call. Scoped to src/ outside the two layers that own
+/// the type (extract defines it, engine builds the shared snapshots);
+/// tests and tools may build maps freely.
+void RunR6(const FileUnit& unit, std::vector<Finding>* findings) {
+  if (!PathContains(unit.path, "src/")) return;
+  if (PathContains(unit.path, "src/extract") ||
+      PathContains(unit.path, "src/engine")) {
+    return;
+  }
+  const auto& toks = unit.tokens;
+  bool decodes = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kIdent &&
+        (t.text == "ParseOpDeltaLog" || t.text == "DrainDbTable" ||
+         t.text == "ReadFile")) {
+      if (t.text != "ReadFile" || unit.path.find("op_delta") != kNpos) {
+        decodes = true;
+        break;
+      }
+    }
+  }
+  if (!decodes) return;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("SchemaMap")) continue;
+    // Declaration of a local map object: `SchemaMap name ;|=|{` — but not
+    // a reference/pointer parameter (`const SchemaMap& schemas`) and not
+    // the shared-snapshot spelling `shared_ptr<const SchemaMap>`.
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].IsPunct(">")) continue;  // template arg
+    if (j < toks.size() &&
+        (toks[j].IsPunct("&") || toks[j].IsPunct("*"))) {
+      continue;
+    }
+    if (j < toks.size() && toks[j].kind == TokenKind::kIdent &&
+        j + 1 < toks.size() &&
+        (toks[j + 1].IsPunct(";") || toks[j + 1].IsPunct("=") ||
+         toks[j + 1].IsPunct("{") || toks[j + 1].IsPunct("("))) {
+      Report(unit, RuleId::kR6SchemaMapHygiene, toks[i].line,
+             "ad-hoc SchemaMap built at an op-delta decode site; use "
+             "Database::CurrentSchemaMap() (live) or SchemaMapAt(epoch) "
+             "(epoch-stamped frames) so decoding is epoch-correct and the "
+             "snapshot is shared, not rebuilt per call",
+             findings);
+    }
+  }
+}
+
 }  // namespace
 
 const char* RuleName(RuleId id) { return kRuleNames[static_cast<int>(id)]; }
@@ -623,6 +679,7 @@ void RunRules(const FileUnit& unit, const SymbolIndex& index,
   RunR3(unit, index, findings);
   RunR4(unit, findings);
   RunR5(unit, findings);
+  RunR6(unit, findings);
 }
 
 }  // namespace opdelta::lint

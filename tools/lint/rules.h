@@ -17,6 +17,7 @@ enum class RuleId : int {
   kR3LockDiscipline = 3,    // bare cv wait / callback invoked under lock
   kR4OwnershipNodiscard = 4,  // naked new/delete; Status not [[nodiscard]]
   kR5Hygiene = 5,           // <cstdio>/<fstream> includes; untagged TODO
+  kR6SchemaMapHygiene = 6,  // ad-hoc SchemaMap built at a decode call site
 };
 
 const char* RuleName(RuleId id);      // "opdelta-R2"

@@ -307,6 +307,10 @@ void PrintHubStatsJson(const hub::HubStats& stats) {
                 static_cast<unsigned long long>(s.duplicates_dropped),
                 static_cast<unsigned long long>(s.applied_epoch),
                 static_cast<unsigned long long>(s.applied_seq));
+    std::printf("\"source_schema_epoch\": %llu, "
+                "\"applied_schema_epoch\": %llu, ",
+                static_cast<unsigned long long>(s.source_schema_epoch),
+                static_cast<unsigned long long>(s.applied_schema_epoch));
     std::printf("\"errors\": %llu, \"retries\": %llu, "
                 "\"dead_letters\": %llu, \"quarantined\": %s, "
                 "\"last_error\": \"%s\", ",
@@ -365,6 +369,11 @@ void PrintHubStatsText(const hub::HubStats& stats) {
                 static_cast<unsigned long long>(s.records_extracted),
                 static_cast<unsigned long long>(s.batches_shipped),
                 static_cast<unsigned long long>(s.batches_applied));
+    if (s.source_schema_epoch > 1 || s.applied_schema_epoch > 1) {
+      std::printf("  %-16s    schema epoch %llu at source, %llu applied\n",
+                  "", static_cast<unsigned long long>(s.source_schema_epoch),
+                  static_cast<unsigned long long>(s.applied_schema_epoch));
+    }
     if (s.chunks_total > 0 || s.backfill_done) {
       std::printf("  %-16s    backfill %llu/%llu chunks, %llu rows, "
                   "%llu deduped%s\n",
