@@ -4,9 +4,12 @@
 // that would distort the paper-level benches.
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
 #include "bench/harness.h"
 #include "common/crc32.h"
 #include "common/random.h"
+#include "common/sync.h"
 #include "catalog/row_codec.h"
 #include "index/bplus_tree.h"
 #include "sql/parser.h"
@@ -151,6 +154,43 @@ void BM_SqlParseUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SqlParseUpdate);
+
+// OrderedMutex must cost the same as std::mutex in release builds (the
+// alias collapses to a passthrough wrapper). Comparing these two series is
+// the acceptance check for the lock-hierarchy migration: any gap here means
+// the checker leaked into the release path.
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_OrderedMutexLockUnlock(benchmark::State& state) {
+  common::OrderedMutex mu{OPDELTA_LOCK_RANK(bench_mu, 50)};
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OrderedMutexLockUnlock);
+
+void BM_OrderedSharedMutexSharedLock(benchmark::State& state) {
+  common::OrderedSharedMutex mu{OPDELTA_LOCK_RANK(bench_shared_mu, 50)};
+  for (auto _ : state) {
+    mu.lock_shared();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock_shared();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OrderedSharedMutexSharedLock);
 
 void BM_Crc32c(benchmark::State& state) {
   std::string data(state.range(0), 'x');

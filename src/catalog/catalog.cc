@@ -19,7 +19,7 @@ constexpr uint32_t kCatalogFormatV1 = 1;
 
 Status Catalog::CreateTable(const std::string& name, const Schema& schema,
                             TableId* id_out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -34,19 +34,19 @@ Status Catalog::CreateTable(const std::string& name, const Schema& schema,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (tables_.erase(name) == 0) return Status::NotFound("table " + name);
   return Status::OK();
 }
 
 const TableInfo* Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : &it->second;
 }
 
 const TableInfo* Catalog::GetTable(TableId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   for (const auto& [name, info] : tables_) {
     if (info.id == id) return &info;
   }
@@ -54,7 +54,7 @@ const TableInfo* Catalog::GetTable(TableId id) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, info] : tables_) names.push_back(name);
@@ -70,7 +70,7 @@ SchemaMap Catalog::CurrentSchemasLocked() const {
 Status Catalog::AlterTable(const std::string& name,
                            const AlterTableSpec& spec, TableInfo* new_info,
                            AlterUndo* undo) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   Schema next;
@@ -91,7 +91,7 @@ Status Catalog::AlterTable(const std::string& name,
 }
 
 void Catalog::UndoAlter(const AlterUndo& undo) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   auto it = tables_.find(undo.prev_info.name);
   if (it != tables_.end()) it->second = undo.prev_info;
   if (undo.history_added) history_.erase(undo.prev_epoch);
@@ -99,17 +99,17 @@ void Catalog::UndoAlter(const AlterUndo& undo) {
 }
 
 uint64_t Catalog::ddl_epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   return ddl_epoch_;
 }
 
 SchemaMap Catalog::CurrentSchemas() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   return CurrentSchemasLocked();
 }
 
 Result<SchemaMap> Catalog::SchemasAt(uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (epoch == ddl_epoch_) return CurrentSchemasLocked();
   auto it = history_.find(epoch);
   if (it != history_.end()) return it->second;
@@ -124,7 +124,7 @@ Result<SchemaMap> Catalog::SchemasAt(uint64_t epoch) const {
 }
 
 void Catalog::EncodeTo(std::string* dst) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   PutVarint32(dst, kVersionSentinel);
   PutVarint32(dst, kCatalogFormatV1);
   PutVarint32(dst, next_id_);
@@ -153,7 +153,7 @@ Status Catalog::DecodeFrom(Slice input, Catalog* out) {
   if (!GetVarint32(&input, &first)) {
     return Status::Corruption("catalog header");
   }
-  std::lock_guard<std::mutex> lock(out->mutex_);
+  std::lock_guard<common::OrderedMutex> lock(out->mutex_);
   out->tables_.clear();
   out->history_.clear();
   out->ddl_epoch_ = 1;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "catalog/schema.h"
 
 namespace opdelta::catalog {
@@ -99,7 +100,8 @@ class Catalog {
  private:
   SchemaMap CurrentSchemasLocked() const;
 
-  mutable std::mutex mutex_;
+  mutable common::OrderedMutex mutex_{
+      OPDELTA_LOCK_RANK(catalog, common::lockrank::kCatalog)};
   std::map<std::string, TableInfo> tables_;
   TableId next_id_ = 1;
   uint64_t ddl_epoch_ = 1;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/sync.h"
+
 #include "common/logging.h"
 
 namespace opdelta {
@@ -47,7 +49,7 @@ struct FaultInjectionEnv::State {
   Status MaybeFault(OpKind kind, const std::string& path, bool mutating,
                     uint64_t payload_size = 0,
                     uint64_t* short_write_bytes = nullptr) {
-    std::lock_guard<std::mutex> lock(mutex);
+    std::lock_guard<common::OrderedMutex> lock(mutex);
     if (short_write_bytes != nullptr) *short_write_bytes = 0;
     if (!InScope(path)) return Status::OK();
 
@@ -82,11 +84,12 @@ struct FaultInjectionEnv::State {
   }
 
   void MarkDurable(const std::string& path, uint64_t size) {
-    std::lock_guard<std::mutex> lock(mutex);
+    std::lock_guard<common::OrderedMutex> lock(mutex);
     if (InScope(path)) durable_size[path] = size;
   }
 
-  mutable std::mutex mutex;
+  mutable common::OrderedMutex mutex{
+      OPDELTA_LOCK_RANK(fault_env, common::lockrank::kFaultEnv)};
   Rng rng;
   std::string scope;
   double probability[kNumOpKinds] = {};
@@ -227,29 +230,29 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
 FaultInjectionEnv::~FaultInjectionEnv() = default;
 
 void FaultInjectionEnv::SetScope(std::string substring) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   state_->scope = std::move(substring);
 }
 
 void FaultInjectionEnv::SetErrorProbability(OpKind kind, double p) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   state_->probability[static_cast<int>(kind)] = p;
 }
 
 void FaultInjectionEnv::SetShortWriteProbability(double p) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   state_->short_write_probability = p;
 }
 
 void FaultInjectionEnv::FailAllOpsAfter(uint64_t n) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   state_->fail_after = n;
   state_->crossed_crash_point = false;
   state_->mutations = 0;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   for (double& p : state_->probability) p = 0.0;
   state_->short_write_probability = 0.0;
   state_->fail_after = UINT64_MAX;
@@ -257,17 +260,17 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 uint64_t FaultInjectionEnv::mutations() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   return state_->mutations;
 }
 
 uint64_t FaultInjectionEnv::faults_injected() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   return state_->faults;
 }
 
 Status FaultInjectionEnv::CrashAndDropUnsynced(bool torn_tails) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   for (auto& [path, durable] : state_->durable_size) {
     if (!base_->FileExists(path)) continue;
     uint64_t size = 0;
@@ -292,7 +295,7 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& path,
   std::unique_ptr<WritableFile> inner;
   OPDELTA_RETURN_IF_ERROR(base_->NewWritableFile(path, &inner));
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::lock_guard<common::OrderedMutex> lock(state_->mutex);
     // Created/truncated: nothing durable yet.
     if (state_->InScope(path)) state_->durable_size[path] = 0;
   }
@@ -307,7 +310,7 @@ Status FaultInjectionEnv::NewAppendableFile(
   std::unique_ptr<WritableFile> inner;
   OPDELTA_RETURN_IF_ERROR(base_->NewAppendableFile(path, &inner));
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::lock_guard<common::OrderedMutex> lock(state_->mutex);
     // Pre-existing bytes (written before tracking began) count as durable.
     if (state_->InScope(path) &&
         state_->durable_size.find(path) == state_->durable_size.end()) {
@@ -336,7 +339,7 @@ Status FaultInjectionEnv::NewRandomRWFile(const std::string& path,
   std::unique_ptr<RandomRWFile> inner;
   OPDELTA_RETURN_IF_ERROR(base_->NewRandomRWFile(path, &inner));
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::lock_guard<common::OrderedMutex> lock(state_->mutex);
     // Pre-existing bytes count as durable; in-place overwrites within that
     // range survive CrashAndDropUnsynced (only appended tails are dropped).
     if (state_->InScope(path) &&
@@ -383,7 +386,7 @@ Status FaultInjectionEnv::DeleteFile(const std::string& path) {
       state_->MaybeFault(OpKind::kDelete, path, /*mutating=*/true));
   Status st = base_->DeleteFile(path);
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::lock_guard<common::OrderedMutex> lock(state_->mutex);
     state_->durable_size.erase(path);
   }
   return st;
@@ -394,7 +397,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
   OPDELTA_RETURN_IF_ERROR(
       state_->MaybeFault(OpKind::kRename, from, /*mutating=*/true));
   OPDELTA_RETURN_IF_ERROR(base_->RenameFile(from, to));
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   auto it = state_->durable_size.find(from);
   if (it != state_->durable_size.end()) {
     // The rename moves the file's durability along with its bytes.
@@ -417,7 +420,7 @@ Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
   OPDELTA_RETURN_IF_ERROR(
       state_->MaybeFault(OpKind::kTruncate, path, /*mutating=*/true));
   OPDELTA_RETURN_IF_ERROR(base_->Truncate(path, size));
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::lock_guard<common::OrderedMutex> lock(state_->mutex);
   auto it = state_->durable_size.find(path);
   if (it != state_->durable_size.end()) it->second = std::min(it->second, size);
   return Status::OK();
@@ -430,7 +433,7 @@ Status FaultInjectionEnv::CreateDir(const std::string& path) {
 Status FaultInjectionEnv::RemoveDirAll(const std::string& path) {
   Status st = base_->RemoveDirAll(path);
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::lock_guard<common::OrderedMutex> lock(state_->mutex);
     for (auto it = state_->durable_size.begin();
          it != state_->durable_size.end();) {
       if (it->first.rfind(path, 0) == 0) {

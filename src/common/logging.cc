@@ -3,11 +3,14 @@
 #include <atomic>
 #include <mutex>
 
+#include "common/sync.h"
+
 namespace opdelta {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+common::OrderedMutex g_log_mutex{
+    OPDELTA_LOCK_RANK(logging, common::lockrank::kLogging)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -45,7 +48,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::lock_guard<common::OrderedMutex> lock(g_log_mutex);
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
 }

@@ -1,0 +1,249 @@
+#include "common/sync.h"
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// The checker itself: rank enforcement plus a process-wide acquisition
+// graph over mutex *instances*. The rank check catches inversions between
+// lock classes; the graph catches ABBA orders between same-rank instances
+// of one class (where a static rank cannot distinguish the two locks).
+//
+// Always compiled, even in release builds where the inline OrderedMutex is
+// a passthrough: a TU built with OPDELTA_LOCK_CHECK (sync_test, the CI
+// lock-check job) links these hooks out of an otherwise-release library.
+//
+// Diagnostics use raw stderr on purpose: the abort path must not allocate
+// through Env or take the logging lock (it may fire while logging's own
+// rank is under test), so backtrace_symbols_fd and fprintf are the whole
+// toolkit here.
+
+namespace opdelta::common::lockcheck {
+
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+Stack CaptureStack() {
+  Stack s;
+  s.depth = backtrace(s.frames, kMaxFrames);
+  return s;
+}
+
+void PrintStack(const Stack& s) {
+  if (s.depth <= 0) {
+    std::fprintf(stderr, "    <no backtrace available>\n");
+    return;
+  }
+  backtrace_symbols_fd(s.frames, s.depth, 2);
+}
+
+struct Held {
+  const void* mtx;
+  LockRankSpec spec;
+  Stack stack;
+};
+
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> held;
+  return held;
+}
+
+/// One directed edge in the acquisition graph: the first time any thread
+/// blocked on `to` while holding `from`, with both witness stacks.
+struct EdgeWitness {
+  Stack holding_stack;    // where `from` was acquired
+  Stack acquiring_stack;  // where the edge was created (acquiring `to`)
+  LockRankSpec from_spec;
+  LockRankSpec to_spec;
+};
+
+struct Node {
+  LockRankSpec spec;
+  std::unordered_map<const void*, EdgeWitness> out;  // to -> witness
+};
+
+/// Process-wide instance graph. Guarded by a raw std::mutex: the registry
+/// is internal to the checker and must never recurse into OrderedMutex.
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<const void*, Node> nodes;
+};
+
+Graph& TheGraph() {
+  static Graph* g = new Graph();  // leaked: mutexes destruct at any time
+  return *g;
+}
+
+[[noreturn]] void Abort() {
+  std::fflush(stderr);
+  std::abort();
+}
+
+void ReportRankInversion(const Held& held_max, const LockRankSpec& spec) {
+  std::fprintf(stderr,
+               "opdelta lock check: rank inversion: acquiring '%s' (rank %d) "
+               "while holding '%s' (rank %d)\n",
+               spec.name, spec.rank, held_max.spec.name, held_max.spec.rank);
+  std::fprintf(stderr, "  held lock '%s' was acquired at:\n",
+               held_max.spec.name);
+  PrintStack(held_max.stack);
+  std::fprintf(stderr, "  conflicting acquisition of '%s' at:\n", spec.name);
+  PrintStack(CaptureStack());
+  Abort();
+}
+
+void ReportSelfDeadlock(const Held& prior, const LockRankSpec& spec) {
+  std::fprintf(stderr,
+               "opdelta lock check: self deadlock: re-acquiring '%s' (rank "
+               "%d) already held by this thread\n",
+               spec.name, spec.rank);
+  std::fprintf(stderr, "  first acquisition at:\n");
+  PrintStack(prior.stack);
+  std::fprintf(stderr, "  re-acquisition at:\n");
+  PrintStack(CaptureStack());
+  Abort();
+}
+
+/// DFS from `start` looking for `target` in the edge set. On success fills
+/// `path` with the node sequence start..target.
+bool FindPath(const Graph& g, const void* start, const void* target,
+              std::unordered_set<const void*>* seen,
+              std::vector<const void*>* path) {
+  if (!seen->insert(start).second) return false;
+  path->push_back(start);
+  if (start == target) return true;
+  auto it = g.nodes.find(start);
+  if (it != g.nodes.end()) {
+    for (const auto& [next, witness] : it->second.out) {
+      if (FindPath(g, next, target, seen, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+/// Requires g.mu held. Prints the cycle `acquiring -> path... -> acquiring`
+/// with each edge's stored witness stacks, then aborts the run.
+[[noreturn]] void ReportCycle(const Graph& g,
+                              const std::vector<const void*>& path,
+                              const void* acquiring,
+                              const LockRankSpec& acquiring_spec,
+                              const Held& holding) {
+  std::fprintf(stderr,
+               "opdelta lock check: lock-order cycle: acquiring '%s' (%p) "
+               "while holding '%s' (%p) closes the loop:\n",
+               acquiring_spec.name, acquiring, holding.spec.name, holding.mtx);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto node = g.nodes.find(path[i]);
+    if (node == g.nodes.end()) continue;
+    auto edge = node->second.out.find(path[i + 1]);
+    if (edge == node->second.out.end()) continue;
+    const EdgeWitness& w = edge->second;
+    std::fprintf(stderr, "  edge '%s' (%p) -> '%s' (%p): held here:\n",
+                 w.from_spec.name, path[i], w.to_spec.name, path[i + 1]);
+    PrintStack(w.holding_stack);
+    std::fprintf(stderr, "    acquired here:\n");
+    PrintStack(w.acquiring_stack);
+  }
+  std::fprintf(stderr, "  closing edge '%s' -> '%s': held here:\n",
+               holding.spec.name, acquiring_spec.name);
+  PrintStack(holding.stack);
+  std::fprintf(stderr, "    acquiring here:\n");
+  PrintStack(CaptureStack());
+  Abort();
+}
+
+}  // namespace
+
+void PreAcquire(const void* mtx, const LockRankSpec& spec) {
+  std::vector<Held>& held = HeldStack();
+  if (held.empty()) return;
+
+  int max_rank = held.front().spec.rank;
+  const Held* max_held = &held.front();
+  for (const Held& h : held) {
+    if (h.mtx == mtx) ReportSelfDeadlock(h, spec);
+    if (h.spec.rank > max_rank) {
+      max_rank = h.spec.rank;
+      max_held = &h;
+    }
+  }
+  if (spec.rank < max_rank) ReportRankInversion(*max_held, spec);
+
+  // Record held -> mtx edges and check for a cycle before blocking. With
+  // strictly increasing ranks a cycle is impossible; this exists for the
+  // equal-rank case (two instances of one class locked in both orders).
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.nodes.try_emplace(mtx, Node{spec, {}});
+  for (const Held& h : held) {
+    Node& from = g.nodes.try_emplace(h.mtx, Node{h.spec, {}}).first->second;
+    if (from.out.count(mtx) == 0) {
+      EdgeWitness w;
+      w.holding_stack = h.stack;
+      w.acquiring_stack = CaptureStack();
+      w.from_spec = h.spec;
+      w.to_spec = spec;
+      from.out.emplace(mtx, std::move(w));
+    }
+  }
+  // A path mtx -> ... -> held means some order already requires a held
+  // lock after mtx; blocking on mtx now closes the cycle.
+  for (const Held& h : held) {
+    std::unordered_set<const void*> seen;
+    std::vector<const void*> path;
+    if (FindPath(g, mtx, h.mtx, &seen, &path)) {
+      ReportCycle(g, path, mtx, spec, h);
+    }
+  }
+}
+
+void PostAcquire(const void* mtx, const LockRankSpec& spec) {
+  HeldStack().push_back(Held{mtx, spec, CaptureStack()});
+}
+
+void OnTryAcquired(const void* mtx, const LockRankSpec& spec) {
+  // try_lock never blocks, so it cannot deadlock and adds no graph edge;
+  // but the lock is held now, and later blocking acquisitions must rank
+  // against it.
+  HeldStack().push_back(Held{mtx, spec, CaptureStack()});
+}
+
+void OnRelease(const void* mtx) {
+  std::vector<Held>& held = HeldStack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mtx == mtx) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unlock of a lock this thread never recorded: either an unlock from a
+  // different thread (already UB on std::mutex) or a checker bug. Ignore:
+  // aborting here would turn harmless shutdown races into noise.
+}
+
+void OnDestroy(const void* mtx) {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.nodes.erase(mtx);
+  for (auto& [addr, node] : g.nodes) {
+    node.out.erase(mtx);
+  }
+}
+
+int HeldCountForTesting() {
+  return static_cast<int>(HeldStack().size());
+}
+
+}  // namespace opdelta::common::lockcheck

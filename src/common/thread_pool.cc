@@ -14,7 +14,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<common::OrderedMutex> lock(mutex_);
     if (shutdown_) return;
     queue_.push_back(std::move(task));
   }
@@ -22,13 +22,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<common::OrderedMutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<common::OrderedMutex> lock(mutex_);
     if (shutdown_) return;
     shutdown_ = true;
   }
@@ -42,7 +42,7 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<common::OrderedMutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       // Drain remaining tasks even during shutdown so submitted work is
       // never dropped once accepted.
@@ -53,7 +53,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<common::OrderedMutex> lock(mutex_);
       --active_;
     }
     idle_cv_.notify_all();

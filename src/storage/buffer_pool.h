@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/file_manager.h"
 #include "storage/page.h"
 
@@ -124,7 +125,8 @@ class BufferPool {
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;  // front = most recent
-  std::mutex mutex_;
+  common::OrderedMutex mutex_{
+      OPDELTA_LOCK_RANK(buffer_pool, common::lockrank::kBufferPool)};
   BufferPoolStats stats_;
 };
 

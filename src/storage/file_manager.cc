@@ -35,7 +35,7 @@ Status FileManager::Close() {
 }
 
 Status FileManager::AllocatePage(PageId* id) {
-  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(alloc_mutex_);
   const PageId new_id = num_pages_.load();
   static const char kZeros[kPageSize] = {};
   OPDELTA_RETURN_IF_ERROR(

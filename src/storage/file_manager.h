@@ -9,6 +9,7 @@
 
 #include "common/env.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/page.h"
 
 namespace opdelta::storage {
@@ -61,7 +62,8 @@ class FileManager {
   Env* env_ = nullptr;
   std::unique_ptr<RandomRWFile> file_;
   std::atomic<uint32_t> num_pages_{0};
-  std::mutex alloc_mutex_;
+  common::OrderedMutex alloc_mutex_{
+      OPDELTA_LOCK_RANK(file_alloc, common::lockrank::kFileAlloc)};
   IoStats stats_;
 };
 

@@ -13,7 +13,7 @@ void NetworkSimulator::SpinFor(Micros duration) {
 }
 
 void NetworkSimulator::SetFaults(const FaultProfile& faults) {
-  std::lock_guard<std::mutex> lock(fault_mutex_);
+  std::lock_guard<common::OrderedMutex> lock(fault_mutex_);
   faults_ = faults;
   fault_rng_ = Rng(faults.seed);
 }
@@ -21,7 +21,7 @@ void NetworkSimulator::SetFaults(const FaultProfile& faults) {
 Status NetworkSimulator::MaybeFault() {
   Micros timeout = 0;
   {
-    std::lock_guard<std::mutex> lock(fault_mutex_);
+    std::lock_guard<common::OrderedMutex> lock(fault_mutex_);
     const double roll = (faults_.drop_probability > 0.0 ||
                          faults_.timeout_probability > 0.0)
                             ? fault_rng_.NextDouble()

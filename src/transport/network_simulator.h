@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -85,7 +86,8 @@ class NetworkSimulator {
   Status MaybeFault();
 
   Profile profile_;
-  std::mutex fault_mutex_;  // guards faults_ + fault_rng_
+  common::OrderedMutex fault_mutex_{
+      OPDELTA_LOCK_RANK(netsim, common::lockrank::kNetSim)};  // guards faults_ + fault_rng_
   FaultProfile faults_;
   Rng fault_rng_{1};
   std::atomic<uint64_t> round_trips_{0};

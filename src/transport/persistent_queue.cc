@@ -72,7 +72,7 @@ Status PersistentQueue::RecoverLog() {
 }
 
 Status PersistentQueue::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (log_ != nullptr) {
     OPDELTA_RETURN_IF_ERROR(log_->Close());
     log_.reset();
@@ -101,7 +101,7 @@ Status PersistentQueue::SaveCursor() {
 }
 
 Status PersistentQueue::Enqueue(Slice message, bool durable) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (log_ == nullptr) return Status::Internal("queue not open");
   if (max_backlog_bytes_ != 0) {
     // Backpressure on the *unacknowledged* backlog (acknowledged frames
@@ -121,8 +121,11 @@ Status PersistentQueue::Enqueue(Slice message, bool durable) {
   PutFixed32(&frame, Crc32c(message.data(), message.size()));
   frame.append(message.data(), message.size());
   const uint64_t frame_start = log_->Size();
-  Status st = log_->Append(Slice(frame));
-  if (st.ok() && durable) st = log_->Sync();
+  // Appending (and syncing) under the queue mutex is the design: the mutex
+  // serializes frames so a torn append can never interleave with another
+  // producer's frame, and durability must land before Enqueue returns.
+  Status st = log_->Append(Slice(frame));  // NOLINT(opdelta-R8: the mutex serializes log frames by design)
+  if (st.ok() && durable) st = log_->Sync();  // NOLINT(opdelta-R8: durability must land before Enqueue returns)
   if (!st.ok()) {
     // Heal the log in place: a short write may have left a torn prefix of
     // this frame, and a retried append after it would make that prefix look
@@ -150,8 +153,9 @@ void PersistentQueue::HealFailedAppend(uint64_t frame_start) {
 }
 
 Status PersistentQueue::Peek(std::string* message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (log_ == nullptr) return Status::Internal("queue not open");
+  // NOLINTNEXTLINE(opdelta-R8: flush of the queue's own log, which this mutex serializes)
   OPDELTA_RETURN_IF_ERROR(log_->Flush());
 
   std::unique_ptr<RandomAccessFile> reader;
@@ -180,7 +184,7 @@ Status PersistentQueue::Peek(std::string* message) {
 }
 
 Status PersistentQueue::Ack() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (!has_peeked_) return Status::InvalidArgument("Ack without Peek");
   read_offset_ = peeked_next_;
   has_peeked_ = false;
@@ -188,16 +192,27 @@ Status PersistentQueue::Ack() {
 }
 
 Status PersistentQueue::ForEachMessage(const std::function<bool(Slice)>& fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (log_ == nullptr) return Status::Internal("queue not open");
-  OPDELTA_RETURN_IF_ERROR(log_->Flush());
+  // Snapshot the log length under the lock, then visit WITHOUT it. Frames
+  // below the snapshot are immutable — the log is append-only, and a
+  // failed append only ever truncates back to its own pre-append length,
+  // which is at or past this snapshot — so the prefix stays consistent
+  // while the visitor runs unlocked and may safely re-enter this queue
+  // (e.g. Enqueue from inside the visit).
+  uint64_t end = 0;
+  {
+    std::lock_guard<common::OrderedMutex> lock(mutex_);
+    if (log_ == nullptr) return Status::Internal("queue not open");
+    // NOLINTNEXTLINE(opdelta-R8: flush of the queue's own log, which this mutex serializes)
+    OPDELTA_RETURN_IF_ERROR(log_->Flush());
+    end = log_->Size();
+  }
   std::unique_ptr<RandomAccessFile> reader;
   OPDELTA_RETURN_IF_ERROR(
       Env::Default()->NewRandomAccessFile(dir_ + kLogFile, &reader));
   uint64_t offset = 0;
   char header[8];
   std::string body;
-  while (offset < reader->Size()) {
+  while (offset < end) {
     Slice result;
     OPDELTA_RETURN_IF_ERROR(reader->Read(offset, 8, &result, header));
     if (result.size() != 8) break;
@@ -206,17 +221,16 @@ Status PersistentQueue::ForEachMessage(const std::function<bool(Slice)>& fn) {
     OPDELTA_RETURN_IF_ERROR(reader->Read(offset + 8, len, &result,
                                          body.data()));
     if (result.size() != len) break;
-    // ForEachMessage documents that the visitor runs under the queue mutex
-    // for a consistent snapshot; it must not call back into this queue.
-    if (!fn(result)) break;  // NOLINT(opdelta-R3: documented visitor contract)
+    if (!fn(result)) break;
     offset += 8 + len;
   }
   return Status::OK();
 }
 
 Result<uint64_t> PersistentQueue::Backlog() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   if (log_ == nullptr) return Status::Internal("queue not open");
+  // NOLINTNEXTLINE(opdelta-R8: flush of the queue's own log, which this mutex serializes)
   OPDELTA_RETURN_IF_ERROR(log_->Flush());
   std::unique_ptr<RandomAccessFile> reader;
   OPDELTA_RETURN_IF_ERROR(

@@ -10,6 +10,7 @@
 
 #include "common/env.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace opdelta::transport {
 
@@ -66,8 +67,10 @@ class PersistentQueue {
   /// alike — in append order; `fn` returns false to stop early. Used by
   /// producers recovering their stamped batch sequence after a crash that
   /// lost the producer-side state file but not the durable queue. The
-  /// visitor runs under the queue mutex (that is what makes the snapshot
-  /// consistent) and therefore must not call back into this queue.
+  /// visit runs over an atomic prefix snapshot of the log taken under the
+  /// queue mutex, but the visitor itself runs WITHOUT the mutex and may
+  /// re-enter this queue (messages it enqueues are past the snapshot and
+  /// are not visited).
   Status ForEachMessage(const std::function<bool(Slice)>& fn);
 
  private:
@@ -84,7 +87,8 @@ class PersistentQueue {
   std::string dir_;
   uint64_t max_backlog_bytes_ = 0;  // 0 = unbounded
   std::unique_ptr<WritableFile> log_;
-  std::mutex mutex_;
+  common::OrderedMutex mutex_{
+      OPDELTA_LOCK_RANK(transport_queue, common::lockrank::kTransportQueue)};
   uint64_t read_offset_ = 0;   // byte offset of the cursor in the log
   uint64_t peeked_next_ = 0;   // offset after the last peeked message
   bool has_peeked_ = false;

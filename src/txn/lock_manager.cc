@@ -74,7 +74,7 @@ Status LockManager::LockTable(TxnId txn, catalog::TableId table,
 
 Status LockManager::LockTable(TxnId txn, catalog::TableId table,
                               LockMode mode, Duration timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<common::OrderedMutex> lock(mutex_);
   TableEntry& entry = tables_[table];
 
   auto held_it = entry.holders.find(txn);
@@ -104,7 +104,7 @@ Status LockManager::LockRow(TxnId txn, catalog::TableId table,
 Status LockManager::LockRow(TxnId txn, catalog::TableId table,
                             const storage::Rid& rid, bool exclusive,
                             Duration timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<common::OrderedMutex> lock(mutex_);
   TableEntry& entry = tables_[table];
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -137,7 +137,7 @@ Status LockManager::LockRow(TxnId txn, catalog::TableId table,
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   for (auto& [table_id, entry] : tables_) {
     entry.holders.erase(txn);
     for (auto it = entry.rows.begin(); it != entry.rows.end();) {
@@ -155,7 +155,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 size_t LockManager::HoldersOnTable(catalog::TableId table) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
   auto it = tables_.find(table);
   return it == tables_.end() ? 0 : it->second.holders.size();
 }

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "txn/log_record.h"
 
 namespace opdelta::txn {
@@ -69,8 +70,11 @@ class LockManager {
   bool TableGrantable(const TableEntry& entry, TxnId txn, LockMode mode) const;
   bool RowGrantable(const RowLock& lock, TxnId txn, bool exclusive) const;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  common::OrderedMutex mutex_{
+      OPDELTA_LOCK_RANK(lock_manager, common::lockrank::kTxnLockManager)};
+  // _any: waits on OrderedMutex, so held-rank tracking stays correct
+  // across the unlock/relock inside wait.
+  std::condition_variable_any cv_;
   std::unordered_map<catalog::TableId, TableEntry> tables_;
   Duration default_timeout_;
 };

@@ -11,6 +11,7 @@
 
 #include "common/env.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "txn/log_record.h"
 
 namespace opdelta::txn {
@@ -77,7 +78,8 @@ class Wal {
 
   std::string dir_;
   WalOptions options_;
-  mutable std::mutex mutex_;
+  mutable common::OrderedMutex mutex_{
+      OPDELTA_LOCK_RANK(wal, common::lockrank::kWal)};
   std::unique_ptr<WritableFile> active_;
   uint64_t active_index_ = 0;
   std::vector<uint64_t> segment_indexes_;  // includes active

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -235,20 +236,27 @@ constexpr char kR3Callback[] = R"(
 class Notifier {
  public:
   void Fire() {
-    std::lock_guard<std::mutex> g(m_);
+    std::lock_guard<common::OrderedMutex> g(m_);
     cb_();
   }
  private:
-  std::mutex m_;
+  common::OrderedMutex m_{OPDELTA_LOCK_RANK(notifier_m, 10)};
   std::function<void()> cb_;
 };
 )";
 
 TEST(LintR3Test, FlagsCallbackInvokedUnderLock) {
+  // The lock-graph layer (R8) also flags user callbacks under a lock, so a
+  // callback invocation yields both findings; R3 carries the guard name.
   LintReport report = LintOne("src/a.cc", kR3Callback);
-  ASSERT_EQ(report.findings.size(), 1u);
-  EXPECT_NE(report.findings[0].message.find("cb_"), std::string::npos);
-  EXPECT_NE(report.findings[0].message.find("'g'"), std::string::npos);
+  const std::vector<RuleId> ids = RuleIds(report.findings);
+  ASSERT_NE(std::find(ids.begin(), ids.end(), RuleId::kR3LockDiscipline),
+            ids.end());
+  for (const Finding& f : report.findings) {
+    if (f.rule != RuleId::kR3LockDiscipline) continue;
+    EXPECT_NE(f.message.find("cb_"), std::string::npos);
+    EXPECT_NE(f.message.find("'g'"), std::string::npos);
+  }
 }
 
 TEST(LintR3Test, NegativeWhenLockReleasedFirst) {
@@ -257,18 +265,18 @@ class Notifier {
  public:
   void Fire() {
     {
-      std::lock_guard<std::mutex> g(m_);
+      std::lock_guard<common::OrderedMutex> g(m_);
       armed_ = false;
     }
     cb_();
   }
   void FireUnlocked() {
-    std::unique_lock<std::mutex> lk(m_);
+    std::unique_lock<common::OrderedMutex> lk(m_);
     lk.unlock();
     cb_();
   }
  private:
-  std::mutex m_;
+  common::OrderedMutex m_{OPDELTA_LOCK_RANK(notifier_m, 10)};
   bool armed_ = true;
   std::function<void()> cb_;
 };
@@ -281,16 +289,16 @@ TEST(LintR3Test, SuppressedAndBaselined) {
 class Notifier {
  public:
   void Fire() {
-    std::lock_guard<std::mutex> g(m_);
-    cb_();  // NOLINT(opdelta-R3: documented contract in fixture)
+    std::lock_guard<common::OrderedMutex> g(m_);
+    cb_();  // NOLINT(opdelta-R3, opdelta-R8: documented contract in fixture)
   }
  private:
-  std::mutex m_;
+  common::OrderedMutex m_{OPDELTA_LOCK_RANK(notifier_m, 10)};
   std::function<void()> cb_;
 };
 )");
   EXPECT_TRUE(report.clean());
-  EXPECT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed.size(), 2u);
   ExpectBaselineable("src/a.cc", kR3BareWait);
 }
 
@@ -391,6 +399,370 @@ TEST(LintR5Test, SuppressedAndBaselined) {
   ExpectBaselineable("src/engine/database.cc", kR5Positive);
 }
 
+// --------------------------------------------------------------------- R7
+
+constexpr char kR7RankInversion[] = R"(
+class A {
+ public:
+  void HighThenLow() {
+    std::lock_guard<common::OrderedMutex> g1(high_);
+    std::lock_guard<common::OrderedMutex> g2(low_);
+  }
+ private:
+  common::OrderedMutex low_{OPDELTA_LOCK_RANK(fix_low, 10)};
+  common::OrderedMutex high_{OPDELTA_LOCK_RANK(fix_high, 20)};
+};
+)";
+
+TEST(LintR7Test, FlagsDeclaredRankInversion) {
+  LintReport report = LintOne("src/a.cc", kR7RankInversion);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR7LockOrder);
+  EXPECT_NE(report.findings[0].message.find("rank inversion"),
+            std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("fix_low"), std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("fix_high"), std::string::npos);
+  EXPECT_EQ(report.findings[0].line, 6u);
+}
+
+TEST(LintR7Test, NegativeWhenAcquiredInRankOrder) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+class A {
+ public:
+  void LowThenHigh() {
+    std::lock_guard<common::OrderedMutex> g1(low_);
+    std::lock_guard<common::OrderedMutex> g2(high_);
+  }
+ private:
+  common::OrderedMutex low_{OPDELTA_LOCK_RANK(fix_low, 10)};
+  common::OrderedMutex high_{OPDELTA_LOCK_RANK(fix_high, 20)};
+};
+)")
+                  .clean());
+}
+
+TEST(LintR7Test, FlagsSameRankCycleWithWitnessPath) {
+  // Equal ranks are legal per acquisition (same-class instances), so only
+  // the cycle check can catch an ABBA order between two lock classes that
+  // share a rank. The message must carry each edge's file:line witness.
+  LintReport report = LintOne("src/a.cc", R"(
+class A {
+ public:
+  void Ab() {
+    std::lock_guard<common::OrderedMutex> g1(a_);
+    std::lock_guard<common::OrderedMutex> g2(b_);
+  }
+  void Ba() {
+    std::lock_guard<common::OrderedMutex> g1(b_);
+    std::lock_guard<common::OrderedMutex> g2(a_);
+  }
+ private:
+  common::OrderedMutex a_{OPDELTA_LOCK_RANK(fix_a, 10)};
+  common::OrderedMutex b_{OPDELTA_LOCK_RANK(fix_b, 10)};
+};
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  const std::string& msg = report.findings[0].message;
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR7LockOrder);
+  EXPECT_NE(msg.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(msg.find("fix_a -> fix_b (src/a.cc:"), std::string::npos);
+  EXPECT_NE(msg.find("fix_b -> fix_a (src/a.cc:"), std::string::npos);
+}
+
+TEST(LintR7Test, SeesAcquisitionsThroughOneCallLevelAcrossFiles) {
+  // caller.cc holds caller_mu (rank 20) across a call into Callee, whose
+  // method acquires callee_mu (rank 10) — an inversion no single-file scan
+  // can see. The callee lives in a different translation unit.
+  const std::string callee = R"(
+class Callee {
+ public:
+  void Locked() {
+    std::lock_guard<common::OrderedMutex> g(mu_);
+  }
+ private:
+  common::OrderedMutex mu_{OPDELTA_LOCK_RANK(callee_mu, 10)};
+};
+)";
+  const std::string caller = R"(
+class Caller {
+ public:
+  void Go() {
+    std::lock_guard<common::OrderedMutex> g(mu_);
+    callee_.Locked();
+  }
+ private:
+  Callee callee_;
+  common::OrderedMutex mu_{OPDELTA_LOCK_RANK(caller_mu, 20)};
+};
+)";
+  LintReport report =
+      RunLint({{"src/callee.h", callee}, {"src/caller.cc", caller}}, {});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR7LockOrder);
+  EXPECT_NE(report.findings[0].message.find("callee_mu"), std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("caller_mu"), std::string::npos);
+}
+
+TEST(LintR7Test, LambdaBodiesDoNotInheritHeldLocks) {
+  // A deferred lambda (thread body, stored callback) runs on its own
+  // stack: locks held where it is *defined* are not held where it runs.
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+class A {
+ public:
+  void Start() {
+    std::lock_guard<common::OrderedMutex> g(high_);
+    worker_ = std::thread([this] {
+      std::lock_guard<common::OrderedMutex> g2(low_);
+    });
+  }
+ private:
+  common::OrderedMutex low_{OPDELTA_LOCK_RANK(fix_low, 10)};
+  common::OrderedMutex high_{OPDELTA_LOCK_RANK(fix_high, 20)};
+  std::thread worker_;
+};
+)")
+                  .clean());
+}
+
+TEST(LintR7Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/a.cc", R"(
+class A {
+ public:
+  void HighThenLow() {
+    std::lock_guard<common::OrderedMutex> g1(high_);
+    std::lock_guard<common::OrderedMutex> g2(low_);  // NOLINT(opdelta-R7: deliberate inversion fixture)
+  }
+ private:
+  common::OrderedMutex low_{OPDELTA_LOCK_RANK(fix_low, 10)};
+  common::OrderedMutex high_{OPDELTA_LOCK_RANK(fix_high, 20)};
+};
+)");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/a.cc", kR7RankInversion);
+}
+
+// --------------------------------------------------------------------- R8
+
+constexpr char kR8BlockingIo[] = R"(
+class Store {
+ public:
+  Status Save() {
+    std::lock_guard<common::OrderedMutex> g(mu_);
+    return file_->Sync();
+  }
+ private:
+  WritableFile* file_;
+  common::OrderedMutex mu_{OPDELTA_LOCK_RANK(store_mu, 10)};
+};
+)";
+
+TEST(LintR8Test, FlagsBlockingIoUnderLock) {
+  LintReport report = LintOne("src/a.cc", kR8BlockingIo);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR8BlockingUnderLock);
+  EXPECT_NE(report.findings[0].message.find("potentially blocking"),
+            std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("store_mu"), std::string::npos);
+}
+
+TEST(LintR8Test, NegativeWhenIoIsOutsideTheCriticalSection) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+class Store {
+ public:
+  Status Save() {
+    {
+      std::lock_guard<common::OrderedMutex> g(mu_);
+      dirty_ = false;
+    }
+    return file_->Sync();
+  }
+ private:
+  WritableFile* file_;
+  bool dirty_ = false;
+  common::OrderedMutex mu_{OPDELTA_LOCK_RANK(store_mu, 10)};
+};
+)")
+                  .clean());
+}
+
+TEST(LintR8Test, FlagsCvWaitWhileHoldingASecondLock) {
+  LintReport report = LintOne("src/a.cc", R"(
+class Waiter {
+ public:
+  void Block() {
+    std::lock_guard<common::OrderedMutex> g(a_);
+    std::unique_lock<common::OrderedMutex> lk(b_);
+    cv_.wait(lk, [this] { return ready_; });
+  }
+ private:
+  common::OrderedMutex a_{OPDELTA_LOCK_RANK(wait_a, 10)};
+  common::OrderedMutex b_{OPDELTA_LOCK_RANK(wait_b, 20)};
+  std::condition_variable_any cv_;
+  bool ready_ = false;
+};
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR8BlockingUnderLock);
+  EXPECT_NE(report.findings[0].message.find("wait_a"), std::string::npos);
+}
+
+TEST(LintR8Test, NegativeForCvWaitHoldingOnlyItsOwnMutex) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+class Waiter {
+ public:
+  void Block() {
+    std::unique_lock<common::OrderedMutex> lk(b_);
+    cv_.wait(lk, [this] { return ready_; });
+  }
+ private:
+  common::OrderedMutex b_{OPDELTA_LOCK_RANK(wait_b, 20)};
+  std::condition_variable_any cv_;
+  bool ready_ = false;
+};
+)")
+                  .clean());
+}
+
+TEST(LintR8Test, FlagsStoredCallbackInvokedUnderLock) {
+  LintReport report = LintOne("src/a.cc", R"(
+class Hub {
+ public:
+  void Fire() {
+    std::lock_guard<common::OrderedMutex> g(mu_);
+    cb_();
+  }
+ private:
+  common::OrderedMutex mu_{OPDELTA_LOCK_RANK(hub_mu, 10)};
+  std::function<void()> cb_;
+};
+)");
+  const std::vector<RuleId> ids = RuleIds(report.findings);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), RuleId::kR8BlockingUnderLock),
+            ids.end());
+}
+
+TEST(LintR8Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/a.cc", R"(
+class Store {
+ public:
+  Status Save() {
+    std::lock_guard<common::OrderedMutex> g(mu_);
+    return file_->Sync();  // NOLINT(opdelta-R8: group-commit fixture)
+  }
+ private:
+  WritableFile* file_;
+  common::OrderedMutex mu_{OPDELTA_LOCK_RANK(store_mu, 10)};
+};
+)");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/a.cc", kR8BlockingIo);
+}
+
+// --------------------------------------------------------------------- R9
+
+constexpr char kR9Unranked[] = R"(
+class A {
+ private:
+  common::OrderedMutex mu_;
+};
+)";
+
+TEST(LintR9Test, FlagsUnrankedOrderedMutex) {
+  LintReport report = LintOne("src/a.cc", kR9Unranked);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR9UnrankedMutex);
+  EXPECT_NE(report.findings[0].message.find("OPDELTA_LOCK_RANK"),
+            std::string::npos);
+}
+
+TEST(LintR9Test, FlagsBareStdMutexInSrc) {
+  LintReport report = LintOne("src/a.cc", R"(
+class A {
+ private:
+  std::mutex m_;
+  std::shared_mutex sm_;
+};
+)");
+  EXPECT_EQ(RuleIds(report.findings),
+            (std::vector<RuleId>{RuleId::kR9UnrankedMutex,
+                                 RuleId::kR9UnrankedMutex}));
+  EXPECT_NE(report.findings[0].message.find("bypasses the lock hierarchy"),
+            std::string::npos);
+}
+
+TEST(LintR9Test, NegativeForRankedDeclarationsAndOutsideSrc) {
+  EXPECT_TRUE(LintOne("src/a.cc", R"(
+class A {
+ private:
+  common::OrderedMutex mu_{OPDELTA_LOCK_RANK(a_mu, 10)};
+  common::OrderedSharedMutex latch_{OPDELTA_LOCK_RANK(a_latch, 20)};
+};
+)")
+                  .clean());
+  // Tests and tools may use bare mutexes (deliberate-inversion fixtures,
+  // the linter's own scaffolding).
+  EXPECT_TRUE(LintOne("tools/x/y.cc", kR9Unranked).clean());
+}
+
+TEST(LintR9Test, SuppressedAndBaselined) {
+  LintReport report = LintOne("src/a.cc", R"(
+class A {
+ private:
+  common::OrderedMutex mu_;  // NOLINT(opdelta-R9: staged migration fixture)
+};
+)");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/a.cc", kR9Unranked);
+}
+
+// -------------------------------------------- lexer: directive literals
+
+TEST(LintLexerTest, MultiLineRawStringInDirectiveDoesNotLeakTokens) {
+  // Before the fix the directive scan stopped at the first newline and the
+  // raw string's remaining lines lexed as code: `new`, `delete`, and
+  // `::open` inside SQL text produced phantom R2/R4 findings.
+  FileUnit unit = Lex("src/x.cc", R"__(#define QUERY R"(first
+second new delete ::open
+)"
+int after = 1;
+)__");
+  for (const Token& t : unit.tokens) {
+    EXPECT_FALSE(t.IsIdent("new"));
+    EXPECT_FALSE(t.IsIdent("delete"));
+    EXPECT_FALSE(t.IsIdent("open"));
+    EXPECT_FALSE(t.IsIdent("second"));
+  }
+  bool saw_after = false;
+  for (const Token& t : unit.tokens) {
+    if (t.IsIdent("after")) {
+      saw_after = true;
+      EXPECT_EQ(t.line, 4u);  // line counting survived the raw string
+    }
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(LintLexerTest, StringInDirectiveIsNotACommentStart) {
+  // `//` inside a quoted directive string ("http://...") must not start a
+  // comment (it used to swallow the rest of the line into the comment
+  // list, where NOLINT scanning could misread it).
+  FileUnit unit = Lex("src/x.cc",
+                      "#define URL \"http://example.com/x\"\n"
+                      "#define MSG \"say \\\"hi\\\" // quoted\"\n"
+                      "int y = 2;\n");
+  EXPECT_TRUE(unit.comments.empty());
+  bool saw_y = false;
+  for (const Token& t : unit.tokens) {
+    EXPECT_FALSE(t.IsIdent("example"));
+    EXPECT_FALSE(t.IsIdent("quoted"));
+    if (t.IsIdent("y")) saw_y = true;
+  }
+  EXPECT_TRUE(saw_y);
+}
+
 // ----------------------------------------------------------- suppressions
 
 TEST(LintSuppressionTest, NolintNextLineAndWrongRule) {
@@ -412,6 +784,61 @@ void Caller() {
 )");
   ASSERT_EQ(report.findings.size(), 1u);
   EXPECT_TRUE(report.suppressed.empty());
+}
+
+TEST(LintSuppressionTest, ReasonlessNolintIsItselfAFinding) {
+  // The suppression still works (the R1 finding is silenced), but the
+  // reasonless NOLINT surfaces as an R5 hygiene finding in its place.
+  LintReport report = LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller() {
+  DoThing();  // NOLINT(opdelta-R1)
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR5Hygiene);
+  EXPECT_NE(report.findings[0].message.find("without a reason"),
+            std::string::npos);
+  EXPECT_EQ(report.suppressed.size(), 1u);
+}
+
+TEST(LintSuppressionTest, WhitespaceOnlyReasonCountsAsMissing) {
+  LintReport report = LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller() {
+  DoThing();  // NOLINT(opdelta-R1:   )
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR5Hygiene);
+}
+
+TEST(LintSuppressionTest, ReasonlessNolintCannotSilenceOrBaselineItself) {
+  // Naming R5 in the reasonless NOLINT must not suppress the malformed-
+  // suppression finding, and feeding it back as a baseline must not absorb
+  // it either: the debt always stays visible until a reason is written.
+  constexpr char kSelf[] = R"(
+int x;  // NOLINT(opdelta-R5)
+)";
+  LintReport report = LintOne("src/a.cc", kSelf);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR5Hygiene);
+
+  LintReport rerun =
+      LintOne("src/a.cc", kSelf, FormatBaseline(report.findings));
+  ASSERT_EQ(rerun.findings.size(), 1u);
+  EXPECT_EQ(rerun.findings[0].rule, RuleId::kR5Hygiene);
+}
+
+TEST(LintSuppressionTest, MultiRuleNolintWithReasonSuppressesAll) {
+  LintReport report = LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller() {
+  DoThing();  // NOLINT(opdelta-R1, opdelta-R2: fixture covers both)
+}
+)");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
 }
 
 // --------------------------------------------------------------- baseline

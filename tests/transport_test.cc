@@ -341,6 +341,36 @@ TEST(PersistentQueueTest, TornTailTruncatedAndQueueContinues) {
   EXPECT_EQ(msg, "gamma");
 }
 
+TEST(PersistentQueueTest, ForEachMessageVisitorMayReenterQueue) {
+  // Regression: the visitor used to run under the queue mutex, so any
+  // callback touching the queue self-deadlocked. It now runs over a prefix
+  // snapshot without the lock; re-entrant Enqueue must work, and the
+  // messages it appends land past the snapshot and are not visited.
+  TempDir dir;
+  PersistentQueue q;
+  OPDELTA_ASSERT_OK(q.Open(dir.Sub("q")));
+  OPDELTA_ASSERT_OK(q.Enqueue(Slice("a"), true));
+  OPDELTA_ASSERT_OK(q.Enqueue(Slice("b"), true));
+
+  int visited = 0;
+  OPDELTA_ASSERT_OK(q.ForEachMessage([&](Slice message) {
+    ++visited;
+    Status echo = q.Enqueue(Slice("echo-" + message.ToString()), true);
+    EXPECT_TRUE(echo.ok()) << echo.ToString();
+    return true;
+  }));
+  EXPECT_EQ(visited, 2);  // the snapshot excludes the re-entrant appends
+
+  std::map<std::string, int> seen;
+  OPDELTA_ASSERT_OK(q.ForEachMessage([&](Slice message) {
+    seen[message.ToString()]++;
+    return true;
+  }));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen["echo-a"], 1);
+  EXPECT_EQ(seen["echo-b"], 1);
+}
+
 // ----------------------------------------------------------- backlog bound
 
 TEST(PersistentQueueTest, BoundedBacklogSurfacesBackpressure) {

@@ -127,6 +127,9 @@ class Lexer {
 
   /// Consumes one logical preprocessor line (with \-continuations). The
   /// directive's tokens are NOT emitted; #include targets are recorded.
+  /// String and raw-string literals inside the directive are consumed as
+  /// literals: a `//` inside "http://x" is not a comment, and a multi-line
+  /// raw string in a #define must not leak its contents as code tokens.
   void LexPreprocessor() {
     const uint32_t start = line_;
     std::string text;
@@ -139,6 +142,14 @@ class Lexer {
         continue;
       }
       if (c == '\n') break;  // newline handled by the main loop
+      if (c == '"') {
+        if (DirectiveEndsWithRawPrefix(text)) {
+          LexDirectiveRawString(&text);
+        } else {
+          LexDirectiveString(&text);
+        }
+        continue;
+      }
       // A // comment ends the directive's meaningful text.
       if (c == '/' && Peek(1) == '/') {
         LexLineComment();
@@ -153,6 +164,57 @@ class Lexer {
       ++pos_;
     }
     ParseIncludeDirective(start, text);
+  }
+
+  /// True when the directive text consumed so far ends in a raw-string
+  /// prefix (R, uR, u8R, UR, LR) that is its own identifier.
+  static bool DirectiveEndsWithRawPrefix(const std::string& text) {
+    size_t b = text.size();
+    while (b > 0 && IsIdentChar(text[b - 1])) --b;
+    return b < text.size() && IsRawStringPrefix(text.substr(b));
+  }
+
+  /// Consumes a "..." literal inside a directive (escapes honored,
+  /// \-newline continuations allowed); appends the literal text verbatim.
+  void LexDirectiveString(std::string* text) {
+    text->push_back('"');
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;
+        text->push_back(c);
+        text->push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') break;  // unterminated; recover at EOL
+      text->push_back(c);
+      ++pos_;
+      if (c == '"') break;
+    }
+  }
+
+  /// Consumes R"delim(...)delim" inside a directive, including across the
+  /// newlines a \-continued #define puts in its body. The contents are
+  /// replaced by a placeholder so they can never read as directive text.
+  void LexDirectiveRawString(std::string* text) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= src_.size() || src_[pos_] != '(') return;  // malformed
+    ++pos_;
+    const std::string closer = ")" + delim + "\"";
+    size_t end = src_.find(closer, pos_);
+    if (end == std::string::npos) end = src_.size();
+    for (size_t i = pos_; i < end; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == src_.size() ? end : end + closer.size();
+    text->append("<raw-string>");
   }
 
   void ParseIncludeDirective(uint32_t line, const std::string& text) {

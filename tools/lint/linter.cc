@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/env.h"
+#include "tools/lint/lockgraph.h"
 
 namespace opdelta::lint {
 
@@ -45,22 +46,47 @@ std::set<int> ParseSuppressedRules(const std::string& text, size_t from) {
   return rules;
 }
 
-/// line -> rule numbers suppressed on that line.
-std::map<uint32_t, std::set<int>> CollectSuppressions(const FileUnit& unit) {
+/// True when the NOLINT argument list starting at `open` (the index of the
+/// opening paren) carries a non-empty reason: `NOLINT(opdelta-RN: why)`.
+bool HasSuppressionReason(const std::string& text, size_t open) {
+  const size_t close = text.find(')', open);
+  const size_t colon = text.find(':', open);
+  if (colon == std::string::npos || (close != std::string::npos &&
+                                     colon > close)) {
+    return false;
+  }
+  const size_t end = close == std::string::npos ? text.size() : close;
+  for (size_t i = colon + 1; i < end; ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) return true;
+  }
+  return false;
+}
+
+/// line -> rule numbers suppressed on that line. A suppression that names
+/// opdelta rules but gives no reason is itself a finding (never
+/// suppressible — a reasonless NOLINT must not silence its own error).
+std::map<uint32_t, std::set<int>> CollectSuppressions(
+    const FileUnit& unit, std::vector<Finding>* malformed) {
   std::map<uint32_t, std::set<int>> by_line;
   for (const Comment& c : unit.comments) {
-    size_t next = c.text.find("NOLINTNEXTLINE(");
-    if (next != std::string::npos) {
-      for (int r : ParseSuppressedRules(c.text, next)) {
-        by_line[c.line + 1].insert(r);
-      }
-      continue;
+    size_t at = c.text.find("NOLINTNEXTLINE(");
+    uint32_t target = c.line + 1;
+    if (at == std::string::npos) {
+      at = c.text.find("NOLINT(");
+      target = c.line;
     }
-    size_t same = c.text.find("NOLINT(");
-    if (same != std::string::npos) {
-      for (int r : ParseSuppressedRules(c.text, same)) {
-        by_line[c.line].insert(r);
-      }
+    if (at == std::string::npos) continue;
+    const size_t open = c.text.find('(', at);
+    const std::set<int> rules = ParseSuppressedRules(c.text, open);
+    if (rules.empty()) continue;  // not an opdelta suppression
+    for (int r : rules) by_line[target].insert(r);
+    if (!HasSuppressionReason(c.text, open)) {
+      malformed->push_back(Finding{
+          RuleId::kR5Hygiene, unit.path, c.line,
+          "NOLINT suppression without a reason; write "
+          "NOLINT(opdelta-RN: why this is safe) so the exemption is "
+          "reviewable",
+          c.text});
     }
   }
   return by_line;
@@ -140,42 +166,49 @@ LintReport RunLint(const std::vector<Source>& sources,
 
   const SymbolIndex index = BuildSymbolIndex(units);
 
-  std::vector<Finding> all;
-  std::vector<std::map<uint32_t, std::set<int>>> suppressions;
-  suppressions.reserve(units.size());
+  // Suppressions are keyed by path: the lock-graph rules (R7/R8/R9) are
+  // cross-file, so a finding's path need not be the unit being iterated.
+  std::vector<Finding> malformed;
+  std::map<std::string, std::map<uint32_t, std::set<int>>> suppressions;
   for (const FileUnit& unit : units) {
-    suppressions.push_back(CollectSuppressions(unit));
+    suppressions[unit.path] = CollectSuppressions(unit, &malformed);
   }
+
+  std::vector<Finding> raw;
+  for (const FileUnit& unit : units) RunRules(unit, index, &raw);
+  RunLockGraph(units, index, &raw);
 
   LintReport report;
   std::vector<BaselineEntry> baseline = ParseBaseline(options.baseline);
-  for (size_t u = 0; u < units.size(); ++u) {
-    std::vector<Finding> findings;
-    RunRules(units[u], index, &findings);
-    for (Finding& f : findings) {
-      const auto it = suppressions[u].find(f.line);
-      const int rule_num = static_cast<int>(f.rule);
-      if (it != suppressions[u].end() && it->second.count(rule_num) > 0) {
+  for (Finding& f : raw) {
+    const auto file_it = suppressions.find(f.path);
+    const int rule_num = static_cast<int>(f.rule);
+    if (file_it != suppressions.end()) {
+      const auto it = file_it->second.find(f.line);
+      if (it != file_it->second.end() && it->second.count(rule_num) > 0) {
         report.suppressed.push_back(std::move(f));
         continue;
       }
-      bool matched = false;
-      const std::string normalized = NormalizeSnippet(f.snippet);
-      for (BaselineEntry& e : baseline) {
-        if (e.rule == RuleName(f.rule) && e.path == f.path &&
-            e.snippet == normalized) {
-          e.used = true;
-          matched = true;
-          break;
-        }
-      }
-      if (matched) {
-        report.baselined.push_back(std::move(f));
-      } else {
-        report.findings.push_back(std::move(f));
+    }
+    bool matched = false;
+    const std::string normalized = NormalizeSnippet(f.snippet);
+    for (BaselineEntry& e : baseline) {
+      if (e.rule == RuleName(f.rule) && e.path == f.path &&
+          e.snippet == normalized) {
+        e.used = true;
+        matched = true;
+        break;
       }
     }
+    if (matched) {
+      report.baselined.push_back(std::move(f));
+    } else {
+      report.findings.push_back(std::move(f));
+    }
   }
+  // Reasonless suppressions are findings in their own right, exempt from
+  // suppression and baselining: debt must carry its justification.
+  for (Finding& f : malformed) report.findings.push_back(std::move(f));
   for (const BaselineEntry& e : baseline) {
     if (!e.used) report.stale_baseline_entries.push_back(e.raw);
   }

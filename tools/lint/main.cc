@@ -27,7 +27,7 @@ void PrintUsage() {
 
 void ListRules() {
   using opdelta::lint::RuleId;
-  for (int i = 1; i <= 6; ++i) {
+  for (int i = 1; i <= 9; ++i) {
     const RuleId id = static_cast<RuleId>(i);
     std::cout << opdelta::lint::RuleName(id) << ": "
               << opdelta::lint::RuleSummary(id) << "\n";
@@ -103,12 +103,17 @@ int main(int argc, char** argv) {
     std::cout << opdelta::lint::FormatFinding(f) << "\n";
   }
   for (const std::string& stale : report.stale_baseline_entries) {
-    std::cout << "note: stale baseline entry (matched nothing): " << stale
+    std::cout << "error: stale baseline entry (matched nothing): " << stale
               << "\n";
   }
   std::cout << "opdelta-lint: " << sources.size() << " files, "
             << report.findings.size() << " findings ("
             << report.suppressed.size() << " suppressed, "
-            << report.baselined.size() << " baselined)\n";
-  return report.findings.empty() ? 0 : 1;
+            << report.baselined.size() << " baselined, "
+            << report.stale_baseline_entries.size() << " stale)\n";
+  // Stale baseline entries fail the run too: grandfathered debt that no
+  // longer exists must be pruned, or the baseline rots.
+  return report.findings.empty() && report.stale_baseline_entries.empty()
+             ? 0
+             : 1;
 }

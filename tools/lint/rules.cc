@@ -12,7 +12,7 @@ constexpr size_t kNpos = static_cast<size_t>(-1);
 
 const char* kRuleNames[] = {
     "", "opdelta-R1", "opdelta-R2", "opdelta-R3", "opdelta-R4", "opdelta-R5",
-    "opdelta-R6",
+    "opdelta-R6", "opdelta-R7", "opdelta-R8", "opdelta-R9",
 };
 
 const char* kRuleSummaries[] = {
@@ -21,8 +21,11 @@ const char* kRuleSummaries[] = {
     "raw filesystem access bypassing common::Env",
     "lock discipline: bare cv wait / callback under lock",
     "naked new/delete or missing [[nodiscard]]",
-    "hygiene: forbidden include or untagged TODO",
+    "hygiene: forbidden include or untagged TODO; NOLINT without a reason",
     "ad-hoc SchemaMap at a decode call site; use the cached epoch accessors",
+    "lock-order cycle or declared-rank inversion in the acquisition graph",
+    "potentially blocking call (Env I/O, queue, ship, wait) under a lock",
+    "mutex member without an OPDELTA_LOCK_RANK annotation",
 };
 
 bool IsIdentChar(char c) {
@@ -547,9 +550,12 @@ void RunR4(const FileUnit& unit, std::vector<Finding>* findings) {
 // ----------------------------------------------------------- R5 engine
 
 void RunR5(const FileUnit& unit, std::vector<Finding>* findings) {
+  // sync.cc is on the list for its abort-path diagnostics: the lock
+  // checker prints to stderr and dies, exactly like the logger's fast path.
   const bool io_layer = PathContains(unit.path, "src/common/env") ||
                         PathContains(unit.path, "src/common/fault_env") ||
-                        PathContains(unit.path, "src/common/logging");
+                        PathContains(unit.path, "src/common/logging") ||
+                        PathContains(unit.path, "src/common/sync");
   if (!io_layer) {
     for (const IncludeDirective& inc : unit.includes) {
       if (inc.header == "cstdio" || inc.header == "stdio.h" ||

@@ -18,6 +18,9 @@ enum class RuleId : int {
   kR4OwnershipNodiscard = 4,  // naked new/delete; Status not [[nodiscard]]
   kR5Hygiene = 5,           // <cstdio>/<fstream> includes; untagged TODO
   kR6SchemaMapHygiene = 6,  // ad-hoc SchemaMap built at a decode call site
+  kR7LockOrder = 7,         // cross-TU lock-order cycle / rank inversion
+  kR8BlockingUnderLock = 8,  // potentially blocking call while a lock held
+  kR9UnrankedMutex = 9,     // mutex member without an OPDELTA_LOCK_RANK
 };
 
 const char* RuleName(RuleId id);      // "opdelta-R2"
