@@ -94,7 +94,7 @@ RunResult RunConfig(size_t num_sources, size_t apply_workers) {
   return result;
 }
 
-void Run() {
+void Run(JsonReport* report) {
   PrintHeader("DeltaHub scaling: apply throughput vs sources and workers",
               "no paper experiment — ablation of the src/hub orchestration "
               "layer over N concurrent sources",
@@ -121,6 +121,9 @@ void Run() {
                     rate_buf, speed_buf,
                     FormatBytes(r.stats.staging_peak_bytes),
                     std::to_string(r.stats.producer_stalls)});
+      report->Add("records_per_sec_s" + std::to_string(sources) + "_w" +
+                      std::to_string(workers),
+                  rate);
     }
   }
   table.Print();
@@ -131,4 +134,7 @@ void Run() {
 }  // namespace
 }  // namespace opdelta::bench
 
-int main() { opdelta::bench::Run(); }
+int main(int argc, char** argv) {
+  opdelta::bench::JsonReport report("hub_scaling", argc, argv);
+  opdelta::bench::Run(&report);
+}

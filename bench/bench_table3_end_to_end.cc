@@ -28,7 +28,7 @@ struct Point {
   const char* paper_b;  // table + Export + Import
 };
 
-void Run() {
+void Run(bench::JsonReport* report) {
   bench::PrintHeader(
       "Table 3: end-to-end extract + load",
       "Ram & Do ICDE 2000, Table 3",
@@ -103,6 +103,10 @@ void Run() {
     std::snprintf(ratio, sizeof(ratio), "%.2fx", last_ratio);
     table.AddRow({p.label, std::to_string(p.delta_rows), FormatMicros(t_a),
                   FormatMicros(t_b), ratio, p.paper_a, p.paper_b});
+    const std::string label(p.label);
+    report->Add("file_loader_micros_" + label, static_cast<double>(t_a));
+    report->Add("export_import_micros_" + label, static_cast<double>(t_b));
+    report->Add("b_over_a_" + label, last_ratio);
   }
   table.Print();
   std::printf("shape check: at the largest size, B/A = %.2fx "
@@ -112,7 +116,8 @@ void Run() {
 }  // namespace
 }  // namespace opdelta
 
-int main() {
-  opdelta::Run();
+int main(int argc, char** argv) {
+  opdelta::bench::JsonReport report("table3_end_to_end", argc, argv);
+  opdelta::Run(&report);
   return 0;
 }

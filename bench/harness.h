@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -125,6 +126,55 @@ class TablePrinter {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Machine-readable companion to the printed tables: when a bench is run
+/// with `--json`, every metric recorded here lands in `BENCH_<name>.json`
+/// in the working directory (CI uploads these as artifacts for trend
+/// tracking). Without the flag the report is inert, so wiring it into a
+/// bench costs nothing on normal runs.
+///
+///   JsonReport report("apply_parallel", argc, argv);
+///   report.Add("txns_per_sec_t8", 1234.5);
+///   ... report writes itself on destruction.
+class JsonReport {
+ public:
+  JsonReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+
+  ~JsonReport() { Write(); }
+
+  bool enabled() const { return enabled_; }
+
+  void Add(const std::string& metric, double value) {
+    metrics_.emplace_back(metric, value);
+  }
+
+  /// Writes BENCH_<name>.json (atomic; idempotent — later calls rewrite).
+  void Write() {
+    if (!enabled_) return;
+    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", ScaleFactor());
+    out += "  \"scale\": " + std::string(buf) + ",\n  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.6g", metrics_[i].second);
+      out += (i == 0 ? "\n" : ",\n");
+      out += "    \"" + metrics_[i].first + "\": " + buf;
+    }
+    out += "\n  }\n}\n";
+    CheckOk(WriteFileAtomic(Env::Default(), "BENCH_" + name_ + ".json", out),
+            "write bench json report");
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 inline void PrintHeader(const char* experiment, const char* paper_ref,

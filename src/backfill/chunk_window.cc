@@ -231,8 +231,9 @@ Status ChunkWindow::InspectShipped(const std::string& message, uint64_t id,
         if (op.schema_event->table == table_) *touched = true;
         continue;
       }
-      OPDELTA_ASSIGN_OR_RETURN(sql::Statement stmt,
-                               sql::Parser::Parse(op.sql));
+      OPDELTA_ASSIGN_OR_RETURN(
+          sql::Statement stmt,
+          stmt_cache_.Parse(op.sql, batch_id.schema_epoch));
       if (stmt.is_insert()) {
         const sql::InsertStmt& ins = stmt.insert();
         if (ins.table == options_.signal_table) {

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "engine/database.h"
 #include "pipeline/source_leg.h"
+#include "sql/statement_cache.h"
 
 namespace opdelta::backfill {
 
@@ -137,6 +138,8 @@ class ChunkWindow {
   std::string table_;
   catalog::Schema schema_;
   int key_col_ = 0;
+  // Drained op-delta statements repeat a few shapes; cache the parse.
+  sql::StatementCache stmt_cache_;
 };
 
 }  // namespace opdelta::backfill

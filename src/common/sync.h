@@ -54,10 +54,18 @@ inline constexpr int kHubCompact = 12;    // one ledger compaction at a time
 inline constexpr int kHubStaging = 14;    // staging lanes + byte budget
 inline constexpr int kHubStats = 16;      // aggregate counters
 inline constexpr int kHubErrors = 18;     // per-round error collection
+// Warehouse apply scheduling (above the hub, outside the engine: the
+// scheduler mutex is never held across an engine call — tasks release it
+// before Begin/Execute/Commit — but it submits to the thread pool and
+// merges stats while held, so it sits between the hub ranks and the
+// engine ranks).
+inline constexpr int kApplyScheduler = 20;  // parallel-apply tickets + dispatch
 // Engine.
 inline constexpr int kEngineTables = 24;       // name -> Table map
 inline constexpr int kEngineSchemaCache = 26;  // cached SchemaMap snapshot
 inline constexpr int kTableLatch = 28;         // per-table structure latch
+inline constexpr int kFreedSlots = 30;         // uncommitted-free quarantine
+                                               // (taken under a table latch)
 // Transactions.
 inline constexpr int kTxnLockManager = 32;  // table/row lock tables + cv
 inline constexpr int kCatalog = 36;         // schema catalog (under latch)
@@ -71,6 +79,8 @@ inline constexpr int kNetSim = 50;          // network fault dice
 // Common leaves.
 inline constexpr int kThreadPool = 60;       // task queue
 inline constexpr int kCountDownLatch = 62;   // one-shot join points
+inline constexpr int kStatementCache = 64;   // prepared-statement LRU (leaf:
+                                             // safe under any engine lock)
 inline constexpr int kFaultEnv = 70;         // fault-injection dice + scope
 inline constexpr int kLogging = 80;          // stderr serialization (leaf)
 }  // namespace lockrank

@@ -376,7 +376,38 @@ Status Database::Commit(Transaction* txn) {
   OPDELTA_RETURN_IF_ERROR(wal_.Sync());
   txn->MarkCommitted();
   locks_.ReleaseAll(txn->id());
+  ReleaseFreedSlots(txn->id());
   return Status::OK();
+}
+
+void Database::QuarantineFreedSlot(txn::TxnId txn, catalog::TableId table,
+                                   const storage::Rid& rid) {
+  std::lock_guard<common::OrderedMutex> lock(freed_slots_mutex_);
+  if (freed_slots_[table].insert(rid).second) {
+    freed_by_txn_[txn].emplace_back(table, rid);
+  }
+}
+
+storage::HeapFile::SlotFilter Database::FreedSlotFilter(
+    catalog::TableId table) {
+  return [this, table](const storage::Rid& rid) {
+    std::lock_guard<common::OrderedMutex> lock(freed_slots_mutex_);
+    auto it = freed_slots_.find(table);
+    return it != freed_slots_.end() && it->second.count(rid) > 0;
+  };
+}
+
+void Database::ReleaseFreedSlots(txn::TxnId txn) {
+  std::lock_guard<common::OrderedMutex> lock(freed_slots_mutex_);
+  auto it = freed_by_txn_.find(txn);
+  if (it == freed_by_txn_.end()) return;
+  for (const auto& [table, rid] : it->second) {
+    auto t = freed_slots_.find(table);
+    if (t == freed_slots_.end()) continue;
+    t->second.erase(rid);
+    if (t->second.empty()) freed_slots_.erase(t);
+  }
+  freed_by_txn_.erase(it);
 }
 
 Status Database::UndoOne(const UndoEntry& entry) {
@@ -402,7 +433,8 @@ Status Database::UndoOne(const UndoEntry& entry) {
       table->IndexErase(cur_row, entry.rid);
       Rid new_rid;
       OPDELTA_RETURN_IF_ERROR(
-          table->heap()->Update(entry.rid, Slice(entry.before), &new_rid));
+          table->heap()->Update(entry.rid, Slice(entry.before), &new_rid,
+                                FreedSlotFilter(entry.table_id)));
       Row before_row;
       OPDELTA_RETURN_IF_ERROR(
           RowCodec::Decode(table->schema(), Slice(entry.before), &before_row));
@@ -412,7 +444,8 @@ Status Database::UndoOne(const UndoEntry& entry) {
     case LogRecordType::kDelete: {
       Rid rid;
       OPDELTA_RETURN_IF_ERROR(
-          table->heap()->Insert(Slice(entry.before), &rid));
+          table->heap()->Insert(Slice(entry.before), &rid,
+                                FreedSlotFilter(entry.table_id)));
       Row row;
       OPDELTA_RETURN_IF_ERROR(
           RowCodec::Decode(table->schema(), Slice(entry.before), &row));
@@ -442,6 +475,7 @@ Status Database::Abort(Transaction* txn) {
   (void)wal_.Append(&rec);
   txn->MarkAborted();
   locks_.ReleaseAll(txn->id());
+  ReleaseFreedSlots(txn->id());
   return Status::OK();
 }
 
@@ -536,7 +570,8 @@ Status Database::InsertImpl(Transaction* txn, const std::string& table_name,
   Rid rid;
   {
     std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
-    OPDELTA_RETURN_IF_ERROR(table->heap()->Insert(Slice(encoded), &rid));
+    OPDELTA_RETURN_IF_ERROR(table->heap()->Insert(Slice(encoded), &rid,
+                                                  FreedSlotFilter(table->id())));
     table->IndexInsert(row, rid);
   }
   OPDELTA_RETURN_IF_ERROR(
@@ -615,9 +650,13 @@ Result<size_t> Database::UpdateWhere(
     {
       std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
       table->IndexErase(before, rid);
-      OPDELTA_RETURN_IF_ERROR(
-          table->heap()->Update(rid, Slice(after_enc), &new_rid));
+      OPDELTA_RETURN_IF_ERROR(table->heap()->Update(
+          rid, Slice(after_enc), &new_rid, FreedSlotFilter(table->id())));
       table->IndexInsert(after, new_rid);
+      if (!(new_rid == rid)) {
+        // Relocation freed the old slot; keep it ours until we resolve.
+        QuarantineFreedSlot(txn->id(), table->id(), rid);
+      }
     }
 
     // Undo before WAL: a failed append must still be rollback-able.
@@ -667,6 +706,7 @@ Result<size_t> Database::DeleteWhere(Transaction* txn,
       std::unique_lock<common::OrderedSharedMutex> latch(table->latch);
       table->IndexErase(before, rid);
       OPDELTA_RETURN_IF_ERROR(table->heap()->Delete(rid));
+      QuarantineFreedSlot(txn->id(), table->id(), rid);
     }
 
     // Undo before WAL: a failed append must still be rollback-able.
@@ -813,9 +853,12 @@ Status Database::UpdateAt(Transaction* txn, const std::string& table_name,
     OPDELTA_RETURN_IF_ERROR(
         RowCodec::Decode(schema, Slice(before_enc), &before_row));
     table->IndexErase(before_row, rid);
-    OPDELTA_RETURN_IF_ERROR(
-        table->heap()->Update(rid, Slice(after_enc), &new_rid));
+    OPDELTA_RETURN_IF_ERROR(table->heap()->Update(
+        rid, Slice(after_enc), &new_rid, FreedSlotFilter(table->id())));
     table->IndexInsert(row, new_rid);
+    if (!(new_rid == rid)) {
+      QuarantineFreedSlot(txn->id(), table->id(), rid);
+    }
   }
 
   LogRecord rec;
@@ -851,6 +894,7 @@ Status Database::DeleteAt(Transaction* txn, const std::string& table_name,
         RowCodec::Decode(table->schema(), Slice(before_enc), &before_row));
     table->IndexErase(before_row, rid);
     OPDELTA_RETURN_IF_ERROR(table->heap()->Delete(rid));
+    QuarantineFreedSlot(txn->id(), table->id(), rid);
   }
 
   LogRecord rec;

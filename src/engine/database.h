@@ -6,7 +6,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
@@ -225,6 +227,28 @@ class Database {
 
   Status UndoOne(const txn::UndoEntry& entry);
 
+  // ---- Uncommitted-free slot quarantine -------------------------------
+  // A DELETE (or relocating UPDATE) physically frees its heap slot at
+  // statement time, but the freeing transaction holds the rid's X lock
+  // until it resolves. If another transaction's INSERT reused that slot it
+  // would block on a lock held across an arbitrary wait — under the
+  // parallel apply scheduler's commit ordering, a deadlock. These helpers
+  // keep such slots out of placement until the freeing transaction
+  // commits or aborts.
+
+  /// Records that `txn` freed `rid` in `table` this transaction. Called
+  /// with the table latch held (the free and the quarantine must be
+  /// atomic against concurrent placement).
+  void QuarantineFreedSlot(txn::TxnId txn, catalog::TableId table,
+                           const storage::Rid& rid);
+
+  /// Placement filter for heap inserts into `table`: true while the slot
+  /// is quarantined. Queried only for physically free slots.
+  storage::HeapFile::SlotFilter FreedSlotFilter(catalog::TableId table);
+
+  /// Lifts every quarantine `txn` holds. Called from Commit and Abort.
+  void ReleaseFreedSlots(txn::TxnId txn);
+
   Status InsertImpl(txn::Transaction* txn, const std::string& table,
                     catalog::Row row, storage::Rid* rid_out, bool stamp,
                     bool fire_triggers);
@@ -260,6 +284,16 @@ class Database {
       engine_schema_cache, common::lockrank::kEngineSchemaCache)};
   std::shared_ptr<const catalog::SchemaMap> schema_cache_;
   uint64_t schema_cache_built_at_ = 0;
+
+  /// Slots freed by in-flight transactions (see QuarantineFreedSlot). The
+  /// mutex ranks just above the table latch: the filter runs inside heap
+  /// placement, which holds the latch.
+  mutable common::OrderedMutex freed_slots_mutex_{
+      OPDELTA_LOCK_RANK(freed_slots, common::lockrank::kFreedSlots)};
+  std::unordered_map<catalog::TableId, std::set<storage::Rid>> freed_slots_;
+  std::unordered_map<txn::TxnId,
+                     std::vector<std::pair<catalog::TableId, storage::Rid>>>
+      freed_by_txn_;
 };
 
 }  // namespace opdelta::engine

@@ -276,6 +276,7 @@ Status DeltaHub::Setup() {
     SourceStats entry;
     entry.name = source->spec.name;
     entry.warehouse_table = source->spec.warehouse_table;
+    entry.apply_threads = std::max<size_t>(1, source->spec.apply_threads);
     stats_.sources.push_back(std::move(entry));
     OPDELTA_RETURN_IF_ERROR(source->leg->Setup());
     if (source->spec.backfill) {
@@ -317,6 +318,18 @@ Status DeltaHub::Setup() {
               [this, group] { return DrainBacklog(group); }, sc_options));
       OPDELTA_RETURN_IF_ERROR(source->scrubber->Setup());
     }
+  }
+
+  // A dedicated pool for parallel apply, created only when asked for.
+  // Sized to the widest source: lanes share it, and the scheduler's
+  // strict-ascending dispatch stays deadlock-free at any width.
+  size_t max_apply_threads = 1;
+  for (const auto& source : sources_) {
+    max_apply_threads = std::max(max_apply_threads,
+                                 source->spec.apply_threads);
+  }
+  if (max_apply_threads > 1) {
+    parallel_apply_pool_ = std::make_unique<ThreadPool>(max_apply_threads);
   }
 
   worker_queues_.resize(options_.apply_workers);
@@ -602,12 +615,22 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
     }
 
     Stopwatch apply_timer;
+    // The apply context is per-source configuration over hub-shared
+    // machinery: with apply_threads > 1 the scheduler fans this batch's
+    // disjoint transactions out on the dedicated pool; at 1 (or for any
+    // batch the planner cannot prove safe) the path is the serial
+    // integrator, statement cache included.
+    pipeline::ApplyContext apply_ctx;
+    apply_ctx.pool = parallel_apply_pool_.get();
+    apply_ctx.apply_threads =
+        batch->group->members.front()->spec.apply_threads;
+    apply_ctx.statement_cache = &stmt_cache_;
     warehouse::IntegrationStats istats;
     Status st;
     for (int attempt = 0;; ++attempt) {
       istats = warehouse::IntegrationStats();  // Integrate accumulates
       st = batch->group->members.front()->leg->Integrate(
-          warehouse_, ledger_.get(), batch->message, &istats);
+          warehouse_, ledger_.get(), batch->message, apply_ctx, &istats);
       // Retry only transient errors; a deterministic failure would replay
       // the same poison message forever. A retried batch whose first
       // attempt partially committed resumes via the ledger, never repeats.
@@ -661,6 +684,7 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
       if (applied) {
         ++stats_.batches_applied;
         stats_.transactions_applied += istats.transactions;
+        stats_.txns_parallel += istats.txns_parallel;
         stats_.duplicates_dropped += istats.duplicate_batches;
         stats_.apply_micros_total += elapsed;
         if (elapsed > stats_.apply_micros_max) {
@@ -669,6 +693,7 @@ void DeltaHub::ApplyWorkerLoop(size_t worker_index) {
         for (Source* source : batch->acks) {
           SourceStats& entry = stats_.sources[source->stats_index];
           ++entry.batches_applied;
+          entry.txns_parallel += istats.txns_parallel;
           entry.duplicates_dropped += istats.duplicate_batches;
           // The per-source applied watermark mirrors the ledger: the
           // identity of the newest batch committed for this source.
@@ -863,6 +888,10 @@ Status DeltaHub::Stop() {
     if (t.joinable()) t.join();
   }
   apply_threads_.clear();
+  // 3. Only now is no scheduler task in flight: the apply workers (the
+  //    sole submitters) are joined, so the pool drains empty and shuts
+  //    down without stranding a ticket.
+  if (parallel_apply_pool_ != nullptr) parallel_apply_pool_->Shutdown();
   return result;
 }
 
@@ -879,6 +908,9 @@ HubStats DeltaHub::Stats() const {
     out.batches_staged = batches_staged_;
     out.producer_stalls = producer_stalls_;
   }
+  const sql::StatementCacheStats cache = stmt_cache_.stats();
+  out.stmt_cache_hits = cache.hits;
+  out.stmt_cache_misses = cache.misses;
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include "engine/database.h"
 #include "extract/op_delta.h"
 #include "pipeline/source_leg.h"
+#include "sql/statement_cache.h"
 #include "warehouse/apply_ledger.h"
 
 namespace opdelta::hub {
@@ -64,6 +65,14 @@ struct SourceSpec {
   uint64_t scrub_chunk_rows = 256;
   /// false: report mismatches in stats but do not repair them.
   bool scrub_repair = true;
+
+  /// Per-batch apply parallelism for this source's op-delta batches:
+  /// transactions with disjoint key footprints apply concurrently on the
+  /// hub's parallel-apply pool; conflicting ones keep source commit order,
+  /// and ledger semantics are unchanged (warehouse::ParallelApplyScheduler).
+  /// 1 = serial apply, the exact pre-existing path. Only meaningful for
+  /// Method::kOpDelta.
+  size_t apply_threads = 1;
 };
 
 struct HubOptions {
@@ -142,6 +151,10 @@ struct SourceStats {
   uint64_t source_schema_epoch = 0;  // the source catalog's live DDL epoch
   uint64_t applied_schema_epoch = 0; // highest frame schema epoch applied
 
+  // Parallel apply.
+  uint64_t apply_threads = 1;      // configured per-batch apply parallelism
+  uint64_t txns_parallel = 0;      // txns committed by the parallel scheduler
+
   // Self-healing.
   uint64_t errors = 0;             // supervised rounds that failed
   uint64_t retries = 0;            // backoff retries (produce + apply)
@@ -178,8 +191,13 @@ struct HubStats {
   // Warehouse apply.
   uint64_t batches_applied = 0;
   uint64_t transactions_applied = 0;
+  uint64_t txns_parallel = 0;       // via the conflict-aware scheduler
   Micros apply_micros_total = 0;    // staging-pop → integrated, summed
   Micros apply_micros_max = 0;
+
+  // Prepared-statement cache (shared across apply workers).
+  uint64_t stmt_cache_hits = 0;
+  uint64_t stmt_cache_misses = 0;
 
   // Replica reconciliation.
   uint64_t batches_reconciled = 0;  // group batches merged into one
@@ -298,6 +316,18 @@ class DeltaHub {
   bool setup_done_ = false;
 
   std::unique_ptr<ThreadPool> extract_pool_;
+
+  // Parallel apply: a dedicated pool for the conflict-aware scheduler's
+  // per-transaction tasks, created by Setup only when a source asks for
+  // apply_threads > 1. Never the extract pool — producer tasks block on
+  // StageAndApply completion, and apply subtasks queued behind a full
+  // complement of blocked producers would deadlock. Destroyed after the
+  // apply workers join, so no scheduler task can outlive it.
+  std::unique_ptr<ThreadPool> parallel_apply_pool_;
+
+  // Parsed-statement skeletons shared by every apply path (parallel and
+  // serial); internally synchronized, epoch-keyed against warehouse DDL.
+  sql::StatementCache stmt_cache_;
 
   // Staging area: per-worker FIFO lanes sharing one byte budget. The
   // staging counters live here (not in stats_) so producers and workers

@@ -2,6 +2,7 @@
 
 #include "engine/predicate.h"
 #include "sql/parser.h"
+#include "sql/statement_cache.h"
 
 namespace opdelta::middleware {
 
@@ -29,11 +30,15 @@ Result<MethodCall> MethodCall::Parse(const std::string& text) {
   call.method = text.substr(dot + 1, open - dot - 1);
 
   // Reuse the SQL literal grammar for the argument list by parsing a
-  // synthetic single-row insert.
+  // synthetic single-row insert. Every call of a given arity shares one
+  // synthetic shape, so a process-wide cache (schema-independent: epoch 0)
+  // reduces the steady state to a literal rebind. Thread-safe by the
+  // cache's own lock.
+  static sql::StatementCache synthetic_cache;
   const std::string args = text.substr(open + 1, text.size() - open - 2);
   if (!args.empty()) {
     Result<sql::Statement> synthetic =
-        sql::Parser::Parse("INSERT INTO t VALUES (" + args + ")");
+        synthetic_cache.Parse("INSERT INTO t VALUES (" + args + ")");
     if (!synthetic.ok()) {
       return Status::InvalidArgument("bad method arguments: " + text);
     }

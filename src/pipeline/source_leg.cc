@@ -516,6 +516,7 @@ Result<uint64_t> SourceLeg::Backlog() { return queue_.Backlog(); }
 Status SourceLeg::Integrate(engine::Database* warehouse,
                             warehouse::ApplyLedger* ledger,
                             const std::string& message,
+                            const ApplyContext& ctx,
                             warehouse::IntegrationStats* stats) {
   if (message.empty()) return Status::Corruption("empty pipeline message");
   extract::BatchId id;
@@ -565,13 +566,21 @@ Status SourceLeg::Integrate(engine::Database* warehouse,
       return Status::NotSupported(
           "op-delta pipeline requires matching table names");
     }
-    warehouse::OpDeltaIntegrator integrator(warehouse);
     warehouse::IntegrationStats local;
-    OPDELTA_RETURN_IF_ERROR(integrator.Apply(txns, id, ledger, &local));
+    // The scheduler applies disjoint-footprint transactions concurrently
+    // and falls back to the serial integrator on anything it cannot prove
+    // safe; with no pool it *is* the serial integrator (plus the cache).
+    warehouse::ParallelApplyScheduler::Options sched;
+    sched.pool = ctx.pool;
+    sched.max_inflight = ctx.apply_threads;
+    sched.cache = ctx.statement_cache;
+    warehouse::ParallelApplyScheduler scheduler(warehouse, sched);
+    OPDELTA_RETURN_IF_ERROR(scheduler.Apply(txns, id, ledger, &local));
     if (stats != nullptr) {
       stats->statements_executed += local.statements_executed;
       stats->rows_affected += local.rows_affected;
       stats->transactions += local.transactions;
+      stats->txns_parallel += local.txns_parallel;
       stats->wall_micros += local.wall_micros;
       stats->outage_micros += local.outage_micros;
       stats->duplicate_batches += local.duplicate_batches;

@@ -6,15 +6,32 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "engine/database.h"
 #include "extract/delta.h"
 #include "extract/op_delta.h"
 #include "pipeline/pipeline_options.h"
 #include "sql/executor.h"
+#include "sql/statement_cache.h"
 #include "transport/persistent_queue.h"
+#include "warehouse/apply_scheduler.h"
 #include "warehouse/integrator.h"
 
 namespace opdelta::pipeline {
+
+/// Shared apply-side machinery a consumer may hand to Integrate. Default
+/// construction means "serial, parse every statement" — the behaviour of
+/// the plain Integrate overloads. All members are caller-owned and may be
+/// shared across legs and threads (the scheduler runs each batch's
+/// transactions on `pool`; the cache is internally synchronized).
+struct ApplyContext {
+  /// Worker pool for conflict-aware parallel apply. nullptr = serial.
+  ThreadPool* pool = nullptr;
+  /// Per-batch apply parallelism; <= 1 = serial even with a pool.
+  size_t apply_threads = 1;
+  /// Prepared-statement cache; nullptr = full parse per statement.
+  sql::StatementCache* statement_cache = nullptr;
+};
 
 /// Counters for one extract→ship leg.
 struct LegStats {
@@ -93,6 +110,17 @@ class SourceLeg {
   /// and advanced in `ledger` (may be nullptr) atomically with the apply.
   Status Integrate(engine::Database* warehouse,
                    warehouse::ApplyLedger* ledger, const std::string& message,
+                   warehouse::IntegrationStats* stats) {
+    return Integrate(warehouse, ledger, message, ApplyContext(), stats);
+  }
+
+  /// Full form: `ctx` supplies the parallel-apply pool and the statement
+  /// cache. Op-delta batches go through the conflict-aware scheduler when
+  /// ctx enables it; ledger and digest semantics are identical to serial
+  /// apply either way.
+  Status Integrate(engine::Database* warehouse,
+                   warehouse::ApplyLedger* ledger, const std::string& message,
+                   const ApplyContext& ctx,
                    warehouse::IntegrationStats* stats);
 
   const PipelineOptions& options() const { return options_; }

@@ -1,0 +1,352 @@
+#include "sql/statement_cache.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <utility>
+
+#include "sql/parser.h"
+
+namespace opdelta::sql {
+
+using catalog::Value;
+
+namespace {
+
+/// A literal-aware scan mirroring the parser's lexer (sql/parser.cc):
+/// same literal classes, same escaping, same number syntax. It must agree
+/// with the parser on what is a literal, or the rebind plan drifts from
+/// the skeleton — which the slot-count check below turns into a harmless
+/// bypass rather than a wrong statement.
+class ShapeScanner {
+ public:
+  explicit ShapeScanner(const std::string& text) : text_(text) {}
+
+  bool Scan(std::string* shape, std::vector<Value>* literals) {
+    shape->clear();
+    literals->clear();
+    shape->reserve(text_.size());
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) return true;
+      const char c = text_[pos_];
+      if (c == '\'') {
+        std::string s;
+        if (!ScanString(&s)) return false;
+        Placeholder(shape);
+        literals->push_back(Value::String(std::move(s)));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+') {
+        Value v;
+        if (!ScanNumber(&v)) return false;
+        Placeholder(shape);
+        literals->push_back(std::move(v));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        if (!ScanIdentOrTs(shape, literals)) return false;
+        continue;
+      }
+      static const char* kTwoChar[] = {"<>", "<=", ">=", "!="};
+      bool two = false;
+      for (const char* op : kTwoChar) {
+        if (text_.compare(pos_, 2, op) == 0) {
+          Append(shape, op);
+          pos_ += 2;
+          two = true;
+          break;
+        }
+      }
+      if (two) continue;
+      if (c == '(' || c == ')' || c == ',' || c == '=' || c == '<' ||
+          c == '>' || c == ';' || c == '*') {
+        Append(shape, std::string(1, c));
+        ++pos_;
+        continue;
+      }
+      return false;  // character the lexer would reject; full parse decides
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Append(std::string* shape, const std::string& tok) {
+    if (!shape->empty()) shape->push_back(' ');
+    shape->append(tok);
+  }
+
+  void Placeholder(std::string* shape) { Append(shape, "?"); }
+
+  bool ScanString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\'') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+          out->push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return true;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ScanNumber(Value* out) {
+    const size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        ++pos_;
+        if (c != '.' && pos_ < text_.size() &&
+            (text_[pos_] == '+' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    const std::string num = text_.substr(start, pos_ - start);
+    if (is_float) {
+      *out = Value::Double(std::strtod(num.c_str(), nullptr));
+      return true;
+    }
+    int64_t ival = 0;
+    auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), ival);
+    if (ec != std::errc() || p != num.data() + num.size()) return false;
+    *out = Value::Int64(ival);
+    return true;
+  }
+
+  bool ScanIdentOrTs(std::string* shape, std::vector<Value>* literals) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string word = text_.substr(start, pos_ - start);
+    if ((word == "TS" || word == "ts") && pos_ < text_.size() &&
+        text_[pos_] == ':') {
+      ++pos_;
+      Value num;
+      if (!ScanNumber(&num) || num.type() != catalog::ValueType::kInt64) {
+        return false;
+      }
+      Placeholder(shape);
+      literals->push_back(Value::Timestamp(num.AsInt64()));
+      return true;
+    }
+    bool is_null = word.size() == 4;
+    if (is_null) {
+      static const char kNull[] = "NULL";
+      for (size_t i = 0; i < 4; ++i) {
+        if (std::toupper(static_cast<unsigned char>(word[i])) != kNull[i]) {
+          is_null = false;
+          break;
+        }
+      }
+    }
+    if (is_null) {
+      // The grammar only admits NULL in literal position; treating it as a
+      // literal here keeps the shape parameterized over it. (A column that
+      // happens to be *named* "null" would make the collected literal
+      // count disagree with the skeleton's slots, and the slot-count check
+      // bypasses the cache for that statement.)
+      Placeholder(shape);
+      literals->push_back(Value::Null());
+      return true;
+    }
+    Append(shape, word);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// True for the statement kinds whose literal slots the rebinder knows how
+/// to walk. ALTER is excluded deliberately: its DEFAULT literal is coerced
+/// at parse time against the declared column type, so a rebound raw
+/// literal would skip that coercion.
+bool FirstWordCacheable(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() &&
+         (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+          sql[j] == '_')) {
+    ++j;
+  }
+  std::string word = sql.substr(i, j - i);
+  for (char& c : word) c = static_cast<char>(std::toupper(c));
+  return word == "INSERT" || word == "UPDATE" || word == "DELETE";
+}
+
+/// How many literal slots a parsed skeleton exposes to the rebinder.
+size_t CountLiteralSlots(const Statement& stmt) {
+  switch (stmt.type()) {
+    case StatementType::kInsert: {
+      size_t n = 0;
+      for (const catalog::Row& row : stmt.insert().rows) n += row.size();
+      return n;
+    }
+    case StatementType::kUpdate:
+      return stmt.update().sets.size() +
+             stmt.update().where.conjuncts().size();
+    case StatementType::kDelete:
+      return stmt.delete_stmt().where.conjuncts().size();
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+bool NormalizeStatementShape(const std::string& sql, std::string* shape,
+                             std::vector<catalog::Value>* literals) {
+  if (!FirstWordCacheable(sql)) return false;
+  ShapeScanner scanner(sql);
+  return scanner.Scan(shape, literals);
+}
+
+Result<Statement> BindLiterals(const Statement& skeleton,
+                               const std::vector<catalog::Value>& literals) {
+  Statement out = skeleton;
+  size_t next = 0;
+  auto take = [&](catalog::Value* slot) {
+    if (next >= literals.size()) return false;
+    *slot = literals[next++];
+    return true;
+  };
+  switch (out.type()) {
+    case StatementType::kInsert: {
+      for (catalog::Row& row : out.mutable_insert().rows) {
+        for (Value& cell : row) {
+          if (!take(&cell)) return Status::Internal("literal underflow");
+        }
+      }
+      break;
+    }
+    case StatementType::kUpdate: {
+      UpdateStmt& u = out.mutable_update();
+      for (engine::Assignment& a : u.sets) {
+        if (!take(&a.value)) return Status::Internal("literal underflow");
+      }
+      std::vector<engine::Condition> conds = u.where.conjuncts();
+      for (engine::Condition& c : conds) {
+        if (!take(&c.literal)) return Status::Internal("literal underflow");
+      }
+      u.where = engine::Predicate(std::move(conds));
+      break;
+    }
+    case StatementType::kDelete: {
+      DeleteStmt& d = out.mutable_delete();
+      std::vector<engine::Condition> conds = d.where.conjuncts();
+      for (engine::Condition& c : conds) {
+        if (!take(&c.literal)) return Status::Internal("literal underflow");
+      }
+      d.where = engine::Predicate(std::move(conds));
+      break;
+    }
+    default:
+      return Status::Internal("skeleton kind is not rebindable");
+  }
+  if (next != literals.size()) {
+    return Status::Internal("literal overflow: " +
+                            std::to_string(literals.size() - next) +
+                            " unbound");
+  }
+  return out;
+}
+
+std::shared_ptr<const Statement> StatementCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->skeleton;
+}
+
+void StatementCache::Insert(const std::string& key, Statement skeleton) {
+  auto shared = std::make_shared<const Statement>(std::move(skeleton));
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
+  if (map_.find(key) != map_.end()) return;  // raced; first parse wins
+  while (map_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(shared)});
+  map_[key] = lru_.begin();
+}
+
+Result<Statement> StatementCache::Parse(const std::string& sql,
+                                        uint64_t schema_epoch) {
+  std::string shape;
+  std::vector<Value> literals;
+  if (!NormalizeStatementShape(sql, &shape, &literals)) {
+    {
+      std::lock_guard<common::OrderedMutex> lock(mutex_);
+      ++stats_.bypasses;
+    }
+    return Parser::Parse(sql);
+  }
+  shape.push_back('\x01');  // epoch separator, never in statement text
+  shape.append(std::to_string(schema_epoch));
+
+  if (std::shared_ptr<const Statement> skeleton = Lookup(shape)) {
+    Result<Statement> bound = BindLiterals(*skeleton, literals);
+    if (bound.ok()) return bound;
+    // A slot/literal disagreement can only mean the normalizer and the
+    // grammar diverged on this text; fall through to a plain parse.
+  }
+  // Miss: the full parse happens outside the lock (pure CPU, but no reason
+  // to serialize concurrent misses); a racing duplicate insert is benign.
+  OPDELTA_ASSIGN_OR_RETURN(Statement parsed, Parser::Parse(sql));
+  if (CountLiteralSlots(parsed) == literals.size()) {
+    Insert(shape, parsed);
+  }
+  return parsed;
+}
+
+StatementCacheStats StatementCache::stats() const {
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
+  StatementCacheStats out = stats_;
+  out.entries = map_.size();
+  return out;
+}
+
+void StatementCache::Clear() {
+  std::lock_guard<common::OrderedMutex> lock(mutex_);
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace opdelta::sql

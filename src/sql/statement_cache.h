@@ -1,0 +1,109 @@
+#ifndef OPDELTA_SQL_STATEMENT_CACHE_H_
+#define OPDELTA_SQL_STATEMENT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "catalog/value.h"
+#include "sql/statement.h"
+
+namespace opdelta::sql {
+
+/// Normalizes one DML statement to its parameterized shape: every literal
+/// becomes '?' and is collected, in textual order, into `literals`. The
+/// shape of "UPDATE parts SET qty = 7 WHERE id = 12" is
+/// "UPDATE parts SET qty = ? WHERE id = ?" with literals [7, 12].
+///
+/// Returns false when the text is not a normalizable INSERT/UPDATE/DELETE
+/// (other statement kinds, lexical errors) — the caller falls back to a
+/// full parse. A false return says nothing about validity; it only opts the
+/// statement out of shape caching.
+bool NormalizeStatementShape(const std::string& sql, std::string* shape,
+                             std::vector<catalog::Value>* literals);
+
+/// Rebinds `literals` into a copy of `skeleton`, assigning them in the
+/// grammar's canonical order (the same left-to-right order the normalizer
+/// collects): INSERT row cells, then UPDATE SET values followed by WHERE
+/// literals, then DELETE WHERE literals. Fails with kInternal when the
+/// literal count does not match the skeleton's slots — the caller treats
+/// that as a cache miss, never an apply error.
+Result<Statement> BindLiterals(const Statement& skeleton,
+                               const std::vector<catalog::Value>& literals);
+
+/// Counters for one cache. Snapshot semantics: read under the cache lock.
+struct StatementCacheStats {
+  uint64_t hits = 0;       // shape found; skeleton rebound, no parse
+  uint64_t misses = 0;     // shape parsed once and cached
+  uint64_t bypasses = 0;   // non-normalizable statement, full parse
+  uint64_t evictions = 0;  // entries dropped by the capacity bound
+  uint64_t entries = 0;    // current resident skeletons
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// A bounded, thread-safe cache of parsed Statement skeletons keyed by
+/// (shape, schema_epoch). The apply hot path replays the same few statement
+/// shapes millions of times with different literals; caching the parse and
+/// rebinding literals removes lexing/parsing from the steady state
+/// entirely. Parse(sql, epoch) is a drop-in replacement for
+/// Parser::Parse(sql): same result, same errors, on any input.
+///
+/// Epoch keying: entries made under one warehouse ddl_epoch are invisible
+/// to later epochs, so a DDL bump can never serve a stale skeleton — the
+/// first statement of each shape after a migration re-parses. Stale-epoch
+/// entries age out through the LRU bound.
+class StatementCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit StatementCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  StatementCache(const StatementCache&) = delete;
+  StatementCache& operator=(const StatementCache&) = delete;
+
+  /// Equivalent to Parser::Parse(sql), served from the cache when the
+  /// statement's (shape, schema_epoch) has been parsed before. Safe from
+  /// any thread.
+  Result<Statement> Parse(const std::string& sql, uint64_t schema_epoch);
+
+  /// Convenience for callers whose statements are schema-independent
+  /// (table-name sniffing, fixture replay): epoch 0.
+  Result<Statement> Parse(const std::string& sql) { return Parse(sql, 0); }
+
+  StatementCacheStats stats() const;
+
+  /// Drops every entry (counters are retained).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Statement> skeleton;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Looks up `key`, refreshing LRU order. nullptr on miss.
+  std::shared_ptr<const Statement> Lookup(const std::string& key);
+  void Insert(const std::string& key, Statement skeleton);
+
+  const size_t capacity_;
+  mutable common::OrderedMutex mutex_{OPDELTA_LOCK_RANK(
+      statement_cache, common::lockrank::kStatementCache)};
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> map_;
+  StatementCacheStats stats_;
+};
+
+}  // namespace opdelta::sql
+
+#endif  // OPDELTA_SQL_STATEMENT_CACHE_H_

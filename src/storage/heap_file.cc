@@ -45,13 +45,18 @@ Status HeapFile::FindPageWithSpace(size_t need, PageId* id, PageGuard* guard) {
   return Status::OK();
 }
 
-Status HeapFile::Insert(Slice record, Rid* rid) {
+Status HeapFile::Insert(Slice record, Rid* rid, const SlotFilter& avoid) {
   PageId id;
   PageGuard guard;
   OPDELTA_RETURN_IF_ERROR(FindPageWithSpace(record.size() + 4, &id, &guard));
   SlottedPage page(guard.data());
   uint16_t slot;
-  Status st = page.Insert(record, &slot);
+  std::function<bool(uint16_t)> blocked;
+  if (avoid != nullptr) {
+    blocked = [&avoid, id](uint16_t s) { return avoid(Rid{id, s}); };
+  }
+  Status st = page.Insert(record, &slot,
+                          avoid != nullptr ? &blocked : nullptr);
   if (st.code() == StatusCode::kOutOfRange) {
     // Our estimate was stale; refresh it and retry on a new page.
     free_space_[id] = static_cast<uint32_t>(page.FreeSpace());
@@ -89,7 +94,8 @@ Status HeapFile::Read(const Rid& rid, std::string* out) {
   return Status::OK();
 }
 
-Status HeapFile::Update(const Rid& rid, Slice record, Rid* new_rid) {
+Status HeapFile::Update(const Rid& rid, Slice record, Rid* new_rid,
+                        const SlotFilter& avoid) {
   PageGuard guard;
   OPDELTA_RETURN_IF_ERROR(pool_->FetchPage(rid.page_id, &guard));
   SlottedPage page(guard.data());
@@ -107,7 +113,7 @@ Status HeapFile::Update(const Rid& rid, Slice record, Rid* new_rid) {
   free_space_[rid.page_id] = static_cast<uint32_t>(page.FreeSpace());
   guard.Release();
   live_records_--;  // Insert() will re-increment
-  return Insert(record, new_rid);
+  return Insert(record, new_rid, avoid);
 }
 
 Status HeapFile::Delete(const Rid& rid) {

@@ -27,14 +27,24 @@ class HeapFile {
   /// Call once after the backing file is opened.
   Status Open();
 
-  Status Insert(Slice record, Rid* rid);
+  /// Vetoes slot reuse during Insert: return true for a rid whose slot,
+  /// though physically free, was freed by a transaction that has not yet
+  /// committed or aborted. Handing such a slot to another transaction
+  /// would make two logically disjoint transactions contend on one row
+  /// lock (and deadlock a commit-ordered scheduler). Only queried for
+  /// already-freed slots, so the common append path never pays for it.
+  using SlotFilter = std::function<bool(const Rid&)>;
+
+  Status Insert(Slice record, Rid* rid, const SlotFilter& avoid = nullptr);
 
   /// Copies the record at rid into *out.
   Status Read(const Rid& rid, std::string* out);
 
   /// Updates in place when possible; relocates otherwise and reports the
-  /// new rid via *new_rid (equal to rid when not moved).
-  Status Update(const Rid& rid, Slice record, Rid* new_rid);
+  /// new rid via *new_rid (equal to rid when not moved). `avoid` governs
+  /// slot reuse if the record relocates, as in Insert.
+  Status Update(const Rid& rid, Slice record, Rid* new_rid,
+                const SlotFilter& avoid = nullptr);
 
   Status Delete(const Rid& rid);
 

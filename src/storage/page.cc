@@ -5,7 +5,8 @@
 
 namespace opdelta::storage {
 
-Status SlottedPage::Insert(Slice record, uint16_t* slot_out) {
+Status SlottedPage::Insert(Slice record, uint16_t* slot_out,
+                           const std::function<bool(uint16_t)>* blocked) {
   if (record.size() > kPageSize - kHeaderSize - 4) {
     return Status::InvalidArgument("record larger than page");
   }
@@ -15,7 +16,7 @@ Status SlottedPage::Insert(Slice record, uint16_t* slot_out) {
   uint16_t slot = count;
   bool reuse = false;
   for (uint16_t i = 0; i < count; ++i) {
-    if (SlotOffset(i) == 0) {
+    if (SlotOffset(i) == 0 && (blocked == nullptr || !(*blocked)(i))) {
       slot = i;
       reuse = true;
       break;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -62,8 +63,11 @@ class SlottedPage {
   }
 
   /// Inserts a record; returns the slot index or NotFound-free error if the
-  /// page lacks space. Reuses deleted slots.
-  Status Insert(Slice record, uint16_t* slot_out);
+  /// page lacks space. Reuses deleted slots, except those `blocked` vetoes
+  /// (slots freed by still-uncommitted transactions, whose rids must stay
+  /// unallocated until the freeing transaction resolves).
+  Status Insert(Slice record, uint16_t* slot_out,
+                const std::function<bool(uint16_t)>* blocked = nullptr);
 
   /// Reads the record at `slot`; *out points into the page buffer.
   Status Read(uint16_t slot, Slice* out) const;

@@ -174,7 +174,8 @@ Status AggViewMaintainer::ApplyStatement(
 Status AggViewMaintainer::ApplyTxn(const extract::OpDeltaTxn& source_txn) {
   return warehouse_->WithTransaction([&](txn::Transaction* wtxn) -> Status {
     for (const extract::OpDeltaRecord& op : source_txn.ops) {
-      OPDELTA_ASSIGN_OR_RETURN(Statement stmt, sql::Parser::Parse(op.sql));
+      OPDELTA_ASSIGN_OR_RETURN(
+          Statement stmt, stmt_cache_.Parse(op.sql, warehouse_->ddl_epoch()));
       if (stmt.table() != def_.source_table) continue;
       OPDELTA_RETURN_IF_ERROR(ApplyStatement(
           wtxn, stmt, op.captured_before_images, op.before_images));

@@ -9,6 +9,7 @@
 #include "engine/database.h"
 #include "extract/op_delta.h"
 #include "sql/statement.h"
+#include "sql/statement_cache.h"
 
 namespace opdelta::warehouse {
 
@@ -78,6 +79,8 @@ class AggViewMaintainer {
 
   engine::Database* warehouse_;
   AggViewDef def_;
+  // Replayed source statements repeat a few shapes; cache the parse.
+  sql::StatementCache stmt_cache_;
   catalog::Schema source_schema_;
   engine::Predicate bound_selection_;
   int group_idx_ = -1;

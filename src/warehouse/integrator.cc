@@ -88,18 +88,16 @@ Status ValueDeltaIntegrator::Apply(const extract::DeltaBatch& batch,
   }
 
   // The indivisible batch: one transaction, table-X lock (the outage).
-  // Each record's statement arrives as SQL text ("each of which will be
-  // translated into a single SQL statement", §4.1) and is parsed like any
-  // client statement — the same treatment the Op-Delta integrator gets.
+  // The translated statements are executed directly as typed net-change
+  // rows — the executor coerces literals to column types either way, so
+  // round-tripping each row through ToSql() and the parser would buy
+  // nothing but a lex/parse per row on the hot path.
   std::unique_ptr<txn::Transaction> txn = db_->Begin();
   Stopwatch outage;
   Status st = db_->LockTableExclusive(txn.get(), table_);
   for (const Statement& stmt : stmts) {
     if (!st.ok()) break;
-    Result<Statement> parsed = sql::Parser::Parse(stmt.ToSql());
-    st = parsed.status();
-    if (!st.ok()) break;
-    Result<size_t> r = executor_.Execute(txn.get(), parsed.value());
+    Result<size_t> r = executor_.Execute(txn.get(), stmt);
     st = r.status();
     if (st.ok()) {
       local.statements_executed++;
@@ -204,7 +202,12 @@ Status OpDeltaIntegrator::ApplyOne(const extract::OpDeltaTxn& source_txn,
   }
   std::unique_ptr<txn::Transaction> txn = db_->Begin();
   for (const extract::OpDeltaRecord& op : source_txn.ops) {
-    Result<Statement> parsed = sql::Parser::Parse(op.sql);
+    // Op-Delta's hot path: the same few statement shapes repeat with
+    // different literals, so the cache (when wired) turns this parse into
+    // a skeleton rebind. Epoch keying makes DDL invalidation automatic.
+    Result<Statement> parsed =
+        cache_ != nullptr ? cache_->Parse(op.sql, db_->ddl_epoch())
+                          : sql::Parser::Parse(op.sql);
     Status st = parsed.status();
     if (st.ok()) {
       Result<size_t> r = executor_.Execute(txn.get(), parsed.value());

@@ -10,6 +10,7 @@
 #include "extract/delta.h"
 #include "extract/op_delta.h"
 #include "sql/executor.h"
+#include "sql/statement_cache.h"
 #include "warehouse/apply_ledger.h"
 
 namespace opdelta::warehouse {
@@ -27,6 +28,10 @@ struct IntegrationStats {
   // Exactly-once accounting (ledger-aware apply paths only).
   uint64_t duplicate_batches = 0;  // redelivered batches dropped whole
   uint64_t duplicate_txns = 0;     // already-applied prefix skipped on resume
+
+  // Parallel-apply accounting: transactions that committed through the
+  // conflict-aware scheduler (0 on every serial path).
+  uint64_t txns_parallel = 0;
 
   // Schema evolution accounting.
   uint64_t schema_migrations = 0;  // warehouse ALTERs applied from events
@@ -75,10 +80,12 @@ class ValueDeltaIntegrator {
 /// locks, no table-X outage.
 class OpDeltaIntegrator {
  public:
-  /// `table_map` entries rewrite statement table names from source to
-  /// warehouse names; empty = apply with source names.
-  OpDeltaIntegrator(engine::Database* warehouse)
-      : db_(warehouse), executor_(warehouse) {}
+  /// `cache` (optional, caller-owned, may be shared across integrators)
+  /// serves parsed statement skeletons keyed by shape and the warehouse
+  /// ddl_epoch, so steady-state replay skips the parser entirely.
+  explicit OpDeltaIntegrator(engine::Database* warehouse,
+                             sql::StatementCache* cache = nullptr)
+      : db_(warehouse), executor_(warehouse), cache_(cache) {}
 
   /// Applies each captured source transaction as its own warehouse
   /// transaction, preserving source boundaries and order.
@@ -119,6 +126,7 @@ class OpDeltaIntegrator {
 
   engine::Database* db_;
   sql::Executor executor_;
+  sql::StatementCache* cache_;  // nullptr = parse every statement
 };
 
 /// Applies the *net* changes of a batch keyed by the table's key column —

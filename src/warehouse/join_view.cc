@@ -409,7 +409,8 @@ Status JoinViewMaintainer::ApplyDimStatement(txn::Transaction* wtxn,
 Status JoinViewMaintainer::ApplyTxn(const extract::OpDeltaTxn& source_txn) {
   return warehouse_->WithTransaction([&](txn::Transaction* wtxn) -> Status {
     for (const extract::OpDeltaRecord& op : source_txn.ops) {
-      OPDELTA_ASSIGN_OR_RETURN(Statement stmt, sql::Parser::Parse(op.sql));
+      OPDELTA_ASSIGN_OR_RETURN(
+          Statement stmt, stmt_cache_.Parse(op.sql, warehouse_->ddl_epoch()));
       if (stmt.table() == def_.fact_table) {
         OPDELTA_RETURN_IF_ERROR(ApplyFactStatement(
             wtxn, stmt, op.captured_before_images, op.before_images));

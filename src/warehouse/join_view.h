@@ -9,6 +9,7 @@
 #include "engine/database.h"
 #include "extract/op_delta.h"
 #include "sql/statement.h"
+#include "sql/statement_cache.h"
 #include "warehouse/view.h"
 
 namespace opdelta::warehouse {
@@ -104,6 +105,8 @@ class JoinViewMaintainer {
 
   engine::Database* warehouse_;
   JoinViewDef def_;
+  // Replayed source statements repeat a few shapes; cache the parse.
+  sql::StatementCache stmt_cache_;
   catalog::Schema fact_schema_;
   catalog::Schema dim_schema_;
   engine::Predicate bound_selection_;

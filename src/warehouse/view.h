@@ -8,6 +8,7 @@
 #include "engine/database.h"
 #include "extract/op_delta.h"
 #include "sql/statement.h"
+#include "sql/statement_cache.h"
 
 namespace opdelta::warehouse {
 
@@ -109,6 +110,8 @@ class ViewMaintainer {
   engine::Database* warehouse_;
   ViewDef def_;
   catalog::Schema source_schema_;
+  // Replayed source statements repeat a few shapes; cache the parse.
+  sql::StatementCache stmt_cache_;
   engine::Predicate bound_selection_;
   std::vector<int> projection_indexes_;   // source column index per ViewColumn
   std::vector<std::string> selection_columns_;

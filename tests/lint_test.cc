@@ -116,6 +116,33 @@ Status Caller() {
   EXPECT_TRUE(report.clean()) << FormatFinding(report.findings[0]);
 }
 
+TEST(LintR1Test, TernaryElseArmIsNotAStatementStart) {
+  LintReport report = LintOne("src/a.cc", R"(
+Status DoThing();
+Status Other();
+void Caller(bool flag) {
+  Status st = flag ? Other()
+                   : DoThing();
+  (void)st;
+}
+)");
+  EXPECT_TRUE(report.clean());
+
+  // Case labels keep their statement-start status.
+  LintReport labeled = LintOne("src/a.cc", R"(
+Status DoThing();
+void Caller(int k) {
+  switch (k) {
+    case 1:
+      DoThing();
+      break;
+  }
+}
+)");
+  ASSERT_EQ(labeled.findings.size(), 1u);
+  EXPECT_EQ(labeled.findings[0].rule, RuleId::kR1DiscardedStatus);
+}
+
 TEST(LintR1Test, AmbiguousNameIsNotFlagged) {
   // Init returns Status in one class and void in another: a name-based
   // matcher cannot tell the call sites apart, so it stays silent and
@@ -397,6 +424,85 @@ TEST(LintR5Test, SuppressedAndBaselined) {
   EXPECT_TRUE(report.clean());
   EXPECT_EQ(report.suppressed.size(), 1u);
   ExpectBaselineable("src/engine/database.cc", kR5Positive);
+}
+
+// --------------------------------------------------------------------- R6
+
+constexpr char kR6ParseInLoop[] = R"(
+Status Apply(const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    Result<sql::Statement> stmt = sql::Parser::Parse(op.sql);
+    OPDELTA_RETURN_IF_ERROR(stmt.status());
+  }
+  return Status::OK();
+}
+)";
+
+TEST(LintR6Test, FlagsParserParseInsideLoop) {
+  LintReport report = LintOne("src/warehouse/apply.cc", kR6ParseInLoop);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR6SchemaMapHygiene);
+  EXPECT_NE(report.findings[0].message.find("StatementCache"),
+            std::string::npos);
+  EXPECT_EQ(report.findings[0].line, 4u);
+}
+
+TEST(LintR6Test, NegativeForGuardedFallbackOutsideLoopAndSqlLayer) {
+  // The cache-or-parse ternary is the sanctioned no-cache fallback.
+  LintReport guarded = LintOne("src/warehouse/apply.cc", R"(
+Status Apply(const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    Result<sql::Statement> stmt =
+        cache_ != nullptr ? cache_->Parse(op.sql, epoch)
+                          : sql::Parser::Parse(op.sql);
+    OPDELTA_RETURN_IF_ERROR(stmt.status());
+  }
+  return Status::OK();
+}
+)");
+  EXPECT_TRUE(guarded.clean());
+
+  // One-shot parses outside any loop stay legal.
+  LintReport oneshot = LintOne("src/warehouse/apply.cc", R"(
+Status One(const std::string& sql) {
+  Result<sql::Statement> stmt = sql::Parser::Parse(sql);
+  return stmt.status();
+}
+)");
+  EXPECT_TRUE(oneshot.clean());
+
+  // The parser and cache own the raw calls.
+  LintReport sql_layer = LintOne("src/sql/statement_cache.cc",
+                                 kR6ParseInLoop);
+  EXPECT_TRUE(sql_layer.clean());
+}
+
+TEST(LintR6Test, FlagsAdHocSchemaMapAtDecodeSite) {
+  LintReport report = LintOne("src/warehouse/decode.cc", R"(
+Status Decode(engine::Database* db, const std::string& body) {
+  catalog::SchemaMap schemas;
+  std::vector<extract::OpDeltaTxn> txns;
+  return extract::ParseOpDeltaLog(body, schemas, &txns);
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, RuleId::kR6SchemaMapHygiene);
+  EXPECT_NE(report.findings[0].message.find("SchemaMapAt"),
+            std::string::npos);
+}
+
+TEST(LintR6Test, SuppressedAndBaselined) {
+  LintReport report = LintOne(
+      "src/warehouse/apply.cc",
+      "void F(const std::vector<Op>& ops) {\n"
+      "  for (const Op& op : ops) {\n"
+      "    auto s = sql::Parser::Parse(op.sql);  // NOLINT(opdelta-R6: x)\n"
+      "    (void)s;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+  ExpectBaselineable("src/warehouse/apply.cc", kR6ParseInLoop);
 }
 
 // --------------------------------------------------------------------- R7

@@ -24,9 +24,12 @@
 #include "extract/schema_event.h"
 #include "hub/delta_hub.h"
 #include "pipeline/source_leg.h"
+#include "common/thread_pool.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "sql/statement_cache.h"
 #include "warehouse/apply_ledger.h"
+#include "warehouse/apply_scheduler.h"
 #include "warehouse/integrator.h"
 #include "workload/workload.h"
 #include "tests/test_util.h"
@@ -437,6 +440,83 @@ TEST_F(WarehouseMigrationTest, SchemaEventAppliesOnceUnderRedelivery) {
   OPDELTA_ASSERT_OK(integrator.Apply(txns, Id(2), ledger_.get(), &replay));
   EXPECT_EQ(replay.schema_migrations, 0u);
   EXPECT_EQ(wh_->GetTable("parts")->schema().num_columns(), 5u);
+}
+
+// Regression: prepared-statement skeletons are keyed by the warehouse
+// ddl_epoch. A migration landing mid-stream must force the next statement
+// of every previously-cached shape to re-parse under the new epoch; a
+// cache that ignored the epoch would keep the warm entry and skip exactly
+// that re-parse, which this test would catch as an unchanged miss count.
+TEST_F(WarehouseMigrationTest, ParallelApplyReParsesCachedShapesAcrossDdl) {
+  sql::Executor exec(wh_.get());
+  OPDELTA_ASSERT_OK(
+      exec.ExecuteSql(wl_.MakeInsert("parts", 0, 8).ToSql()).status());
+
+  ThreadPool pool(2);
+  sql::StatementCache cache;
+  warehouse::ParallelApplyScheduler::Options options;
+  options.pool = &pool;
+  options.max_inflight = 2;
+  options.cache = &cache;
+  warehouse::ParallelApplyScheduler scheduler(wh_.get(), options);
+
+  auto update_txn = [](uint64_t id, uint64_t key, const std::string& tag) {
+    extract::OpDeltaTxn txn;
+    txn.id = id;
+    extract::OpDeltaRecord op;
+    op.source_txn = id;
+    op.seq = 1;
+    op.sql = "UPDATE parts SET status = '" + tag +
+             "' WHERE id = " + std::to_string(key);
+    txn.ops.push_back(std::move(op));
+    return txn;
+  };
+
+  // Warm one UPDATE shape under the initial epoch: one miss, then hits.
+  std::vector<extract::OpDeltaTxn> warm;
+  for (uint64_t t = 0; t < 4; ++t) {
+    warm.push_back(update_txn(t + 1, t, "warm"));
+  }
+  warehouse::IntegrationStats stats;
+  OPDELTA_ASSERT_OK(scheduler.Apply(warm, Id(1), ledger_.get(), &stats));
+  const sql::StatementCacheStats warmed = cache.stats();
+  EXPECT_EQ(warmed.misses, 1u);
+  EXPECT_EQ(warmed.hits, 3u);
+
+  // The migration bumps the warehouse ddl_epoch.
+  const uint64_t epoch_before = wh_->ddl_epoch();
+  AlterTableSpec add;
+  add.kind = AlterTableSpec::Kind::kAddColumn;
+  add.column = Column{"qty", ValueType::kInt64, Value::Int64(4)};
+  std::vector<extract::OpDeltaTxn> ddl = {EventTxn(add, 2)};
+  warehouse::IntegrationStats ddl_stats;
+  OPDELTA_ASSERT_OK(scheduler.Apply(ddl, Id(2), ledger_.get(), &ddl_stats));
+  EXPECT_EQ(ddl_stats.schema_migrations, 1u);
+  EXPECT_GT(wh_->ddl_epoch(), epoch_before);
+
+  // Same shape after the DDL: exactly one fresh parse, then hits again,
+  // and the statements execute against the five-column schema.
+  std::vector<extract::OpDeltaTxn> post;
+  for (uint64_t t = 0; t < 4; ++t) {
+    post.push_back(update_txn(t + 101, t + 4, "post"));
+  }
+  warehouse::IntegrationStats post_stats;
+  OPDELTA_ASSERT_OK(
+      scheduler.Apply(post, Id(3), ledger_.get(), &post_stats));
+  const sql::StatementCacheStats after = cache.stats();
+  EXPECT_EQ(after.misses, warmed.misses + 1);
+  EXPECT_EQ(after.hits, warmed.hits + 3);
+
+  uint64_t post_rows = 0;
+  OPDELTA_ASSERT_OK(wh_->Scan(nullptr, "parts", engine::Predicate::True(),
+                              [&](const storage::Rid&,
+                                  const catalog::Row& row) {
+                                EXPECT_EQ(row.size(), 5u);
+                                EXPECT_EQ(row[4].AsInt64(), 4);
+                                if (row[1].AsString() == "post") ++post_rows;
+                                return true;
+                              }));
+  EXPECT_EQ(post_rows, 4u);
 }
 
 TEST_F(WarehouseMigrationTest, IncompatibleAndDriftedEventsQuarantine) {

@@ -22,7 +22,8 @@ const char* kRuleSummaries[] = {
     "lock discipline: bare cv wait / callback under lock",
     "naked new/delete or missing [[nodiscard]]",
     "hygiene: forbidden include or untagged TODO; NOLINT without a reason",
-    "ad-hoc SchemaMap at a decode call site; use the cached epoch accessors",
+    "decode/apply hot-path hygiene: ad-hoc SchemaMap, or Parser::Parse "
+    "re-parsed inside a loop instead of going through StatementCache",
     "lock-order cycle or declared-rank inversion in the acquisition graph",
     "potentially blocking call (Env I/O, queue, ship, wait) under a lock",
     "mutex member without an OPDELTA_LOCK_RANK annotation",
@@ -203,7 +204,19 @@ bool IsStatementStart(const std::vector<Token>& toks, size_t i) {
   const Token& p = toks[i - 1];
   if (p.kind == TokenKind::kPunct) {
     const std::string& t = p.text;
-    return t == ";" || t == "{" || t == "}" || t == ":" || t == ")";
+    if (t == ":") {
+      // A label (`case X:`) starts a statement; a ternary's else arm does
+      // not. The two are told apart by a `?` earlier in the statement.
+      for (size_t j = i - 1; j-- > 0;) {
+        if (toks[j].IsPunct("?")) return false;
+        if (toks[j].IsPunct(";") || toks[j].IsPunct("{") ||
+            toks[j].IsPunct("}")) {
+          break;
+        }
+      }
+      return true;
+    }
+    return t == ";" || t == "{" || t == "}" || t == ")";
   }
   return p.IsIdent("else") || p.IsIdent("do");
 }
@@ -611,8 +624,7 @@ void RunR5(const FileUnit& unit, std::vector<Finding>* findings) {
 /// every schema per call. Scoped to src/ outside the two layers that own
 /// the type (extract defines it, engine builds the shared snapshots);
 /// tests and tools may build maps freely.
-void RunR6(const FileUnit& unit, std::vector<Finding>* findings) {
-  if (!PathContains(unit.path, "src/")) return;
+void RunR6SchemaMap(const FileUnit& unit, std::vector<Finding>* findings) {
   if (PathContains(unit.path, "src/extract") ||
       PathContains(unit.path, "src/engine")) {
     return;
@@ -653,6 +665,90 @@ void RunR6(const FileUnit& unit, std::vector<Finding>* findings) {
              findings);
     }
   }
+}
+
+/// Decode/apply sites replay the same few statement shapes with different
+/// literals, so `Parser::Parse` inside a loop re-lexes and re-parses work
+/// the StatementCache would serve as a literal rebind. Flags the token
+/// sequence `Parser :: Parse` inside a for/while body outside src/sql
+/// (the parser and cache own the raw calls). The guarded-fallback idiom
+/// `cache != nullptr ? cache->Parse(...) : sql::Parser::Parse(...)` is
+/// exempt: the raw parse there only runs when no cache is wired, which
+/// the back-scan detects by a *cache* identifier earlier in the same
+/// statement.
+void RunR6ParseInLoop(const FileUnit& unit,
+                      std::vector<Finding>* findings) {
+  if (PathContains(unit.path, "src/sql")) return;
+  const auto& toks = unit.tokens;
+
+  // Brace ranges of every for/while body (range-for included: the header
+  // is just a parenthesized region either way).
+  std::vector<std::pair<size_t, size_t>> loops;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("for") && !toks[i].IsIdent("while")) continue;
+    size_t j = i + 1;
+    if (!toks[j].IsPunct("(")) continue;
+    int parens = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].IsPunct("(")) ++parens;
+      if (toks[j].IsPunct(")") && --parens == 0) {
+        ++j;
+        break;
+      }
+    }
+    if (j >= toks.size() || !toks[j].IsPunct("{")) continue;
+    const size_t open = j;
+    int braces = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].IsPunct("{")) ++braces;
+      if (toks[j].IsPunct("}") && --braces == 0) break;
+    }
+    loops.emplace_back(open, j);
+  }
+  if (loops.empty()) return;
+
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("Parser") || !toks[i + 1].IsPunct("::") ||
+        !toks[i + 2].IsIdent("Parse")) {
+      continue;
+    }
+    bool in_loop = false;
+    for (const auto& range : loops) {
+      if (i > range.first && i < range.second) {
+        in_loop = true;
+        break;
+      }
+    }
+    if (!in_loop) continue;
+    // Back-scan to the start of the statement: a cache identifier there
+    // marks this parse as the no-cache fallback arm of a ternary.
+    bool guarded = false;
+    for (size_t j = i; j-- > 0;) {
+      if (toks[j].IsPunct(";") || toks[j].IsPunct("{") ||
+          toks[j].IsPunct("}")) {
+        break;
+      }
+      if (toks[j].kind == TokenKind::kIdent &&
+          (toks[j].text.find("cache") != kNpos ||
+           toks[j].text.find("Cache") != kNpos)) {
+        guarded = true;
+        break;
+      }
+    }
+    if (guarded) continue;
+    Report(unit, RuleId::kR6SchemaMapHygiene, toks[i].line,
+           "Parser::Parse inside a loop at a decode/apply site re-parses "
+           "every statement; route through sql::StatementCache::Parse so "
+           "repeated shapes rebind literals instead of re-parsing (DDL "
+           "invalidation comes free via epoch keying)",
+           findings);
+  }
+}
+
+void RunR6(const FileUnit& unit, std::vector<Finding>* findings) {
+  if (!PathContains(unit.path, "src/")) return;
+  RunR6SchemaMap(unit, findings);
+  RunR6ParseInLoop(unit, findings);
 }
 
 }  // namespace

@@ -17,7 +17,8 @@ enum class RuleId : int {
   kR3LockDiscipline = 3,    // bare cv wait / callback invoked under lock
   kR4OwnershipNodiscard = 4,  // naked new/delete; Status not [[nodiscard]]
   kR5Hygiene = 5,           // <cstdio>/<fstream> includes; untagged TODO
-  kR6SchemaMapHygiene = 6,  // ad-hoc SchemaMap built at a decode call site
+  kR6SchemaMapHygiene = 6,  // ad-hoc SchemaMap at a decode site, or
+                            // Parser::Parse re-parsed inside a loop
   kR7LockOrder = 7,         // cross-TU lock-order cycle / rank inversion
   kR8BlockingUnderLock = 8,  // potentially blocking call while a lock held
   kR9UnrankedMutex = 9,     // mutex member without an OPDELTA_LOCK_RANK
